@@ -1,0 +1,23 @@
+//! Criterion bench for the ablation studies: overlap on/off and the
+//! scheduler policies.
+
+use cb_bench::ablation;
+use cb_bench::prototype_launcher;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let launcher = prototype_launcher();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("overlap_study", |b| {
+        b.iter(|| ablation::overlap_study(&launcher, 2, 2))
+    });
+    g.bench_function("scheduler_study", |b| b.iter(ablation::scheduler_study));
+    g.bench_function("eager_threshold_sweep", |b| {
+        b.iter(|| ablation::eager_threshold_sweep(&[4 << 10, 32 << 10, 128 << 10]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind Fig. 3: the psmpi ping-pong on the modelled
+//! EXTOLL fabric for the three node-pair classes at characteristic sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use psmpi::pingpong;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let cn = deep_er_cluster_node();
+    let bn = deep_er_booster_node();
+    let mut g = c.benchmark_group("fig3/pingpong");
+    g.sample_size(10);
+    for (label, a, b) in [("CN-CN", &cn, &cn), ("BN-BN", &bn, &bn), ("CN-BN", &cn, &bn)] {
+        for size in [1usize, 4096, 1 << 20] {
+            g.bench_with_input(
+                BenchmarkId::new(label, size),
+                &size,
+                |bencher, &size| {
+                    bencher.iter(|| pingpong::measure(a, b, &[size], 1));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench behind Fig. 7: xPic single-node runs per mode.
+
+use cb_bench::prototype_launcher;
+use criterion::{criterion_group, criterion_main, Criterion};
+use xpic::{run_mode, Mode, XpicConfig};
+
+fn bench_modes(c: &mut Criterion) {
+    let launcher = prototype_launcher();
+    let config = XpicConfig::paper_bench(3);
+    let mut g = c.benchmark_group("fig7/modes");
+    g.sample_size(10);
+    for mode in [Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster] {
+        g.bench_function(mode.label(), |bencher| {
+            bencher.iter(|| run_mode(&launcher, mode, 1, &config));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

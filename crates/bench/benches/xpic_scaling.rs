@@ -1,0 +1,23 @@
+//! Criterion bench behind Fig. 8: xPic strong scaling per node count.
+
+use cb_bench::prototype_launcher;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpic::{run_mode, Mode, XpicConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let launcher = prototype_launcher();
+    let base = XpicConfig::paper_bench(3);
+    let global_cells = 8 * base.model.cells_per_node;
+    let mut g = c.benchmark_group("fig8/scaling");
+    g.sample_size(10);
+    for nodes in [1usize, 2, 4, 8] {
+        let cfg = base.clone().strong_scaled(global_cells, nodes);
+        g.bench_with_input(BenchmarkId::new("C+B", nodes), &nodes, |bencher, &nodes| {
+            bencher.iter(|| run_mode(&launcher, Mode::ClusterBooster, nodes, &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Run the ablation and extension studies from DESIGN.md.
+fn main() {
+    let launcher = cb_bench::prototype_launcher();
+    print!("{}", cb_bench::ablation::render_all(&launcher));
+}

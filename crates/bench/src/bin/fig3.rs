@@ -1,0 +1,5 @@
+//! Regenerate Fig. 3: MPI bandwidth and latency between node pairs.
+fn main() {
+    let rows = cb_bench::fig3::series();
+    print!("{}", cb_bench::fig3::render(&rows));
+}

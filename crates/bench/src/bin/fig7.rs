@@ -1,0 +1,10 @@
+//! Regenerate Table II + Fig. 7: single-node xPic runtimes per mode.
+fn main() {
+    let launcher = cb_bench::prototype_launcher();
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let bars = cb_bench::fig7::run(&launcher, steps);
+    print!("{}", cb_bench::fig7::render(&bars));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Fig. 8: xPic strong scaling and parallel efficiency.
+fn main() {
+    let launcher = cb_bench::prototype_launcher();
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let scaling = cb_bench::fig8::run(&launcher, steps, &cb_bench::fig8::paper_node_counts());
+    print!("{}", cb_bench::fig8::render(&scaling));
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table I from the hardware model presets.
+fn main() {
+    print!("{}", cb_bench::table1::render());
+}

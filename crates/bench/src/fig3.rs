@@ -1,0 +1,106 @@
+//! Fig. 3: end-to-end MPI bandwidth and latency between CN-CN, BN-BN and
+//! CN-BN node pairs, measured with the psmpi ping-pong on the modelled
+//! EXTOLL fabric.
+
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use psmpi::pingpong::{self, PingPongPoint};
+
+/// One message size's measurements for the three node-pair classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Message size in bytes.
+    pub size: usize,
+    /// CN-CN one-way latency (µs) and bandwidth (MB/s).
+    pub cn_cn: (f64, f64),
+    /// BN-BN one-way latency and bandwidth.
+    pub bn_bn: (f64, f64),
+    /// CN-BN one-way latency and bandwidth.
+    pub cn_bn: (f64, f64),
+}
+
+fn to_pairs(points: &[PingPongPoint]) -> Vec<(f64, f64)> {
+    points
+        .iter()
+        .map(|p| (p.latency.as_micros(), p.bandwidth_mbs))
+        .collect()
+}
+
+/// Run the full sweep (1 B … 16 MiB).
+pub fn series() -> Vec<Row> {
+    series_for(&pingpong::fig3_sizes())
+}
+
+/// Run the sweep for explicit sizes.
+pub fn series_for(sizes: &[usize]) -> Vec<Row> {
+    let cn = deep_er_cluster_node();
+    let bn = deep_er_booster_node();
+    let cc = to_pairs(&pingpong::measure(&cn, &cn, sizes, 3));
+    let bb = to_pairs(&pingpong::measure(&bn, &bn, sizes, 3));
+    let cb = to_pairs(&pingpong::measure(&cn, &bn, sizes, 3));
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| Row { size, cn_cn: cc[i], bn_bn: bb[i], cn_bn: cb[i] })
+        .collect()
+}
+
+/// Render both Fig. 3 panels as text tables.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("FIG 3a: Bandwidth [MByte/s] vs message size\n");
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12}\n",
+        "size [B]", "CN-CN", "BN-BN", "CN-BN"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12.1} {:>12.1} {:>12.1}\n",
+            r.size, r.cn_cn.1, r.bn_bn.1, r.cn_bn.1
+        ));
+    }
+    out.push_str("\nFIG 3b: Latency [µs] vs message size\n");
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12}\n",
+        "size [B]", "CN-CN", "BN-BN", "CN-BN"
+    ));
+    for r in rows.iter().filter(|r| r.size <= 32 * 1024) {
+        out.push_str(&format!(
+            "{:>10} {:>12.2} {:>12.2} {:>12.2}\n",
+            r.size, r.cn_cn.0, r.bn_bn.0, r.cn_bn.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let rows = series_for(&[1, 1024, 16 * 1024, 1 << 20, 16 << 20]);
+        let small = &rows[0];
+        // Small-message latencies: 1.0 / 1.8 µs and CN-BN in between.
+        assert!((small.cn_cn.0 - 1.0).abs() < 0.05, "{:?}", small);
+        assert!((small.bn_bn.0 - 1.8).abs() < 0.05, "{:?}", small);
+        assert!(small.cn_cn.0 < small.cn_bn.0 && small.cn_bn.0 < small.bn_bn.0);
+        // Small messages: Cluster pairs communicate more efficiently.
+        assert!(rows[2].cn_cn.1 > rows[2].bn_bn.1);
+        // Large messages: all pairs approach the fabric bandwidth limit.
+        let big = &rows[4];
+        for bw in [big.cn_cn.1, big.bn_bn.1, big.cn_bn.1] {
+            assert!(bw > 9000.0, "fabric-limited: {bw}");
+        }
+        let spread = (big.cn_cn.1 - big.bn_bn.1).abs() / big.cn_cn.1;
+        assert!(spread < 0.05, "curves converge at large sizes: {spread}");
+    }
+
+    #[test]
+    fn render_lists_all_sizes() {
+        let rows = series_for(&[1, 64]);
+        let text = render(&rows);
+        assert!(text.contains("CN-CN"));
+        assert!(text.contains("FIG 3a"));
+        assert!(text.contains("FIG 3b"));
+    }
+}

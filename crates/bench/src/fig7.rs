@@ -1,0 +1,121 @@
+//! Fig. 7 (and Table II): single-node runtime of xPic and its two solver
+//! constituents under the three execution modes.
+
+use cluster_booster::Launcher;
+use hwmodel::SimTime;
+use xpic::{run_mode, Mode, XpicConfig};
+
+/// The three bars of one Fig. 7 group.
+#[derive(Debug, Clone)]
+pub struct Bars {
+    /// Runtime of the field solver on Cluster / Booster / C+B.
+    pub fields: [SimTime; 3],
+    /// Runtime of the particle solver.
+    pub particles: [SimTime; 3],
+    /// Total application runtime.
+    pub total: [SimTime; 3],
+    /// Coupling fraction of the C+B run.
+    pub cb_coupling_fraction: f64,
+}
+
+impl Bars {
+    /// Fields ratio Booster/Cluster (paper: ≈6×).
+    pub fn field_ratio(&self) -> f64 {
+        self.fields[1] / self.fields[0]
+    }
+
+    /// Particles ratio Cluster/Booster (paper: ≈1.35×).
+    pub fn particle_ratio(&self) -> f64 {
+        self.particles[0] / self.particles[1]
+    }
+
+    /// C+B gain vs Cluster-only (paper: ≈1.28×).
+    pub fn gain_vs_cluster(&self) -> f64 {
+        self.total[0] / self.total[2]
+    }
+
+    /// C+B gain vs Booster-only (paper: ≈1.21×).
+    pub fn gain_vs_booster(&self) -> f64 {
+        self.total[1] / self.total[2]
+    }
+}
+
+/// Run the three single-node experiments with the Table II setup.
+pub fn run(launcher: &Launcher, steps: u32) -> Bars {
+    let config = XpicConfig::paper_bench(steps);
+    let rc = run_mode(launcher, Mode::ClusterOnly, 1, &config);
+    let rb = run_mode(launcher, Mode::BoosterOnly, 1, &config);
+    let rcb = run_mode(launcher, Mode::ClusterBooster, 1, &config);
+    Bars {
+        fields: [rc.field_time, rb.field_time, rcb.field_time],
+        particles: [rc.particle_time, rb.particle_time, rcb.particle_time],
+        total: [rc.total, rb.total, rcb.total],
+        cb_coupling_fraction: rcb.coupling_fraction(),
+    }
+}
+
+/// Render Table II + the Fig. 7 bars as text.
+pub fn render(bars: &Bars) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II: xPic experiment setup\n");
+    out.push_str("  Number of cells per node      4096\n");
+    out.push_str("  Number of particles per cell  2048\n");
+    out.push_str("  Compilation flags             -openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)\n\n");
+    out.push_str("FIG 7: Runtime of xPic and its constituents [virtual s]\n");
+    out.push_str(&format!(
+        "{:>12} {:>12} {:>12} {:>12}\n",
+        "", "Cluster", "Booster", "C+B"
+    ));
+    for (name, row) in [("Fields", &bars.fields), ("Particles", &bars.particles), ("Total", &bars.total)] {
+        out.push_str(&format!(
+            "{:>12} {:>12.4} {:>12.4} {:>12.4}\n",
+            name,
+            row[0].as_secs(),
+            row[1].as_secs(),
+            row[2].as_secs()
+        ));
+    }
+    out.push_str(&format!(
+        "\nfield solver Cluster advantage : {:.2}x  (paper: ~6x)\n",
+        bars.field_ratio()
+    ));
+    out.push_str(&format!(
+        "particle solver Booster advantage: {:.2}x  (paper: ~1.35x)\n",
+        bars.particle_ratio()
+    ));
+    out.push_str(&format!(
+        "C+B gain vs Cluster-only        : {:.2}x  (paper: 1.28x)\n",
+        bars.gain_vs_cluster()
+    ));
+    out.push_str(&format!(
+        "C+B gain vs Booster-only        : {:.2}x  (paper: 1.21x)\n",
+        bars.gain_vs_booster()
+    ));
+    out.push_str(&format!(
+        "C+B coupling overhead           : {:.1}%  (paper: 3-4% \"small fraction\")\n",
+        100.0 * bars.cb_coupling_fraction
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype_launcher;
+
+    #[test]
+    fn fig7_headline_numbers() {
+        let bars = run(&prototype_launcher(), 4);
+        assert!((4.5..=7.5).contains(&bars.field_ratio()), "{}", bars.field_ratio());
+        assert!((1.2..=1.55).contains(&bars.particle_ratio()), "{}", bars.particle_ratio());
+        assert!(bars.gain_vs_cluster() > 1.1, "{}", bars.gain_vs_cluster());
+        assert!(bars.gain_vs_booster() > 1.05, "{}", bars.gain_vs_booster());
+        // In C+B the field solver runs on the Cluster: its bar matches the
+        // Cluster-only field bar closely.
+        let rel = (bars.fields[2] / bars.fields[0] - 1.0).abs();
+        assert!(rel < 0.35, "C+B field section ≈ Cluster field section: {rel}");
+        let text = render(&bars);
+        assert!(text.contains("TABLE II"));
+        assert!(text.contains("FIG 7"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 8: strong-scaling runtime and parallel efficiency of xPic over
+//! 1–8 nodes per solver, three modes.
+//!
+//! The global problem is fixed at 8 × the Table II per-node load, so the
+//! per-node load at the largest run (8 nodes per solver, the biggest
+//! experiment possible on the prototype) matches Table II.
+
+use cluster_booster::Launcher;
+use hwmodel::SimTime;
+use xpic::{run_mode, Mode, XpicConfig};
+
+/// One x-axis point of Fig. 8.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Nodes per solver.
+    pub nodes: usize,
+    /// Runtime per mode [Cluster, Booster, C+B].
+    pub runtime: [SimTime; 3],
+    /// Parallel efficiency per mode (1.0 at one node by definition).
+    pub efficiency: [f64; 3],
+}
+
+/// The scaling sweep result.
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// Points for n ∈ {1, 2, 4, 8} (or a subset).
+    pub points: Vec<Point>,
+}
+
+impl Scaling {
+    /// The point for a node count.
+    pub fn at(&self, nodes: usize) -> &Point {
+        self.points.iter().find(|p| p.nodes == nodes).expect("node count present")
+    }
+
+    /// C+B gain vs Cluster-only at a node count (paper: 1.28× → 1.38×).
+    pub fn gain_vs_cluster(&self, nodes: usize) -> f64 {
+        let p = self.at(nodes);
+        p.runtime[0] / p.runtime[2]
+    }
+
+    /// C+B gain vs Booster-only at a node count (paper: 1.21× → 1.34×).
+    pub fn gain_vs_booster(&self, nodes: usize) -> f64 {
+        let p = self.at(nodes);
+        p.runtime[1] / p.runtime[2]
+    }
+}
+
+/// Run the sweep for the given node counts.
+pub fn run(launcher: &Launcher, steps: u32, node_counts: &[usize]) -> Scaling {
+    let base = XpicConfig::paper_bench(steps);
+    let global_cells = 8 * base.model.cells_per_node;
+    let modes = [Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster];
+
+    let mut runtimes: Vec<[SimTime; 3]> = Vec::new();
+    for &n in node_counts {
+        let cfg = base.clone().strong_scaled(global_cells, n);
+        let mut row = [SimTime::ZERO; 3];
+        for (i, &mode) in modes.iter().enumerate() {
+            row[i] = run_mode(launcher, mode, n, &cfg).total;
+        }
+        runtimes.push(row);
+    }
+    let base_runtime = runtimes[0];
+    let base_nodes = node_counts[0];
+    let points = node_counts
+        .iter()
+        .zip(&runtimes)
+        .map(|(&nodes, rt)| {
+            let mut eff = [0.0; 3];
+            for i in 0..3 {
+                // efficiency(n) = T(n0)·n0 / (n · T(n))
+                eff[i] = (base_runtime[i].as_secs() * base_nodes as f64)
+                    / (nodes as f64 * rt[i].as_secs());
+            }
+            Point { nodes, runtime: *rt, efficiency: eff }
+        })
+        .collect();
+    Scaling { points }
+}
+
+/// The paper's node counts.
+pub fn paper_node_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Render both Fig. 8 panels as text.
+pub fn render(s: &Scaling) -> String {
+    let mut out = String::new();
+    out.push_str("FIG 8a: Runtime [virtual s] vs nodes per solver\n");
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>12}\n",
+        "nodes", "Cluster", "Booster", "C+B"
+    ));
+    for p in &s.points {
+        out.push_str(&format!(
+            "{:>6} {:>12.4} {:>12.4} {:>12.4}\n",
+            p.nodes,
+            p.runtime[0].as_secs(),
+            p.runtime[1].as_secs(),
+            p.runtime[2].as_secs()
+        ));
+    }
+    out.push_str("\nFIG 8b: Parallel efficiency vs nodes per solver\n");
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>12}\n",
+        "nodes", "Cluster", "Booster", "C+B"
+    ));
+    for p in &s.points {
+        out.push_str(&format!(
+            "{:>6} {:>12.3} {:>12.3} {:>12.3}\n",
+            p.nodes, p.efficiency[0], p.efficiency[1], p.efficiency[2]
+        ));
+    }
+    if let Some(last) = s.points.last() {
+        out.push_str(&format!(
+            "\nAt {} nodes/solver: C+B {:.2}x vs Cluster (paper: 1.38x), {:.2}x vs Booster (paper: 1.34x)\n",
+            last.nodes,
+            s.gain_vs_cluster(last.nodes),
+            s.gain_vs_booster(last.nodes)
+        ));
+        out.push_str(&format!(
+            "Efficiencies: C+B {:.0}% (paper 85%), Cluster {:.0}% (79%), Booster {:.0}% (77%)\n",
+            100.0 * last.efficiency[2],
+            100.0 * last.efficiency[0],
+            100.0 * last.efficiency[1]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype_launcher;
+
+    #[test]
+    fn fig8_shape() {
+        let l = prototype_launcher();
+        let s = run(&l, 3, &[1, 2, 4, 8]);
+        // Runtime decreases with node count, in every mode.
+        for i in 0..3 {
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].runtime[i] < w[0].runtime[i],
+                    "mode {i}: runtime must fall {} → {}",
+                    w[0].nodes,
+                    w[1].nodes
+                );
+            }
+        }
+        // C+B is fastest at every point.
+        for p in &s.points {
+            assert!(p.runtime[2] < p.runtime[0] && p.runtime[2] < p.runtime[1]);
+        }
+        // The C+B gain grows with node count (1.28× → 1.38× in the paper).
+        assert!(s.gain_vs_cluster(8) > s.gain_vs_cluster(1));
+        // Efficiency ordering at 8 nodes: C+B ≥ Cluster > Booster
+        // (paper: 85% / 79% / 77%).
+        let p8 = s.at(8);
+        assert!(p8.efficiency[2] > p8.efficiency[0], "C+B most efficient: {:?}", p8.efficiency);
+        assert!(p8.efficiency[0] > p8.efficiency[1], "Cluster beats Booster: {:?}", p8.efficiency);
+        // All efficiencies within the plot's 0.5–1.0 range.
+        for p in &s.points {
+            for e in p.efficiency {
+                assert!((0.5..=1.02).contains(&e), "{e}");
+            }
+        }
+        let text = render(&s);
+        assert!(text.contains("FIG 8a"));
+        assert!(text.contains("FIG 8b"));
+    }
+}

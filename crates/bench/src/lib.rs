@@ -1,0 +1,31 @@
+//! # cb-bench — the evaluation harness
+//!
+//! One module per table/figure of the paper plus the ablation studies from
+//! DESIGN.md. Each module produces the figure's data as plain structs
+//! (reused by the regeneration binaries, the criterion benches, and the
+//! paper-claims integration tests) and offers a text rendering that prints
+//! the same rows/series the paper reports.
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Table I (hardware configuration) | [`table1`] | `table1` |
+//! | Fig. 3 (MPI bandwidth & latency) | [`fig3`] | `fig3` |
+//! | Table II + Fig. 7 (xPic single-node modes) | [`fig7`] | `fig7` |
+//! | Fig. 8 (xPic scaling + efficiency) | [`fig8`] | `fig8` |
+//! | ablations & extensions | [`ablation`] | `ablations` |
+//! | calibration sensitivity | [`sensitivity`] | `ablations` |
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod sensitivity;
+pub mod table1;
+
+use cluster_booster::presets::deep_er_prototype;
+use cluster_booster::Launcher;
+
+/// A launcher over the DEEP-ER prototype (16 CN + 8 BN + storage).
+pub fn prototype_launcher() -> Launcher {
+    Launcher::new(deep_er_prototype())
+}

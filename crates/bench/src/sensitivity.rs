@@ -1,0 +1,172 @@
+//! Calibration sensitivity analysis.
+//!
+//! The reproduction's headline ratios (Fig. 7: field solver ≈6× faster on
+//! the Cluster, particle solver ≈1.35× faster on the Booster) must not be
+//! knife-edge artifacts of the calibration constants. This module perturbs
+//! each microarchitectural constant by ±`eps` and recomputes the kernel
+//! ratios straight from the cost model; the test asserts that the paper's
+//! *orderings* survive every single-parameter perturbation and that the
+//! magnitudes stay in band.
+
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use hwmodel::{CostModel, NodeSpec};
+use xpic::XpicConfig;
+
+/// Which calibration constant a perturbation touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// Haswell sustained scalar flops/cycle.
+    HswScalar,
+    /// Haswell SIMD efficiency.
+    HswSimdEff,
+    /// KNL sustained scalar flops/cycle.
+    KnlScalar,
+    /// KNL SIMD efficiency.
+    KnlSimdEff,
+    /// Haswell node DRAM bandwidth.
+    HswDramBw,
+    /// KNL MCDRAM bandwidth.
+    KnlMcdramBw,
+}
+
+/// All knobs.
+pub fn all_knobs() -> [Knob; 6] {
+    [
+        Knob::HswScalar,
+        Knob::HswSimdEff,
+        Knob::KnlScalar,
+        Knob::KnlSimdEff,
+        Knob::HswDramBw,
+        Knob::KnlMcdramBw,
+    ]
+}
+
+/// The two node models with one knob scaled by `factor`.
+pub fn perturbed(knob: Knob, factor: f64) -> (NodeSpec, NodeSpec) {
+    let mut cn = deep_er_cluster_node();
+    let mut bn = deep_er_booster_node();
+    match knob {
+        Knob::HswScalar => cn.processor.scalar_flops_per_cycle *= factor,
+        Knob::HswSimdEff => cn.processor.simd_efficiency = (cn.processor.simd_efficiency * factor).min(1.0),
+        Knob::KnlScalar => bn.processor.scalar_flops_per_cycle *= factor,
+        Knob::KnlSimdEff => bn.processor.simd_efficiency = (bn.processor.simd_efficiency * factor).min(1.0),
+        Knob::HswDramBw => {
+            for m in cn.memory.iter_mut() {
+                if m.kind == hwmodel::MemoryKind::Ddr4 {
+                    m.read_bw_gbs *= factor;
+                    m.write_bw_gbs *= factor;
+                }
+            }
+        }
+        Knob::KnlMcdramBw => {
+            for m in bn.memory.iter_mut() {
+                if m.kind == hwmodel::MemoryKind::Mcdram {
+                    m.read_bw_gbs *= factor;
+                    m.write_bw_gbs *= factor;
+                }
+            }
+        }
+    }
+    (cn, bn)
+}
+
+/// The two Fig. 7 kernel ratios under a perturbation:
+/// (field solver BN/CN, particle solver CN/BN).
+pub fn ratios(knob: Knob, factor: f64) -> (f64, f64) {
+    let (cn, bn) = perturbed(knob, factor);
+    let cfg = XpicConfig::test_small();
+    let m = CostModel;
+    let field = m.time(&bn, &cfg.work_cg_iter()) / m.time(&cn, &cfg.work_cg_iter());
+    let pcl_cn = m.time(&cn, &cfg.work_push()) + m.time(&cn, &cfg.work_moments());
+    let pcl_bn = m.time(&bn, &cfg.work_push()) + m.time(&bn, &cfg.work_moments());
+    (field, pcl_cn / pcl_bn)
+}
+
+/// Render a sensitivity table for ±`eps` perturbations.
+pub fn render(eps: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SENSITIVITY: Fig 7 kernel ratios under ±{:.0}% single-constant perturbations\n",
+        eps * 100.0
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}\n",
+        "knob", "fld −", "fld +", "pcl −", "pcl +"
+    ));
+    let (f0, p0) = ratios(Knob::HswScalar, 1.0);
+    out.push_str(&format!("{:<14} baseline: field {:.2}x, particles {:.2}x\n", "", f0, p0));
+    for knob in all_knobs() {
+        let (f_lo, p_lo) = ratios(knob, 1.0 - eps);
+        let (f_hi, p_hi) = ratios(knob, 1.0 + eps);
+        out.push_str(&format!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2}\n",
+            format!("{knob:?}"),
+            f_lo,
+            f_hi,
+            p_lo,
+            p_hi
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_survive_10_percent_perturbations() {
+        for knob in all_knobs() {
+            for factor in [0.9, 1.1] {
+                let (field, particles) = ratios(knob, factor);
+                assert!(
+                    field > 3.5,
+                    "{knob:?}×{factor}: Cluster must keep winning fields ({field:.2})"
+                );
+                assert!(
+                    particles > 1.0,
+                    "{knob:?}×{factor}: Booster must keep winning particles ({particles:.2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn magnitudes_stay_in_band_under_5_percent() {
+        for knob in all_knobs() {
+            for factor in [0.95, 1.05] {
+                let (field, particles) = ratios(knob, factor);
+                assert!((4.5..=8.5).contains(&field), "{knob:?}×{factor}: field {field:.2}");
+                assert!(
+                    (1.1..=1.7).contains(&particles),
+                    "{knob:?}×{factor}: particles {particles:.2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knobs_move_the_expected_direction() {
+        // Faster Haswell scalar → bigger field advantage.
+        let (f_lo, _) = ratios(Knob::HswScalar, 0.9);
+        let (f_hi, _) = ratios(Knob::HswScalar, 1.1);
+        assert!(f_hi > f_lo);
+        // Better KNL SIMD → bigger particle advantage.
+        let (_, p_lo) = ratios(Knob::KnlSimdEff, 0.9);
+        let (_, p_hi) = ratios(Knob::KnlSimdEff, 1.1);
+        assert!(p_hi > p_lo);
+        // More Haswell DRAM bandwidth helps its (memory-bound) particle
+        // solver → smaller Booster advantage.
+        let (_, p_bw_lo) = ratios(Knob::HswDramBw, 0.9);
+        let (_, p_bw_hi) = ratios(Knob::HswDramBw, 1.1);
+        assert!(p_bw_hi < p_bw_lo);
+    }
+
+    #[test]
+    fn render_has_all_knobs() {
+        let text = render(0.10);
+        for knob in all_knobs() {
+            assert!(text.contains(&format!("{knob:?}")));
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Batch scheduling over heterogeneous allocations.
+//!
+//! The DEEP project "put major efforts into the extension of batch-system
+//! capabilities" (§II-A, ref [5]): because Cluster and Booster are reserved
+//! independently, a system-wide scheduler can combine applications in a
+//! complementary way — a Booster-heavy job can run beside a Cluster-heavy
+//! one, "increasing throughput and efficiency of use for the overall
+//! system". [`BatchScheduler`] is a virtual-time batch simulator (FIFO with
+//! optional EASY backfill) over the [`crate::ResourceManager`]; the
+//! scheduler-throughput bench compares the independent and node-locked
+//! policies on the same job mix.
+
+use crate::resources::{Allocation, ResourceManager};
+use hwmodel::SimTime;
+use std::collections::BTreeMap;
+
+/// One batch job: a heterogeneous node request plus a (known) runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchJob {
+    /// Job id (unique per scheduler).
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Cluster nodes requested.
+    pub cn: usize,
+    /// Booster nodes requested.
+    pub bn: usize,
+    /// Runtime once started.
+    pub duration: SimTime,
+    /// Submission time.
+    pub submit: SimTime,
+}
+
+/// Lifecycle state of a job inside the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Running since `start`.
+    Running {
+        /// Virtual start time.
+        start: SimTime,
+    },
+    /// Finished.
+    Done {
+        /// Virtual start time.
+        start: SimTime,
+        /// Virtual end time.
+        end: SimTime,
+    },
+}
+
+/// Scheduling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// Strict FIFO: the queue head blocks everything behind it.
+    Fifo,
+    /// EASY backfill: later jobs may start if they do not delay the
+    /// reserved start of the queue head.
+    #[default]
+    EasyBackfill,
+}
+
+/// Result of simulating a job mix.
+#[derive(Debug, Clone)]
+pub struct SchedulerStats {
+    /// Per-job final states (keyed by job id).
+    pub jobs: BTreeMap<u64, JobState>,
+    /// Time the last job finished.
+    pub makespan: SimTime,
+    /// Mean waiting time (start − submit).
+    pub mean_wait: SimTime,
+    /// Cluster-module utilization in [0,1] (node-time busy / node-time total).
+    pub cluster_utilization: f64,
+    /// Booster-module utilization in [0,1].
+    pub booster_utilization: f64,
+}
+
+impl SchedulerStats {
+    /// Start/end of one job (panics if it never completed).
+    pub fn span(&self, id: u64) -> (SimTime, SimTime) {
+        match &self.jobs[&id] {
+            JobState::Done { start, end } => (*start, *end),
+            other => panic!("job {id} not completed: {other:?}"),
+        }
+    }
+}
+
+struct Running {
+    job: BatchJob,
+    alloc: Allocation,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// A virtual-time batch scheduler bound to a resource manager.
+pub struct BatchScheduler {
+    rm: ResourceManager,
+    discipline: Discipline,
+    queue: Vec<BatchJob>,
+    submits: BTreeMap<u64, SimTime>,
+    next_id: u64,
+}
+
+impl BatchScheduler {
+    /// New scheduler with the default discipline (EASY backfill).
+    pub fn new(rm: ResourceManager) -> Self {
+        Self::with_discipline(rm, Discipline::default())
+    }
+
+    /// New scheduler with an explicit discipline.
+    pub fn with_discipline(rm: ResourceManager, discipline: Discipline) -> Self {
+        BatchScheduler {
+            rm,
+            discipline,
+            queue: Vec::new(),
+            submits: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        cn: usize,
+        bn: usize,
+        duration: SimTime,
+        submit: SimTime,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submits.insert(id, submit);
+        self.queue.push(BatchJob { id, name: name.into(), cn, bn, duration, submit });
+        id
+    }
+
+    /// Number of queued jobs.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run the submitted mix to completion and report.
+    pub fn simulate(&mut self) -> SchedulerStats {
+        let mut pending: Vec<BatchJob> = std::mem::take(&mut self.queue);
+        pending.sort_by(|a, b| a.submit.cmp(&b.submit).then(a.id.cmp(&b.id)));
+        let mut running: Vec<Running> = Vec::new();
+        let mut states: BTreeMap<u64, JobState> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let mut busy_cn = SimTime::ZERO;
+        let mut busy_bn = SimTime::ZERO;
+        let (total_cn, total_bn) = self.rm.totals();
+
+        while !pending.is_empty() || !running.is_empty() {
+            // Complete everything ending at or before `now`.
+            running.sort_by_key(|a| a.end);
+            while running.first().is_some_and(|r| r.end <= now) {
+                let r = running.remove(0);
+                self.rm.release(&r.alloc).expect("release running job");
+                busy_cn += (r.end - r.start) * r.job.cn as f64;
+                busy_bn += (r.end - r.start) * r.job.bn as f64;
+                states.insert(r.job.id, JobState::Done { start: r.start, end: r.end });
+            }
+
+            // Start jobs while the discipline allows.
+            loop {
+                let arrived: Vec<usize> = pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| j.submit <= now)
+                    .map(|(i, _)| i)
+                    .collect();
+                let Some(&head_idx) = arrived.first() else { break };
+                let shadow = self.head_shadow_start(&pending[head_idx], &running, now);
+                let mut started = None;
+                for &i in &arrived {
+                    let j = &pending[i];
+                    if !self.rm.can_allocate(j.cn, j.bn) {
+                        continue;
+                    }
+                    let is_head = i == head_idx;
+                    let allowed = match self.discipline {
+                        Discipline::Fifo => is_head,
+                        Discipline::EasyBackfill => {
+                            is_head
+                                || now + j.duration <= shadow
+                                || self.fits_beside_head(j, &pending[head_idx], &running, now)
+                        }
+                    };
+                    if allowed {
+                        started = Some(i);
+                        break;
+                    }
+                }
+                match started {
+                    Some(i) => {
+                        let job = pending.remove(i);
+                        let alloc = self.rm.allocate(job.cn, job.bn).expect("checked fit");
+                        let end = now + job.duration;
+                        states.insert(job.id, JobState::Running { start: now });
+                        running.push(Running { job, alloc, start: now, end });
+                    }
+                    None => break,
+                }
+            }
+
+            // Advance time to the next event.
+            let next_end = running.iter().map(|r| r.end).min();
+            let next_submit = pending.iter().map(|j| j.submit).filter(|&s| s > now).min();
+            now = match (next_end, next_submit) {
+                (Some(e), Some(s)) => e.min(s),
+                (Some(e), None) => e,
+                (None, Some(s)) => s,
+                (None, None) => {
+                    if pending.is_empty() {
+                        break; // all work drained
+                    }
+                    panic!(
+                        "scheduler stuck: {} pending jobs cannot ever start \
+                         (larger than the machine?)",
+                        pending.len()
+                    );
+                }
+            };
+        }
+
+        let makespan = now;
+        let mean_wait = {
+            let mut total = SimTime::ZERO;
+            let mut n = 0usize;
+            for (id, st) in &states {
+                if let JobState::Done { start, .. } = st {
+                    total += start.saturating_sub(self.submits[id]);
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                SimTime::ZERO
+            } else {
+                total / n as f64
+            }
+        };
+        let denom_cn = (makespan * total_cn as f64).as_secs();
+        let denom_bn = (makespan * total_bn as f64).as_secs();
+        SchedulerStats {
+            jobs: states,
+            makespan,
+            mean_wait,
+            cluster_utilization: if denom_cn > 0.0 { busy_cn.as_secs() / denom_cn } else { 0.0 },
+            booster_utilization: if denom_bn > 0.0 { busy_bn.as_secs() / denom_bn } else { 0.0 },
+        }
+    }
+
+    /// Earliest time the head job could start given the current running set.
+    fn head_shadow_start(&self, head: &BatchJob, running: &[Running], now: SimTime) -> SimTime {
+        let mut free_cn = self.rm.free_cluster();
+        let mut free_bn = self.rm.free_booster();
+        if free_cn >= head.cn && free_bn >= head.bn {
+            return now;
+        }
+        let mut ends: Vec<&Running> = running.iter().collect();
+        ends.sort_by_key(|a| a.end);
+        for r in ends {
+            free_cn += r.job.cn;
+            free_bn += r.job.bn;
+            if free_cn >= head.cn && free_bn >= head.bn {
+                return r.end;
+            }
+        }
+        // Head cannot start with current information; effectively unbounded.
+        SimTime::from_secs(f64::MAX / 4.0)
+    }
+
+    /// Whether starting `j` now still leaves the head its reservation at the
+    /// shadow time (conservative node-count check).
+    fn fits_beside_head(&self, j: &BatchJob, head: &BatchJob, running: &[Running], now: SimTime) -> bool {
+        let shadow = self.head_shadow_start(head, running, now);
+        let mut free_cn = self.rm.free_cluster();
+        let mut free_bn = self.rm.free_booster();
+        for r in running {
+            if r.end <= shadow {
+                free_cn += r.job.cn;
+                free_bn += r.job.bn;
+            }
+        }
+        let j_releases = now + j.duration <= shadow;
+        let held_cn = if j_releases { 0 } else { j.cn };
+        let held_bn = if j_releases { 0 } else { j.bn };
+        free_cn >= head.cn + held_cn && free_bn >= head.bn + held_bn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::deep_er_prototype;
+    use crate::resources::{AllocationPolicy, ResourceManager};
+
+    fn sched(discipline: Discipline) -> BatchScheduler {
+        BatchScheduler::with_discipline(ResourceManager::new(&deep_er_prototype()), discipline)
+    }
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let mut sc = sched(Discipline::Fifo);
+        let id = sc.submit("j", 4, 2, s(10.0), s(0.0));
+        assert_eq!(sc.queued(), 1);
+        let stats = sc.simulate();
+        assert_eq!(stats.span(id), (s(0.0), s(10.0)));
+        assert_eq!(stats.makespan, s(10.0));
+        assert_eq!(stats.mean_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    fn complementary_jobs_coschedule() {
+        // A Cluster-only and a Booster-only job share the machine — the
+        // paper's throughput argument for independent allocation.
+        let mut sc = sched(Discipline::Fifo);
+        let a = sc.submit("cluster-heavy", 16, 0, s(100.0), s(0.0));
+        let b = sc.submit("booster-heavy", 0, 8, s(100.0), s(0.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.span(a).0, s(0.0));
+        assert_eq!(stats.span(b).0, s(0.0), "both start at once");
+        assert_eq!(stats.makespan, s(100.0));
+    }
+
+    #[test]
+    fn node_locked_policy_serializes_same_mix() {
+        // Under the accelerated-cluster policy the same two jobs contend for
+        // host nodes and must serialize (16 CN + 16 BN @ ratio 1).
+        let sys = crate::system::SystemBuilder::new("acc")
+            .cluster_nodes(16)
+            .booster_nodes(16)
+            .build();
+        let rm = ResourceManager::with_policy(&sys, AllocationPolicy::NodeLocked { ratio: 1 });
+        let mut sc = BatchScheduler::with_discipline(rm, Discipline::Fifo);
+        sc.submit("cluster-heavy", 16, 0, s(100.0), s(0.0));
+        sc.submit("booster-heavy", 0, 16, s(100.0), s(0.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.makespan, s(200.0), "host contention serializes");
+    }
+
+    #[test]
+    fn fifo_head_blocks_backfill_runs() {
+        // Job 0 holds the whole cluster; job 1 (head) needs it all; job 2 is
+        // small and short. FIFO keeps job 2 behind the head; EASY backfills.
+        let run = |d: Discipline| {
+            let mut sc = sched(d);
+            sc.submit("wide", 16, 0, s(100.0), s(0.0));
+            sc.submit("head", 16, 0, s(10.0), s(1.0));
+            let small = sc.submit("small", 0, 2, s(5.0), s(2.0));
+            let stats = sc.simulate();
+            stats.span(small).0
+        };
+        assert_eq!(run(Discipline::EasyBackfill), s(2.0), "backfill starts early");
+        assert!(run(Discipline::Fifo) >= s(100.0), "fifo waits for head");
+    }
+
+    #[test]
+    fn backfill_does_not_delay_head() {
+        let mut sc = sched(Discipline::EasyBackfill);
+        let wide = sc.submit("wide", 16, 0, s(50.0), s(0.0));
+        let head = sc.submit("head", 16, 0, s(10.0), s(1.0));
+        // Long small job on the cluster would delay the head → must wait.
+        let long_small = sc.submit("long-small", 4, 0, s(500.0), s(2.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.span(wide), (s(0.0), s(50.0)));
+        assert_eq!(stats.span(head).0, s(50.0), "head starts exactly at shadow time");
+        assert!(stats.span(long_small).0 >= s(60.0));
+    }
+
+    #[test]
+    fn backfill_on_other_module_is_free() {
+        let mut sc = sched(Discipline::EasyBackfill);
+        sc.submit("wide", 16, 0, s(50.0), s(0.0));
+        sc.submit("head", 16, 0, s(10.0), s(1.0));
+        // Booster job doesn't touch the head's reservation → backfills even
+        // though it is long.
+        let boost = sc.submit("boost", 0, 8, s(500.0), s(2.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.span(boost).0, s(2.0));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut sc = sched(Discipline::Fifo);
+        sc.submit("half", 8, 0, s(10.0), s(0.0));
+        let stats = sc.simulate();
+        // 8 of 16 CN busy for the whole makespan → 50%.
+        assert!((stats.cluster_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(stats.booster_utilization, 0.0);
+    }
+
+    #[test]
+    fn submit_times_respected() {
+        let mut sc = sched(Discipline::Fifo);
+        let id = sc.submit("late", 1, 0, s(5.0), s(42.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.span(id).0, s(42.0));
+        assert_eq!(stats.mean_wait, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler stuck")]
+    fn oversized_job_panics() {
+        let mut sc = sched(Discipline::Fifo);
+        sc.submit("too-big", 17, 0, s(5.0), s(0.0));
+        sc.simulate();
+    }
+
+    #[test]
+    fn mean_wait_positive_under_contention() {
+        let mut sc = sched(Discipline::Fifo);
+        sc.submit("a", 16, 8, s(10.0), s(0.0));
+        sc.submit("b", 16, 8, s(10.0), s(0.0));
+        let stats = sc.simulate();
+        assert_eq!(stats.makespan, s(20.0));
+        assert_eq!(stats.mean_wait, s(5.0)); // (0 + 10) / 2
+    }
+}

@@ -1,0 +1,169 @@
+//! Ready-made models of the DEEP-ER prototype hardware (paper Table I).
+
+use crate::calib;
+use crate::memory::{MemoryKind, MemoryLevel};
+use crate::node::{NodeKind, NodeSpec};
+use crate::processor::{Microarch, Processor};
+use crate::time::SimTime;
+
+/// Intel Xeon E5-2680 v3 ("Haswell"), one socket.
+pub fn haswell_e5_2680_v3() -> Processor {
+    Processor {
+        name: "Intel Xeon E5-2680 v3".into(),
+        arch: Microarch::Haswell,
+        cores: calib::HSW_CORES_PER_SOCKET,
+        threads_per_core: 2,
+        freq_ghz: calib::HSW_FREQ_GHZ,
+        scalar_flops_per_cycle: calib::HSW_SCALAR_FLOPS_PER_CYCLE,
+        simd_flops_per_cycle: calib::HSW_SIMD_FLOPS_PER_CYCLE,
+        simd_efficiency: calib::HSW_SIMD_EFFICIENCY,
+        copy_bw_gbs: calib::HSW_COPY_BW_GBS,
+    }
+}
+
+/// Intel Xeon Phi 7210 ("Knights Landing"), one socket.
+pub fn knl_7210() -> Processor {
+    Processor {
+        name: "Intel Xeon Phi 7210".into(),
+        arch: Microarch::KnightsLanding,
+        cores: calib::KNL_CORES,
+        threads_per_core: 4,
+        freq_ghz: calib::KNL_FREQ_GHZ,
+        scalar_flops_per_cycle: calib::KNL_SCALAR_FLOPS_PER_CYCLE,
+        simd_flops_per_cycle: calib::KNL_SIMD_FLOPS_PER_CYCLE,
+        simd_efficiency: calib::KNL_SIMD_EFFICIENCY,
+        copy_bw_gbs: calib::KNL_COPY_BW_GBS,
+    }
+}
+
+/// The node-local Intel DC P3700 NVMe device (400 GB, PCIe gen3 x4).
+pub fn nvme_p3700() -> MemoryLevel {
+    MemoryLevel::new(
+        MemoryKind::Nvme,
+        calib::NVME_CAPACITY,
+        calib::NVME_READ_BW_GBS,
+        calib::NVME_WRITE_BW_GBS,
+        SimTime::from_micros(calib::NVME_LATENCY_US),
+    )
+}
+
+/// A DEEP-ER Cluster node: 2 × Haswell, 128 GB DDR4, 400 GB NVMe.
+pub fn deep_er_cluster_node() -> NodeSpec {
+    NodeSpec {
+        kind: NodeKind::Cluster,
+        processor: haswell_e5_2680_v3(),
+        sockets: 2,
+        memory: vec![
+            MemoryLevel::new(
+                MemoryKind::Ddr4,
+                128 * (1 << 30),
+                calib::HSW_DDR4_BW_GBS,
+                calib::HSW_DDR4_BW_GBS,
+                SimTime::from_nanos(calib::DRAM_LATENCY_NS),
+            ),
+            nvme_p3700(),
+        ],
+        nic_send_overhead: calib::hsw_mpi_overhead(),
+        nic_recv_overhead: calib::hsw_mpi_overhead(),
+    }
+}
+
+/// A DEEP-ER Booster node: 1 × KNL, 16 GB MCDRAM + 96 GB DDR4, 400 GB NVMe.
+pub fn deep_er_booster_node() -> NodeSpec {
+    NodeSpec {
+        kind: NodeKind::Booster,
+        processor: knl_7210(),
+        sockets: 1,
+        memory: vec![
+            MemoryLevel::new(
+                MemoryKind::Mcdram,
+                16 * (1 << 30),
+                calib::KNL_MCDRAM_BW_GBS,
+                calib::KNL_MCDRAM_BW_GBS,
+                SimTime::from_nanos(calib::DRAM_LATENCY_NS * 1.5),
+            ),
+            MemoryLevel::new(
+                MemoryKind::Ddr4,
+                96 * (1 << 30),
+                calib::KNL_DDR4_BW_GBS,
+                calib::KNL_DDR4_BW_GBS,
+                SimTime::from_nanos(calib::DRAM_LATENCY_NS * 1.4),
+            ),
+            nvme_p3700(),
+        ],
+        nic_send_overhead: calib::knl_mpi_overhead(),
+        nic_recv_overhead: calib::knl_mpi_overhead(),
+    }
+}
+
+/// A storage server of the prototype's file system rack (one of the two
+/// BeeGFS storage servers in front of the 57 TB spinning-disk pool).
+pub fn deep_er_storage_server() -> NodeSpec {
+    NodeSpec {
+        kind: NodeKind::Storage,
+        processor: haswell_e5_2680_v3(),
+        sockets: 1,
+        memory: vec![
+            MemoryLevel::new(
+                MemoryKind::Ddr4,
+                64 * (1 << 30),
+                calib::HSW_DDR4_BW_GBS / 2.0,
+                calib::HSW_DDR4_BW_GBS / 2.0,
+                SimTime::from_nanos(calib::DRAM_LATENCY_NS),
+            ),
+            MemoryLevel::new(
+                MemoryKind::Disk,
+                // 57 TB over two storage servers.
+                57_000_000_000_000 / 2,
+                calib::DISK_BW_GBS,
+                calib::DISK_BW_GBS,
+                SimTime::from_millis(calib::DISK_LATENCY_MS),
+            ),
+        ],
+        nic_send_overhead: calib::hsw_mpi_overhead(),
+        nic_recv_overhead: calib::hsw_mpi_overhead(),
+    }
+}
+
+/// A metadata server (same chassis class as the storage servers).
+pub fn deep_er_metadata_server() -> NodeSpec {
+    NodeSpec {
+        kind: NodeKind::Metadata,
+        ..deep_er_storage_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_is_self_hosted_knc_is_not() {
+        assert!(knl_7210().arch.self_hosted());
+        assert!(!Microarch::KnightsCorner.self_hosted());
+    }
+
+    #[test]
+    fn storage_server_has_disk_pool() {
+        let s = deep_er_storage_server();
+        let disk = s.memory_level(MemoryKind::Disk).expect("disk pool");
+        assert_eq!(disk.capacity_bytes * 2, 57_000_000_000_000);
+    }
+
+    #[test]
+    fn metadata_server_kind() {
+        assert_eq!(deep_er_metadata_server().kind, NodeKind::Metadata);
+    }
+
+    #[test]
+    fn nvme_capacity_matches_table1() {
+        assert_eq!(nvme_p3700().capacity_bytes, 400 * 1_000_000_000);
+    }
+
+    #[test]
+    fn booster_memory_order_fastest_first() {
+        let bn = deep_er_booster_node();
+        assert_eq!(bn.memory[0].kind, MemoryKind::Mcdram);
+        assert!(bn.memory[0].read_bw_gbs > bn.memory[1].read_bw_gbs);
+    }
+}

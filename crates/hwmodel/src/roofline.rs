@@ -1,0 +1,125 @@
+//! Roofline curves for the modelled nodes.
+//!
+//! The cost model is a roofline: attainable performance at arithmetic
+//! intensity `I` (flops/byte) is `min(peak_compute(vf), I · bandwidth)`.
+//! This module exposes that curve directly — the standard way to *see* why
+//! the particle solver (high intensity, vectorized) belongs on the Booster
+//! while memory-light scalar work does not, and a sanity harness for the
+//! calibration: the model's kernel timings must lie on their node's roof.
+
+use crate::cost::{amdahl_speedup, CostModel};
+use crate::node::NodeSpec;
+use crate::work::WorkSpec;
+
+/// One point of a roofline curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity, flops per byte.
+    pub intensity: f64,
+    /// Attainable GFlop/s at that intensity.
+    pub gflops: f64,
+}
+
+/// The attainable GFlop/s on `node` at intensity `i` for a kernel with
+/// the given vectorizable and parallel fractions.
+pub fn attainable_gflops(node: &NodeSpec, intensity: f64, vf: f64, pf: f64) -> f64 {
+    let compute =
+        node.processor.core_gflops(vf) * amdahl_speedup(node.cores(), pf);
+    let memory = node.stream_bw_gbs() * intensity;
+    compute.min(memory)
+}
+
+/// The ridge point: the intensity where the kernel stops being
+/// memory-bound on `node`.
+pub fn ridge_intensity(node: &NodeSpec, vf: f64, pf: f64) -> f64 {
+    let compute = node.processor.core_gflops(vf) * amdahl_speedup(node.cores(), pf);
+    compute / node.stream_bw_gbs()
+}
+
+/// Sample a roofline curve over a log-spaced intensity range.
+pub fn curve(node: &NodeSpec, vf: f64, pf: f64, points: usize) -> Vec<RooflinePoint> {
+    assert!(points >= 2);
+    (0..points)
+        .map(|k| {
+            // 2^-6 .. 2^8 flops/byte.
+            let exp = -6.0 + 14.0 * k as f64 / (points - 1) as f64;
+            let intensity = exp.exp2();
+            RooflinePoint { intensity, gflops: attainable_gflops(node, intensity, vf, pf) }
+        })
+        .collect()
+}
+
+/// Check that the cost model's timing of `work` on `node` is consistent
+/// with the roofline (within floating-point slack). Returns the effective
+/// GFlop/s and the roofline bound.
+pub fn verify_on_roof(node: &NodeSpec, work: &WorkSpec) -> (f64, f64) {
+    let m = CostModel;
+    let eff = m.effective_gflops(node, work);
+    let bound = attainable_gflops(node, work.intensity(), work.vector_fraction, work.parallel_fraction);
+    (eff, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{deep_er_booster_node, deep_er_cluster_node};
+
+    #[test]
+    fn curve_is_monotone_then_flat() {
+        let bn = deep_er_booster_node();
+        let c = curve(&bn, 1.0, 1.0, 40);
+        for w in c.windows(2) {
+            assert!(w[1].gflops >= w[0].gflops - 1e-9, "roofline never decreases");
+        }
+        // The right end is compute-bound: equals the flat roof.
+        let roof = bn.processor.core_gflops(1.0) * bn.cores() as f64;
+        assert!((c.last().unwrap().gflops - roof).abs() / roof < 1e-9);
+        // The left end is memory-bound: bandwidth × intensity.
+        let left = &c[0];
+        assert!((left.gflops - bn.stream_bw_gbs() * left.intensity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let cn = deep_er_cluster_node();
+        let ridge = ridge_intensity(&cn, 0.9, 0.99);
+        let below = attainable_gflops(&cn, ridge * 0.5, 0.9, 0.99);
+        let above = attainable_gflops(&cn, ridge * 2.0, 0.9, 0.99);
+        assert!(below < above, "left of the ridge is memory-bound");
+        let far = attainable_gflops(&cn, ridge * 8.0, 0.9, 0.99);
+        assert!((far - above).abs() / above < 1e-9, "right of the ridge is flat");
+    }
+
+    #[test]
+    fn booster_roof_higher_for_vector_work_lower_for_scalar() {
+        let cn = deep_er_cluster_node();
+        let bn = deep_er_booster_node();
+        let i = 100.0; // compute-bound
+        assert!(attainable_gflops(&bn, i, 1.0, 1.0) > attainable_gflops(&cn, i, 1.0, 1.0));
+        assert!(attainable_gflops(&bn, i, 0.0, 0.5) < attainable_gflops(&cn, i, 0.0, 0.5));
+    }
+
+    #[test]
+    fn cost_model_lies_on_the_roof() {
+        // For zero-overhead kernels the cost model's effective GFlop/s is
+        // exactly the roofline bound.
+        let bn = deep_er_booster_node();
+        for (flops, bytes, vf, pf) in [
+            (1e10, 1e9, 0.9f64, 0.99f64), // compute-bound
+            (1e9, 1e10, 0.9, 0.99),       // memory-bound
+            (1e10, 0.0, 0.3, 0.8),        // no traffic
+        ] {
+            let w = WorkSpec::named("w")
+                .flops(flops)
+                .bytes(bytes)
+                .vector_fraction(vf)
+                .parallel_fraction(pf)
+                .build();
+            let (eff, bound) = verify_on_roof(&bn, &w);
+            assert!(
+                (eff - bound).abs() / bound < 1e-9,
+                "model off its roof: {eff} vs {bound}"
+            );
+        }
+    }
+}

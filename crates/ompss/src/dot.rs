@@ -1,0 +1,111 @@
+//! Graphviz (DOT) export of task graphs — what the OmpSs tooling renders
+//! for developers deciding what to offload.
+
+use crate::graph::{Device, TaskGraph};
+use crate::runtime::RunReport;
+
+/// Render the dependency structure of `graph` as a DOT digraph. Cluster
+/// tasks are boxes, offloaded (Booster) tasks are ellipses; edges carry
+/// the data blocks they represent.
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let deps = graph.dependencies();
+    let producers = graph.producers();
+    let mut out = String::from("digraph taskgraph {\n  rankdir=LR;\n");
+    for (i, t) in graph.tasks.iter().enumerate() {
+        let shape = match t.device {
+            Device::Cluster => "box",
+            Device::Booster => "ellipse",
+        };
+        out.push_str(&format!(
+            "  t{i} [label=\"{}\" shape={shape}];\n",
+            t.name.replace('"', "'")
+        ));
+    }
+    for (i, dlist) in deps.iter().enumerate() {
+        for d in dlist {
+            // Label the edge with the blocks task i consumes from d.
+            let blocks: Vec<&str> = producers[i]
+                .iter()
+                .filter(|(_, p)| *p == Some(*d))
+                .map(|(n, _)| n.as_str())
+                .collect();
+            let label = if blocks.is_empty() {
+                String::new()
+            } else {
+                format!(" [label=\"{}\"]", blocks.join(","))
+            };
+            out.push_str(&format!("  t{} -> t{}{};\n", d.0, i, label));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an executed graph with its schedule: critical-path tasks are
+/// highlighted, labels carry the virtual times.
+pub fn to_dot_with_schedule(graph: &TaskGraph, report: &RunReport) -> String {
+    let critical: Vec<usize> = report.critical_path().iter().map(|t| t.0).collect();
+    let deps = graph.dependencies();
+    let mut out = String::from("digraph schedule {\n  rankdir=LR;\n");
+    for (i, t) in graph.tasks.iter().enumerate() {
+        let rec = report.task(crate::graph::TaskId(i));
+        let style = if critical.contains(&i) {
+            "style=filled fillcolor=orange"
+        } else {
+            "style=filled fillcolor=lightgray"
+        };
+        out.push_str(&format!(
+            "  t{i} [label=\"{}\\n{} → {}\" {style}];\n",
+            t.name.replace('"', "'"),
+            rec.start,
+            rec.end
+        ));
+    }
+    for (i, dlist) in deps.iter().enumerate() {
+        for d in dlist {
+            out.push_str(&format!("  t{} -> t{};\n", d.0, i));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataStore;
+    use crate::runtime::OmpssRuntime;
+    use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+    use hwmodel::WorkSpec;
+
+    fn graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let w = || WorkSpec::named("w").flops(1e8).parallel_fraction(0.9).build();
+        g.add_task("assemble", &[], &["m"], Device::Cluster, w(), |s| s.put("m", vec![1.0]));
+        g.add_task("push", &["m"], &["p"], Device::Booster, w(), |s| s.put("p", vec![2.0]));
+        g.add_task("reduce", &["p"], &[], Device::Cluster, w(), |_| {});
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_shapes() {
+        let dot = to_dot(&graph());
+        assert!(dot.starts_with("digraph taskgraph {"));
+        assert!(dot.contains("t0 [label=\"assemble\" shape=box]"));
+        assert!(dot.contains("t1 [label=\"push\" shape=ellipse]"));
+        assert!(dot.contains("t0 -> t1 [label=\"m\"]"));
+        assert!(dot.contains("t1 -> t2 [label=\"p\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn schedule_dot_highlights_critical_path() {
+        let mut g = graph();
+        let rt = OmpssRuntime::new(deep_er_cluster_node(), deep_er_booster_node());
+        let report = rt.run(&mut g, &mut DataStore::new()).unwrap();
+        let dot = to_dot_with_schedule(&g, &report);
+        // The whole chain is critical here.
+        assert_eq!(dot.matches("fillcolor=orange").count(), 3);
+        assert!(dot.contains("t0 -> t1"));
+    }
+}

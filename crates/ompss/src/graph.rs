@@ -1,0 +1,261 @@
+//! Task graphs with OmpSs data-flow dependencies.
+//!
+//! Tasks are declared in sequential program order; the graph derives the
+//! dependency edges the OmpSs runtime would: a task depends on the latest
+//! earlier writer of each of its inputs (read-after-write), on all earlier
+//! readers of each of its outputs (write-after-read), and on the latest
+//! earlier writer of each of its outputs (write-after-write).
+
+use crate::data::DataStore;
+use hwmodel::WorkSpec;
+use std::collections::{HashMap, HashSet};
+
+/// Task index within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// Where a task executes — the OmpSs offload pragma's target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Device {
+    /// On the module the application booted on.
+    #[default]
+    Cluster,
+    /// Offloaded to the Booster.
+    Booster,
+}
+
+/// A task's action: a real closure over the data store.
+pub type TaskAction = Box<dyn FnMut(&mut DataStore) + Send>;
+
+pub(crate) struct Task {
+    pub name: String,
+    pub ins: Vec<String>,
+    pub outs: Vec<String>,
+    pub device: Device,
+    pub work: WorkSpec,
+    pub action: TaskAction,
+    /// Injected failures remaining (resiliency tests).
+    pub failures: u32,
+}
+
+/// A task graph under construction.
+#[derive(Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Append a task in program order.
+    ///
+    /// * `ins`/`outs` — data blocks read/written (the pragma's
+    ///   `in(...)`/`out(...)` clauses; an `inout` block appears in both);
+    /// * `device` — where it runs;
+    /// * `work` — its cost descriptor for the device's node model;
+    /// * `action` — the real computation.
+    pub fn add_task<F>(
+        &mut self,
+        name: impl Into<String>,
+        ins: &[&str],
+        outs: &[&str],
+        device: Device,
+        work: WorkSpec,
+        action: F,
+    ) -> TaskId
+    where
+        F: FnMut(&mut DataStore) + Send + 'static,
+    {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.into(),
+            ins: ins.iter().map(|s| s.to_string()).collect(),
+            outs: outs.iter().map(|s| s.to_string()).collect(),
+            device,
+            work,
+            action: Box::new(action),
+            failures: 0,
+        });
+        id
+    }
+
+    /// Inject `n` failures into a task: its first `n` executions fail and
+    /// are retried by the resilient runtime.
+    pub fn inject_failures(&mut self, task: TaskId, n: u32) {
+        self.tasks[task.0].failures = n;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Dependency edges: `deps[i]` lists tasks that must finish before task
+    /// `i` starts.
+    pub fn dependencies(&self) -> Vec<Vec<TaskId>> {
+        let mut last_writer: HashMap<&str, usize> = HashMap::new();
+        let mut readers_since_write: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); self.tasks.len()];
+
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.ins {
+                if let Some(&w) = last_writer.get(d.as_str()) {
+                    deps[i].insert(w); // RAW
+                }
+                readers_since_write.entry(d.as_str()).or_default().push(i);
+            }
+            for d in &t.outs {
+                if let Some(&w) = last_writer.get(d.as_str()) {
+                    if w != i {
+                        deps[i].insert(w); // WAW
+                    }
+                }
+                if let Some(rs) = readers_since_write.get(d.as_str()) {
+                    for &r in rs {
+                        if r != i {
+                            deps[i].insert(r); // WAR
+                        }
+                    }
+                }
+                last_writer.insert(d.as_str(), i);
+                readers_since_write.insert(d.as_str(), Vec::new());
+            }
+        }
+        deps.into_iter()
+            .map(|s| {
+                let mut v: Vec<TaskId> = s.into_iter().map(TaskId).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    /// For each task input, the task that produces it (`None` = initial
+    /// data). Used for cross-device transfer costing.
+    pub fn producers(&self) -> Vec<Vec<(String, Option<TaskId>)>> {
+        let mut last_writer: HashMap<&str, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let row = t
+                .ins
+                .iter()
+                .map(|d| (d.clone(), last_writer.get(d.as_str()).copied().map(TaskId)))
+                .collect();
+            out.push(row);
+            for d in &t.outs {
+                last_writer.insert(d.as_str(), out.len() - 1);
+            }
+        }
+        out
+    }
+
+    /// Name of a task.
+    pub fn name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// Device of a task.
+    pub fn device(&self, id: TaskId) -> Device {
+        self.tasks[id.0].device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> WorkSpec {
+        WorkSpec::named("w").build()
+    }
+
+    fn ids(v: &[usize]) -> Vec<TaskId> {
+        v.iter().map(|&i| TaskId(i)).collect()
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut g = TaskGraph::new();
+        g.add_task("produce", &[], &["x"], Device::Cluster, w(), |_| {});
+        g.add_task("consume", &["x"], &[], Device::Cluster, w(), |_| {});
+        assert_eq!(g.dependencies(), vec![ids(&[]), ids(&[0])]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let mut g = TaskGraph::new();
+        g.add_task("read", &["x"], &[], Device::Cluster, w(), |_| {});
+        g.add_task("overwrite", &[], &["x"], Device::Cluster, w(), |_| {});
+        assert_eq!(g.dependencies()[1], ids(&[0]));
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut g = TaskGraph::new();
+        g.add_task("w1", &[], &["x"], Device::Cluster, w(), |_| {});
+        g.add_task("w2", &[], &["x"], Device::Cluster, w(), |_| {});
+        assert_eq!(g.dependencies()[1], ids(&[0]));
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", &[], &["x"], Device::Cluster, w(), |_| {});
+        g.add_task("b", &[], &["y"], Device::Booster, w(), |_| {});
+        g.add_task("c", &["x"], &[], Device::Cluster, w(), |_| {});
+        let d = g.dependencies();
+        assert!(d[1].is_empty(), "b independent of a");
+        assert_eq!(d[2], ids(&[0]));
+    }
+
+    #[test]
+    fn inout_chains_serialize() {
+        // inout(x) three times: each depends on the previous (RAW + WAW).
+        let mut g = TaskGraph::new();
+        for i in 0..3 {
+            g.add_task(format!("t{i}"), &["x"], &["x"], Device::Cluster, w(), |_| {});
+        }
+        let d = g.dependencies();
+        assert_eq!(d[1], ids(&[0]));
+        assert_eq!(d[2], ids(&[1]));
+    }
+
+    #[test]
+    fn readers_do_not_depend_on_each_other() {
+        let mut g = TaskGraph::new();
+        g.add_task("w", &[], &["x"], Device::Cluster, w(), |_| {});
+        g.add_task("r1", &["x"], &[], Device::Cluster, w(), |_| {});
+        g.add_task("r2", &["x"], &[], Device::Booster, w(), |_| {});
+        let d = g.dependencies();
+        assert_eq!(d[1], ids(&[0]));
+        assert_eq!(d[2], ids(&[0]), "r2 must not depend on r1");
+    }
+
+    #[test]
+    fn producers_track_latest_writer() {
+        let mut g = TaskGraph::new();
+        g.add_task("w1", &[], &["x"], Device::Cluster, w(), |_| {});
+        g.add_task("w2", &["x"], &["x"], Device::Booster, w(), |_| {});
+        g.add_task("r", &["x", "init"], &[], Device::Cluster, w(), |_| {});
+        let p = g.producers();
+        assert_eq!(p[2][0], ("x".to_string(), Some(TaskId(1))));
+        assert_eq!(p[2][1], ("init".to_string(), None));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut g = TaskGraph::new();
+        let id = g.add_task("solver", &[], &[], Device::Booster, w(), |_| {});
+        assert_eq!(g.name(id), "solver");
+        assert_eq!(g.device(id), Device::Booster);
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+}

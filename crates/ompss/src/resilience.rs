@@ -1,0 +1,245 @@
+//! The DEEP-ER OmpSs resiliency extensions (paper §III-D).
+//!
+//! Three features were added to OmpSs in DEEP-ER:
+//!
+//! 1. **Input saving** — task inputs are copied to main memory before the
+//!    task starts, so it can be restarted in place on failure. Implemented
+//!    by [`crate::OmpssRuntime::resilient`]: the runtime snapshots each
+//!    task's `in` set and restores it before a retry.
+//! 2. **Fast-forward** — a restarted *application* replays its task graph
+//!    but skips tasks recorded as complete, using the input dependences to
+//!    jump to the latest checkpointed state. Implemented here by
+//!    [`CompletionLog`] + [`fast_forward`].
+//! 3. **Offloaded-task restart** — a task offloaded to the other module can
+//!    be restarted "without loosing the work that has been performed in
+//!    parallel by other OmpSs tasks": per-task retry in the runtime touches
+//!    only the failed task; concurrent records stay valid (tested below).
+
+use crate::data::DataStore;
+use crate::graph::TaskGraph;
+use crate::runtime::{OmpssRuntime, RunError, RunReport};
+use std::collections::HashMap;
+
+/// A persistent record of completed tasks and the data they produced —
+/// what SCR-backed OmpSs keeps so a restarted run can skip finished work.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionLog {
+    /// Completed task names (names identify tasks across process restarts).
+    completed: Vec<String>,
+    /// The saved outputs of completed tasks.
+    outputs: HashMap<String, Vec<f64>>,
+}
+
+impl CompletionLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        CompletionLog::default()
+    }
+
+    /// Record a completed task and its output blocks.
+    pub fn record(&mut self, task_name: &str, store: &DataStore, outs: &[String]) {
+        self.completed.push(task_name.to_string());
+        for o in outs {
+            if store.contains(o) {
+                self.outputs.insert(o.clone(), store.get(o).to_vec());
+            }
+        }
+    }
+
+    /// Whether a task name is logged as complete.
+    pub fn is_complete(&self, task_name: &str) -> bool {
+        self.completed.iter().any(|n| n == task_name)
+    }
+
+    /// Number of completed tasks.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether nothing completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Restore all saved outputs into a store (the fast-forward data jump).
+    pub fn restore_outputs(&self, store: &mut DataStore) {
+        for (k, v) in &self.outputs {
+            store.put(k.clone(), v.clone());
+        }
+    }
+}
+
+/// Run `graph`, skipping tasks already in `log` (their saved outputs are
+/// restored instead of recomputed), executing and logging the rest. This is
+/// the fast-forward path of a restarted application.
+///
+/// Returns the run report of the tasks that actually executed.
+pub fn fast_forward(
+    runtime: &OmpssRuntime,
+    graph: &mut TaskGraph,
+    store: &mut DataStore,
+    log: &mut CompletionLog,
+) -> Result<RunReport, RunError> {
+    // Restore checkpointed outputs first so skipped producers' data exists.
+    log.restore_outputs(store);
+
+    // Build a reduced graph holding only incomplete tasks, preserving
+    // program order (dependencies on skipped tasks become dependencies on
+    // restored data, which is already in the store).
+    let mut reduced = TaskGraph::new();
+    let mut kept: Vec<usize> = Vec::new();
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if !log.is_complete(&t.name) {
+            kept.push(i);
+        }
+    }
+    // Move the kept tasks into the reduced graph (actions are FnMut boxes,
+    // so we take them out of the original).
+    let mut taken: Vec<crate::graph::Task> = Vec::new();
+    for i in kept.iter().rev() {
+        taken.push(graph.tasks.remove(*i));
+    }
+    taken.reverse();
+    for t in taken {
+        reduced.tasks.push(t);
+    }
+
+    let report = runtime.run(&mut reduced, store)?;
+    for t in &reduced.tasks {
+        log.record(&t.name, store, &t.outs);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Device;
+    use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+    use hwmodel::WorkSpec;
+
+    fn rt() -> OmpssRuntime {
+        OmpssRuntime::new(deep_er_cluster_node(), deep_er_booster_node()).resilient()
+    }
+
+    fn w() -> WorkSpec {
+        WorkSpec::named("w").flops(1e8).parallel_fraction(0.9).build()
+    }
+
+    fn pipeline(counter_mult: f64) -> (TaskGraph, DataStore) {
+        let mut g = TaskGraph::new();
+        let mut s = DataStore::new();
+        s.put("seed", vec![counter_mult]);
+        g.add_task("stage1", &["seed"], &["mid"], Device::Cluster, w(), |s| {
+            let v = s.get("seed")[0] * 10.0;
+            s.put("mid", vec![v]);
+        });
+        g.add_task("stage2", &["mid"], &["out"], Device::Booster, w(), |s| {
+            let v = s.get("mid")[0] + 1.0;
+            s.put("out", vec![v]);
+        });
+        (g, s)
+    }
+
+    #[test]
+    fn input_saving_restores_on_retry() {
+        // The flaky task mutates its input before failing; the retry must
+        // see the original value (input saving, feature 1).
+        let mut g = TaskGraph::new();
+        let mut s = DataStore::new();
+        s.put("x", vec![1.0]);
+        let id = g.add_task("flaky", &["x"], &["x", "y"], Device::Cluster, w(), |s| {
+            let v = s.get("x")[0];
+            s.get_mut("x")[0] = v + 1.0;
+            s.put("y", vec![v]);
+        });
+        g.inject_failures(id, 2);
+        let rep = rt().run(&mut g, &mut s).unwrap();
+        assert_eq!(rep.total_retries, 2);
+        assert_eq!(s.get("y"), &[1.0], "retry saw the restored input");
+        assert_eq!(s.get("x"), &[2.0], "final run applied its mutation once");
+    }
+
+    #[test]
+    fn retries_cost_time() {
+        let make = |failures: u32| {
+            let mut g = TaskGraph::new();
+            let id = g.add_task("t", &[], &[], Device::Booster, w(), |_| {});
+            g.inject_failures(id, failures);
+            rt().run(&mut g, &mut DataStore::new()).unwrap().makespan
+        };
+        let clean = make(0);
+        let retried = make(3);
+        assert!(retried > clean * 3.0, "retries pay full re-execution");
+    }
+
+    #[test]
+    fn offloaded_restart_keeps_parallel_work() {
+        // Feature 3: a failing Booster task does not invalidate the Cluster
+        // task that ran in parallel.
+        let mut g = TaskGraph::new();
+        let mut s = DataStore::new();
+        g.add_task("cluster-side", &[], &["a"], Device::Cluster, w(), |s| {
+            s.put("a", vec![42.0]);
+        });
+        let flaky = g.add_task("booster-side", &[], &["b"], Device::Booster, w(), |s| {
+            s.put("b", vec![7.0]);
+        });
+        g.inject_failures(flaky, 1);
+        let rep = rt().with_workers(2).run(&mut g, &mut s).unwrap();
+        assert_eq!(s.get("a"), &[42.0]);
+        assert_eq!(s.get("b"), &[7.0]);
+        assert_eq!(rep.task(crate::graph::TaskId(0)).retries, 0);
+        assert_eq!(rep.task(flaky).retries, 1);
+    }
+
+    #[test]
+    fn fast_forward_skips_completed_tasks() {
+        // First run completes stage1 then "crashes" (we only log stage1).
+        let (mut g1, mut s1) = pipeline(1.0);
+        let runtime = rt();
+        let mut log = CompletionLog::new();
+        let rep1 = runtime.run(&mut g1, &mut s1).unwrap();
+        assert_eq!(rep1.tasks.len(), 2);
+        log.record("stage1", &s1, &["mid".to_string()]);
+        assert!(log.is_complete("stage1"));
+        assert!(!log.is_complete("stage2"));
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+
+        // Restart: fresh store (the crash lost memory), fast-forward.
+        let (mut g2, _) = pipeline(1.0);
+        let mut s2 = DataStore::new();
+        s2.put("seed", vec![1.0]);
+        let rep2 = fast_forward(&runtime, &mut g2, &mut s2, &mut log).unwrap();
+        assert_eq!(rep2.tasks.len(), 1, "only stage2 re-executed");
+        assert_eq!(rep2.tasks[0].name, "stage2");
+        assert_eq!(s2.get("out"), &[11.0], "result identical to uninterrupted run");
+        assert!(log.is_complete("stage2"));
+    }
+
+    #[test]
+    fn fast_forward_with_empty_log_runs_everything() {
+        let runtime = rt();
+        let (mut g, mut s) = pipeline(2.0);
+        let mut log = CompletionLog::new();
+        let rep = fast_forward(&runtime, &mut g, &mut s, &mut log).unwrap();
+        assert_eq!(rep.tasks.len(), 2);
+        assert_eq!(s.get("out"), &[21.0]);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn fully_logged_graph_is_a_noop() {
+        let runtime = rt();
+        let (mut g1, mut s1) = pipeline(1.0);
+        let mut log = CompletionLog::new();
+        fast_forward(&runtime, &mut g1, &mut s1, &mut log).unwrap();
+        let (mut g2, _) = pipeline(1.0);
+        let mut s2 = DataStore::new();
+        s2.put("seed", vec![1.0]);
+        let rep = fast_forward(&runtime, &mut g2, &mut s2, &mut log).unwrap();
+        assert!(rep.tasks.is_empty());
+        assert_eq!(s2.get("out"), &[11.0], "outputs restored from the log");
+    }
+}

@@ -1,0 +1,483 @@
+//! The OmpSs-style runtime: virtual-time list scheduling of a task graph
+//! over the two modules.
+//!
+//! Tasks really execute (their closures mutate the [`crate::DataStore`]),
+//! in an order consistent with the dependency graph. Virtual time is
+//! modelled per device: each device has a configurable number of workers;
+//! a task starts at the latest of (its dependences' finish times + any
+//! cross-device transfer for the data that moves) and a worker's
+//! availability, and runs for the cost-model time of its work descriptor on
+//! that device's node type.
+
+use crate::data::DataStore;
+use crate::graph::{Device, TaskGraph, TaskId};
+use hwmodel::{CostModel, NodeSpec, SimTime};
+use simnet::LogGpModel;
+
+/// Execution record of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// The task.
+    pub id: TaskId,
+    /// Task name.
+    pub name: String,
+    /// Device it ran on.
+    pub device: Device,
+    /// Virtual start time (of the successful attempt).
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+    /// Failed attempts before success (resilient runtime only).
+    pub retries: u32,
+    /// Bytes moved across modules to feed this task.
+    pub transfer_bytes: u64,
+    /// The constraint that determined this task's start time: the
+    /// predecessor task it waited for (a data dependency or the previous
+    /// occupant of its worker), or `None` if it started unconstrained.
+    pub bound_by: Option<TaskId>,
+}
+
+/// Result of running a graph.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-task records, in task order.
+    pub tasks: Vec<TaskRecord>,
+    /// Completion time of the whole graph.
+    pub makespan: SimTime,
+    /// Total cross-module transfer volume.
+    pub total_transfer_bytes: u64,
+    /// Total retried attempts.
+    pub total_retries: u32,
+}
+
+impl RunReport {
+    /// Record of one task.
+    pub fn task(&self, id: TaskId) -> &TaskRecord {
+        &self.tasks[id.0]
+    }
+
+    /// The critical path: the chain of tasks whose start-time constraints
+    /// determine the makespan, from the first unconstrained task to the
+    /// last finisher. Useful for deciding *what to offload next*.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        let Some(last) = self.tasks.iter().max_by(|a, b| a.end.total_cmp_end(b)) else {
+            return Vec::new();
+        };
+        let mut path = vec![last.id];
+        let mut cur = last;
+        while let Some(prev) = cur.bound_by {
+            path.push(prev);
+            cur = &self.tasks[prev.0];
+        }
+        path.reverse();
+        path
+    }
+
+    /// Render the schedule as a text Gantt chart (diagnostics).
+    pub fn gantt(&self) -> String {
+        let mut out = String::new();
+        let span = self.makespan.as_secs().max(1e-12);
+        for t in &self.tasks {
+            let begin = (40.0 * t.start.as_secs() / span) as usize;
+            let len = ((40.0 * (t.end - t.start).as_secs() / span) as usize).max(1);
+            out.push_str(&format!(
+                "{:>3} {:<16} {:>8?} |{}{}|\n",
+                t.id.0,
+                t.name,
+                t.device,
+                " ".repeat(begin.min(40)),
+                "#".repeat(len.min(41 - begin.min(40)))
+            ));
+        }
+        out
+    }
+}
+
+trait TotalCmpEnd {
+    fn total_cmp_end(&self, other: &TaskRecord) -> std::cmp::Ordering;
+}
+
+impl TotalCmpEnd for SimTime {
+    fn total_cmp_end(&self, other: &TaskRecord) -> std::cmp::Ordering {
+        self.as_secs().total_cmp(&other.end.as_secs())
+    }
+}
+
+/// Errors from running a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A task failed and the runtime has no resiliency enabled.
+    TaskFailed {
+        /// Which task failed.
+        task: usize,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TaskFailed { task, name } => {
+                write!(f, "task {task} (`{name}`) failed without resiliency")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The runtime configuration.
+pub struct OmpssRuntime {
+    cluster: NodeSpec,
+    booster: NodeSpec,
+    link: LogGpModel,
+    /// Concurrent tasks per device.
+    workers_per_device: usize,
+    /// Input-saving + restart on failure (paper §III-D).
+    resilient: bool,
+    /// Fixed recovery overhead charged per retry.
+    recovery_overhead: SimTime,
+    cost: CostModel,
+}
+
+impl OmpssRuntime {
+    /// Runtime over the two DEEP-ER node types with one worker per device.
+    pub fn new(cluster: NodeSpec, booster: NodeSpec) -> Self {
+        OmpssRuntime {
+            cluster,
+            booster,
+            link: LogGpModel::default(),
+            workers_per_device: 1,
+            resilient: false,
+            recovery_overhead: SimTime::from_millis(1.0),
+            cost: CostModel,
+        }
+    }
+
+    /// Allow several tasks in flight per device.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.workers_per_device = n;
+        self
+    }
+
+    /// Enable the resiliency features (input saving + task restart).
+    pub fn resilient(mut self) -> Self {
+        self.resilient = true;
+        self
+    }
+
+    /// Override the retry overhead.
+    pub fn with_recovery_overhead(mut self, t: SimTime) -> Self {
+        self.recovery_overhead = t;
+        self
+    }
+
+    fn node(&self, d: Device) -> &NodeSpec {
+        match d {
+            Device::Cluster => &self.cluster,
+            Device::Booster => &self.booster,
+        }
+    }
+
+    /// Cross-module transfer time for `bytes` between representative nodes.
+    fn transfer_time(&self, from: Device, to: Device, bytes: u64) -> SimTime {
+        if from == to || bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.link
+            .transfer_time(self.node(from), self.node(to), bytes as usize, 1)
+    }
+
+    /// Execute the graph on `store`. Tasks run in dependency order; the
+    /// report carries the virtual-time schedule.
+    pub fn run(&self, graph: &mut TaskGraph, store: &mut DataStore) -> Result<RunReport, RunError> {
+        let deps = graph.dependencies();
+        let producers = graph.producers();
+        let n = graph.tasks.len();
+        let mut finish: Vec<Option<SimTime>> = vec![None; n];
+        let mut records: Vec<Option<TaskRecord>> = (0..n).map(|_| None).collect();
+        // Worker availability per device (+ the last task each ran, for
+        // critical-path attribution).
+        let mut cluster_workers = vec![(SimTime::ZERO, None::<TaskId>); self.workers_per_device];
+        let mut booster_workers = vec![(SimTime::ZERO, None::<TaskId>); self.workers_per_device];
+        let mut done = 0usize;
+        let mut total_transfer = 0u64;
+        let mut total_retries = 0u32;
+
+        while done < n {
+            // Pick the ready task (all deps finished) with the smallest id
+            // whose dependencies allow the earliest start; executing in
+            // ready order preserves sequential semantics for the store.
+            let mut progressed = false;
+            for i in 0..n {
+                if finish[i].is_some() {
+                    continue;
+                }
+                if !deps[i].iter().all(|d| finish[d.0].is_some()) {
+                    continue;
+                }
+                let t = &mut graph.tasks[i];
+                let device = t.device;
+
+                // Data-ready time: dependencies + cross-device movement of
+                // this task's inputs from their producers. Track which
+                // predecessor binds the start (critical-path attribution).
+                let mut ready = SimTime::ZERO;
+                let mut bound_by: Option<TaskId> = None;
+                for d in &deps[i] {
+                    let f = finish[d.0].expect("dep finished");
+                    if f > ready {
+                        ready = f;
+                        bound_by = Some(*d);
+                    }
+                }
+                let mut moved = 0u64;
+                for (name, producer) in &producers[i] {
+                    let from = match producer {
+                        Some(p) => graph_device(records.as_slice(), *p),
+                        None => Device::Cluster, // initial data lives with the host module
+                    };
+                    if from != device {
+                        let bytes = store.bytes_of(name);
+                        moved += bytes;
+                        let base = producer
+                            .and_then(|p| finish[p.0])
+                            .unwrap_or(SimTime::ZERO);
+                        let arrive = base + self.transfer_time(from, device, bytes);
+                        if arrive > ready {
+                            ready = arrive;
+                            bound_by = *producer;
+                        }
+                    }
+                }
+
+                let workers = match device {
+                    Device::Cluster => &mut cluster_workers,
+                    Device::Booster => &mut booster_workers,
+                };
+                let (widx, (wfree, wlast)) = workers
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.0.cmp(&b.0))
+                    .map(|(i, t)| (i, *t))
+                    .expect("at least one worker");
+                let start = ready.max(wfree);
+                if wfree > ready {
+                    bound_by = wlast;
+                }
+
+                // Resiliency: snapshot inputs before running (§III-D).
+                let snapshot = if self.resilient {
+                    Some(store.snapshot(&graph.tasks[i].ins))
+                } else {
+                    None
+                };
+                let t = &mut graph.tasks[i];
+                let mut retries = 0u32;
+                let mut duration = self.cost.time(self.node(device), &t.work);
+                while t.failures > 0 {
+                    t.failures -= 1;
+                    if !self.resilient {
+                        return Err(RunError::TaskFailed { task: i, name: t.name.clone() });
+                    }
+                    retries += 1;
+                    // The failed attempt costs its full duration plus the
+                    // recovery overhead; inputs are restored from the saved
+                    // snapshot so the retry sees clean data.
+                    duration += self.cost.time(self.node(device), &t.work) + self.recovery_overhead;
+                    if let Some(snap) = &snapshot {
+                        store.restore(snap);
+                    }
+                }
+                (t.action)(store);
+
+                let end = start + duration;
+                workers[widx] = (end, Some(TaskId(i)));
+                finish[i] = Some(end);
+                total_transfer += moved;
+                total_retries += retries;
+                records[i] = Some(TaskRecord {
+                    id: TaskId(i),
+                    name: graph.tasks[i].name.clone(),
+                    device,
+                    start,
+                    end,
+                    retries,
+                    transfer_bytes: moved,
+                    bound_by,
+                });
+                done += 1;
+                progressed = true;
+                break;
+            }
+            assert!(progressed, "task graph has a dependency cycle");
+        }
+
+        let tasks: Vec<TaskRecord> = records.into_iter().map(|r| r.expect("all ran")).collect();
+        let makespan = tasks.iter().map(|r| r.end).max().unwrap_or(SimTime::ZERO);
+        Ok(RunReport { tasks, makespan, total_transfer_bytes: total_transfer, total_retries })
+    }
+}
+
+fn graph_device(records: &[Option<TaskRecord>], p: TaskId) -> Device {
+    records[p.0]
+        .as_ref()
+        .map(|r| r.device)
+        .expect("producer executed before consumer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+    use hwmodel::WorkSpec;
+
+    fn rt() -> OmpssRuntime {
+        OmpssRuntime::new(deep_er_cluster_node(), deep_er_booster_node())
+    }
+
+    fn work(flops: f64, vf: f64) -> WorkSpec {
+        // Highly parallel kernels (0.99): with lower parallel fractions
+        // Amdahl's law erases the Booster's core-count advantage, which is
+        // exactly why only well-parallelized code belongs there (§II-A).
+        WorkSpec::named("k")
+            .flops(flops)
+            .vector_fraction(vf)
+            .parallel_fraction(0.99)
+            .build()
+    }
+
+    #[test]
+    fn sequential_semantics_preserved() {
+        // a = [1,2]; b = a*2; c = sum(b) — real data flows through.
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        store.put("a", vec![1.0, 2.0]);
+        g.add_task("init-b", &["a"], &["b"], Device::Cluster, work(1e6, 0.0), |s| {
+            let a: Vec<f64> = s.get("a").iter().map(|x| x * 2.0).collect();
+            s.put("b", a);
+        });
+        g.add_task("sum", &["b"], &["c"], Device::Booster, work(1e6, 0.9), |s| {
+            let c = s.get("b").iter().sum::<f64>();
+            s.put("c", vec![c]);
+        });
+        let report = rt().run(&mut g, &mut store).unwrap();
+        assert_eq!(store.get("c"), &[6.0]);
+        assert_eq!(report.tasks.len(), 2);
+        assert!(report.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn dependent_tasks_do_not_overlap() {
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        store.put("x", vec![0.0; 1000]);
+        g.add_task("w", &[], &["x"], Device::Cluster, work(1e9, 0.0), |_| {});
+        g.add_task("r", &["x"], &[], Device::Cluster, work(1e9, 0.0), |_| {});
+        let rep = rt().run(&mut g, &mut store).unwrap();
+        assert!(rep.task(TaskId(1)).start >= rep.task(TaskId(0)).end);
+    }
+
+    #[test]
+    fn independent_tasks_overlap_across_devices() {
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        g.add_task("c", &[], &["x"], Device::Cluster, work(1e10, 0.0), |s| {
+            s.put("x", vec![1.0])
+        });
+        g.add_task("b", &[], &["y"], Device::Booster, work(1e10, 1.0), |s| {
+            s.put("y", vec![2.0])
+        });
+        let rep = rt().run(&mut g, &mut store).unwrap();
+        let t0 = rep.task(TaskId(0));
+        let t1 = rep.task(TaskId(1));
+        assert_eq!(t1.start, SimTime::ZERO, "devices run concurrently");
+        assert!(rep.makespan < t0.end + (t1.end - t1.start));
+    }
+
+    #[test]
+    fn same_device_single_worker_serializes() {
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
+        g.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| s.put("y", vec![]));
+        let rep = rt().run(&mut g, &mut store).unwrap();
+        let (a, b) = (rep.task(TaskId(0)), rep.task(TaskId(1)));
+        assert!(b.start >= a.end || a.start >= b.end, "one worker → serialized");
+        // With two workers they overlap.
+        let mut g2 = TaskGraph::new();
+        g2.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
+        g2.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| s.put("y", vec![]));
+        let rep2 = rt().with_workers(2).run(&mut g2, &mut DataStore::new()).unwrap();
+        assert_eq!(rep2.task(TaskId(1)).start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn offload_charges_transfer() {
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        store.put("big", vec![0.0; 1 << 20]); // 8 MiB
+        g.add_task("produce", &[], &["big"], Device::Cluster, work(1e6, 0.0), |_| {});
+        g.add_task("consume", &["big"], &[], Device::Booster, work(1e6, 1.0), |_| {});
+        let rep = rt().run(&mut g, &mut store).unwrap();
+        assert_eq!(rep.task(TaskId(1)).transfer_bytes, 8 << 20);
+        assert!(rep.total_transfer_bytes > 0);
+        // Same-device version moves nothing.
+        let mut g2 = TaskGraph::new();
+        g2.add_task("produce", &[], &["big"], Device::Cluster, work(1e6, 0.0), |_| {});
+        g2.add_task("consume", &["big"], &[], Device::Cluster, work(1e6, 0.0), |_| {});
+        let rep2 = rt().run(&mut g2, &mut store).unwrap();
+        assert_eq!(rep2.total_transfer_bytes, 0);
+    }
+
+    #[test]
+    fn device_choice_affects_time() {
+        // A scalar task is faster on the Cluster; a vector task on Booster.
+        let run_on = |device: Device, vf: f64| {
+            let mut g = TaskGraph::new();
+            g.add_task("k", &[], &[], device, work(1e11, vf), |_| {});
+            rt().run(&mut g, &mut DataStore::new()).unwrap().makespan
+        };
+        assert!(run_on(Device::Booster, 0.0) > run_on(Device::Cluster, 0.0) * 3.0);
+        assert!(run_on(Device::Cluster, 1.0) > run_on(Device::Booster, 1.0));
+    }
+
+    #[test]
+    fn critical_path_follows_the_chain() {
+        // chain: a → b → c, plus an off-path task d.
+        let mut g = TaskGraph::new();
+        let mut store = DataStore::new();
+        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
+        g.add_task("b", &["x"], &["y"], Device::Booster, work(1e10, 1.0), |s| s.put("y", vec![]));
+        g.add_task("c", &["y"], &[], Device::Cluster, work(1e9, 0.0), |_| {});
+        g.add_task("d", &[], &[], Device::Booster, work(1e6, 1.0), |_| {});
+        let rep = rt().with_workers(2).run(&mut g, &mut store).unwrap();
+        let path = rep.critical_path();
+        assert_eq!(path, vec![TaskId(0), TaskId(1), TaskId(2)], "{path:?}");
+        let gantt = rep.gantt();
+        assert!(gantt.contains("a") && gantt.contains("#"));
+    }
+
+    #[test]
+    fn critical_path_attributes_worker_contention() {
+        // Two independent tasks on one Cluster worker: the second is bound
+        // by the first even without a data dependency.
+        let mut g = TaskGraph::new();
+        g.add_task("first", &[], &[], Device::Cluster, work(1e9, 0.0), |_| {});
+        g.add_task("second", &[], &[], Device::Cluster, work(1e9, 0.0), |_| {});
+        let rep = rt().run(&mut g, &mut DataStore::new()).unwrap();
+        assert_eq!(rep.task(TaskId(1)).bound_by, Some(TaskId(0)));
+        assert_eq!(rep.critical_path(), vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn failure_without_resilience_errors() {
+        let mut g = TaskGraph::new();
+        let id = g.add_task("flaky", &[], &[], Device::Cluster, work(1e6, 0.0), |_| {});
+        g.inject_failures(id, 1);
+        let err = rt().run(&mut g, &mut DataStore::new()).unwrap_err();
+        assert!(matches!(err, RunError::TaskFailed { task: 0, .. }));
+    }
+}

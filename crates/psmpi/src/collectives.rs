@@ -1,0 +1,340 @@
+//! Collective operations, implemented as real message-passing algorithms on
+//! top of point-to-point — the same way an MPI library builds them — so
+//! their virtual-time behaviour (log-depth trees, synchronization) emerges
+//! from the fabric model without a separate collective cost model.
+//!
+//! Internal messages use reserved negative tags; user code should use
+//! non-negative tags.
+
+use crate::comm::{CommId, Communicator, Group};
+use crate::datatype::{MpiDatatype, ReduceOp};
+use crate::rank::{PsmpiError, Rank};
+use std::sync::Arc;
+
+/// Reserved tags for internal collective traffic.
+const TAG_BARRIER: i32 = -10;
+const TAG_BCAST: i32 = -11;
+const TAG_REDUCE: i32 = -12;
+const TAG_GATHER: i32 = -13;
+const TAG_SCATTER: i32 = -14;
+const TAG_ALLTOALL: i32 = -15;
+const TAG_SPLIT: i32 = -16;
+
+impl Rank {
+    fn comm_rank(&self, comm: &Communicator) -> Result<usize, PsmpiError> {
+        comm.group
+            .rank_of(self.endpoint())
+            .ok_or(PsmpiError::NotInCommunicator)
+    }
+
+    /// Synchronize all ranks of `comm` (dissemination algorithm, ⌈log₂ n⌉
+    /// rounds of zero-byte messages).
+    pub fn barrier(&mut self, comm: &Communicator) -> Result<(), PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        let mut k = 0usize;
+        while (1usize << k) < n {
+            let dist = 1usize << k;
+            let to = (me + dist) % n;
+            let from = (me + n - dist) % n;
+            self.send_comm(comm, to, TAG_BARRIER, &(k as u64))?;
+            let (round, _) = self.recv_comm::<u64>(comm, Some(from), Some(TAG_BARRIER))?;
+            // FIFO per (src, tag) pair guarantees rounds from one source
+            // arrive in order, so the match is always our own round.
+            debug_assert_eq!(round as usize, k, "dissemination rounds are ordered");
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `value` from `root` to all ranks (binomial tree). Non-root
+    /// ranks pass `None` and receive the value; root passes `Some`.
+    pub fn bcast<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        let rel = (me + n - root) % n;
+        let mut current: Option<T> = if rel == 0 {
+            Some(value.ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?)
+        } else {
+            None
+        };
+
+        // Receive phase: find the parent in the binomial tree.
+        let mut mask = 1usize;
+        while mask < n {
+            if rel & mask != 0 {
+                let src = (me + n - mask) % n;
+                let (v, _) = self.recv_comm::<T>(comm, Some(src), Some(TAG_BCAST))?;
+                current = Some(v);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children.
+        mask >>= 1;
+        let v = current.expect("bcast value present after receive phase");
+        while mask > 0 {
+            if rel + mask < n {
+                let dst = (me + mask) % n;
+                self.send_comm(comm, dst, TAG_BCAST, &v)?;
+            }
+            mask >>= 1;
+        }
+        Ok(v)
+    }
+
+    /// Reduce element-wise `f64` vectors to `root` (reverse binomial tree).
+    /// Returns `Some(result)` on root, `None` elsewhere.
+    pub fn reduce(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        let rel = (me + n - root) % n;
+        let mut acc = contribution.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if rel & mask != 0 {
+                let dst = (me + n - mask) % n;
+                self.send_comm(comm, dst, TAG_REDUCE, &acc)?;
+                return Ok(None);
+            }
+            let src_rel = rel | mask;
+            if src_rel < n {
+                let src = (src_rel + root) % n;
+                let (v, _) = self.recv_comm::<Vec<f64>>(comm, Some(src), Some(TAG_REDUCE))?;
+                op.apply_slice(&mut acc, &v);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Reduce to rank 0 then broadcast: every rank gets the reduced vector.
+    /// This is the global-synchronization workhorse of the xPic field
+    /// solver's CG iteration.
+    pub fn allreduce(
+        &mut self,
+        comm: &Communicator,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Result<Vec<f64>, PsmpiError> {
+        let reduced = self.reduce(comm, 0, contribution, op)?;
+        self.bcast(comm, 0, reduced)
+    }
+
+    /// Scalar convenience over [`Rank::allreduce`].
+    pub fn allreduce_scalar(
+        &mut self,
+        comm: &Communicator,
+        value: f64,
+        op: ReduceOp,
+    ) -> Result<f64, PsmpiError> {
+        Ok(self.allreduce(comm, &[value], op)?[0])
+    }
+
+    /// Gather one value from every rank to `root`, in rank order. Returns
+    /// `Some(vec)` on root, `None` elsewhere.
+    pub fn gather<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        value: &T,
+    ) -> Result<Option<Vec<T>>, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        if me != root {
+            self.send_comm(comm, root, TAG_GATHER, value)?;
+            return Ok(None);
+        }
+        let mut out: Vec<Option<T>> = vec![None; n];
+        out[root] = Some(value.clone());
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src == root {
+                continue;
+            }
+            let (v, _) = self.recv_comm::<T>(comm, Some(src), Some(TAG_GATHER))?;
+            *slot = Some(v);
+        }
+        Ok(Some(out.into_iter().map(|o| o.expect("all gathered")).collect()))
+    }
+
+    /// Gather to rank 0, then broadcast the assembled vector to everyone.
+    pub fn allgather<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        value: &T,
+    ) -> Result<Vec<T>, PsmpiError> {
+        let gathered = self.gather(comm, 0, value)?;
+        self.bcast(comm, 0, gathered)
+    }
+
+    /// Scatter `values[i]` from `root` to rank `i`. Root passes `Some`
+    /// with exactly `comm.size()` elements.
+    pub fn scatter<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        if me == root {
+            let vals = values.ok_or_else(|| PsmpiError::Spawn("scatter root must supply values".into()))?;
+            if vals.len() != n {
+                return Err(PsmpiError::InvalidRank { rank: vals.len(), size: n });
+            }
+            let mut own: Option<T> = None;
+            for (i, v) in vals.into_iter().enumerate() {
+                if i == me {
+                    own = Some(v);
+                } else {
+                    self.send_comm(comm, i, TAG_SCATTER, &v)?;
+                }
+            }
+            Ok(own.expect("root keeps its own element"))
+        } else {
+            let (v, _) = self.recv_comm::<T>(comm, Some(root), Some(TAG_SCATTER))?;
+            Ok(v)
+        }
+    }
+
+    /// All-to-all personalized exchange: rank `i` receives `values[i]` from
+    /// every rank, assembled in source order.
+    pub fn alltoall<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        values: &[T],
+    ) -> Result<Vec<T>, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        if values.len() != n {
+            return Err(PsmpiError::InvalidRank { rank: values.len(), size: n });
+        }
+        // Buffered sends cannot deadlock; send everything, then receive.
+        for (i, v) in values.iter().enumerate() {
+            if i != me {
+                self.send_comm(comm, i, TAG_ALLTOALL, v)?;
+            }
+        }
+        let mut out: Vec<Option<T>> = vec![None; n];
+        out[me] = Some(values[me].clone());
+        for (src, slot) in out.iter_mut().enumerate() {
+            if src == me {
+                continue;
+            }
+            let (v, _) = self.recv_comm::<T>(comm, Some(src), Some(TAG_ALLTOALL))?;
+            *slot = Some(v);
+        }
+        Ok(out.into_iter().map(|o| o.expect("all received")).collect())
+    }
+
+    /// Split `comm` into sub-communicators by `color`; ranks passing the
+    /// same color end up in the same new communicator, ordered by
+    /// `(key, old rank)`. Returns `None` for `color = None` (the
+    /// MPI_UNDEFINED case).
+    pub fn split(
+        &mut self,
+        comm: &Communicator,
+        color: Option<u32>,
+        key: i64,
+    ) -> Result<Option<Communicator>, PsmpiError> {
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        // Gather (has_color, color, key) to rank 0.
+        let entry = (color.is_some(), color.unwrap_or(0), key);
+        let gathered = self.gather(comm, 0, &entry)?;
+
+        // Rank 0 computes the assignment: for each old rank, the members of
+        // its color group (old ranks, ordered) — or empty for undefined.
+        let assignment: Vec<Vec<u64>> = if let Some(entries) = gathered {
+            let mut colors: Vec<u32> = entries
+                .iter()
+                .filter(|(has, _, _)| *has)
+                .map(|(_, c, _)| *c)
+                .collect();
+            colors.sort_unstable();
+            colors.dedup();
+            let mut per_rank: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for &c in &colors {
+                let mut members: Vec<(i64, usize)> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (has, col, _))| *has && *col == c)
+                    .map(|(r, (_, _, k))| (*k, r))
+                    .collect();
+                members.sort_unstable();
+                let ordered: Vec<u64> = members.iter().map(|(_, r)| *r as u64).collect();
+                for &(_, r) in &members {
+                    per_rank[r] = ordered.clone();
+                }
+            }
+            per_rank
+        } else {
+            Vec::new()
+        };
+
+        // Rank 0 allocates one context id per distinct color group and sends
+        // each rank its (comm id, member list). A group is identified by its
+        // ordered member list.
+        let my_info: (u64, Vec<u64>) = if me == 0 {
+            let mut ids: Vec<(Vec<u64>, u64)> = Vec::new();
+            let mut my_own: (u64, Vec<u64>) = (u64::MAX, Vec::new());
+            for (r, members) in assignment.iter().enumerate() {
+                let info = if members.is_empty() {
+                    (u64::MAX, Vec::new())
+                } else {
+                    let id = match ids.iter().find(|(m, _)| m == members) {
+                        Some((_, id)) => *id,
+                        None => {
+                            let id = self.router().alloc_comm().0;
+                            ids.push((members.clone(), id));
+                            id
+                        }
+                    };
+                    (id, members.clone())
+                };
+                if r == 0 {
+                    my_own = info;
+                } else {
+                    self.send_comm(comm, r, TAG_SPLIT, &info)?;
+                }
+            }
+            my_own
+        } else {
+            let (info, _) = self.recv_comm::<(u64, Vec<u64>)>(comm, Some(0), Some(TAG_SPLIT))?;
+            info
+        };
+
+        let (new_id, members) = my_info;
+        if new_id == u64::MAX {
+            return Ok(None);
+        }
+        let group = Group {
+            endpoints: members.iter().map(|&r| comm.group.endpoints[r as usize]).collect(),
+            nodes: members.iter().map(|&r| comm.group.nodes[r as usize]).collect(),
+        };
+        Ok(Some(Communicator { id: CommId(new_id), group: Arc::new(group) }))
+    }
+
+    /// Duplicate a communicator (fresh context id, same group).
+    pub fn dup(&mut self, comm: &Communicator) -> Result<Communicator, PsmpiError> {
+        let me = self.comm_rank(comm)?;
+        let id = if me == 0 {
+            let id = self.router().alloc_comm().0;
+            self.bcast(comm, 0, Some(id))?
+        } else {
+            self.bcast::<u64>(comm, 0, None)?
+        };
+        Ok(Communicator { id: CommId(id), group: comm.group.clone() })
+    }
+}

@@ -1,0 +1,305 @@
+//! Wire datatypes and reduction operators.
+//!
+//! MPI makes datatypes explicit, and so do we: anything sent through psmpi
+//! implements [`MpiDatatype`], a small self-describing binary codec. The
+//! standard scalar types, `Vec`s of them, strings, tuples and `Option`s are
+//! provided; application crates implement it for their own exchange structs
+//! (a few lines of composition, see the `xpic` crate).
+//!
+//! Reductions (`reduce`/`allreduce`) take a [`ReduceOp`] — element-wise for
+//! vectors, plain for scalars.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding/decoding error for wire datatypes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A type that can cross the simulated fabric.
+pub trait MpiDatatype: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode from a complete buffer.
+    fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
+        let mut b = bytes;
+        Self::decode(&mut b)
+    }
+}
+
+fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError(format!("short buffer decoding {what}: need {n}, have {}", buf.remaining())))
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl MpiDatatype for $t {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+                need(buf, std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, put_u8, get_u8);
+impl_scalar!(u16, put_u16_le, get_u16_le);
+impl_scalar!(u32, put_u32_le, get_u32_le);
+impl_scalar!(u64, put_u64_le, get_u64_le);
+impl_scalar!(i8, put_i8, get_i8);
+impl_scalar!(i16, put_i16_le, get_i16_le);
+impl_scalar!(i32, put_i32_le, get_i32_le);
+impl_scalar!(i64, put_i64_le, get_i64_le);
+impl_scalar!(f32, put_f32_le, get_f32_le);
+impl_scalar!(f64, put_f64_le, get_f64_le);
+
+impl MpiDatatype for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(u64::decode(buf)? as usize)
+    }
+}
+
+impl MpiDatatype for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 1, "bool")?;
+        Ok(buf.get_u8() != 0)
+    }
+}
+
+impl MpiDatatype for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl<T: MpiDatatype> MpiDatatype for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for x in self {
+            x.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 8, "Vec length")?;
+        let n = buf.get_u64_le() as usize;
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push(T::decode(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl MpiDatatype for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 8, "String length")?;
+        let n = buf.get_u64_le() as usize;
+        need(buf, n, "String body")?;
+        let body = buf.split_to(n);
+        String::from_utf8(body.to_vec()).map_err(|e| CodecError(e.to_string()))
+    }
+}
+
+impl<T: MpiDatatype> MpiDatatype for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(x) => {
+                buf.put_u8(1);
+                x.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 1, "Option tag")?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(CodecError(format!("bad Option tag {t}"))),
+        }
+    }
+}
+
+impl<A: MpiDatatype, B: MpiDatatype> MpiDatatype for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: MpiDatatype, B: MpiDatatype, C: MpiDatatype> MpiDatatype for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+/// Reduction operators for `reduce`/`allreduce`/`scan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply to two scalars.
+    pub fn apply_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Apply element-wise, accumulating into `acc`. Panics on length
+    /// mismatch (an MPI-style usage error).
+    pub fn apply_slice(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = self.apply_f64(*a, *b);
+        }
+    }
+
+    /// The identity element (for empty reductions).
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Prod => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: MpiDatatype + PartialEq + std::fmt::Debug>(x: T) {
+        let b = x.to_bytes();
+        let y = T::from_bytes(b).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-7i32);
+        roundtrip(u64::MAX);
+        roundtrip(1234.5678f64);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(12345usize);
+        roundtrip(());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1.0f64, -2.0, 3.5]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip("hello Jülich".to_string());
+        roundtrip(Some(42u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, 2.5f64));
+        roundtrip((1u8, "x".to_string(), vec![1i64]));
+        roundtrip(vec![vec![1u8], vec![2, 3]]);
+    }
+
+    #[test]
+    fn short_buffer_is_error_not_panic() {
+        let b = 1.0f64.to_bytes();
+        let short = b.slice(0..4);
+        assert!(f64::from_bytes(short).is_err());
+        let e = Vec::<f64>::from_bytes(Bytes::new());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn bad_option_tag() {
+        let raw = Bytes::from_static(&[9]);
+        assert!(Option::<u8>::from_bytes(raw).is_err());
+    }
+
+    #[test]
+    fn vec_length_prefix_is_exact() {
+        let v = vec![7u8; 10];
+        let b = v.to_bytes();
+        assert_eq!(b.len(), 8 + 10);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply_f64(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Prod.apply_f64(2.0, 3.0), 6.0);
+        assert_eq!(ReduceOp::Min.apply_f64(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply_f64(2.0, 3.0), 3.0);
+        let mut acc = vec![1.0, 5.0];
+        ReduceOp::Max.apply_slice(&mut acc, &[2.0, 4.0]);
+        assert_eq!(acc, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            assert_eq!(op.apply_f64(op.identity(), 7.0), 7.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_length_mismatch_panics() {
+        let mut acc = vec![0.0];
+        ReduceOp::Sum.apply_slice(&mut acc, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,539 @@
+//! The per-process handle: point-to-point messaging, virtual time, compute
+//! charging. One [`Rank`] is owned by each rank thread.
+
+use crate::comm::{CommId, Communicator, Intercomm};
+use crate::datatype::{CodecError, MpiDatatype};
+use crate::envelope::{EndpointId, Envelope, Status, Tag};
+use crate::router::Router;
+use bytes::Bytes;
+use hwmodel::{CostModel, NodeId, NodeSpec, SimTime, WorkSpec};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Errors surfaced by the messaging API.
+#[derive(Debug)]
+pub enum PsmpiError {
+    /// Payload failed to decode as the requested type.
+    Codec(CodecError),
+    /// A rank index was out of range for the communicator.
+    InvalidRank { rank: usize, size: usize },
+    /// The calling endpoint is not a member of the communicator it used.
+    NotInCommunicator,
+    /// Spawn failed (e.g. no nodes given).
+    Spawn(String),
+}
+
+impl std::fmt::Display for PsmpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PsmpiError::Codec(e) => write!(f, "{e}"),
+            PsmpiError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            PsmpiError::NotInCommunicator => write!(f, "caller not in communicator"),
+            PsmpiError::Spawn(s) => write!(f, "spawn failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PsmpiError {}
+
+impl From<CodecError> for PsmpiError {
+    fn from(e: CodecError) -> Self {
+        PsmpiError::Codec(e)
+    }
+}
+
+/// A completed or in-flight nonblocking operation.
+///
+/// `isend` completes immediately (buffered semantics); `irecv` records the
+/// matching criteria and performs the receive at [`Request::wait`]. The
+/// virtual-time effect is exactly MPI's: compute performed between posting
+/// and waiting overlaps the transfer, because the receive clock is
+/// `max(local clock, message arrival)`.
+pub struct Request<T: MpiDatatype = ()> {
+    kind: RequestKind,
+    _t: PhantomData<T>,
+}
+
+enum RequestKind {
+    Send,
+    Recv { comm: CommId, src: Option<usize>, tag: Option<Tag> },
+}
+
+impl<T: MpiDatatype> Request<T> {
+    /// Complete the operation on the calling rank. For sends this is a
+    /// no-op; for receives it blocks until the message is delivered and
+    /// returns it.
+    pub fn wait(self, rank: &mut Rank) -> Result<(Option<T>, Option<Status>), PsmpiError> {
+        match self.kind {
+            RequestKind::Send => Ok((None, None)),
+            RequestKind::Recv { comm, src, tag } => {
+                let (v, st) = rank.recv_raw(comm, src, tag)?;
+                let val = T::from_bytes(v)?;
+                Ok((Some(val), Some(st)))
+            }
+        }
+    }
+
+    /// Nonblocking completion check (MPI_Test): if the operation can
+    /// complete now, complete it and return `Ok(value)`; otherwise hand the
+    /// request back for a later retry. Sends always complete.
+    #[allow(clippy::type_complexity)]
+    pub fn test(
+        self,
+        rank: &mut Rank,
+    ) -> Result<Result<(Option<T>, Option<Status>), Request<T>>, PsmpiError> {
+        match &self.kind {
+            RequestKind::Send => Ok(Ok((None, None))),
+            RequestKind::Recv { comm, src, tag } => {
+                let mb = rank.router().mailbox(rank.endpoint());
+                if mb.probe_match(*comm, *src, *tag).is_some() {
+                    Ok(Ok(self.wait(rank)?))
+                } else {
+                    Ok(Err(self))
+                }
+            }
+        }
+    }
+}
+
+/// The handle each rank thread owns.
+pub struct Rank {
+    router: Arc<Router>,
+    endpoint: EndpointId,
+    node_id: NodeId,
+    node: Arc<NodeSpec>,
+    world: Communicator,
+    my_rank: usize,
+    parent: Option<Intercomm>,
+    clock: SimTime,
+    start_clock: SimTime,
+    cost: CostModel,
+    seq: u64,
+    /// Cores of the node available to this rank (node cores divided by the
+    /// ranks placed on the node).
+    cores: u32,
+    bytes_sent: u64,
+    msgs_sent: u64,
+    compute_time: SimTime,
+    comm_time: SimTime,
+}
+
+impl Rank {
+    /// Used by the universe/spawner; not public API.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        router: Arc<Router>,
+        endpoint: EndpointId,
+        node_id: NodeId,
+        node: Arc<NodeSpec>,
+        world: Communicator,
+        my_rank: usize,
+        parent: Option<Intercomm>,
+        start_clock: SimTime,
+        cores: u32,
+    ) -> Self {
+        Rank {
+            router,
+            endpoint,
+            node_id,
+            node,
+            world,
+            my_rank,
+            parent,
+            clock: start_clock,
+            start_clock,
+            cost: CostModel,
+            seq: 0,
+            cores,
+            bytes_sent: 0,
+            msgs_sent: 0,
+            compute_time: SimTime::ZERO,
+            comm_time: SimTime::ZERO,
+        }
+    }
+
+    /// This rank's index in its world (MPI_Comm_rank on MPI_COMM_WORLD).
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// World size (MPI_Comm_size on MPI_COMM_WORLD).
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Communicator {
+        self.world.clone()
+    }
+
+    /// The parent inter-communicator, if this world was spawned
+    /// (MPI_Comm_get_parent).
+    pub fn parent(&self) -> Option<Intercomm> {
+        self.parent.clone()
+    }
+
+    /// Node this rank runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    /// Hardware model of this rank's node.
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// Cores available to this rank.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Virtual time spent in `compute` calls so far.
+    pub fn compute_time(&self) -> SimTime {
+        self.compute_time
+    }
+
+    /// Virtual time spent communicating (clock advanced inside messaging
+    /// calls) so far.
+    pub fn comm_time(&self) -> SimTime {
+        self.comm_time
+    }
+
+    /// The shared router (used by sibling modules: collectives, spawn).
+    pub(crate) fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// This rank's endpoint id.
+    pub(crate) fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// Advance the virtual clock unconditionally (used for modelled waits,
+    /// I/O completion times from `sionio`, etc.).
+    pub fn advance(&mut self, t: SimTime) {
+        self.clock += t;
+    }
+
+    /// Execute (charge) a unit of computational work on this node. Returns
+    /// the modelled duration. The work's core limit is additionally capped
+    /// by the cores available to this rank.
+    pub fn compute(&mut self, work: &WorkSpec) -> SimTime {
+        let mut w = work.clone();
+        w.max_cores = Some(w.max_cores.map_or(self.cores, |m| m.min(self.cores)));
+        let t = self.cost.time(&self.node, &w);
+        self.clock += t;
+        self.compute_time += t;
+        t
+    }
+
+    // ---- point-to-point on an explicit communicator ----
+
+    /// Blocking standard send of `value` to `dst` in `comm` with `tag`.
+    /// Buffered semantics: completes locally after injection.
+    pub fn send_comm<T: MpiDatatype>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<(), PsmpiError> {
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+        }
+        let src_rank = comm
+            .group
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = comm.group.endpoints[dst];
+        self.send_raw(comm.id, dst_ep, src_rank, tag, value.to_bytes(), None);
+        Ok(())
+    }
+
+    /// Like [`Rank::send_comm`] but charging `virtual_bytes` on the wire
+    /// instead of the encoded payload size (model-scale exchanges over
+    /// reduced-scale data).
+    pub fn send_comm_sized<T: MpiDatatype>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+        }
+        let src_rank = comm
+            .group
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = comm.group.endpoints[dst];
+        self.send_raw(comm.id, dst_ep, src_rank, tag, value.to_bytes(), Some(virtual_bytes));
+        Ok(())
+    }
+
+    /// Blocking receive from `src` (or any source) with `tag` (or any tag)
+    /// on `comm`.
+    pub fn recv_comm<T: MpiDatatype>(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(T, Status), PsmpiError> {
+        if let Some(s) = src {
+            if s >= comm.size() {
+                return Err(PsmpiError::InvalidRank { rank: s, size: comm.size() });
+            }
+        }
+        let (bytes, st) = self.recv_raw(comm.id, src, tag)?;
+        Ok((T::from_bytes(bytes)?, st))
+    }
+
+    /// Nonblocking send on `comm` (completes immediately, buffered).
+    pub fn isend_comm<T: MpiDatatype>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<Request, PsmpiError> {
+        self.send_comm(comm, dst, tag, value)?;
+        Ok(Request { kind: RequestKind::Send, _t: PhantomData })
+    }
+
+    /// Nonblocking receive on `comm`; complete with [`Request::wait`].
+    pub fn irecv_comm<T: MpiDatatype>(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Request<T> {
+        Request {
+            kind: RequestKind::Recv { comm: comm.id, src, tag },
+            _t: PhantomData,
+        }
+    }
+
+    // ---- point-to-point on the world (convenience) ----
+
+    /// [`Rank::send_comm`] on the world communicator.
+    pub fn send<T: MpiDatatype>(&mut self, dst: usize, tag: Tag, value: &T) -> Result<(), PsmpiError> {
+        let w = self.world.clone();
+        self.send_comm(&w, dst, tag, value)
+    }
+
+    /// [`Rank::recv_comm`] on the world communicator.
+    pub fn recv<T: MpiDatatype>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(T, Status), PsmpiError> {
+        let w = self.world.clone();
+        self.recv_comm(&w, src, tag)
+    }
+
+    /// [`Rank::isend_comm`] on the world communicator.
+    pub fn isend<T: MpiDatatype>(&mut self, dst: usize, tag: Tag, value: &T) -> Result<Request, PsmpiError> {
+        let w = self.world.clone();
+        self.isend_comm(&w, dst, tag, value)
+    }
+
+    /// [`Rank::irecv_comm`] on the world communicator.
+    pub fn irecv<T: MpiDatatype>(&mut self, src: Option<usize>, tag: Option<Tag>) -> Request<T> {
+        let w = self.world.clone();
+        self.irecv_comm(&w, src, tag)
+    }
+
+    // ---- point-to-point on an inter-communicator ----
+
+    /// Send to rank `dst` *of the remote group* (MPI inter-communicator
+    /// addressing, used for Cluster↔Booster exchange after spawn).
+    pub fn send_inter<T: MpiDatatype>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<(), PsmpiError> {
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+        }
+        let src_rank = ic
+            .local
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        self.send_raw(ic.id, dst_ep, src_rank, tag, value.to_bytes(), None);
+        Ok(())
+    }
+
+    /// Like [`Rank::send_inter`] but charging `virtual_bytes` on the wire.
+    pub fn send_inter_sized<T: MpiDatatype>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+        }
+        let src_rank = ic
+            .local
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        self.send_raw(ic.id, dst_ep, src_rank, tag, value.to_bytes(), Some(virtual_bytes));
+        Ok(())
+    }
+
+    /// Receive from rank `src` of the remote group (or any).
+    pub fn recv_inter<T: MpiDatatype>(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(T, Status), PsmpiError> {
+        let (bytes, st) = self.recv_raw(ic.id, src, tag)?;
+        Ok((T::from_bytes(bytes)?, st))
+    }
+
+    /// Nonblocking inter-communicator send (buffered; the `MPI_Issend` of
+    /// the paper's Listing 4 modulo synchronous-mode pedantry).
+    pub fn isend_inter<T: MpiDatatype>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<Request, PsmpiError> {
+        self.send_inter(ic, dst, tag, value)?;
+        Ok(Request { kind: RequestKind::Send, _t: PhantomData })
+    }
+
+    /// Nonblocking inter-communicator receive (the `MPI_Irecv` of
+    /// Listing 4); complete with [`Request::wait`].
+    pub fn irecv_inter<T: MpiDatatype>(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Request<T> {
+        Request {
+            kind: RequestKind::Recv { comm: ic.id, src, tag },
+            _t: PhantomData,
+        }
+    }
+
+    // ---- probes ----
+
+    /// Blocking probe: wait until a matching message is available and
+    /// return its status without receiving it.
+    pub fn probe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Status {
+        let mb = self.router.mailbox(self.endpoint);
+        let (src_rank, tag, bytes, stamp, src_ep) = mb.probe_blocking(comm.id, src, tag);
+        let arrival = stamp + self.router.transfer_time(src_ep, self.endpoint, bytes);
+        Status { source: src_rank, tag, bytes, arrival }
+    }
+
+    /// Nonblocking probe.
+    pub fn iprobe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
+        let mb = self.router.mailbox(self.endpoint);
+        mb.probe_match(comm.id, src, tag).map(|(src_rank, tag, bytes, stamp, src_ep)| {
+            let arrival = stamp + self.router.transfer_time(src_ep, self.endpoint, bytes);
+            Status { source: src_rank, tag, bytes, arrival }
+        })
+    }
+
+    // ---- raw internals ----
+
+    fn send_raw(
+        &mut self,
+        comm: CommId,
+        dst_ep: EndpointId,
+        src_rank: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) {
+        let pre = self.clock;
+        let size = virtual_size.unwrap_or(payload.len());
+        let env = Envelope {
+            comm,
+            src_rank,
+            tag,
+            payload,
+            send_stamp: self.clock,
+            src_endpoint: self.endpoint,
+            seq: self.seq,
+            virtual_size,
+        };
+        self.seq += 1;
+        // Sender-side CPU cost: message injection.
+        self.clock += self.node.nic_send_overhead;
+        self.comm_time += self.clock - pre;
+        self.bytes_sent += size as u64;
+        self.msgs_sent += 1;
+        self.router.deliver(dst_ep, env);
+    }
+
+    pub(crate) fn recv_raw(
+        &mut self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(Bytes, Status), PsmpiError> {
+        let pre = self.clock;
+        let mb = self.router.mailbox(self.endpoint);
+        let env = mb.recv_match(comm, src, tag);
+        let transfer = self.router.transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
+        let arrival = self
+            .router
+            .incast_adjust(self.endpoint, env.send_stamp + transfer, env.wire_size());
+        self.clock = self.clock.max(arrival);
+        self.router.trace_delivery(
+            env.src_endpoint,
+            self.endpoint,
+            env.wire_size(),
+            env.send_stamp,
+            arrival,
+        );
+        self.comm_time += self.clock - pre;
+        let st = Status {
+            source: env.src_rank,
+            tag: env.tag,
+            bytes: env.payload.len(),
+            arrival: self.clock,
+        };
+        Ok((env.payload, st))
+    }
+
+    /// Finalize: build the outcome record. Called by the runtime when the
+    /// rank function returns.
+    pub(crate) fn into_outcome(self) -> crate::router::RankOutcome {
+        // Energy accrues only while the rank exists (a spawned child's node
+        // is not part of the job before the spawn).
+        let wall = self.clock - self.start_clock;
+        let energy_joules = hwmodel::power::energy_joules(&self.node, wall, self.compute_time);
+        crate::router::RankOutcome {
+            world: self.world.id,
+            rank: self.my_rank,
+            node: self.node_id,
+            clock: self.clock,
+            bytes_sent: self.bytes_sent,
+            msgs_sent: self.msgs_sent,
+            compute_time: self.compute_time,
+            comm_time: self.comm_time,
+            energy_joules,
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The matching engine: per-endpoint mailboxes and shared universe state.
+//!
+//! Sends never block (buffered semantics — the sender deposits the envelope
+//! into the receiver's mailbox and moves on, as with small/eager messages in
+//! a real MPI; this also makes naive exchange loops deadlock-free). Receives
+//! block on a condition variable until a matching envelope exists.
+
+use crate::comm::CommId;
+use crate::envelope::{EndpointId, Envelope, Tag};
+use hwmodel::{NodeId, SimTime};
+use parking_lot::{Condvar, Mutex, RwLock};
+use simnet::Fabric;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One endpoint's incoming-message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// Deposit an envelope and wake any blocked receiver.
+    pub fn push(&self, env: Envelope) {
+        self.queue.lock().push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Block until an envelope matching `(comm, src, tag)` is queued, then
+    /// remove and return it. Envelopes from the same sender are matched in
+    /// send order (MPI non-overtaking) because the scan is front-to-back in
+    /// arrival order and one sender's arrivals are ordered.
+    pub fn recv_match(&self, comm: CommId, src: Option<usize>, tag: Option<Tag>) -> Envelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.matches(comm, src, tag)) {
+                return q.remove(pos).expect("position just found");
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Like [`Mailbox::recv_match`] but non-blocking: peek metadata without
+    /// dequeuing.
+    pub fn probe_match(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<(usize, Tag, usize, SimTime, EndpointId)> {
+        let q = self.queue.lock();
+        q.iter()
+            .find(|e| e.matches(comm, src, tag))
+            .map(|e| (e.src_rank, e.tag, e.payload.len(), e.send_stamp, e.src_endpoint))
+    }
+
+    /// Blocking probe: wait until a matching envelope is queued, return its
+    /// metadata without dequeuing.
+    pub fn probe_blocking(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> (usize, Tag, usize, SimTime, EndpointId) {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(e) = q.iter().find(|e| e.matches(comm, src, tag)) {
+                return (e.src_rank, e.tag, e.payload.len(), e.send_stamp, e.src_endpoint);
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Number of queued envelopes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+/// Final record of one rank's execution, collected by the universe.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// World the rank belonged to.
+    pub world: CommId,
+    /// Rank within that world.
+    pub rank: usize,
+    /// Node it ran on.
+    pub node: NodeId,
+    /// Final virtual clock.
+    pub clock: SimTime,
+    /// Total bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Total messages this rank sent.
+    pub msgs_sent: u64,
+    /// Virtual time the rank spent computing (vs communicating/waiting).
+    pub compute_time: SimTime,
+    /// Virtual time attributable to communication (clock advances in
+    /// send/recv/collective calls).
+    pub comm_time: SimTime,
+    /// Energy-to-solution of this rank in Joules (two-state power model:
+    /// compute at active power, everything else at idle power).
+    pub energy_joules: f64,
+}
+
+/// Shared state of a running universe.
+pub struct Router {
+    fabric: Fabric,
+    mailboxes: RwLock<HashMap<EndpointId, Arc<Mailbox>>>,
+    endpoint_nodes: RwLock<HashMap<EndpointId, NodeId>>,
+    /// Per-endpoint NIC drain state for the opt-in incast model: the
+    /// virtual time until which the receive pipe is busy.
+    nic_free: Mutex<HashMap<EndpointId, SimTime>>,
+    /// Optional message-trace sink (performance-analysis hook).
+    trace: Mutex<Option<simnet::TraceCollector>>,
+    next_endpoint: AtomicU64,
+    next_comm: AtomicU64,
+    /// Threads spawned dynamically (via `Rank::spawn`); joined at job end.
+    pub(crate) child_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Outcomes of completed ranks.
+    pub(crate) outcomes: Mutex<Vec<RankOutcome>>,
+    /// Fixed virtual cost of a `spawn` operation (process launch, remote
+    /// boot, connection setup).
+    pub spawn_latency: SimTime,
+}
+
+impl Router {
+    /// New router over a fabric.
+    pub fn new(fabric: Fabric) -> Arc<Self> {
+        Arc::new(Router {
+            fabric,
+            mailboxes: RwLock::new(HashMap::new()),
+            endpoint_nodes: RwLock::new(HashMap::new()),
+            nic_free: Mutex::new(HashMap::new()),
+            trace: Mutex::new(None),
+            next_endpoint: AtomicU64::new(0),
+            next_comm: AtomicU64::new(0),
+            child_handles: Mutex::new(Vec::new()),
+            outcomes: Mutex::new(Vec::new()),
+            spawn_latency: SimTime::from_millis(50.0),
+        })
+    }
+
+    /// The fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Allocate a fresh endpoint bound to `node`.
+    pub fn register_endpoint(&self, node: NodeId) -> EndpointId {
+        let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed));
+        self.mailboxes.write().insert(id, Arc::new(Mailbox::default()));
+        self.endpoint_nodes.write().insert(id, node);
+        id
+    }
+
+    /// Allocate a fresh communicator context id.
+    pub fn alloc_comm(&self) -> CommId {
+        CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Mailbox of an endpoint.
+    pub fn mailbox(&self, ep: EndpointId) -> Arc<Mailbox> {
+        self.mailboxes
+            .read()
+            .get(&ep)
+            .cloned()
+            .expect("endpoint not registered")
+    }
+
+    /// Node an endpoint runs on.
+    pub fn node_of(&self, ep: EndpointId) -> NodeId {
+        *self
+            .endpoint_nodes
+            .read()
+            .get(&ep)
+            .expect("endpoint not registered")
+    }
+
+    /// Deliver an envelope to `dst`.
+    pub fn deliver(&self, dst: EndpointId, env: Envelope) {
+        self.mailbox(dst).push(env);
+    }
+
+    /// Fabric transfer time between the nodes of two endpoints.
+    pub fn transfer_time(&self, src: EndpointId, dst: EndpointId, bytes: usize) -> SimTime {
+        let sn = self.node_of(src);
+        let dn = self.node_of(dst);
+        self.fabric
+            .p2p_time(sn, dn, bytes)
+            .expect("endpoints on registered nodes")
+    }
+
+    /// Record a finished rank.
+    pub fn record_outcome(&self, outcome: RankOutcome) {
+        self.outcomes.lock().push(outcome);
+    }
+
+    /// Attach a trace collector; every subsequent delivery is recorded.
+    pub fn attach_trace(&self, collector: simnet::TraceCollector) {
+        *self.trace.lock() = Some(collector);
+    }
+
+    /// Record a delivery into the attached trace, if any.
+    pub fn trace_delivery(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: usize,
+        depart: SimTime,
+        arrive: SimTime,
+    ) {
+        let guard = self.trace.lock();
+        let Some(collector) = guard.as_ref() else { return };
+        let src_node = self.node_of(src);
+        let dst_node = self.node_of(dst);
+        let src_kind = self.fabric.node(src_node).map(|n| n.kind).unwrap_or(hwmodel::NodeKind::Cluster);
+        let dst_kind = self.fabric.node(dst_node).map(|n| n.kind).unwrap_or(hwmodel::NodeKind::Cluster);
+        collector.record(simnet::TraceEvent {
+            src: src_node,
+            dst: dst_node,
+            src_kind,
+            dst_kind,
+            bytes,
+            depart,
+            arrive,
+        });
+    }
+
+    /// Apply the (opt-in) incast model to a message delivered to `dst` with
+    /// network arrival time `arrival`: the receiver's NIC drains one
+    /// payload at a time, so simultaneous arrivals serialize. Returns the
+    /// adjusted completion time.
+    pub fn incast_adjust(&self, dst: EndpointId, arrival: SimTime, bytes: usize) -> SimTime {
+        if !self.fabric.model().model_incast {
+            return arrival;
+        }
+        let drain = SimTime::from_secs(bytes as f64 / self.fabric.model().payload_bw);
+        let mut nf = self.nic_free.lock();
+        let free = nf.entry(dst).or_insert(SimTime::ZERO);
+        let completion = arrival.max(*free + drain);
+        *free = completion;
+        completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hwmodel::presets::deep_er_cluster_node;
+    use simnet::Topology;
+
+    fn router() -> Arc<Router> {
+        let mut t = Topology::new();
+        t.add_nodes(2, &deep_er_cluster_node());
+        Router::new(Fabric::new(t))
+    }
+
+    fn env(comm: u64, src_rank: usize, tag: Tag, seq: u64) -> Envelope {
+        Envelope {
+            comm: CommId(comm),
+            src_rank,
+            tag,
+            payload: Bytes::from_static(b"x"),
+            send_stamp: SimTime::ZERO,
+            src_endpoint: EndpointId(0),
+            seq,
+            virtual_size: None,
+        }
+    }
+
+    #[test]
+    fn endpoint_registration() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        let b = r.register_endpoint(NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(r.node_of(a), NodeId(0));
+        assert_eq!(r.node_of(b), NodeId(1));
+        assert!(r.mailbox(a).is_empty());
+    }
+
+    #[test]
+    fn comm_ids_unique() {
+        let r = router();
+        assert_ne!(r.alloc_comm(), r.alloc_comm());
+    }
+
+    #[test]
+    fn mailbox_fifo_per_sender() {
+        let m = Mailbox::default();
+        m.push(env(1, 0, 5, 0));
+        m.push(env(1, 0, 5, 1));
+        let first = m.recv_match(CommId(1), Some(0), Some(5));
+        let second = m.recv_match(CommId(1), Some(0), Some(5));
+        assert_eq!(first.seq, 0);
+        assert_eq!(second.seq, 1);
+    }
+
+    #[test]
+    fn mailbox_matching_skips_nonmatching() {
+        let m = Mailbox::default();
+        m.push(env(1, 0, 5, 0));
+        m.push(env(1, 1, 9, 1));
+        let got = m.recv_match(CommId(1), Some(1), Some(9));
+        assert_eq!(got.src_rank, 1);
+        assert_eq!(m.len(), 1, "the non-matching envelope stays queued");
+    }
+
+    #[test]
+    fn probe_does_not_dequeue() {
+        let m = Mailbox::default();
+        m.push(env(2, 3, 4, 0));
+        let p = m.probe_match(CommId(2), None, None).unwrap();
+        assert_eq!(p.0, 3);
+        assert_eq!(p.1, 4);
+        assert_eq!(m.len(), 1);
+        assert!(m.probe_match(CommId(3), None, None).is_none());
+    }
+
+    #[test]
+    fn recv_blocks_until_push() {
+        let m = Arc::new(Mailbox::default());
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.recv_match(CommId(1), None, None));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.push(env(1, 0, 0, 0));
+        let got = h.join().unwrap();
+        assert_eq!(got.comm, CommId(1));
+    }
+
+    #[test]
+    fn transfer_time_positive() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        let b = r.register_endpoint(NodeId(1));
+        assert!(r.transfer_time(a, b, 1024) > SimTime::ZERO);
+    }
+}

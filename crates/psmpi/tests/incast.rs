@@ -1,0 +1,64 @@
+//! The opt-in incast (receiver NIC serialization) model: simultaneous
+//! senders to one receiver serialize at its NIC; without the model they
+//! land "for free" at the same virtual instant.
+
+use hwmodel::presets::deep_er_cluster_node;
+use hwmodel::SimTime;
+use parking_lot::Mutex;
+use psmpi::UniverseBuilder;
+use simnet::LogGpModel;
+use std::sync::Arc;
+
+/// Everyone sends a large block to rank 0 simultaneously; returns rank 0's
+/// final clock.
+fn gather_makespan(incast: bool, senders: u32) -> SimTime {
+    let clock = Arc::new(Mutex::new(SimTime::ZERO));
+    let c2 = clock.clone();
+    UniverseBuilder::new()
+        .add_nodes(senders + 1, &deep_er_cluster_node())
+        .link_model(LogGpModel { model_incast: incast, ..LogGpModel::default() })
+        .run(move |rank| {
+            let payload = vec![0u8; 4 << 20]; // ~0.43 ms on the wire each
+            if rank.rank() == 0 {
+                for _ in 0..rank.size() - 1 {
+                    let _ = rank.recv::<Vec<u8>>(None, Some(1)).unwrap();
+                }
+                *c2.lock() = rank.now();
+            } else {
+                rank.send(0, 1, &payload).unwrap();
+            }
+        });
+    let t = *clock.lock();
+    t
+}
+
+#[test]
+fn incast_serializes_simultaneous_senders() {
+    let without = gather_makespan(false, 6);
+    let with = gather_makespan(true, 6);
+    // Without the model, all six transfers complete in ~one transfer time;
+    // with it, the receiver drains them one after another (~6×).
+    assert!(
+        with.as_secs() > 4.0 * without.as_secs(),
+        "incast must serialize: {without} vs {with}"
+    );
+}
+
+#[test]
+fn incast_is_free_for_a_single_sender() {
+    let without = gather_makespan(false, 1);
+    let with = gather_makespan(true, 1);
+    let rel = (with.as_secs() - without.as_secs()).abs() / without.as_secs();
+    assert!(rel < 1e-9, "one flow sees no contention: {without} vs {with}");
+}
+
+#[test]
+fn incast_scales_linearly_with_fanin() {
+    let t3 = gather_makespan(true, 3);
+    let t6 = gather_makespan(true, 6);
+    let ratio = t6.as_secs() / t3.as_secs();
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "doubling fan-in ≈ doubles the drain: {ratio:.2}"
+    );
+}

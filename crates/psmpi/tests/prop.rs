@@ -1,0 +1,91 @@
+//! Property-based tests of the wire codec and reduction operators.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use psmpi::{MpiDatatype, ReduceOp};
+
+fn roundtrip<T: MpiDatatype + PartialEq + std::fmt::Debug + Clone>(x: &T) -> bool {
+    T::from_bytes(x.to_bytes()).map(|y| y == *x).unwrap_or(false)
+}
+
+proptest! {
+    #[test]
+    fn scalars_roundtrip(a in any::<u64>(), b in any::<i32>(), c in any::<f64>().prop_filter("nan", |x| !x.is_nan()), d in any::<bool>()) {
+        prop_assert!(roundtrip(&a));
+        prop_assert!(roundtrip(&b));
+        prop_assert!(roundtrip(&c));
+        prop_assert!(roundtrip(&d));
+    }
+
+    #[test]
+    fn vectors_roundtrip(v in prop::collection::vec(any::<f64>().prop_filter("nan", |x| !x.is_nan()), 0..200)) {
+        prop_assert!(roundtrip(&v));
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".{0,100}") {
+        prop_assert!(roundtrip(&s.to_string()));
+    }
+
+    #[test]
+    fn nested_roundtrip(v in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..10), 0..10)) {
+        prop_assert!(roundtrip(&v));
+    }
+
+    #[test]
+    fn tuples_and_options_roundtrip(a in any::<u32>(), b in any::<i64>(), o in prop::option::of(any::<u16>())) {
+        prop_assert!(roundtrip(&(a, b)));
+        prop_assert!(roundtrip(&o));
+        prop_assert!(roundtrip(&(a, b, o)));
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic(v in prop::collection::vec(any::<f64>().prop_filter("nan", |x| !x.is_nan()), 1..20), cut in 0usize..50) {
+        let full = v.to_bytes();
+        let cut = cut.min(full.len().saturating_sub(1));
+        let short = full.slice(0..cut);
+        // Must return Err (or in rare cases decode a shorter valid prefix
+        // is impossible because the length prefix disagrees) — never panic.
+        let _ = Vec::<f64>::from_bytes(short);
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(raw in prop::collection::vec(any::<u8>(), 0..100)) {
+        let b = Bytes::from(raw);
+        let _ = Vec::<f64>::from_bytes(b.clone());
+        let _ = String::from_bytes(b.clone());
+        let _ = Option::<u64>::from_bytes(b.clone());
+        let _ = <(u32, f64)>::from_bytes(b);
+    }
+
+    #[test]
+    fn reduce_ops_match_reference(v in prop::collection::vec(-1e12f64..1e12, 1..50)) {
+        let mut acc_min = vec![f64::INFINITY; v.len()];
+        ReduceOp::Min.apply_slice(&mut acc_min, &v);
+        prop_assert_eq!(&acc_min, &v);
+        let mut acc_sum = v.clone();
+        ReduceOp::Sum.apply_slice(&mut acc_sum, &vec![0.0; v.len()]);
+        prop_assert_eq!(&acc_sum, &v);
+        let mut acc_max = v.clone();
+        let other: Vec<f64> = v.iter().map(|x| x - 1.0).collect();
+        ReduceOp::Max.apply_slice(&mut acc_max, &other);
+        prop_assert_eq!(&acc_max, &v);
+    }
+
+    #[test]
+    fn reduce_min_max_commute(a in prop::collection::vec(-1e6f64..1e6, 1..20), seed in any::<u64>()) {
+        // Min/Max reductions are order-independent: any permutation of the
+        // same multiset reduces to the same result.
+        let mut b = a.clone();
+        let n = b.len();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            b.swap(i, j);
+        }
+        let fold = |op: ReduceOp, xs: &[f64]| xs.iter().fold(op.identity(), |acc, &x| op.apply_f64(acc, x));
+        prop_assert_eq!(fold(ReduceOp::Min, &a), fold(ReduceOp::Min, &b));
+        prop_assert_eq!(fold(ReduceOp::Max, &a), fold(ReduceOp::Max, &b));
+    }
+}

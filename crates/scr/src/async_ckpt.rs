@@ -1,0 +1,292 @@
+//! Asynchronous (overlapped) checkpointing.
+//!
+//! The point of buffering checkpoints in node-local NVMe (§III-C) is that
+//! the application only blocks for the *local* write; the propagation to
+//! the buddy node or the global file system drains in the background while
+//! computation continues. This module adds that mode to the
+//! [`crate::ScrManager`]: [`ScrManager::checkpoint_async`] blocks for the
+//! local stage and returns a [`PendingDrain`]; the checkpoint reaches its
+//! full protection level only once the drain completes
+//! ([`ScrManager::complete_drain`]), and a failure before that falls back
+//! to an older checkpoint.
+//!
+//! [`simulate_run_async`] is the virtual-time run simulator for this mode,
+//! mirroring [`crate::simulate_run`].
+
+use crate::failure::FailureEvent;
+use crate::manager::{CheckpointLevel, ScrError, ScrManager};
+use crate::sim::RunOutcome;
+use hwmodel::SimTime;
+
+/// A checkpoint whose local stage is complete and whose higher-level drain
+/// is still in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingDrain {
+    /// The checkpoint id.
+    pub id: u64,
+    /// The level it is draining towards.
+    pub level: CheckpointLevel,
+    /// Remaining drain time from the moment `checkpoint_async` returned.
+    pub drain: SimTime,
+}
+
+impl ScrManager {
+    /// Take checkpoint `id` asynchronously: block only for the local NVMe
+    /// stage (the returned `SimTime`), register the data at `Local` level
+    /// immediately, and return the pending drain towards `level`.
+    ///
+    /// Call [`ScrManager::complete_drain`] when the application has
+    /// overlapped enough compute (or must wait) to promote the checkpoint.
+    pub fn checkpoint_async(
+        &self,
+        id: u64,
+        level: CheckpointLevel,
+        rank_data: &[Vec<u8>],
+    ) -> Result<(PendingDrain, SimTime), ScrError> {
+        let local_cost = self.checkpoint(id, CheckpointLevel::Local, rank_data)?;
+        let full_cost = {
+            let bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
+            self.checkpoint_cost(level, bytes)
+        };
+        let drain = full_cost.saturating_sub(local_cost);
+        // Stash the payloads so the drain can materialize the higher level.
+        self.stash_pending(id, rank_data);
+        Ok((PendingDrain { id, level, drain }, local_cost))
+    }
+
+    /// Complete a pending drain after the application has spent
+    /// `overlapped` virtual time elsewhere. Returns the *extra* blocking
+    /// time (zero if the drain fully hid behind the overlap). After this,
+    /// the checkpoint holds at its full level.
+    pub fn complete_drain(
+        &self,
+        pending: PendingDrain,
+        overlapped: SimTime,
+    ) -> Result<SimTime, ScrError> {
+        let data = self
+            .take_pending(pending.id)
+            .ok_or(ScrError::NothingToRestart)?;
+        // Promote to the requested level (storage effects only; the cost
+        // was modelled by the drain).
+        self.checkpoint(pending.id, pending.level, &data)?;
+        Ok(pending.drain.saturating_sub(overlapped))
+    }
+}
+
+/// Simulate a run with asynchronous checkpoints: the application blocks
+/// for `local_cost` per checkpoint; the drain of `drain_cost` overlaps the
+/// following compute segment (blocking only for what does not fit).
+/// Failures restart from the last checkpoint whose drain had completed.
+pub fn simulate_run_async(
+    work: SimTime,
+    interval: SimTime,
+    local_cost: SimTime,
+    drain_cost: SimTime,
+    restart_cost: SimTime,
+    failures: &[FailureEvent],
+) -> RunOutcome {
+    assert!(interval > SimTime::ZERO);
+    let mut wall = SimTime::ZERO;
+    let mut done = SimTime::ZERO;
+    let mut ckpt_time = SimTime::ZERO;
+    let mut rework = SimTime::ZERO;
+    let mut restart_time = SimTime::ZERO;
+    let mut hits = 0usize;
+    // The amount of useful work protected by a *fully drained* checkpoint.
+    let mut protected = SimTime::ZERO;
+    // Wall time at which the in-flight drain finishes (protecting `done`).
+    let mut drain_ready: Option<(SimTime, SimTime)> = None; // (wall, work-protected)
+    let mut fail_iter = failures.iter().peekable();
+
+    while done < work {
+        let seg = (work - done).min(interval);
+        let finishing = done + seg >= work;
+        // Blocking cost this segment: the work + local stage (if not the
+        // final segment) + any leftover drain from the previous checkpoint
+        // that the segment cannot hide.
+        let prev_drain_spill = match drain_ready {
+            Some((ready_at, _)) if ready_at > wall + seg => ready_at - (wall + seg),
+            _ => SimTime::ZERO,
+        };
+        let seg_cost = if finishing {
+            seg + prev_drain_spill
+        } else {
+            seg + prev_drain_spill + local_cost
+        };
+        let seg_end = wall + seg_cost;
+
+        let strike = loop {
+            match fail_iter.peek() {
+                Some(f) if f.at <= wall => {
+                    fail_iter.next();
+                }
+                Some(f) if f.at < seg_end => break Some(f.at),
+                _ => break None,
+            }
+        };
+
+        match strike {
+            Some(at) => {
+                fail_iter.next();
+                hits += 1;
+                // Promote the drain if it completed before the failure.
+                if let Some((ready_at, protects)) = drain_ready {
+                    if ready_at <= at {
+                        protected = protects;
+                        drain_ready = None;
+                    } else {
+                        // In-flight drain lost with the failure.
+                        drain_ready = None;
+                    }
+                }
+                rework += done - protected + (at - wall).min(seg);
+                done = protected;
+                wall = at + restart_cost;
+                restart_time += restart_cost;
+            }
+            None => {
+                // Promote any drain that completed within this segment.
+                if let Some((ready_at, protects)) = drain_ready {
+                    if ready_at <= seg_end {
+                        protected = protects;
+                        drain_ready = None;
+                    }
+                }
+                wall = seg_end;
+                done += seg;
+                if !finishing {
+                    ckpt_time += local_cost + prev_drain_spill;
+                    // New checkpoint begins draining now, protecting `done`.
+                    drain_ready = Some((wall + drain_cost, done));
+                }
+            }
+        }
+    }
+
+    RunOutcome {
+        wall_time: wall,
+        checkpoint_time: ckpt_time,
+        rework_time: rework,
+        restart_time,
+        failures_hit: hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ScrConfig;
+    use crate::sim::simulate_run;
+    use hwmodel::NodeId;
+    use sionio::ParallelFs;
+    use std::sync::Arc;
+
+    fn manager(ranks: usize) -> ScrManager {
+        let spec = Arc::new(hwmodel::presets::deep_er_booster_node());
+        ScrManager::new(
+            ScrConfig::default(),
+            (0..ranks as u32).map(NodeId).collect(),
+            vec![spec; ranks],
+            ParallelFs::deep_er(),
+        )
+    }
+
+    fn blobs(ranks: usize, tag: u8) -> Vec<Vec<u8>> {
+        (0..ranks).map(|r| vec![tag + r as u8; 4096]).collect()
+    }
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn async_blocks_only_for_local_stage() {
+        let m = manager(4);
+        let (pending, blocked) = m
+            .checkpoint_async(1, CheckpointLevel::Global, &blobs(4, 1))
+            .unwrap();
+        let sync_cost = m.checkpoint_cost(CheckpointLevel::Global, 4096);
+        assert!(blocked < sync_cost, "{blocked} < {sync_cost}");
+        assert!(pending.drain > SimTime::ZERO);
+        // Fully hidden drain costs nothing extra.
+        let extra = m.complete_drain(pending, pending.drain * 2.0).unwrap();
+        assert_eq!(extra, SimTime::ZERO);
+        // The checkpoint now restores at its full level.
+        m.fail_nodes(&(0..4).map(NodeId).collect::<Vec<_>>());
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (1, CheckpointLevel::Global));
+        assert_eq!(data, blobs(4, 1));
+    }
+
+    #[test]
+    fn incomplete_drain_charges_the_remainder() {
+        let m = manager(2);
+        let (pending, _) = m
+            .checkpoint_async(7, CheckpointLevel::Buddy, &blobs(2, 9))
+            .unwrap();
+        let extra = m.complete_drain(pending, pending.drain * 0.25).unwrap();
+        assert!((extra.as_secs() - pending.drain.as_secs() * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_before_drain_falls_back_to_local() {
+        let m = manager(2);
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 1)).unwrap();
+        let (_pending, _) = m
+            .checkpoint_async(2, CheckpointLevel::Buddy, &blobs(2, 2))
+            .unwrap();
+        // Node fails before complete_drain: checkpoint 2 exists at Local
+        // only, so losing a node invalidates it; restart falls back to 1.
+        m.fail_nodes(&[NodeId(0)]);
+        let (id, level, _, _) = m.restart().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(level, CheckpointLevel::Buddy);
+    }
+
+    #[test]
+    fn async_run_beats_sync_when_drain_hides() {
+        // Checkpoint cost 10 s (2 s local + 8 s drain), interval 50 s:
+        // async hides the 8 s behind the next segment.
+        let sync = simulate_run(s(500.0), s(50.0), s(10.0), s(5.0), &[]);
+        let asynch = simulate_run_async(s(500.0), s(50.0), s(2.0), s(8.0), s(5.0), &[]);
+        assert!(
+            asynch.wall_time < sync.wall_time,
+            "async {} < sync {}",
+            asynch.wall_time,
+            sync.wall_time
+        );
+        // Ideal: only the local stages block → 500 + 9×2 = 518 s.
+        assert!((asynch.wall_time.as_secs() - 518.0).abs() < 1e-9, "{}", asynch.wall_time);
+    }
+
+    #[test]
+    fn async_drain_spills_when_segment_too_short() {
+        // Drain 30 s, segment 10 s: 20 s of each drain spills into blocking
+        // time — async cannot hide what the interval doesn't allow.
+        let out = simulate_run_async(s(100.0), s(10.0), s(1.0), s(30.0), s(5.0), &[]);
+        assert!(out.wall_time > s(100.0 + 9.0));
+        assert!(out.checkpoint_time > s(9.0));
+    }
+
+    #[test]
+    fn async_failure_restarts_from_drained_state() {
+        // Timeline: ckpt 1 drains by t=16 (protects 10 s), ckpt 2 by t=27
+        // (protects 20 s). A failure at t=30 therefore loses only the 8 s
+        // computed since t=22 — the drained checkpoint 2 is usable.
+        let failures = [FailureEvent { at: s(30.0), node: NodeId(0) }];
+        let out = simulate_run_async(s(100.0), s(10.0), s(1.0), s(5.0), s(2.0), &failures);
+        assert_eq!(out.failures_hit, 1);
+        assert!((out.rework_time.as_secs() - 8.0).abs() < 1e-9, "rework {}", out.rework_time);
+        assert!(out.wall_time > s(100.0));
+    }
+
+    #[test]
+    fn async_failure_with_inflight_drain_loses_more() {
+        // Failure at t=25, before ckpt 2's drain finishes at 27: restart
+        // falls back to ckpt 1 (10 s protected) → 10 + 3 s of rework.
+        let failures = [FailureEvent { at: s(25.0), node: NodeId(0) }];
+        let out = simulate_run_async(s(100.0), s(10.0), s(1.0), s(5.0), s(2.0), &failures);
+        assert_eq!(out.failures_hit, 1);
+        assert!((out.rework_time.as_secs() - 13.0).abs() < 1e-9, "rework {}", out.rework_time);
+    }
+}

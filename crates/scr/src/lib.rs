@@ -1,0 +1,33 @@
+//! # scr — scalable multi-level checkpoint/restart
+//!
+//! DEEP-ER adopted the Scalable Checkpoint-Restart library (paper §III-D,
+//! ref [14]) and extended it "to decide where and how often checkpoints are
+//! performed, based on a failure model of the DEEP-ER prototype". This
+//! crate rebuilds that stack:
+//!
+//! * [`manager`] — the checkpoint database and the three storage levels:
+//!   **Local** (the rank's own NVMe — fastest, lost with the node),
+//!   **Buddy** (a copy on a companion node's NVMe via the fabric — survives
+//!   single-node failures; this is the SIONlib-assisted buddy checkpointing
+//!   of §III-C), and **Global** (a SION container on the parallel file
+//!   system — survives anything). Checkpoints hold real bytes and restarts
+//!   return them.
+//! * [`failure`] — the failure model: exponential per-node failures with a
+//!   configurable MTBF, sampled into failure traces.
+//! * [`interval`] — Young/Daly-style optimal checkpoint intervals per level
+//!   and the multi-level schedule SCR derives from the level costs.
+//! * [`sim`] — a virtual-time run simulator: given compute length, a
+//!   checkpoint schedule and a failure trace, compute the wall time with
+//!   rework and restarts. Drives the checkpoint-interval sweep bench.
+
+pub mod async_ckpt;
+pub mod failure;
+pub mod interval;
+pub mod manager;
+pub mod sim;
+
+pub use async_ckpt::{simulate_run_async, PendingDrain};
+pub use failure::FailureModel;
+pub use interval::{young_daly_interval, MultiLevelSchedule};
+pub use manager::{CheckpointLevel, ScrConfig, ScrError, ScrManager};
+pub use sim::{simulate_run, RunOutcome};

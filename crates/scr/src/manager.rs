@@ -1,0 +1,472 @@
+//! The checkpoint manager: levels, database, write/restart paths.
+
+use hwmodel::{MemoryLevel, NodeId, SimTime};
+use parking_lot::Mutex;
+use simnet::LogGpModel;
+use sionio::{ParallelFs, SionContainer};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Where a checkpoint lives — SCR's storage hierarchy on the prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckpointLevel {
+    /// The rank's node-local NVMe. Cheapest; lost if the node fails.
+    Local,
+    /// A redundant copy on a companion (buddy) node's NVMe, made through
+    /// the fabric with SIONlib (§III-C). Survives any single-node failure.
+    Buddy,
+    /// A SION container on the global parallel file system. Survives
+    /// arbitrary failures.
+    Global,
+}
+
+/// Errors from checkpoint operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrError {
+    /// Rank data count didn't match the job size.
+    WrongRankCount {
+        /// Provided blobs.
+        got: usize,
+        /// Expected ranks.
+        want: usize,
+    },
+    /// No restartable checkpoint available.
+    NothingToRestart,
+}
+
+impl std::fmt::Display for ScrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrError::WrongRankCount { got, want } => {
+                write!(f, "checkpoint carries {got} rank blobs, job has {want} ranks")
+            }
+            ScrError::NothingToRestart => write!(f, "no restartable checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for ScrError {}
+
+/// Configuration of the checkpoint stack.
+#[derive(Clone)]
+pub struct ScrConfig {
+    /// NVMe device model of the compute nodes.
+    pub nvme: MemoryLevel,
+    /// Fabric model for buddy transfers.
+    pub link: LogGpModel,
+    /// Buddy partner: rank `i` copies to node of rank `(i + offset) % n`.
+    pub buddy_offset: usize,
+}
+
+impl Default for ScrConfig {
+    fn default() -> Self {
+        ScrConfig {
+            nvme: hwmodel::presets::nvme_p3700(),
+            link: LogGpModel::default(),
+            buddy_offset: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CheckpointRecord {
+    id: u64,
+    level: CheckpointLevel,
+    bytes_per_rank: Vec<u64>,
+}
+
+#[derive(Default)]
+struct ScrState {
+    /// Payloads of asynchronous checkpoints whose drain is in flight.
+    pending: HashMap<u64, Vec<Vec<u8>>>,
+    /// (ckpt id, rank) → blob, on the rank's own node.
+    local: HashMap<(u64, usize), Vec<u8>>,
+    /// (ckpt id, rank) → blob, on the buddy node.
+    buddy: HashMap<(u64, usize), Vec<u8>>,
+    /// Database of taken checkpoints, newest last.
+    db: Vec<CheckpointRecord>,
+    /// Nodes currently failed.
+    dead: HashSet<NodeId>,
+}
+
+/// The checkpoint manager for one job.
+#[derive(Clone)]
+pub struct ScrManager {
+    config: ScrConfig,
+    /// Node of each rank.
+    nodes: Vec<NodeId>,
+    /// Node specs of each rank (for buddy-transfer cost).
+    specs: Vec<Arc<hwmodel::NodeSpec>>,
+    pfs: ParallelFs,
+    state: Arc<Mutex<ScrState>>,
+}
+
+impl ScrManager {
+    /// Manager for a job whose rank `i` runs on `nodes[i]` (spec
+    /// `specs[i]`), writing global checkpoints to `pfs`.
+    pub fn new(
+        config: ScrConfig,
+        nodes: Vec<NodeId>,
+        specs: Vec<Arc<hwmodel::NodeSpec>>,
+        pfs: ParallelFs,
+    ) -> Self {
+        assert_eq!(nodes.len(), specs.len());
+        assert!(!nodes.is_empty());
+        ScrManager { config, nodes, specs, pfs, state: Arc::new(Mutex::new(ScrState::default())) }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Buddy rank of `rank`.
+    pub fn buddy_of(&self, rank: usize) -> usize {
+        (rank + self.config.buddy_offset) % self.ranks()
+    }
+
+    /// Virtual-time cost of one checkpoint of `bytes` per rank at `level`
+    /// (ranks write in parallel; the slowest path bounds).
+    pub fn checkpoint_cost(&self, level: CheckpointLevel, bytes_per_rank: u64) -> SimTime {
+        match level {
+            CheckpointLevel::Local => self.config.nvme.write_time(bytes_per_rank),
+            CheckpointLevel::Buddy => {
+                // Local write, then read-back + fabric copy + buddy write,
+                // bounded by the slowest rank pair (uniform here).
+                let local = self.config.nvme.write_time(bytes_per_rank);
+                let copy = self.config.link.transfer_time(
+                    &self.specs[0],
+                    &self.specs[self.buddy_of(0)],
+                    bytes_per_rank as usize,
+                    1,
+                );
+                local + self.config.nvme.read_time(bytes_per_rank).max(copy)
+                    + self.config.nvme.write_time(bytes_per_rank)
+            }
+            CheckpointLevel::Global => {
+                // All ranks' chunks funnel into the striped PFS; staging
+                // from NVMe overlaps the slower disk path.
+                let total = bytes_per_rank * self.ranks() as u64;
+                self.config.nvme.read_time(bytes_per_rank).max(self.pfs.transfer_time(total))
+            }
+        }
+    }
+
+    /// Take checkpoint `id` at `level` with one blob per rank. Returns the
+    /// virtual cost.
+    pub fn checkpoint(
+        &self,
+        id: u64,
+        level: CheckpointLevel,
+        rank_data: &[Vec<u8>],
+    ) -> Result<SimTime, ScrError> {
+        if rank_data.len() != self.ranks() {
+            return Err(ScrError::WrongRankCount { got: rank_data.len(), want: self.ranks() });
+        }
+        let max_bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
+        let cost = self.checkpoint_cost(level, max_bytes);
+        let mut st = self.state.lock();
+        match level {
+            CheckpointLevel::Local => {
+                for (r, d) in rank_data.iter().enumerate() {
+                    st.local.insert((id, r), d.clone());
+                }
+            }
+            CheckpointLevel::Buddy => {
+                for (r, d) in rank_data.iter().enumerate() {
+                    st.local.insert((id, r), d.clone());
+                    st.buddy.insert((id, r), d.clone());
+                }
+            }
+            CheckpointLevel::Global => {
+                let chunk = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(1).max(1);
+                let (c, _) = SionContainer::create(
+                    &self.pfs,
+                    format!("/scr/ckpt-{id}.sion"),
+                    self.ranks(),
+                    chunk,
+                )
+                .expect("fresh container path");
+                for (r, d) in rank_data.iter().enumerate() {
+                    c.write_task(r, d).expect("chunk sized for the largest blob");
+                }
+            }
+        }
+        st.db.push(CheckpointRecord {
+            id,
+            level,
+            bytes_per_rank: rank_data.iter().map(|d| d.len() as u64).collect(),
+        });
+        Ok(cost)
+    }
+
+    /// Mark nodes as failed: their local checkpoint copies (and the buddy
+    /// copies *stored on* them) become unavailable.
+    pub fn fail_nodes(&self, nodes: &[NodeId]) {
+        let mut st = self.state.lock();
+        st.dead.extend(nodes.iter().copied());
+        let dead = st.dead.clone();
+        // Local copies live on the rank's node; buddy copies on the buddy's.
+        st.local.retain(|(_, r), _| !dead.contains(&self.nodes[*r]));
+        let buddies: Vec<usize> = (0..self.ranks()).map(|r| self.buddy_of(r)).collect();
+        st.buddy.retain(|(_, r), _| !dead.contains(&self.nodes[buddies[*r]]));
+    }
+
+    /// Repair failed nodes (replacement hardware / reboot).
+    pub fn heal(&self) {
+        self.state.lock().dead.clear();
+    }
+
+    /// Whether checkpoint `id` is fully recoverable right now.
+    pub fn recoverable(&self, id: u64) -> bool {
+        let st = self.state.lock();
+        let Some(rec) = st.db.iter().rev().find(|r| r.id == id) else {
+            return false;
+        };
+        match rec.level {
+            CheckpointLevel::Global => true,
+            CheckpointLevel::Local => (0..self.ranks()).all(|r| st.local.contains_key(&(id, r))),
+            CheckpointLevel::Buddy => (0..self.ranks())
+                .all(|r| st.local.contains_key(&(id, r)) || st.buddy.contains_key(&(id, r))),
+        }
+    }
+
+    /// Restart from the newest recoverable checkpoint: returns
+    /// `(id, level, per-rank blobs, virtual cost)`.
+    #[allow(clippy::type_complexity)]
+    pub fn restart(&self) -> Result<(u64, CheckpointLevel, Vec<Vec<u8>>, SimTime), ScrError> {
+        let candidates: Vec<(u64, CheckpointLevel, Vec<u64>)> = {
+            let st = self.state.lock();
+            st.db
+                .iter()
+                .rev()
+                .map(|r| (r.id, r.level, r.bytes_per_rank.clone()))
+                .collect()
+        };
+        for (id, level, bytes) in candidates {
+            if !self.recoverable(id) {
+                continue;
+            }
+            let max_bytes = bytes.iter().copied().max().unwrap_or(0);
+            let mut blobs = Vec::with_capacity(self.ranks());
+            let st = self.state.lock();
+            let mut ok = true;
+            for r in 0..self.ranks() {
+                let blob = match level {
+                    CheckpointLevel::Global => {
+                        drop(st);
+                        let (c, _) = SionContainer::open(&self.pfs, &format!("/scr/ckpt-{id}.sion"))
+                            .expect("global checkpoint container");
+                        let mut out = Vec::with_capacity(self.ranks());
+                        for rr in 0..self.ranks() {
+                            out.push(c.read_task(rr).expect("task chunk").0);
+                        }
+                        let cost = self
+                            .pfs
+                            .transfer_time(bytes.iter().sum::<u64>())
+                            .max(self.config.nvme.write_time(max_bytes));
+                        return Ok((id, level, out, cost));
+                    }
+                    CheckpointLevel::Local | CheckpointLevel::Buddy => st
+                        .local
+                        .get(&(id, r))
+                        .or_else(|| st.buddy.get(&(id, r)))
+                        .cloned(),
+                };
+                match blob {
+                    Some(b) => blobs.push(b),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let cost = match level {
+                    CheckpointLevel::Local => self.config.nvme.read_time(max_bytes),
+                    CheckpointLevel::Buddy => {
+                        self.config.nvme.read_time(max_bytes)
+                            + self.config.link.transfer_time(
+                                &self.specs[0],
+                                &self.specs[self.buddy_of(0)],
+                                max_bytes as usize,
+                                1,
+                            )
+                    }
+                    CheckpointLevel::Global => unreachable!("handled above"),
+                };
+                return Ok((id, level, blobs, cost));
+            }
+        }
+        Err(ScrError::NothingToRestart)
+    }
+
+    /// Stash the payloads of an in-flight asynchronous checkpoint
+    /// (crate-internal; see `async_ckpt`).
+    pub(crate) fn stash_pending(&self, id: u64, rank_data: &[Vec<u8>]) {
+        self.state.lock().pending.insert(id, rank_data.to_vec());
+    }
+
+    /// Take the stashed payloads of a pending checkpoint.
+    pub(crate) fn take_pending(&self, id: u64) -> Option<Vec<Vec<u8>>> {
+        self.state.lock().pending.remove(&id)
+    }
+
+    /// Drop checkpoints older than `keep_newest` restartable ones (SCR's
+    /// rolling window). Returns how many records were evicted.
+    pub fn prune(&self, keep_newest: usize) -> usize {
+        let mut st = self.state.lock();
+        if st.db.len() <= keep_newest {
+            return 0;
+        }
+        let cut = st.db.len() - keep_newest;
+        let evicted: Vec<CheckpointRecord> = st.db.drain(..cut).collect();
+        for rec in &evicted {
+            for r in 0..self.nodes.len() {
+                st.local.remove(&(rec.id, r));
+                st.buddy.remove(&(rec.id, r));
+            }
+            if rec.level == CheckpointLevel::Global {
+                let _ = self.pfs.delete(&format!("/scr/ckpt-{}.sion", rec.id));
+            }
+        }
+        evicted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::deep_er_booster_node;
+
+    fn manager(ranks: usize) -> ScrManager {
+        let spec = Arc::new(deep_er_booster_node());
+        ScrManager::new(
+            ScrConfig::default(),
+            (0..ranks as u32).map(NodeId).collect(),
+            vec![spec; ranks],
+            ParallelFs::deep_er(),
+        )
+    }
+
+    fn blobs(ranks: usize, tag: u8) -> Vec<Vec<u8>> {
+        (0..ranks).map(|r| vec![tag + r as u8; 1024]).collect()
+    }
+
+    #[test]
+    fn local_checkpoint_roundtrip() {
+        let m = manager(4);
+        let t = m.checkpoint(1, CheckpointLevel::Local, &blobs(4, 10)).unwrap();
+        assert!(t > SimTime::ZERO);
+        let (id, level, data, cost) = m.restart().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(level, CheckpointLevel::Local);
+        assert_eq!(data, blobs(4, 10));
+        assert!(cost > SimTime::ZERO);
+    }
+
+    #[test]
+    fn level_costs_are_ordered() {
+        let m = manager(8);
+        let s = 64 << 20; // 64 MiB per rank
+        let local = m.checkpoint_cost(CheckpointLevel::Local, s);
+        let buddy = m.checkpoint_cost(CheckpointLevel::Buddy, s);
+        let global = m.checkpoint_cost(CheckpointLevel::Global, s);
+        assert!(local < buddy, "local {local} < buddy {buddy}");
+        assert!(buddy < global, "buddy {buddy} < global {global}");
+    }
+
+    #[test]
+    fn node_failure_kills_local_but_not_buddy() {
+        let m = manager(4);
+        m.checkpoint(1, CheckpointLevel::Local, &blobs(4, 0)).unwrap();
+        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 50)).unwrap();
+        m.fail_nodes(&[NodeId(2)]);
+        assert!(!m.recoverable(1), "local copy of rank 2 died with its node");
+        assert!(m.recoverable(2), "buddy copy survives one node");
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (2, CheckpointLevel::Buddy));
+        assert_eq!(data, blobs(4, 50));
+    }
+
+    #[test]
+    fn adjacent_double_failure_defeats_buddy() {
+        // Buddy offset 1: ranks 1 and 2 are each other's neighbours; killing
+        // nodes 1 and 2 destroys rank 1's local AND its buddy copy (on 2).
+        let m = manager(4);
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(4, 0)).unwrap();
+        m.fail_nodes(&[NodeId(1), NodeId(2)]);
+        assert!(!m.recoverable(1));
+        assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
+    }
+
+    #[test]
+    fn global_survives_everything() {
+        let m = manager(4);
+        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 0)).unwrap();
+        m.fail_nodes(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(m.recoverable(1));
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (1, CheckpointLevel::Global));
+        assert_eq!(data, blobs(4, 0));
+    }
+
+    #[test]
+    fn restart_falls_back_through_levels() {
+        let m = manager(4);
+        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 1)).unwrap();
+        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 2)).unwrap();
+        m.checkpoint(3, CheckpointLevel::Local, &blobs(4, 3)).unwrap();
+        // Newest first.
+        assert_eq!(m.restart().unwrap().0, 3);
+        // Node failure invalidates 3 (local) and leaves 2 (buddy).
+        m.fail_nodes(&[NodeId(0)]);
+        assert_eq!(m.restart().unwrap().0, 2);
+        // Two adjacent failures leave only the global.
+        m.fail_nodes(&[NodeId(1)]);
+        assert_eq!(m.restart().unwrap().0, 1);
+    }
+
+    #[test]
+    fn wrong_rank_count_rejected() {
+        let m = manager(4);
+        assert!(matches!(
+            m.checkpoint(1, CheckpointLevel::Local, &blobs(3, 0)),
+            Err(ScrError::WrongRankCount { got: 3, want: 4 })
+        ));
+    }
+
+    #[test]
+    fn heal_restores_access() {
+        let m = manager(2);
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 0)).unwrap();
+        m.fail_nodes(&[NodeId(0), NodeId(1)]);
+        assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
+        m.heal();
+        // Copies were erased by the failure; healing alone doesn't resurrect
+        // them (the data is gone) — only future checkpoints work again.
+        assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
+        m.checkpoint(2, CheckpointLevel::Local, &blobs(2, 9)).unwrap();
+        assert_eq!(m.restart().unwrap().0, 2);
+    }
+
+    #[test]
+    fn prune_evicts_old_checkpoints() {
+        let m = manager(2);
+        for id in 1..=5 {
+            m.checkpoint(id, CheckpointLevel::Local, &blobs(2, id as u8)).unwrap();
+        }
+        assert_eq!(m.prune(2), 3);
+        assert!(!m.recoverable(3));
+        assert_eq!(m.restart().unwrap().0, 5);
+        assert_eq!(m.prune(2), 0);
+    }
+
+    #[test]
+    fn buddy_of_wraps() {
+        let m = manager(4);
+        assert_eq!(m.buddy_of(3), 0);
+        assert_eq!(m.buddy_of(0), 1);
+        assert_eq!(m.ranks(), 4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Virtual-time simulation of a run under failures with checkpointing.
+//!
+//! Given a total compute length, a checkpoint interval/cost, a restart
+//! cost and a failure trace, [`simulate_run`] computes the wall time the
+//! job needs: useful work + checkpoint overhead + rework after each
+//! failure + restart costs. This drives the checkpoint-interval sweep
+//! extension bench (and numerically validates Young's formula against the
+//! failure model).
+
+use crate::failure::FailureEvent;
+use hwmodel::SimTime;
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Total wall (virtual) time to finish the work.
+    pub wall_time: SimTime,
+    /// Time spent writing checkpoints.
+    pub checkpoint_time: SimTime,
+    /// Work redone after failures.
+    pub rework_time: SimTime,
+    /// Time spent restarting.
+    pub restart_time: SimTime,
+    /// Failures that actually interrupted the run.
+    pub failures_hit: usize,
+}
+
+impl RunOutcome {
+    /// Overhead factor: wall time relative to the failure-free,
+    /// checkpoint-free ideal.
+    pub fn overhead(&self, ideal: SimTime) -> f64 {
+        self.wall_time / ideal
+    }
+}
+
+/// Simulate a run of `work` compute time that checkpoints every `interval`
+/// of *useful work* at cost `ckpt_cost`, restarting after each failure at
+/// cost `restart_cost` from the last completed checkpoint. `failures` is a
+/// time-sorted trace (wall-clock times); failures striking after the job
+/// finishes are ignored.
+pub fn simulate_run(
+    work: SimTime,
+    interval: SimTime,
+    ckpt_cost: SimTime,
+    restart_cost: SimTime,
+    failures: &[FailureEvent],
+) -> RunOutcome {
+    assert!(interval > SimTime::ZERO, "interval must be positive");
+    let mut wall = SimTime::ZERO;
+    let mut done = SimTime::ZERO; // checkpointed useful work
+    let mut ckpt_time = SimTime::ZERO;
+    let mut rework = SimTime::ZERO;
+    let mut restart_time = SimTime::ZERO;
+    let mut hits = 0usize;
+    let mut fail_iter = failures.iter().filter(|f| f.at > SimTime::ZERO).peekable();
+
+    while done < work {
+        // Next segment: up to `interval` of work, then a checkpoint (unless
+        // the job finishes first, in which case no final checkpoint).
+        let seg = (work - done).min(interval);
+        let finishing = done + seg >= work;
+        let seg_cost = if finishing { seg } else { seg + ckpt_cost };
+        let seg_end = wall + seg_cost;
+
+        // Does a failure strike during this segment (including during the
+        // checkpoint, which then doesn't complete)?
+        let strike = loop {
+            match fail_iter.peek() {
+                Some(f) if f.at <= wall => {
+                    fail_iter.next(); // stale event (during a past restart)
+                }
+                Some(f) if f.at < seg_end => break Some(f.at),
+                _ => break None,
+            }
+        };
+
+        match strike {
+            Some(at) => {
+                fail_iter.next();
+                hits += 1;
+                // Work performed since the segment start is lost.
+                let lost = (at - wall).min(seg);
+                rework += lost;
+                wall = at + restart_cost;
+                restart_time += restart_cost;
+                // `done` unchanged: resume from the last checkpoint.
+            }
+            None => {
+                wall = seg_end;
+                done += seg;
+                if !finishing {
+                    ckpt_time += ckpt_cost;
+                }
+            }
+        }
+    }
+
+    RunOutcome {
+        wall_time: wall,
+        checkpoint_time: ckpt_time,
+        rework_time: rework,
+        restart_time,
+        failures_hit: hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureModel;
+    use hwmodel::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    fn fail_at(times: &[f64]) -> Vec<FailureEvent> {
+        times.iter().map(|&t| FailureEvent { at: s(t), node: NodeId(0) }).collect()
+    }
+
+    #[test]
+    fn failure_free_run_pays_only_checkpoints() {
+        // 100 s of work, checkpoint every 10 s at 1 s: 9 checkpoints (no
+        // final one) → 109 s.
+        let out = simulate_run(s(100.0), s(10.0), s(1.0), s(5.0), &[]);
+        assert_eq!(out.wall_time, s(109.0));
+        assert_eq!(out.checkpoint_time, s(9.0));
+        assert_eq!(out.failures_hit, 0);
+        assert_eq!(out.rework_time, SimTime::ZERO);
+        assert!((out.overhead(s(100.0)) - 1.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_failure_loses_segment_progress() {
+        // Failure at t=15: segment [11, 22) was in progress with 4 s of work
+        // done since the last checkpoint → 4 s rework + 5 s restart.
+        let out = simulate_run(s(100.0), s(10.0), s(1.0), s(5.0), &fail_at(&[15.0]));
+        assert_eq!(out.failures_hit, 1);
+        assert_eq!(out.rework_time, s(4.0));
+        assert_eq!(out.restart_time, s(5.0));
+        assert_eq!(out.wall_time, s(109.0) + s(4.0) + s(5.0));
+    }
+
+    #[test]
+    fn failure_during_checkpoint_redoes_whole_segment() {
+        // Segment [0, 11): 10 s work + 1 s checkpoint. Failure at t=10.5
+        // (inside the checkpoint) → all 10 s redone.
+        let out = simulate_run(s(20.0), s(10.0), s(1.0), s(2.0), &fail_at(&[10.5]));
+        assert_eq!(out.failures_hit, 1);
+        assert_eq!(out.rework_time, s(10.0));
+        // Timeline: fail at 10.5 + 2 restart = 12.5; redo seg → 12.5+11 =
+        // 23.5; final seg 10 s (no final ckpt) → 33.5.
+        assert_eq!(out.wall_time, s(33.5));
+    }
+
+    #[test]
+    fn repeated_failures_still_terminate() {
+        let out = simulate_run(
+            s(50.0),
+            s(5.0),
+            s(0.5),
+            s(1.0),
+            &fail_at(&[3.0, 9.0, 14.0, 30.0, 31.0, 90.0]),
+        );
+        assert!(out.wall_time > s(50.0));
+        assert!(out.failures_hit >= 4);
+    }
+
+    #[test]
+    fn failures_after_completion_ignored() {
+        let out = simulate_run(s(10.0), s(20.0), s(1.0), s(5.0), &fail_at(&[100.0]));
+        assert_eq!(out.wall_time, s(10.0));
+        assert_eq!(out.failures_hit, 0);
+    }
+
+    #[test]
+    fn short_intervals_trade_checkpoints_for_rework() {
+        // With frequent failures, a short interval beats a long one; with no
+        // failures the long interval wins.
+        let many_failures = fail_at(&(1..40).map(|i| i as f64 * 13.0).collect::<Vec<_>>());
+        let short = simulate_run(s(200.0), s(5.0), s(0.5), s(2.0), &many_failures);
+        let long = simulate_run(s(200.0), s(100.0), s(0.5), s(2.0), &many_failures);
+        assert!(short.wall_time < long.wall_time, "short {} vs long {}", short.wall_time, long.wall_time);
+        let short_ff = simulate_run(s(200.0), s(5.0), s(0.5), s(2.0), &[]);
+        let long_ff = simulate_run(s(200.0), s(100.0), s(0.5), s(2.0), &[]);
+        assert!(long_ff.wall_time < short_ff.wall_time);
+    }
+
+    #[test]
+    fn young_interval_is_near_optimal_under_model() {
+        // Sweep intervals under a sampled failure trace; Young's optimum
+        // should be within 25% of the best sweep point's wall time.
+        let mtbf = s(500.0);
+        let ckpt = s(2.0);
+        let model = FailureModel::new(mtbf);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trace = model.sample_trace(&mut rng, &nodes, s(1e6));
+        let work = s(5000.0);
+        let restart = s(5.0);
+
+        let wall = |iv: f64| simulate_run(work, s(iv), ckpt, restart, &trace).wall_time;
+        let best = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0]
+            .iter()
+            .map(|&iv| wall(iv))
+            .min()
+            .unwrap();
+        let young = crate::interval::young_daly_interval(ckpt, model.system_mtbf(4));
+        let at_young = wall(young.as_secs());
+        assert!(
+            at_young.as_secs() <= best.as_secs() * 1.25,
+            "young {at_young} vs best {best}"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! One-sided RDMA engine.
+//!
+//! EXTOLL's remote-DMA capability lets an initiator read/write memory on a
+//! passive target. [`RdmaEngine`] provides registered memory windows with
+//! real backing storage, so higher layers (the buddy-checkpoint path in
+//! `scr`, the NAM) move actual bytes, and returns the modelled completion
+//! time for each operation.
+
+use crate::fabric::Fabric;
+use crate::topology::TopologyError;
+use hwmodel::{NodeId, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle to a registered memory window on some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowId(u64);
+
+/// Errors from RDMA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdmaError {
+    /// Unknown window handle.
+    UnknownWindow(WindowId),
+    /// Access outside the window.
+    OutOfBounds { offset: usize, len: usize, window_len: usize },
+    /// Topology lookup failed.
+    Topology(TopologyError),
+}
+
+impl std::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdmaError::UnknownWindow(w) => write!(f, "unknown RDMA window {:?}", w),
+            RdmaError::OutOfBounds { offset, len, window_len } => {
+                write!(f, "RDMA access [{offset}, +{len}) outside window of {window_len} B")
+            }
+            RdmaError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+impl From<TopologyError> for RdmaError {
+    fn from(e: TopologyError) -> Self {
+        RdmaError::Topology(e)
+    }
+}
+
+struct Window {
+    owner: NodeId,
+    data: RwLock<Vec<u8>>,
+}
+
+/// The RDMA engine of a fabric. Clone-shared across rank threads.
+#[derive(Clone)]
+pub struct RdmaEngine {
+    fabric: Fabric,
+    windows: Arc<RwLock<HashMap<WindowId, Arc<Window>>>>,
+    next_id: Arc<parking_lot::Mutex<u64>>,
+}
+
+impl RdmaEngine {
+    /// Create an engine over a fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        RdmaEngine {
+            fabric,
+            windows: Arc::new(RwLock::new(HashMap::new())),
+            next_id: Arc::new(parking_lot::Mutex::new(0)),
+        }
+    }
+
+    /// Register a window of `len` zero bytes on `owner`.
+    pub fn register(&self, owner: NodeId, len: usize) -> WindowId {
+        let mut id = self.next_id.lock();
+        let wid = WindowId(*id);
+        *id += 1;
+        self.windows.write().insert(
+            wid,
+            Arc::new(Window { owner, data: RwLock::new(vec![0u8; len]) }),
+        );
+        wid
+    }
+
+    /// Deregister a window.
+    pub fn deregister(&self, wid: WindowId) -> Result<(), RdmaError> {
+        self.windows
+            .write()
+            .remove(&wid)
+            .map(|_| ())
+            .ok_or(RdmaError::UnknownWindow(wid))
+    }
+
+    fn window(&self, wid: WindowId) -> Result<Arc<Window>, RdmaError> {
+        self.windows
+            .read()
+            .get(&wid)
+            .cloned()
+            .ok_or(RdmaError::UnknownWindow(wid))
+    }
+
+    /// One-sided put: `initiator` writes `data` into the window at `offset`.
+    /// Returns the modelled completion time. The window owner's CPU is not
+    /// involved (no overhead charged on its side).
+    pub fn put(
+        &self,
+        initiator: NodeId,
+        wid: WindowId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<SimTime, RdmaError> {
+        let w = self.window(wid)?;
+        {
+            let mut buf = w.data.write();
+            let end = offset + data.len();
+            if end > buf.len() {
+                return Err(RdmaError::OutOfBounds { offset, len: data.len(), window_len: buf.len() });
+            }
+            buf[offset..end].copy_from_slice(data);
+        }
+        Ok(self.fabric.rdma_time(initiator, w.owner, data.len())?)
+    }
+
+    /// One-sided get: `initiator` reads `len` bytes from the window.
+    pub fn get(
+        &self,
+        initiator: NodeId,
+        wid: WindowId,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, SimTime), RdmaError> {
+        let w = self.window(wid)?;
+        let out = {
+            let buf = w.data.read();
+            let end = offset + len;
+            if end > buf.len() {
+                return Err(RdmaError::OutOfBounds { offset, len, window_len: buf.len() });
+            }
+            buf[offset..end].to_vec()
+        };
+        let t = self.fabric.rdma_time(initiator, w.owner, len)?;
+        Ok((out, t))
+    }
+
+    /// Owner of a window.
+    pub fn owner(&self, wid: WindowId) -> Result<NodeId, RdmaError> {
+        Ok(self.window(wid)?.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+
+    fn engine() -> RdmaEngine {
+        let mut t = Topology::new();
+        t.add_nodes(2, &deep_er_cluster_node());
+        t.add_nodes(2, &deep_er_booster_node());
+        RdmaEngine::new(Fabric::new(t))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let e = engine();
+        let w = e.register(NodeId(1), 256);
+        let t_put = e.put(NodeId(0), w, 16, b"buddy-ckpt").unwrap();
+        assert!(t_put > SimTime::ZERO);
+        let (data, t_get) = e.get(NodeId(2), w, 16, 10).unwrap();
+        assert_eq!(&data, b"buddy-ckpt");
+        assert!(t_get > SimTime::ZERO);
+        assert_eq!(e.owner(w).unwrap(), NodeId(1));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let e = engine();
+        let w = e.register(NodeId(0), 8);
+        assert!(matches!(
+            e.put(NodeId(1), w, 4, &[0; 8]),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            e.get(NodeId(1), w, 0, 9),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn deregister_invalidates() {
+        let e = engine();
+        let w = e.register(NodeId(0), 8);
+        e.deregister(w).unwrap();
+        assert!(matches!(e.put(NodeId(1), w, 0, b"x"), Err(RdmaError::UnknownWindow(_))));
+        assert!(matches!(e.deregister(w), Err(RdmaError::UnknownWindow(_))));
+    }
+
+    #[test]
+    fn larger_transfers_cost_more() {
+        let e = engine();
+        let w = e.register(NodeId(1), 1 << 20);
+        let t_small = e.put(NodeId(0), w, 0, &[0u8; 64]).unwrap();
+        let t_large = e.put(NodeId(0), w, 0, &vec![0u8; 1 << 20]).unwrap();
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn concurrent_windows() {
+        let e = engine();
+        let w = e.register(NodeId(0), 8 * 512);
+        std::thread::scope(|s| {
+            for i in 0..8usize {
+                let e = e.clone();
+                s.spawn(move || {
+                    e.put(NodeId(1), w, i * 512, &[i as u8; 512]).unwrap();
+                });
+            }
+        });
+        let (data, _) = e.get(NodeId(2), w, 7 * 512, 512).unwrap();
+        assert_eq!(data, vec![7u8; 512]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Communication tracing.
+//!
+//! The DEEP projects shipped performance-analysis tools alongside the
+//! prototype (§I: "a complete software stack with ... performance analysis
+//! tools"). [`TraceCollector`] is the equivalent hook for this
+//! reproduction: attach one to a runtime and every delivered message is
+//! recorded with its endpoints, size and virtual times; [`TrafficSummary`]
+//! aggregates per node-kind pair — enough to see, e.g., that the C+B mode's
+//! inter-module traffic is small next to the intra-module solver traffic.
+
+use hwmodel::{NodeId, NodeKind, SimTime};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One recorded message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Kind of the sending node.
+    pub src_kind: NodeKind,
+    /// Kind of the receiving node.
+    pub dst_kind: NodeKind,
+    /// Wire size in bytes.
+    pub bytes: usize,
+    /// Sender's virtual clock at injection.
+    pub depart: SimTime,
+    /// Receiver's virtual clock at delivery.
+    pub arrive: SimTime,
+}
+
+/// Aggregated traffic between node-kind pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficSummary {
+    /// (src kind label, dst kind label) → (messages, bytes).
+    pub pairs: BTreeMap<(String, String), (u64, u64)>,
+    /// Total messages.
+    pub messages: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Largest single message.
+    pub max_message: usize,
+}
+
+impl TrafficSummary {
+    /// Bytes exchanged between two kinds (both directions).
+    pub fn between(&self, a: NodeKind, b: NodeKind) -> u64 {
+        let ab = self
+            .pairs
+            .get(&(a.label().to_string(), b.label().to_string()))
+            .map_or(0, |v| v.1);
+        if a == b {
+            return ab;
+        }
+        ab + self
+            .pairs
+            .get(&(b.label().to_string(), a.label().to_string()))
+            .map_or(0, |v| v.1)
+    }
+
+    /// Render as a text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "traffic: {} messages, {} bytes (largest {})\n",
+            self.messages, self.bytes, self.max_message
+        );
+        out.push_str(&format!("{:>6} → {:<6} {:>10} {:>14}\n", "src", "dst", "msgs", "bytes"));
+        for ((s, d), (m, b)) in &self.pairs {
+            out.push_str(&format!("{s:>6} → {d:<6} {m:>10} {b:>14}\n"));
+        }
+        out
+    }
+}
+
+/// A shared, clonable message-trace sink.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Record one delivery.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Copy of all events, ordered by arrival time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut v = self.events.lock().clone();
+        v.sort_by(|a, b| a.arrive.cmp(&b.arrive));
+        v
+    }
+
+    /// Aggregate into a summary.
+    pub fn summary(&self) -> TrafficSummary {
+        let mut s = TrafficSummary::default();
+        for e in self.events.lock().iter() {
+            let key = (e.src_kind.label().to_string(), e.dst_kind.label().to_string());
+            let entry = s.pairs.entry(key).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += e.bytes as u64;
+            s.messages += 1;
+            s.bytes += e.bytes as u64;
+            s.max_message = s.max_message.max(e.bytes);
+        }
+        s
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src_kind: NodeKind, dst_kind: NodeKind, bytes: usize, t: f64) -> TraceEvent {
+        TraceEvent {
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_kind,
+            dst_kind,
+            bytes,
+            depart: SimTime::from_secs(t),
+            arrive: SimTime::from_secs(t + 1e-6),
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let t = TraceCollector::new();
+        assert!(t.is_empty());
+        t.record(ev(NodeKind::Cluster, NodeKind::Cluster, 100, 0.0));
+        t.record(ev(NodeKind::Cluster, NodeKind::Booster, 200, 1.0));
+        t.record(ev(NodeKind::Booster, NodeKind::Cluster, 300, 2.0));
+        assert_eq!(t.len(), 3);
+        let s = t.summary();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 600);
+        assert_eq!(s.max_message, 300);
+        assert_eq!(s.between(NodeKind::Cluster, NodeKind::Booster), 500);
+        assert_eq!(s.between(NodeKind::Cluster, NodeKind::Cluster), 100);
+        let text = s.render();
+        assert!(text.contains("CN"));
+        assert!(text.contains("BN"));
+    }
+
+    #[test]
+    fn events_sorted_by_arrival() {
+        let t = TraceCollector::new();
+        t.record(ev(NodeKind::Cluster, NodeKind::Cluster, 1, 5.0));
+        t.record(ev(NodeKind::Cluster, NodeKind::Cluster, 2, 1.0));
+        let e = t.events();
+        assert_eq!(e[0].bytes, 2);
+        assert_eq!(e[1].bytes, 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = TraceCollector::new();
+        let t2 = t.clone();
+        t2.record(ev(NodeKind::Booster, NodeKind::Booster, 7, 0.0));
+        assert_eq!(t.len(), 1);
+    }
+}

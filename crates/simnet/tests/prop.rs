@@ -1,0 +1,98 @@
+//! Property-based tests of the fabric model and the NAM allocator.
+
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use hwmodel::SimTime;
+use proptest::prelude::*;
+use simnet::{LogGpModel, NamDevice};
+
+proptest! {
+    #[test]
+    fn transfer_time_positive_and_finite(size in 0usize..(64 << 20), hops in 0u32..4) {
+        let m = LogGpModel::default();
+        let cn = deep_er_cluster_node();
+        let bn = deep_er_booster_node();
+        for (a, b) in [(&cn, &cn), (&bn, &bn), (&cn, &bn), (&bn, &cn)] {
+            let t = m.transfer_time(a, b, size, hops);
+            prop_assert!(t.as_secs().is_finite());
+            prop_assert!(t >= SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn transfer_symmetric_same_kind(size in 1usize..(1 << 22)) {
+        // Between equal node types the direction cannot matter.
+        let m = LogGpModel::default();
+        let cn = deep_er_cluster_node();
+        prop_assert_eq!(m.transfer_time(&cn, &cn, size, 1), m.transfer_time(&cn, &cn, size, 1));
+        // Mixed pairs are symmetric too in this model (overheads add).
+        let bn = deep_er_booster_node();
+        let ab = m.transfer_time(&cn, &bn, size, 1);
+        let ba = m.transfer_time(&bn, &cn, size, 1);
+        prop_assert!((ab.as_secs() - ba.as_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monotone_within_protocol(base in 1usize..(1 << 14), delta in 1usize..(1 << 12)) {
+        // Both sizes inside the eager regime.
+        let m = LogGpModel::default();
+        let cn = deep_er_cluster_node();
+        let bn = deep_er_booster_node();
+        let a = base.min(m.eager_threshold - 1);
+        let b = (base + delta).min(m.eager_threshold);
+        let ta = m.transfer_time(&cn, &bn, a, 1);
+        let tb = m.transfer_time(&cn, &bn, b, 1);
+        prop_assert!(tb >= ta);
+    }
+
+    #[test]
+    fn more_hops_cost_more(size in 1usize..(1 << 20), hops in 1u32..5) {
+        let m = LogGpModel::default();
+        let cn = deep_er_cluster_node();
+        let t1 = m.transfer_time(&cn, &cn, size, hops);
+        let t2 = m.transfer_time(&cn, &cn, size, hops + 1);
+        prop_assert!(t2 > t1);
+    }
+
+    #[test]
+    fn rdma_cheaper_than_two_sided(size in 1usize..(1 << 22)) {
+        let m = LogGpModel::default();
+        let cn = deep_er_cluster_node();
+        let bn = deep_er_booster_node();
+        prop_assert!(m.rdma_time(&cn, size, 1) < m.transfer_time(&cn, &bn, size, 1));
+    }
+
+    #[test]
+    fn nam_accounting_invariants(sizes in prop::collection::vec(1u64..(1 << 16), 1..20)) {
+        let nam = NamDevice::new(1 << 20, SimTime::ZERO, 1e9);
+        let mut regions = Vec::new();
+        let mut expected_used = 0u64;
+        for s in sizes {
+            match nam.alloc(s) {
+                Ok(r) => {
+                    expected_used += s;
+                    regions.push(r);
+                }
+                Err(_) => {
+                    prop_assert!(expected_used + s > nam.capacity());
+                }
+            }
+            prop_assert_eq!(nam.used(), expected_used);
+            prop_assert!(nam.used() <= nam.capacity());
+        }
+        for r in regions {
+            nam.dealloc(r).unwrap();
+            expected_used -= r.len;
+            prop_assert_eq!(nam.used(), expected_used);
+        }
+        prop_assert_eq!(nam.used(), 0);
+    }
+
+    #[test]
+    fn nam_data_integrity(payload in prop::collection::vec(any::<u8>(), 1..4096), offset in 0u64..1024) {
+        let nam = NamDevice::new(1 << 20, SimTime::ZERO, 1e9);
+        let r = nam.alloc(offset + payload.len() as u64 + 16).unwrap();
+        nam.put(r, offset, &payload).unwrap();
+        let back = nam.get(r, offset, payload.len() as u64).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+}

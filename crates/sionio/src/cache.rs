@@ -1,0 +1,358 @@
+//! The BeeOND-like node-local cache domain.
+//!
+//! DEEP-ER added a cache layer to BeeGFS: a cache domain over the node-local
+//! NVMe devices, usable in synchronous (write-through) or asynchronous
+//! (write-back) mode. Writes land on the local NVMe at device speed; in
+//! async mode the propagation to the global file system is deferred to an
+//! explicit flush, "reducing the frequency of accesses to the global
+//! storage" (§III-C).
+
+use crate::pfs::{FsError, ParallelFs};
+use hwmodel::{MemoryLevel, NodeId, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Write policy of the cache domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Write-through: every write is immediately persisted to the global
+    /// file system (cost: NVMe + PFS).
+    Synchronous,
+    /// Write-back: writes stay in the node-local NVMe until flushed
+    /// (cost per write: NVMe only).
+    #[default]
+    Asynchronous,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// (node, path) → (bytes, dirty, last-use stamp)
+    entries: HashMap<(NodeId, String), (Vec<u8>, bool, u64)>,
+    /// Monotone access counter for LRU ordering.
+    tick: u64,
+}
+
+impl CacheState {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn used_on(&self, node: NodeId) -> u64 {
+        self.entries
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|(_, (d, _, _))| d.len() as u64)
+            .sum()
+    }
+}
+
+/// A cache domain over node-local NVMe devices in front of a [`ParallelFs`].
+#[derive(Clone)]
+pub struct CacheDomain {
+    pfs: ParallelFs,
+    nvme: MemoryLevel,
+    mode: CacheMode,
+    /// Per-node staging capacity in bytes (the NVMe device size by default).
+    capacity: u64,
+    state: Arc<Mutex<CacheState>>,
+}
+
+impl CacheDomain {
+    /// A cache domain using the given NVMe device model in front of `pfs`.
+    pub fn new(pfs: ParallelFs, nvme: MemoryLevel, mode: CacheMode) -> Self {
+        let capacity = nvme.capacity_bytes;
+        CacheDomain { pfs, nvme, mode, capacity, state: Arc::new(Mutex::new(CacheState::default())) }
+    }
+
+    /// Restrict the per-node staging capacity (testing / partitioned NVMe).
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Bytes currently staged on a node.
+    pub fn used_bytes(&self, node: NodeId) -> u64 {
+        self.state.lock().used_on(node)
+    }
+
+    /// Per-node staging capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Make room for `need` more bytes on `node`: evict clean entries
+    /// LRU-first (free), then force-flush dirty LRU entries to the global
+    /// file system (paying the PFS write). Returns the virtual cost.
+    fn make_room(&self, node: NodeId, need: u64) -> SimTime {
+        let mut cost = SimTime::ZERO;
+        loop {
+            let (used, victim) = {
+                let st = self.state.lock();
+                let used = st.used_on(node);
+                if used + need <= self.capacity {
+                    return cost;
+                }
+                // Oldest entry on this node, clean preferred.
+                let victim = st
+                    .entries
+                    .iter()
+                    .filter(|((n, _), _)| *n == node)
+                    .min_by_key(|(_, (_, dirty, tick))| (*dirty, *tick))
+                    .map(|((_, p), (_, dirty, _))| (p.clone(), *dirty));
+                (used, victim)
+            };
+            let Some((path, dirty)) = victim else {
+                // Nothing left to evict; the write itself must exceed
+                // capacity — let it through (device handles oversubscribe
+                // by spilling synchronously).
+                let _ = used;
+                return cost;
+            };
+            if dirty {
+                // Forced write-back before eviction.
+                let data = self.state.lock().entries[&(node, path.clone())].0.clone();
+                cost += self.nvme.read_time(data.len() as u64);
+                cost += self.pfs.write(path.clone(), &data);
+            }
+            self.state.lock().entries.remove(&(node, path));
+        }
+    }
+
+    /// The DEEP-ER configuration: P3700 NVMe over the prototype's PFS.
+    pub fn deep_er(mode: CacheMode) -> Self {
+        CacheDomain::new(ParallelFs::deep_er(), hwmodel::presets::nvme_p3700(), mode)
+    }
+
+    /// The cache policy.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The backing file system.
+    pub fn pfs(&self) -> &ParallelFs {
+        &self.pfs
+    }
+
+    /// Write through the cache from `node`. Returns the virtual cost
+    /// (NVMe write, plus the PFS write in synchronous mode, plus any
+    /// forced write-back needed to make room).
+    pub fn write(&self, node: NodeId, path: impl Into<String>, data: &[u8]) -> SimTime {
+        let path = path.into();
+        let room_t = self.make_room(node, data.len() as u64);
+        let nvme_t = self.nvme.write_time(data.len() as u64);
+        let mut st = self.state.lock();
+        let tick = st.touch();
+        match self.mode {
+            CacheMode::Synchronous => {
+                drop(st);
+                let pfs_t = self.pfs.write(path.clone(), data);
+                let mut st = self.state.lock();
+                let tick = st.touch();
+                st.entries.insert((node, path), (data.to_vec(), false, tick));
+                room_t + nvme_t + pfs_t
+            }
+            CacheMode::Asynchronous => {
+                st.entries.insert((node, path), (data.to_vec(), true, tick));
+                room_t + nvme_t
+            }
+        }
+    }
+
+    /// Read from `node`: local NVMe on hit, global PFS on miss (the miss
+    /// populates the local cache clean).
+    pub fn read(&self, node: NodeId, path: &str) -> Result<(Vec<u8>, SimTime), FsError> {
+        {
+            let mut st = self.state.lock();
+            let tick = st.touch();
+            if let Some(entry) = st.entries.get_mut(&(node, path.to_string())) {
+                entry.2 = tick;
+                let t = self.nvme.read_time(entry.0.len() as u64);
+                return Ok((entry.0.clone(), t));
+            }
+        }
+        let (data, pfs_t) = self.pfs.read(path)?;
+        let room_t = self.make_room(node, data.len() as u64);
+        let t = pfs_t + room_t + self.nvme.write_time(data.len() as u64);
+        let mut st = self.state.lock();
+        let tick = st.touch();
+        st.entries
+            .insert((node, path.to_string()), (data.clone(), false, tick));
+        Ok((data, t))
+    }
+
+    /// Flush `node`'s dirty entries to the global file system. Returns the
+    /// virtual cost (NVMe reads + PFS writes, pipelined as max-sum).
+    pub fn flush(&self, node: NodeId) -> SimTime {
+        let dirty: Vec<(String, Vec<u8>)> = {
+            let mut st = self.state.lock();
+            st.entries
+                .iter_mut()
+                .filter(|((n, _), (_, d, _))| *n == node && *d)
+                .map(|((_, p), (data, d, _))| {
+                    *d = false;
+                    (p.clone(), data.clone())
+                })
+                .collect()
+        };
+        let mut total = SimTime::ZERO;
+        for (path, data) in dirty {
+            let read_back = self.nvme.read_time(data.len() as u64);
+            let write_out = self.pfs.write(path, &data);
+            total += read_back.max(write_out); // staged pipeline
+        }
+        total
+    }
+
+    /// Dirty entry count on a node (diagnostics).
+    pub fn dirty_count(&self, node: NodeId) -> usize {
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .filter(|((n, _), (_, d, _))| *n == node && *d)
+            .count()
+    }
+
+    /// Drop a node's cache contents without flushing — models a node
+    /// failure taking its (volatile-to-the-job) staged data with it. Dirty
+    /// data not yet flushed is lost, which is exactly why SCR keeps buddy
+    /// copies (see the `scr` crate).
+    pub fn fail_node(&self, node: NodeId) -> usize {
+        let mut st = self.state.lock();
+        let before = st.entries.len();
+        st.entries.retain(|(n, _), _| *n != node);
+        before - st.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(mode: CacheMode) -> CacheDomain {
+        CacheDomain::deep_er(mode)
+    }
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    #[test]
+    fn sync_mode_persists_immediately() {
+        let c = domain(CacheMode::Synchronous);
+        c.write(N0, "/f", b"data");
+        assert!(c.pfs().exists("/f"));
+        assert_eq!(c.dirty_count(N0), 0);
+    }
+
+    #[test]
+    fn async_mode_defers_until_flush() {
+        let c = domain(CacheMode::Asynchronous);
+        c.write(N0, "/f", b"data");
+        assert!(!c.pfs().exists("/f"), "not yet global");
+        assert_eq!(c.dirty_count(N0), 1);
+        let t = c.flush(N0);
+        assert!(t > SimTime::ZERO);
+        assert!(c.pfs().exists("/f"));
+        assert_eq!(c.dirty_count(N0), 0);
+        // Flushing again is free-ish (nothing dirty).
+        assert_eq!(c.flush(N0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn async_writes_are_cheaper_than_sync() {
+        let data = vec![0u8; 8 << 20];
+        let t_async = domain(CacheMode::Asynchronous).write(N0, "/f", &data);
+        let t_sync = domain(CacheMode::Synchronous).write(N0, "/f", &data);
+        assert!(
+            t_sync.as_secs() > 1.5 * t_async.as_secs(),
+            "sync {t_sync} vs async {t_async}"
+        );
+    }
+
+    #[test]
+    fn read_hits_local_cache() {
+        let c = domain(CacheMode::Asynchronous);
+        let data = vec![7u8; 4 << 20];
+        c.write(N0, "/f", &data);
+        let (d, t_local) = c.read(N0, "/f").unwrap();
+        assert_eq!(d, data);
+        // From another node it's a miss: must come from PFS — but in async
+        // mode the data isn't global yet.
+        assert!(c.read(N1, "/f").is_err());
+        c.flush(N0);
+        let (d1, t_remote) = c.read(N1, "/f").unwrap();
+        assert_eq!(d1, data);
+        assert!(t_remote > t_local, "miss slower than hit");
+        // Second read on N1 is now a hit.
+        let (_, t_hit) = c.read(N1, "/f").unwrap();
+        assert!(t_hit < t_remote);
+    }
+
+    #[test]
+    fn node_failure_loses_unflushed_data() {
+        let c = domain(CacheMode::Asynchronous);
+        c.write(N0, "/ckpt", b"unflushed");
+        let lost = c.fail_node(N0);
+        assert_eq!(lost, 1);
+        assert!(!c.pfs().exists("/ckpt"));
+        assert!(c.read(N0, "/ckpt").is_err());
+    }
+
+    #[test]
+    fn capacity_evicts_clean_lru_first() {
+        let c = domain(CacheMode::Asynchronous).with_capacity(3000);
+        // Two clean entries (read-miss populated) + capacity pressure.
+        c.pfs().write("/a", &[1u8; 1000]);
+        c.pfs().write("/b", &[2u8; 1000]);
+        c.read(N0, "/a").unwrap();
+        c.read(N0, "/b").unwrap();
+        assert_eq!(c.used_bytes(N0), 2000);
+        // Touch /a so /b becomes LRU, then add a new entry that overflows.
+        c.read(N0, "/a").unwrap();
+        c.write(N0, "/c", &[3u8; 1500]);
+        assert!(c.used_bytes(N0) <= c.capacity());
+        // /b (LRU clean) was evicted; /a survived.
+        let (_, t_a) = c.read(N0, "/a").unwrap();
+        let (_, t_b) = c.read(N0, "/b").unwrap(); // miss → repopulates
+        assert!(t_b > t_a, "evicted entry re-fetches from the PFS");
+    }
+
+    #[test]
+    fn capacity_forces_writeback_of_dirty_lru() {
+        let c = domain(CacheMode::Asynchronous).with_capacity(2000);
+        let cheap = c.write(N0, "/d1", &[1u8; 1500]);
+        assert!(!c.pfs().exists("/d1"), "dirty, not yet global");
+        // This write overflows; the dirty LRU entry must be written back
+        // (visible in both the cost and the PFS state).
+        let pricey = c.write(N0, "/d2", &[2u8; 1500]);
+        assert!(c.pfs().exists("/d1"), "forced write-back persisted /d1");
+        assert!(pricey > cheap, "forced write-back costs time");
+        assert!(c.used_bytes(N0) <= c.capacity());
+        // No data was lost: /d1 readable from the global FS.
+        let (d, _) = c.read(N1, "/d1").unwrap();
+        assert_eq!(d, vec![1u8; 1500]);
+    }
+
+    #[test]
+    fn per_node_capacity_is_independent() {
+        let c = domain(CacheMode::Asynchronous).with_capacity(2000);
+        c.write(N0, "/x", &[0u8; 1500]);
+        c.write(N1, "/y", &[0u8; 1500]);
+        assert_eq!(c.used_bytes(N0), 1500);
+        assert_eq!(c.used_bytes(N1), 1500);
+        assert_eq!(c.dirty_count(N0), 1);
+        assert_eq!(c.dirty_count(N1), 1);
+    }
+
+    #[test]
+    fn failure_after_flush_is_harmless() {
+        let c = domain(CacheMode::Asynchronous);
+        c.write(N0, "/ckpt", b"flushed");
+        c.flush(N0);
+        c.fail_node(N0);
+        let (d, _) = c.read(N1, "/ckpt").unwrap();
+        assert_eq!(d, b"flushed");
+    }
+}

@@ -1,0 +1,334 @@
+//! A BeeGFS-like parallel file system model.
+//!
+//! The DEEP-ER prototype's storage rack holds one metadata server and two
+//! storage servers in front of 57 TB of spinning disks. Files are striped
+//! across the storage servers; a transfer's virtual time is the metadata
+//! round trip plus the *slowest server's* share of the stripes (servers
+//! work in parallel), each share costing disk latency + bytes/bandwidth
+//! plus the fabric hop from the client.
+
+use hwmodel::{MemoryKind, NodeSpec, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// File-system errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (exclusive create).
+    AlreadyExists(String),
+    /// Read beyond end of file.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::OutOfBounds { offset, len, size } => {
+                write!(f, "read [{offset}, +{len}) beyond file of {size} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Static configuration of the file system.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Number of storage servers (DEEP-ER: 2).
+    pub storage_servers: u32,
+    /// Stripe size in bytes (BeeGFS default 512 KiB).
+    pub stripe_size: u64,
+    /// Metadata operation round-trip time.
+    pub metadata_latency: SimTime,
+    /// Per-server streaming bandwidth, bytes/s.
+    pub server_bw: f64,
+    /// Per-server first-byte latency.
+    pub server_latency: SimTime,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        PfsConfig {
+            storage_servers: 2,
+            stripe_size: 512 * 1024,
+            metadata_latency: SimTime::from_micros(250.0),
+            server_bw: hwmodel::calib::DISK_BW_GBS * 1e9,
+            server_latency: SimTime::from_millis(hwmodel::calib::DISK_LATENCY_MS),
+        }
+    }
+}
+
+impl PfsConfig {
+    /// Derive a config from a storage-server node model.
+    pub fn from_server(server: &NodeSpec, count: u32) -> Self {
+        let disk = server
+            .memory_level(MemoryKind::Disk)
+            .expect("storage server has a disk pool");
+        PfsConfig {
+            storage_servers: count,
+            server_bw: disk.read_bw_gbs * 1e9,
+            server_latency: disk.latency,
+            ..PfsConfig::default()
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FsState {
+    files: HashMap<String, Vec<u8>>,
+}
+
+/// The shared parallel file system. Clone-shared across ranks.
+#[derive(Debug, Clone)]
+pub struct ParallelFs {
+    config: PfsConfig,
+    state: Arc<Mutex<FsState>>,
+}
+
+impl ParallelFs {
+    /// An empty file system with the given configuration.
+    pub fn new(config: PfsConfig) -> Self {
+        assert!(config.storage_servers >= 1, "need at least one storage server");
+        assert!(config.stripe_size >= 1);
+        ParallelFs { config, state: Arc::new(Mutex::new(FsState::default())) }
+    }
+
+    /// The DEEP-ER storage rack: two storage servers.
+    pub fn deep_er() -> Self {
+        ParallelFs::new(PfsConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PfsConfig {
+        &self.config
+    }
+
+    /// Virtual time to move `bytes` as one striped transfer.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return self.config.metadata_latency;
+        }
+        // Stripes round-robin over servers; the slowest server bounds the
+        // parallel transfer. Server i gets stripes i, i+S, i+2S, ...
+        let stripes = bytes.div_ceil(self.config.stripe_size);
+        let s = self.config.storage_servers as u64;
+        let max_stripes_per_server = stripes.div_ceil(s);
+        let per_server_bytes = (max_stripes_per_server * self.config.stripe_size).min(bytes);
+        self.config.metadata_latency
+            + self.config.server_latency
+            + SimTime::from_secs(per_server_bytes as f64 / self.config.server_bw)
+    }
+
+    /// Create (or truncate) a file with contents. Returns the virtual cost.
+    pub fn write(&self, path: impl Into<String>, data: &[u8]) -> SimTime {
+        let path = path.into();
+        let t = self.transfer_time(data.len() as u64);
+        self.state.lock().files.insert(path, data.to_vec());
+        t
+    }
+
+    /// Create exclusively; error if the path exists.
+    pub fn create_exclusive(&self, path: impl Into<String>, data: &[u8]) -> Result<SimTime, FsError> {
+        let path = path.into();
+        let mut st = self.state.lock();
+        if st.files.contains_key(&path) {
+            return Err(FsError::AlreadyExists(path));
+        }
+        st.files.insert(path, data.to_vec());
+        Ok(self.transfer_time(data.len() as u64))
+    }
+
+    /// Append to a file (creating it if needed). Returns the virtual cost.
+    pub fn append(&self, path: impl Into<String>, data: &[u8]) -> SimTime {
+        let path = path.into();
+        let t = self.transfer_time(data.len() as u64);
+        self.state.lock().files.entry(path).or_default().extend_from_slice(data);
+        t
+    }
+
+    /// Read a whole file.
+    pub fn read(&self, path: &str) -> Result<(Vec<u8>, SimTime), FsError> {
+        let st = self.state.lock();
+        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        Ok((data.clone(), self.transfer_time(data.len() as u64)))
+    }
+
+    /// Read a byte range of a file.
+    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<(Vec<u8>, SimTime), FsError> {
+        let st = self.state.lock();
+        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        let end = offset + len;
+        if end > data.len() as u64 {
+            return Err(FsError::OutOfBounds { offset, len, size: data.len() as u64 });
+        }
+        let out = data[offset as usize..end as usize].to_vec();
+        Ok((out, self.transfer_time(len)))
+    }
+
+    /// Write a byte range of a file, growing it if necessary.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> SimTime {
+        let mut st = self.state.lock();
+        let file = st.files.entry(path.to_string()).or_default();
+        let end = offset as usize + data.len();
+        if end > file.len() {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(data);
+        self.transfer_time(data.len() as u64)
+    }
+
+    /// File size, plus a metadata-only cost.
+    pub fn stat(&self, path: &str) -> Result<(u64, SimTime), FsError> {
+        let st = self.state.lock();
+        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        Ok((data.len() as u64, self.config.metadata_latency))
+    }
+
+    /// Whether a path exists (metadata cost charged to caller separately).
+    pub fn exists(&self, path: &str) -> bool {
+        self.state.lock().files.contains_key(path)
+    }
+
+    /// Delete a file.
+    pub fn delete(&self, path: &str) -> Result<SimTime, FsError> {
+        let mut st = self.state.lock();
+        st.files
+            .remove(path)
+            .map(|_| self.config.metadata_latency)
+            .ok_or_else(|| FsError::NotFound(path.into()))
+    }
+
+    /// All paths (sorted) — for directory-style scans.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.state.lock().files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.state.lock().files.values().map(|f| f.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = ParallelFs::deep_er();
+        let t = fs.write("/ckpt/rank0", b"field data");
+        assert!(t > SimTime::ZERO);
+        let (data, t2) = fs.read("/ckpt/rank0").unwrap();
+        assert_eq!(data, b"field data");
+        assert!(t2 > SimTime::ZERO);
+        assert_eq!(fs.used_bytes(), 10);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = ParallelFs::deep_er();
+        assert!(matches!(fs.read("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.stat("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(fs.delete("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn exclusive_create() {
+        let fs = ParallelFs::deep_er();
+        fs.create_exclusive("/a", b"1").unwrap();
+        assert!(matches!(fs.create_exclusive("/a", b"2"), Err(FsError::AlreadyExists(_))));
+        let (d, _) = fs.read("/a").unwrap();
+        assert_eq!(d, b"1");
+    }
+
+    #[test]
+    fn ranged_io() {
+        let fs = ParallelFs::deep_er();
+        fs.write("/f", b"0123456789");
+        let (d, _) = fs.read_at("/f", 2, 3).unwrap();
+        assert_eq!(d, b"234");
+        assert!(matches!(fs.read_at("/f", 8, 5), Err(FsError::OutOfBounds { .. })));
+        fs.write_at("/f", 8, b"XYZ"); // grows the file
+        let (all, _) = fs.read("/f").unwrap();
+        assert_eq!(all, b"01234567XYZ");
+    }
+
+    #[test]
+    fn striping_parallelizes_large_transfers() {
+        // Doubling the server count nearly halves the transfer time of a
+        // multi-stripe file (large enough that the 5 ms disk latency is
+        // negligible against the streaming term).
+        let big = 1024 * 1024 * 1024u64;
+        let t2 = ParallelFs::new(PfsConfig { storage_servers: 2, ..Default::default() })
+            .transfer_time(big);
+        let t4 = ParallelFs::new(PfsConfig { storage_servers: 4, ..Default::default() })
+            .transfer_time(big);
+        let ratio = t2.as_secs() / t4.as_secs();
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_files_are_latency_bound() {
+        let fs = ParallelFs::deep_er();
+        let t = fs.transfer_time(10);
+        let floor = fs.config().metadata_latency + fs.config().server_latency;
+        assert!(t >= floor);
+        assert!(t < floor * 1.01);
+    }
+
+    #[test]
+    fn append_and_list() {
+        let fs = ParallelFs::deep_er();
+        fs.append("/log", b"a");
+        fs.append("/log", b"b");
+        let (d, _) = fs.read("/log").unwrap();
+        assert_eq!(d, b"ab");
+        fs.write("/b", b"");
+        assert_eq!(fs.list(), vec!["/b".to_string(), "/log".to_string()]);
+        assert!(fs.exists("/log"));
+        fs.delete("/log").unwrap();
+        assert!(!fs.exists("/log"));
+    }
+
+    #[test]
+    fn stat_returns_size() {
+        let fs = ParallelFs::deep_er();
+        fs.write("/f", &[0u8; 1234]);
+        let (size, t) = fs.stat("/f").unwrap();
+        assert_eq!(size, 1234);
+        assert_eq!(t, fs.config().metadata_latency);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_paths() {
+        let fs = ParallelFs::deep_er();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    fs.write(format!("/rank{i}"), &[i as u8; 64]);
+                });
+            }
+        });
+        assert_eq!(fs.list().len(), 8);
+        for i in 0..8 {
+            let (d, _) = fs.read(&format!("/rank{i}")).unwrap();
+            assert_eq!(d, vec![i as u8; 64]);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Moment gathering: deposit charge and current onto the grid
+//! (ParticleMoments of Listing 1).
+//!
+//! Each particle scatters `q` and `q·v` to the four surrounding cell
+//! centers with the same bilinear weights the mover gathers with —
+//! the standard consistency requirement (no self-force). Particles near
+//! the slab edge deposit into the ghost rows; the solver driver adds each
+//! ghost row into the neighbouring rank's border row afterwards
+//! (deposit-then-migrate, so the halo-add and the particle migration are
+//! separate, overlappable steps).
+
+use crate::grid::{Grid, Moments};
+use crate::particles::Species;
+
+/// Deposit one species' moments. Ghost rows accumulate boundary spillover
+/// to be halo-added by the caller.
+pub fn deposit(grid: &Grid, species: &Species, moments: &mut Moments) {
+    let q = species.q_per_particle;
+    for p in 0..species.len() {
+        let lx = species.x[p];
+        let ly = grid.to_local_y(species.y[p]);
+        let gx = lx - 0.5;
+        let gy = ly - 0.5;
+        let i0 = gx.floor() as isize;
+        let j0 = gy.floor() as isize;
+        let fx = gx - i0 as f64;
+        let fy = gy - j0 as f64;
+        debug_assert!(
+            j0 >= -1 && j0 < grid.ny_local as isize,
+            "deposit outside slab+ghost: j0={j0}"
+        );
+        let w = [
+            ((i0, j0), (1.0 - fx) * (1.0 - fy)),
+            ((i0 + 1, j0), fx * (1.0 - fy)),
+            ((i0, j0 + 1), (1.0 - fx) * fy),
+            ((i0 + 1, j0 + 1), fx * fy),
+        ];
+        let (vx, vy, vz) = (species.vx[p], species.vy[p], species.vz[p]);
+        for ((i, j), wt) in w {
+            let k = grid.idx(i, j);
+            let qw = q * wt;
+            moments.rho[k] += qw;
+            moments.jx[k] += qw * vx;
+            moments.jy[k] += qw * vy;
+            moments.jz[k] += qw * vz;
+        }
+    }
+}
+
+/// Fold the ghost rows of `moments` into the adjacent owned rows *locally*
+/// (single-rank periodic case: top ghost wraps to the last owned row,
+/// bottom ghost to the first).
+pub fn fold_ghosts_periodic(grid: &Grid, moments: &mut Moments) {
+    let nx = grid.nx;
+    let last = grid.ny_local as isize - 1;
+    for comp in moments.components_mut() {
+        for i in 0..nx as isize {
+            let top_ghost = grid.idx(i, -1);
+            let bottom_ghost = grid.idx(i, grid.ny_local as isize);
+            let first_row = grid.idx(i, 0);
+            let last_row = grid.idx(i, last);
+            comp[last_row] += comp[top_ghost];
+            comp[first_row] += comp[bottom_ghost];
+            comp[top_ghost] = 0.0;
+            comp[bottom_ghost] = 0.0;
+        }
+    }
+}
+
+/// Extract a ghost row of all four components (for sending to a
+/// neighbour): `top` = the row above the slab (local j = −1).
+pub fn extract_ghost_row(grid: &Grid, moments: &Moments, top: bool) -> Vec<f64> {
+    let j = if top { -1 } else { grid.ny_local as isize };
+    let mut out = Vec::with_capacity(4 * grid.nx);
+    for comp in moments.components() {
+        let start = grid.idx(0, j);
+        out.extend_from_slice(&comp[start..start + grid.nx]);
+    }
+    out
+}
+
+/// Add a received neighbour ghost-row contribution into an owned border
+/// row: `top` = add into the first owned row (contribution from the upper
+/// neighbour's bottom ghost).
+pub fn add_into_border_row(grid: &Grid, moments: &mut Moments, data: &[f64], top: bool) {
+    assert_eq!(data.len(), 4 * grid.nx);
+    let j = if top { 0 } else { grid.ny_local as isize - 1 };
+    for (c, comp) in moments.components_mut().into_iter().enumerate() {
+        let start = grid.idx(0, j);
+        for i in 0..grid.nx {
+            comp[start + i] += data[c * grid.nx + i];
+        }
+    }
+}
+
+/// Zero the ghost rows after their contents have been shipped.
+pub fn clear_ghosts(grid: &Grid, moments: &mut Moments) {
+    for comp in moments.components_mut() {
+        for i in 0..grid.nx as isize {
+            let t = grid.idx(i, -1);
+            let b = grid.idx(i, grid.ny_local as isize);
+            comp[t] = 0.0;
+            comp[b] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particles::Species;
+
+    fn electron_at(x: f64, y: f64, v: (f64, f64, f64)) -> Species {
+        let mut s = Species { qom: -1.0, q_per_particle: -1.0, ..Species::default() };
+        s.push_particle(x, y, v.0, v.1, v.2);
+        s
+    }
+
+    #[test]
+    fn deposit_conserves_charge() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = Species::maxwellian(&g, 4, 0.1, -1.0, 9);
+        let mut m = Moments::zeros(&g);
+        deposit(&g, &s, &mut m);
+        fold_ghosts_periodic(&g, &mut m);
+        let total: f64 = m.total_charge(&g);
+        assert!(
+            (total - s.total_charge()).abs() < 1e-9,
+            "deposited {total} vs carried {}",
+            s.total_charge()
+        );
+    }
+
+    #[test]
+    fn particle_at_center_deposits_to_one_cell() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = electron_at(3.5, 2.5, (1.0, 2.0, 3.0));
+        let mut m = Moments::zeros(&g);
+        deposit(&g, &s, &mut m);
+        let k = g.idx(3, 2);
+        assert!((m.rho[k] + 1.0).abs() < 1e-12);
+        assert!((m.jx[k] + 1.0).abs() < 1e-12);
+        assert!((m.jy[k] + 2.0).abs() < 1e-12);
+        assert!((m.jz[k] + 3.0).abs() < 1e-12);
+        // Nothing anywhere else.
+        let sum: f64 = m.rho.iter().sum();
+        assert!((sum + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_particle_splits_evenly() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = electron_at(3.0, 3.0, (0.0, 0.0, 0.0)); // corner of 4 centers
+        let mut m = Moments::zeros(&g);
+        deposit(&g, &s, &mut m);
+        for (i, j) in [(2, 2), (3, 2), (2, 3), (3, 3)] {
+            assert!((m.rho[g.idx(i, j)] + 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ghost_row_transfer_matches_periodic_fold() {
+        // Two slabs exchanging ghost rows must reproduce the single-slab
+        // periodic fold (decomposition invariance of the deposit).
+        let nx = 4;
+        let ny = 8;
+        let ppc = 3;
+        let whole_g = Grid::slab(nx, ny, 0, 1);
+        let whole_s = Species::maxwellian(&whole_g, ppc, 0.4, -1.0, 21);
+        let mut whole_m = Moments::zeros(&whole_g);
+        deposit(&whole_g, &whole_s, &mut whole_m);
+        fold_ghosts_periodic(&whole_g, &mut whole_m);
+
+        let g0 = Grid::slab(nx, ny, 0, 2);
+        let g1 = Grid::slab(nx, ny, 1, 2);
+        let s0 = Species::maxwellian(&g0, ppc, 0.4, -1.0, 21);
+        let s1 = Species::maxwellian(&g1, ppc, 0.4, -1.0, 21);
+        let mut m0 = Moments::zeros(&g0);
+        let mut m1 = Moments::zeros(&g1);
+        deposit(&g0, &s0, &mut m0);
+        deposit(&g1, &s1, &mut m1);
+        // Exchange: slab0's bottom ghost is slab1's first row, etc.
+        // (periodic: slab0's top ghost belongs to slab1's last row).
+        let g0_top = extract_ghost_row(&g0, &m0, true);
+        let g0_bot = extract_ghost_row(&g0, &m0, false);
+        let g1_top = extract_ghost_row(&g1, &m1, true);
+        let g1_bot = extract_ghost_row(&g1, &m1, false);
+        add_into_border_row(&g1, &mut m1, &g0_bot, true); // slab0 spill ↓ into slab1 row 0
+        add_into_border_row(&g1, &mut m1, &g0_top, false); // wrap: spill ↑ into slab1 last row
+        add_into_border_row(&g0, &mut m0, &g1_bot, true); // wrap: slab1 spill ↓ into slab0 row 0
+        add_into_border_row(&g0, &mut m0, &g1_top, false); // slab1 spill ↑ into slab0 last row
+        clear_ghosts(&g0, &mut m0);
+        clear_ghosts(&g1, &mut m1);
+
+        for j in 0..g0.ny_local as isize {
+            for i in 0..nx as isize {
+                let a = m0.rho[g0.idx(i, j)];
+                let b = whole_m.rho[whole_g.idx(i, j)];
+                assert!((a - b).abs() < 1e-12, "slab0 ({i},{j}): {a} vs {b}");
+            }
+        }
+        for j in 0..g1.ny_local as isize {
+            for i in 0..nx as isize {
+                let a = m1.rho[g1.idx(i, j)];
+                let b = whole_m.rho[whole_g.idx(i, (g1.y0 as isize) + j - whole_g.y0 as isize)];
+                assert!((a - b).abs() < 1e-12, "slab1 ({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_deposit_are_adjoint_for_constant_field() {
+        // Depositing then summing rho×field == q × gathered field when the
+        // field is constant (weight partition of unity).
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = electron_at(2.7, 5.3, (0.0, 0.0, 0.0));
+        let mut m = Moments::zeros(&g);
+        deposit(&g, &s, &mut m);
+        let total: f64 = m.rho.iter().sum();
+        assert!((total + 1.0).abs() < 1e-12, "weights sum to 1");
+    }
+}

@@ -1,0 +1,190 @@
+//! The particle mover: bilinear field gather + Boris push
+//! (ParticlesMove of Listing 1).
+//!
+//! Fields are gathered at each particle with bilinear (cloud-in-cell)
+//! weights from the four surrounding cell centers, then velocities are
+//! advanced with the Boris rotation (exact energy conservation in a pure
+//! magnetic field) and positions with the new velocity. Positions wrap
+//! periodically in x; in y they may leave the slab — migration to the
+//! neighbour rank is the solver driver's job.
+
+use crate::grid::{Fields, Grid};
+use crate::particles::Species;
+
+/// Bilinear interpolation of one field array at (x, y) in local cell
+/// coordinates (y relative to the slab, may reach into the ghost rows).
+#[inline]
+pub fn gather(grid: &Grid, field: &[f64], x: f64, y: f64) -> f64 {
+    // Cell centers sit at integer+0.5; shift so floor() finds the lower
+    // left center.
+    let gx = x - 0.5;
+    let gy = y - 0.5;
+    let i0 = gx.floor() as isize;
+    let j0 = gy.floor() as isize;
+    let fx = gx - i0 as f64;
+    let fy = gy - j0 as f64;
+    let w00 = (1.0 - fx) * (1.0 - fy);
+    let w10 = fx * (1.0 - fy);
+    let w01 = (1.0 - fx) * fy;
+    let w11 = fx * fy;
+    w00 * field[grid.idx(i0, j0)]
+        + w10 * field[grid.idx(i0 + 1, j0)]
+        + w01 * field[grid.idx(i0, j0 + 1)]
+        + w11 * field[grid.idx(i0 + 1, j0 + 1)]
+}
+
+/// Advance all particles of `species` by `dt` under `fields` (slab-local,
+/// ghosts valid). Positions are stored global-periodic in x, *unbounded*
+/// in y relative to the global domain — callers migrate/wrap afterwards.
+pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) {
+    let qom_half_dt = 0.5 * species.qom * dt;
+    for p in 0..species.len() {
+        let lx = species.x[p];
+        let ly = grid.to_local_y(species.y[p]);
+        debug_assert!(
+            (-1.0..=(grid.ny_local as f64 + 1.0)).contains(&ly),
+            "particle outside slab+ghost region: ly={ly}"
+        );
+        let ex = gather(grid, &fields.ex, lx, ly);
+        let ey = gather(grid, &fields.ey, lx, ly);
+        let ez = gather(grid, &fields.ez, lx, ly);
+        let bx = gather(grid, &fields.bx, lx, ly);
+        let by = gather(grid, &fields.by, lx, ly);
+        let bz = gather(grid, &fields.bz, lx, ly);
+
+        // Half electric acceleration.
+        let mut vx = species.vx[p] + qom_half_dt * ex;
+        let mut vy = species.vy[p] + qom_half_dt * ey;
+        let mut vz = species.vz[p] + qom_half_dt * ez;
+        // Boris rotation.
+        let tx = qom_half_dt * bx;
+        let ty = qom_half_dt * by;
+        let tz = qom_half_dt * bz;
+        let t2 = tx * tx + ty * ty + tz * tz;
+        let sx = 2.0 * tx / (1.0 + t2);
+        let sy = 2.0 * ty / (1.0 + t2);
+        let sz = 2.0 * tz / (1.0 + t2);
+        let px = vx + (vy * tz - vz * ty);
+        let py = vy + (vz * tx - vx * tz);
+        let pz = vz + (vx * ty - vy * tx);
+        vx += py * sz - pz * sy;
+        vy += pz * sx - px * sz;
+        vz += px * sy - py * sx;
+        // Second half electric acceleration.
+        vx += qom_half_dt * ex;
+        vy += qom_half_dt * ey;
+        vz += qom_half_dt * ez;
+
+        species.vx[p] = vx;
+        species.vy[p] = vy;
+        species.vz[p] = vz;
+        // Position update; x wraps periodically, y handled by migration.
+        let nx = grid.nx as f64;
+        species.x[p] = (species.x[p] + vx * dt).rem_euclid(nx);
+        species.y[p] += vy * dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    fn uniform_fields(grid: &Grid, f: impl Fn(&mut Fields, usize)) -> Fields {
+        let mut fields = Fields::zeros(grid);
+        for k in 0..grid.len() {
+            f(&mut fields, k);
+        }
+        fields
+    }
+
+    fn one_particle(grid: &Grid, x: f64, y: f64, v: (f64, f64, f64)) -> Species {
+        let mut s = Species { qom: -1.0, q_per_particle: -1.0, ..Species::default() };
+        let _ = grid;
+        s.push_particle(x, y, v.0, v.1, v.2);
+        s
+    }
+
+    #[test]
+    fn gather_constant_field_is_exact() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let mut f = vec![3.5; g.len()];
+        for x in [0.1, 3.7, 7.99] {
+            for y in [0.01, 4.5, 7.9] {
+                assert!((gather(&g, &f, x, y) - 3.5).abs() < 1e-12);
+            }
+        }
+        // Linear-in-x field is reproduced exactly at centers.
+        for j in -1..=(g.ny_local as isize) {
+            for i in 0..8 {
+                f[g.idx(i, j)] = i as f64;
+            }
+        }
+        let v = gather(&g, &f, 2.5, 3.5); // exactly at a center column
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_fields_means_ballistic_motion() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let f = Fields::zeros(&g);
+        let mut s = one_particle(&g, 1.0, 1.0, (0.5, 0.25, 0.0));
+        boris_push(&g, &f, &mut s, 1.0);
+        assert!((s.x[0] - 1.5).abs() < 1e-12);
+        assert!((s.y[0] - 1.25).abs() < 1e-12);
+        assert_eq!(s.vx[0], 0.5);
+    }
+
+    #[test]
+    fn x_wraps_periodically() {
+        let g = Grid::slab(8, 8, 0, 1);
+        let f = Fields::zeros(&g);
+        let mut s = one_particle(&g, 7.9, 1.0, (0.5, 0.0, 0.0));
+        boris_push(&g, &f, &mut s, 1.0);
+        assert!((s.x[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boris_conserves_speed_in_pure_b() {
+        // In a uniform Bz with no E, |v| is exactly conserved by Boris.
+        let g = Grid::slab(8, 8, 0, 1);
+        let f = uniform_fields(&g, |f, k| f.bz[k] = 2.0);
+        let mut s = one_particle(&g, 4.0, 4.0, (0.3, 0.1, 0.05));
+        let v0 = (0.3f64 * 0.3 + 0.1 * 0.1 + 0.05 * 0.05).sqrt();
+        for _ in 0..100 {
+            boris_push(&g, &f, &mut s, 0.05);
+            // keep the test particle inside the slab
+            s.y[0] = s.y[0].rem_euclid(8.0);
+        }
+        let v = (s.vx[0] * s.vx[0] + s.vy[0] * s.vy[0] + s.vz[0] * s.vz[0]).sqrt();
+        assert!((v - v0).abs() < 1e-12, "Boris must conserve |v|: {v0} vs {v}");
+    }
+
+    #[test]
+    fn e_field_accelerates_against_charge() {
+        // Electron (qom = −1) in uniform Ex gains −Ex dt of vx.
+        let g = Grid::slab(8, 8, 0, 1);
+        let f = uniform_fields(&g, |f, k| f.ex[k] = 0.2);
+        let mut s = one_particle(&g, 4.0, 4.0, (0.0, 0.0, 0.0));
+        boris_push(&g, &f, &mut s, 0.1);
+        assert!((s.vx[0] + 0.2 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gyration_radius_is_correct() {
+        // ω = |qom| B; after a full period the particle returns (approx).
+        let g = Grid::slab(16, 16, 0, 1);
+        let b = 1.0;
+        let f = uniform_fields(&g, |f, k| f.bz[k] = b);
+        let mut s = one_particle(&g, 8.0, 8.0, (0.1, 0.0, 0.0));
+        let period = 2.0 * std::f64::consts::PI / b;
+        let steps = 1000;
+        let dt = period / steps as f64;
+        let (x0, y0) = (s.x[0], s.y[0]);
+        for _ in 0..steps {
+            boris_push(&g, &f, &mut s, dt);
+        }
+        assert!((s.x[0] - x0).abs() < 1e-3, "returned in x: {}", s.x[0] - x0);
+        assert!((s.y[0] - y0).abs() < 1e-3, "returned in y: {}", s.y[0] - y0);
+    }
+}

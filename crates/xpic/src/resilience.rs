@@ -1,0 +1,237 @@
+//! Checkpoint/restart integration for xPic — the paper's resiliency stack
+//! (§III-C/D) applied to its co-design application.
+//!
+//! Each rank's slab state (particles of every species + fields) serializes
+//! into one blob; the SCR manager stores the blobs at the configured level
+//! every `checkpoint_every` steps. A run interrupted by a (simulated) node
+//! failure restarts from the newest recoverable checkpoint and must end in
+//! exactly the state of an uninterrupted run — which the tests verify.
+
+use crate::config::XpicConfig;
+use crate::diagnostics::{field_energy, kinetic_energy};
+use crate::fields::FieldSolver;
+use crate::grid::{Fields, Grid, Moments};
+use crate::moments::deposit;
+use crate::mover::boris_push;
+use crate::particles::Species;
+use crate::solver::{halo_add_moments, migrate_particles, MpiFieldComm};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cluster_booster::{JobSpec, Launcher, ModuleKind};
+use hwmodel::SimTime;
+use parking_lot::Mutex;
+use psmpi::{MpiDatatype, Rank, ReduceOp};
+use scr::{CheckpointLevel, ScrManager};
+use std::sync::Arc;
+
+fn put_f64s(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u64_le(v.len() as u64);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+}
+
+fn get_f64s(buf: &mut Bytes) -> Vec<f64> {
+    let n = buf.get_u64_le() as usize;
+    (0..n).map(|_| buf.get_f64_le()).collect()
+}
+
+/// Serialize one rank's simulation state (all species + fields) to bytes.
+pub fn pack_state(species: &[Species], fields: &Fields) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(species.len() as u64);
+    for s in species {
+        buf.put_f64_le(s.qom);
+        buf.put_f64_le(s.q_per_particle);
+        put_f64s(&mut buf, &s.x);
+        put_f64s(&mut buf, &s.y);
+        put_f64s(&mut buf, &s.vx);
+        put_f64s(&mut buf, &s.vy);
+        put_f64s(&mut buf, &s.vz);
+    }
+    for comp in fields.components() {
+        put_f64s(&mut buf, comp);
+    }
+    buf.to_vec()
+}
+
+/// Inverse of [`pack_state`].
+pub fn unpack_state(data: &[u8], grid: &Grid) -> (Vec<Species>, Fields) {
+    let mut buf = Bytes::copy_from_slice(data);
+    let nspec = buf.get_u64_le() as usize;
+    let mut species = Vec::with_capacity(nspec);
+    for _ in 0..nspec {
+        let qom = buf.get_f64_le();
+        let q_per_particle = buf.get_f64_le();
+        let x = get_f64s(&mut buf);
+        let y = get_f64s(&mut buf);
+        let vx = get_f64s(&mut buf);
+        let vy = get_f64s(&mut buf);
+        let vz = get_f64s(&mut buf);
+        species.push(Species { qom, q_per_particle, x, y, vx, vy, vz });
+    }
+    let mut fields = Fields::zeros(grid);
+    for comp in fields.components_mut() {
+        *comp = get_f64s(&mut buf);
+    }
+    (species, fields)
+}
+
+/// Outcome of a checkpointed (possibly interrupted) run.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// Steps actually completed in this launch.
+    pub steps_done: u32,
+    /// Whether the run hit the injected failure and aborted.
+    pub interrupted: bool,
+    /// Final global field energy (valid when not interrupted).
+    pub field_energy: f64,
+    /// Final global kinetic energy.
+    pub kinetic_energy: f64,
+    /// Virtual makespan of the launch.
+    pub makespan: SimTime,
+}
+
+/// Run xPic on the Cluster with SCR checkpoints every `checkpoint_every`
+/// steps at `level`. If `fail_at_step` is set, the job aborts right after
+/// that step completes (before its checkpoint), simulating a crash; call
+/// again with `resume = true` to restart from SCR and finish.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed(
+    launcher: &Launcher,
+    nodes: usize,
+    config: &XpicConfig,
+    scr: &ScrManager,
+    level: CheckpointLevel,
+    checkpoint_every: u32,
+    fail_at_step: Option<u32>,
+    resume: bool,
+) -> ResilientOutcome {
+    assert!(checkpoint_every >= 1);
+    assert_eq!(scr.ranks(), nodes, "one SCR slot per rank");
+    let config = Arc::new(config.clone());
+    let scr = scr.clone();
+    let out = Arc::new(Mutex::new(ResilientOutcome {
+        steps_done: 0,
+        interrupted: false,
+        field_energy: 0.0,
+        kinetic_energy: 0.0,
+        makespan: SimTime::ZERO,
+    }));
+
+    let config_in = config.clone();
+    let out_in = out.clone();
+    let report = launcher
+        .launch(
+            &JobSpec::cluster_only("xpic-ckpt", nodes).boot_on(ModuleKind::Cluster),
+            move |rank, _| {
+                let world = rank.world();
+                let n = world.size();
+                let me = rank.rank();
+                let grid = Grid::slab(config_in.nx, config_in.ny, me, n);
+                let solver = FieldSolver::new(grid, &config_in);
+
+                // Fresh start or SCR restart.
+                let (mut species, mut fields, start_step) = if resume {
+                    let (id, _level, blobs, cost) = scr.restart().expect("restartable state");
+                    rank.advance(cost);
+                    let (sp, f) = unpack_state(&blobs[me], &grid);
+                    (sp, f, id as u32)
+                } else {
+                    let specs = config_in.species_specs();
+                    let sp: Vec<Species> = specs
+                        .iter()
+                        .enumerate()
+                        .map(|(is, s)| {
+                            Species::maxwellian_charged(
+                                &grid,
+                                s.ppc,
+                                s.vth,
+                                s.qom,
+                                s.charge_per_cell,
+                                config_in.seed ^ ((is as u64 + 1) << 56),
+                            )
+                        })
+                        .collect();
+                    (sp, Fields::zeros(&grid), 0)
+                };
+
+                let mut moments = Moments::zeros(&grid);
+                for s in &species {
+                    deposit(&grid, s, &mut moments);
+                }
+                halo_add_moments(rank, &world, &grid, &mut moments, &config_in);
+
+                let mut step = start_step;
+                while step < config_in.steps {
+                    {
+                        let mut fc = MpiFieldComm::new(rank, world.clone(), &config_in);
+                        solver.calculate_e(&mut fields, &moments, &mut fc);
+                    }
+                    for s in species.iter_mut() {
+                        boris_push(&grid, &fields, s, config_in.dt);
+                    }
+                    moments.clear();
+                    for s in &species {
+                        deposit(&grid, s, &mut moments);
+                    }
+                    halo_add_moments(rank, &world, &grid, &mut moments, &config_in);
+                    for s in species.iter_mut() {
+                        migrate_particles(rank, &world, &grid, s, &config_in);
+                    }
+                    {
+                        let mut fc = MpiFieldComm::new(rank, world.clone(), &config_in);
+                        solver.calculate_b(&mut fields, &mut fc);
+                    }
+                    step += 1;
+
+                    // Injected crash: abort before checkpointing this step.
+                    if fail_at_step == Some(step) {
+                        if me == 0 {
+                            let mut o = out_in.lock();
+                            o.steps_done = step;
+                            o.interrupted = true;
+                        }
+                        return;
+                    }
+
+                    // SCR checkpoint (collective; rank 0 registers).
+                    if step % checkpoint_every == 0 || step == config_in.steps {
+                        let blob = pack_state(&species, &fields);
+                        let gathered = rank.gather(&world, 0, &blob).expect("gather state");
+                        if let Some(blobs) = gathered {
+                            let cost = scr
+                                .checkpoint(step as u64, level, &blobs)
+                                .expect("checkpoint");
+                            rank.advance(cost);
+                        }
+                        rank.barrier(&world).expect("post-checkpoint barrier");
+                    }
+                }
+
+                // Final diagnostics.
+                let fe = field_energy(&grid, &fields);
+                let ke: f64 = species.iter().map(kinetic_energy).sum();
+                let sums = rank
+                    .allreduce(&world, &[fe, ke], ReduceOp::Sum)
+                    .expect("final reduction");
+                if me == 0 {
+                    let mut o = out_in.lock();
+                    o.steps_done = config_in.steps;
+                    o.interrupted = false;
+                    o.field_energy = sums[0];
+                    o.kinetic_energy = sums[1];
+                }
+            },
+        )
+        .expect("launch checkpointed run");
+
+    let mut o = out.lock().clone();
+    o.makespan = report.makespan();
+    o
+}
+
+// `gather` needs Vec<u8>: MpiDatatype is implemented for it in psmpi.
+const _: fn() = || {
+    fn assert_dt<T: MpiDatatype>() {}
+    assert_dt::<Vec<u8>>();
+};

@@ -1,0 +1,195 @@
+//! Distributed solver building blocks: the psmpi-backed field
+//! communication, the moment halo-add, and particle migration.
+//!
+//! All exchanges run at model-scale wire sizes (see [`crate::config`]):
+//! the payloads carry the real reduced-scale data while virtual time is
+//! charged for the Table II workload.
+
+use crate::config::XpicConfig;
+use crate::fields::FieldComm;
+use crate::grid::{Grid, Moments};
+use crate::moments::{add_into_border_row, clear_ghosts, extract_ghost_row};
+use crate::particles::Species;
+use psmpi::{Communicator, Rank, ReduceOp};
+
+/// Reserved message tags of the xPic exchanges.
+pub mod tags {
+    /// Field halo row travelling towards the previous rank.
+    pub const HALO_UP: i32 = 100;
+    /// Field halo row travelling towards the next rank.
+    pub const HALO_DOWN: i32 = 101;
+    /// Migrating particles travelling to the previous rank.
+    pub const MIG_UP: i32 = 102;
+    /// Migrating particles travelling to the next rank.
+    pub const MIG_DOWN: i32 = 103;
+    /// Moment ghost row to the previous rank.
+    pub const MOM_UP: i32 = 104;
+    /// Moment ghost row to the next rank.
+    pub const MOM_DOWN: i32 = 105;
+    /// E,B interface buffer, Cluster → Booster.
+    pub const EB: i32 = 110;
+    /// ρ,J interface buffer, Booster → Cluster.
+    pub const RHOJ: i32 = 111;
+}
+
+/// psmpi-backed [`FieldComm`] for a slab-decomposed solver world.
+///
+/// Counts its global reductions so the caller can pad communication up to
+/// the model-scale CG iteration count.
+pub struct MpiFieldComm<'a> {
+    /// The calling rank.
+    pub rank: &'a mut Rank,
+    /// The solver world.
+    pub comm: Communicator,
+    /// Wire size of one halo-row message.
+    pub wire_halo: usize,
+    /// Reductions performed so far.
+    pub allreduces: u32,
+}
+
+impl<'a> MpiFieldComm<'a> {
+    /// Wrap a rank for solver communication.
+    pub fn new(rank: &'a mut Rank, comm: Communicator, config: &XpicConfig) -> Self {
+        MpiFieldComm { rank, comm, wire_halo: config.wire_halo(), allreduces: 0 }
+    }
+}
+
+/// The caller's slab index within a solver communicator. All solver worlds
+/// built by this crate place world rank `i` on slab `i`, so the world rank
+/// is the slab index.
+pub fn rank_in_comm(rank: &Rank, comm: &Communicator) -> usize {
+    debug_assert!(rank.rank() < comm.size(), "rank outside solver world");
+    rank.rank()
+}
+
+impl FieldComm for MpiFieldComm<'_> {
+    fn halo_exchange(&mut self, grid: &Grid, arr: &mut [f64]) {
+        let n = self.comm.size();
+        if n == 1 {
+            crate::fields::SerialComm.halo_exchange(grid, arr);
+            return;
+        }
+        let me = rank_in_comm(self.rank, &self.comm);
+        let prev = (me + n - 1) % n;
+        let next = (me + 1) % n;
+        let nx = grid.nx;
+        let first: Vec<f64> = arr[grid.idx(0, 0)..grid.idx(0, 0) + nx].to_vec();
+        let last_j = grid.ny_local as isize - 1;
+        let last: Vec<f64> = arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx].to_vec();
+        self.rank
+            .send_comm_sized(&self.comm, prev, tags::HALO_UP, &first, self.wire_halo)
+            .expect("halo send up");
+        self.rank
+            .send_comm_sized(&self.comm, next, tags::HALO_DOWN, &last, self.wire_halo)
+            .expect("halo send down");
+        // Our bottom ghost row is the next slab's first row.
+        let (from_next, _) = self
+            .rank
+            .recv_comm::<Vec<f64>>(&self.comm, Some(next), Some(tags::HALO_UP))
+            .expect("halo recv from next");
+        // Our top ghost row is the previous slab's last row.
+        let (from_prev, _) = self
+            .rank
+            .recv_comm::<Vec<f64>>(&self.comm, Some(prev), Some(tags::HALO_DOWN))
+            .expect("halo recv from prev");
+        arr[grid.idx(0, -1)..grid.idx(0, -1) + nx].copy_from_slice(&from_prev);
+        let bot = grid.idx(0, grid.ny_local as isize);
+        arr[bot..bot + nx].copy_from_slice(&from_next);
+    }
+
+    fn allreduce_sum(&mut self, v: f64) -> f64 {
+        self.allreduces += 1;
+        self.rank
+            .allreduce_scalar(&self.comm, v, ReduceOp::Sum)
+            .expect("allreduce")
+    }
+}
+
+/// Exchange deposited ghost rows with the neighbours and add them into the
+/// border rows (the distributed version of
+/// [`crate::moments::fold_ghosts_periodic`]).
+pub fn halo_add_moments(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    moments: &mut Moments,
+    config: &XpicConfig,
+) {
+    let n = comm.size();
+    if n == 1 {
+        crate::moments::fold_ghosts_periodic(grid, moments);
+        return;
+    }
+    let me = rank_in_comm(rank, comm);
+    let prev = (me + n - 1) % n;
+    let next = (me + 1) % n;
+    let wire = config.wire_halo();
+    let top = extract_ghost_row(grid, moments, true);
+    let bottom = extract_ghost_row(grid, moments, false);
+    rank.send_comm_sized(comm, prev, tags::MOM_UP, &top, wire).expect("mom send up");
+    rank.send_comm_sized(comm, next, tags::MOM_DOWN, &bottom, wire).expect("mom send down");
+    let (from_next, _) = rank
+        .recv_comm::<Vec<f64>>(comm, Some(next), Some(tags::MOM_UP))
+        .expect("mom recv next");
+    let (from_prev, _) = rank
+        .recv_comm::<Vec<f64>>(comm, Some(prev), Some(tags::MOM_DOWN))
+        .expect("mom recv prev");
+    // The next slab's top ghost is spill below our last row; the previous
+    // slab's bottom ghost is spill above our first row.
+    add_into_border_row(grid, moments, &from_next, false);
+    add_into_border_row(grid, moments, &from_prev, true);
+    clear_ghosts(grid, moments);
+}
+
+/// Wrap particle y periodically and migrate leavers to the neighbour
+/// slabs. With the configured time steps particles cross at most one slab
+/// boundary per step. Returns the number of particles sent away.
+pub fn migrate_particles(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    species: &mut Species,
+    config: &XpicConfig,
+) -> usize {
+    let ny = grid.ny as f64;
+    let n = comm.size();
+    if n == 1 {
+        for y in species.y.iter_mut() {
+            *y = y.rem_euclid(ny);
+        }
+        return 0;
+    }
+    let me = rank_in_comm(rank, comm);
+    let prev = (me + n - 1) % n;
+    let next = (me + 1) % n;
+    let mut up: Vec<f64> = Vec::new();
+    let mut down: Vec<f64> = Vec::new();
+    let prev_grid = Grid::slab(grid.nx, grid.ny, prev, n);
+    let mut i = 0;
+    while i < species.len() {
+        let y = species.y[i].rem_euclid(ny);
+        if grid.owns_row(y.floor() as isize) {
+            species.y[i] = y;
+            i += 1;
+            continue;
+        }
+        let (x, _, vx, vy, vz) = species.take(i);
+        let dest = if prev_grid.owns_row(y.floor() as isize) { &mut up } else { &mut down };
+        dest.extend_from_slice(&[x, y, vx, vy, vz]);
+    }
+    let sent = (up.len() + down.len()) / 5;
+    let wire = config.wire_migration();
+    rank.send_comm_sized(comm, prev, tags::MIG_UP, &up, wire).expect("mig send up");
+    rank.send_comm_sized(comm, next, tags::MIG_DOWN, &down, wire).expect("mig send down");
+    let (from_next, _) = rank
+        .recv_comm::<Vec<f64>>(comm, Some(next), Some(tags::MIG_UP))
+        .expect("mig recv next");
+    let (from_prev, _) = rank
+        .recv_comm::<Vec<f64>>(comm, Some(prev), Some(tags::MIG_DOWN))
+        .expect("mig recv prev");
+    for chunk in from_next.chunks_exact(5).chain(from_prev.chunks_exact(5)) {
+        debug_assert!(grid.owns_row(chunk[1].floor() as isize), "migrated to wrong rank");
+        species.push_particle(chunk[0], chunk[1], chunk[2], chunk[3], chunk[4]);
+    }
+    sent
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the PIC kernels: conservation and consistency
+//! invariants that must hold for any particle population and field state.
+
+use proptest::prelude::*;
+use xpic::grid::{Fields, Grid, Moments};
+use xpic::moments::{deposit, fold_ghosts_periodic};
+use xpic::mover::{boris_push, gather};
+use xpic::particles::Species;
+
+fn arb_grid() -> impl Strategy<Value = Grid> {
+    (2usize..12, 2usize..12).prop_map(|(nx, ny)| Grid::slab(nx, ny, 0, 1))
+}
+
+fn arb_species(grid: Grid, n: usize) -> impl Strategy<Value = Species> {
+    let nx = grid.nx as f64;
+    let ny = grid.ny_local as f64;
+    prop::collection::vec(
+        (0.0..nx, 0.0..ny, -0.4f64..0.4, -0.4f64..0.4, -0.4f64..0.4),
+        1..n,
+    )
+    .prop_map(move |ps| {
+        let mut s = Species { qom: -1.0, q_per_particle: -0.5, ..Species::default() };
+        for (x, y, vx, vy, vz) in ps {
+            s.push_particle(x.min(nx - 1e-9), y.min(ny - 1e-9), vx, vy, vz);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deposit_conserves_charge_for_any_population(
+        (grid, species) in arb_grid().prop_flat_map(|g| arb_species(g, 64).prop_map(move |s| (g, s)))
+    ) {
+        let mut m = Moments::zeros(&grid);
+        deposit(&grid, &species, &mut m);
+        fold_ghosts_periodic(&grid, &mut m);
+        let total = m.total_charge(&grid);
+        prop_assert!(
+            (total - species.total_charge()).abs() < 1e-9 * species.len() as f64,
+            "{} vs {}", total, species.total_charge()
+        );
+    }
+
+    #[test]
+    fn deposit_current_consistent_with_velocity(
+        (grid, species) in arb_grid().prop_flat_map(|g| arb_species(g, 32).prop_map(move |s| (g, s)))
+    ) {
+        // Σ jx over the grid equals Σ q·vx over the particles.
+        let mut m = Moments::zeros(&grid);
+        deposit(&grid, &species, &mut m);
+        fold_ghosts_periodic(&grid, &mut m);
+        let grid_jx: f64 = (0..grid.ny_local as isize)
+            .flat_map(|j| (0..grid.nx as isize).map(move |i| (i, j)))
+            .map(|(i, j)| m.jx[grid.idx(i, j)])
+            .sum();
+        let pcl_jx: f64 = species.vx.iter().map(|v| species.q_per_particle * v).sum();
+        prop_assert!((grid_jx - pcl_jx).abs() < 1e-9 * species.len() as f64);
+    }
+
+    #[test]
+    fn gather_bounded_by_field_extremes(
+        grid in arb_grid(),
+        vals in prop::collection::vec(-10.0f64..10.0, 1..200),
+        x in 0.0f64..8.0,
+        y in 0.0f64..8.0,
+    ) {
+        let mut field = vec![0.0; grid.len()];
+        for (k, v) in field.iter_mut().enumerate() {
+            *v = vals[k % vals.len()];
+        }
+        let x = x % grid.nx as f64;
+        let y = y % grid.ny_local as f64;
+        let g = gather(&grid, &field, x, y);
+        let lo = field.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo - 1e-12 && g <= hi + 1e-12, "{lo} ≤ {g} ≤ {hi}");
+    }
+
+    #[test]
+    fn boris_push_conserves_speed_in_pure_magnetic_field(
+        grid in arb_grid(),
+        bz in -2.0f64..2.0,
+        vx in -0.3f64..0.3,
+        vy in -0.3f64..0.3,
+        dt in 0.001f64..0.1,
+    ) {
+        let mut fields = Fields::zeros(&grid);
+        for v in fields.bz.iter_mut() {
+            *v = bz;
+        }
+        let mut s = Species { qom: -1.0, q_per_particle: -1.0, ..Species::default() };
+        s.push_particle(grid.nx as f64 / 2.0, grid.ny_local as f64 / 2.0, vx, vy, 0.1);
+        let v0 = (vx * vx + vy * vy + 0.01).sqrt();
+        boris_push(&grid, &fields, &mut s, dt);
+        let v1 = (s.vx[0] * s.vx[0] + s.vy[0] * s.vy[0] + s.vz[0] * s.vz[0]).sqrt();
+        prop_assert!((v1 - v0).abs() < 1e-12, "|v| {v0} → {v1}");
+    }
+
+    #[test]
+    fn slab_decomposition_partitions_rows(nx in 1usize..16, ny in 1usize..64, nranks in 1usize..8) {
+        prop_assume!(ny >= nranks);
+        let slabs: Vec<Grid> = (0..nranks).map(|r| Grid::slab(nx, ny, r, nranks)).collect();
+        let total: usize = slabs.iter().map(|g| g.ny_local).sum();
+        prop_assert_eq!(total, ny);
+        // Every global row owned by exactly one slab.
+        for gy in 0..ny as isize {
+            let owners = slabs.iter().filter(|g| g.owns_row(gy)).count();
+            prop_assert_eq!(owners, 1, "row {} owned by {} slabs", gy, owners);
+        }
+        // Balanced to within one row.
+        let min = slabs.iter().map(|g| g.ny_local).min().unwrap();
+        let max = slabs.iter().map(|g| g.ny_local).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn pack_unpack_identity_for_any_fields(
+        grid in arb_grid(),
+        seed in any::<u64>(),
+    ) {
+        let mut f = Fields::zeros(&grid);
+        let mut state = seed | 1;
+        for comp in f.components_mut() {
+            for v in comp.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *v = (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+        }
+        let packed = f.pack_owned(&grid);
+        let mut g = Fields::zeros(&grid);
+        g.unpack_owned(&grid, &packed);
+        prop_assert_eq!(g.pack_owned(&grid), packed);
+    }
+}

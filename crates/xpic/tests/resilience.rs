@@ -1,0 +1,106 @@
+//! End-to-end resiliency: an xPic run interrupted by a node crash and
+//! restarted from SCR must reach exactly the state of an uninterrupted
+//! run — the full §III-C/D stack under the co-design application.
+
+use cluster_booster::{Launcher, SystemBuilder};
+use hwmodel::NodeId;
+use scr::{CheckpointLevel, ScrConfig, ScrManager};
+use sionio::ParallelFs;
+use xpic::resilience::{pack_state, run_checkpointed, unpack_state};
+use xpic::grid::{Fields, Grid};
+use xpic::particles::Species;
+use xpic::XpicConfig;
+
+fn launcher(n: u32) -> Launcher {
+    Launcher::new(SystemBuilder::new("res").cluster_nodes(n).booster_nodes(1).build())
+}
+
+fn scr_for(launcher: &Launcher, nodes: usize) -> ScrManager {
+    let ids: Vec<NodeId> = launcher.system().cluster_nodes()[..nodes].to_vec();
+    let specs = ids
+        .iter()
+        .map(|&n| launcher.system().fabric().node(n).unwrap().clone())
+        .collect();
+    ScrManager::new(ScrConfig::default(), ids, specs, ParallelFs::deep_er())
+}
+
+fn config() -> XpicConfig {
+    XpicConfig { nx: 8, ny: 8, steps: 6, ..XpicConfig::test_small() }
+}
+
+#[test]
+fn state_pack_unpack_roundtrip() {
+    let grid = Grid::slab(8, 8, 0, 1);
+    let species = vec![
+        Species::maxwellian(&grid, 3, 0.1, -1.0, 5),
+        Species::maxwellian_charged(&grid, 2, 0.05, 0.01, 1.0, 6),
+    ];
+    let mut fields = Fields::zeros(&grid);
+    for (i, v) in fields.bz.iter_mut().enumerate() {
+        *v = i as f64 * 0.5;
+    }
+    let blob = pack_state(&species, &fields);
+    let (sp2, f2) = unpack_state(&blob, &grid);
+    assert_eq!(sp2.len(), 2);
+    assert_eq!(sp2[0], species[0]);
+    assert_eq!(sp2[1], species[1]);
+    assert_eq!(f2, fields);
+}
+
+#[test]
+fn restart_reaches_identical_final_state() {
+    let cfg = config();
+    let nodes = 2;
+
+    // Reference: uninterrupted run.
+    let l1 = launcher(2);
+    let scr1 = scr_for(&l1, nodes);
+    let clean = run_checkpointed(&l1, nodes, &cfg, &scr1, CheckpointLevel::Buddy, 2, None, false);
+    assert!(!clean.interrupted);
+    assert_eq!(clean.steps_done, cfg.steps);
+
+    // Crash after step 5 (checkpoints at 2 and 4 exist), then restart.
+    let l2 = launcher(2);
+    let scr2 = scr_for(&l2, nodes);
+    let crashed =
+        run_checkpointed(&l2, nodes, &cfg, &scr2, CheckpointLevel::Buddy, 2, Some(5), false);
+    assert!(crashed.interrupted);
+    assert_eq!(crashed.steps_done, 5);
+
+    // The node failure wipes rank 0's local copies; buddy level survives.
+    scr2.fail_nodes(&[l2.system().cluster_nodes()[0]]);
+    scr2.heal();
+    let resumed =
+        run_checkpointed(&l2, nodes, &cfg, &scr2, CheckpointLevel::Buddy, 2, None, true);
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.steps_done, cfg.steps);
+
+    // Bit-level agreement of the physics diagnostics.
+    let rel_fe = ((resumed.field_energy - clean.field_energy)
+        / clean.field_energy.max(1e-300))
+    .abs();
+    let rel_ke =
+        ((resumed.kinetic_energy - clean.kinetic_energy) / clean.kinetic_energy).abs();
+    assert!(rel_fe < 1e-9, "fe {} vs {}", resumed.field_energy, clean.field_energy);
+    assert!(rel_ke < 1e-9, "ke {} vs {}", resumed.kinetic_energy, clean.kinetic_energy);
+}
+
+#[test]
+fn restart_skips_completed_work() {
+    // Resuming from step 4 of 6 runs only 2 more steps: the resumed
+    // launch's virtual makespan is well below the full run's.
+    let cfg = config();
+    let l = launcher(2);
+    let scr = scr_for(&l, 2);
+    let full = run_checkpointed(&l, 2, &cfg, &scr, CheckpointLevel::Local, 2, None, false);
+    let l2 = launcher(2);
+    let scr2 = scr_for(&l2, 2);
+    run_checkpointed(&l2, 2, &cfg, &scr2, CheckpointLevel::Local, 2, Some(5), false);
+    let resumed = run_checkpointed(&l2, 2, &cfg, &scr2, CheckpointLevel::Local, 2, None, true);
+    assert!(
+        resumed.makespan.as_secs() < 0.8 * full.makespan.as_secs(),
+        "resume is cheaper than a full rerun: {} vs {}",
+        resumed.makespan,
+        full.makespan
+    );
+}

@@ -1,0 +1,128 @@
+//! End-to-end assertions of every quantitative claim in the paper's
+//! evaluation (§IV-C and Table I / Figs. 3, 7, 8), exercised through the
+//! public APIs only. This is the reproduction's contract: the *shape* of
+//! the published results must hold on the simulated prototype.
+
+use cluster_booster::presets::deep_er_prototype;
+use cluster_booster::{Launcher, ModuleKind};
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use psmpi::pingpong;
+use xpic::{run_mode, Mode, XpicConfig};
+
+#[test]
+fn table1_system_configuration() {
+    let sys = deep_er_prototype();
+    assert_eq!(sys.cluster_nodes().len(), 16, "16 Cluster nodes");
+    assert_eq!(sys.booster_nodes().len(), 8, "8 Booster nodes");
+    let cn = sys.module(ModuleKind::Cluster).unwrap();
+    let bn = sys.module(ModuleKind::Booster).unwrap();
+    assert_eq!(cn.spec.cores(), 24);
+    assert_eq!(bn.spec.cores(), 64);
+    assert_eq!(bn.spec.threads(), 256);
+    // Peak: 16 / 20 TFlop/s within 10%.
+    assert!((cn.peak_gflops() - 16_000.0).abs() / 16_000.0 < 0.10);
+    assert!((bn.peak_gflops() - 20_000.0).abs() / 20_000.0 < 0.10);
+}
+
+#[test]
+fn fig3_latency_and_bandwidth_claims() {
+    let cn = deep_er_cluster_node();
+    let bn = deep_er_booster_node();
+    // Table I: MPI latency 1.0 µs (Cluster), 1.8 µs (Booster).
+    let cc = pingpong::measure(&cn, &cn, &[1], 1)[0].latency.as_micros();
+    let bb = pingpong::measure(&bn, &bn, &[1], 1)[0].latency.as_micros();
+    assert!((cc - 1.0).abs() < 0.05, "CN-CN latency {cc} µs");
+    assert!((bb - 1.8).abs() < 0.05, "BN-BN latency {bb} µs");
+    // "For small message sizes communication is more efficient between the
+    // Cluster nodes due to the higher single thread performance."
+    let small = 4096;
+    let cc_bw = pingpong::measure(&cn, &cn, &[small], 1)[0].bandwidth_mbs;
+    let bb_bw = pingpong::measure(&bn, &bn, &[small], 1)[0].bandwidth_mbs;
+    assert!(cc_bw > bb_bw);
+    // "For large messages communication performance between all kinds of
+    // nodes is limited by fabric bandwidth."
+    let large = 16 << 20;
+    let bws = [
+        pingpong::measure(&cn, &cn, &[large], 1)[0].bandwidth_mbs,
+        pingpong::measure(&bn, &bn, &[large], 1)[0].bandwidth_mbs,
+        pingpong::measure(&cn, &bn, &[large], 1)[0].bandwidth_mbs,
+    ];
+    for bw in bws {
+        assert!(bw > 9000.0, "fabric-limited: {bw} MB/s");
+    }
+    assert!((bws[0] - bws[1]).abs() / bws[0] < 0.05, "curves converge");
+}
+
+#[test]
+fn fig7_single_node_claims() {
+    let launcher = Launcher::new(deep_er_prototype());
+    let config = XpicConfig::paper_bench(4);
+    let rc = run_mode(&launcher, Mode::ClusterOnly, 1, &config);
+    let rb = run_mode(&launcher, Mode::BoosterOnly, 1, &config);
+    let rcb = run_mode(&launcher, Mode::ClusterBooster, 1, &config);
+
+    // "running the field solver on the Cluster is 6× faster than on the
+    // Booster"
+    let f = rb.field_time / rc.field_time;
+    assert!((4.5..=7.5).contains(&f), "field ratio {f:.2}");
+    // "it runs about 1.35× faster than on the Cluster" (particle solver)
+    let p = rc.particle_time / rb.particle_time;
+    assert!((1.2..=1.55).contains(&p), "particle ratio {p:.2}");
+    // "a 1.28× performance gain ... compared to running the full code
+    // using only the Cluster"
+    let gc = rc.total / rcb.total;
+    assert!((1.15..=1.5).contains(&gc), "gain vs Cluster {gc:.2}");
+    // "still a 1.21× performance gain ... [vs] the Booster alone"
+    let gb = rb.total / rcb.total;
+    assert!((1.1..=1.5).contains(&gb), "gain vs Booster {gb:.2}");
+    // "constitutes only a small fraction (3% to 4% overhead per solver)"
+    let cf = rcb.coupling_fraction();
+    assert!(cf > 0.0 && cf < 0.06, "coupling fraction {cf:.4}");
+}
+
+#[test]
+fn fig8_scaling_claims() {
+    let launcher = Launcher::new(deep_er_prototype());
+    let base = XpicConfig::paper_bench(3);
+    let global = 8 * base.model.cells_per_node;
+
+    let run = |mode, n: usize| {
+        run_mode(&launcher, mode, n, &base.clone().strong_scaled(global, n)).total
+    };
+    let modes = [Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster];
+    let t1: Vec<_> = modes.iter().map(|&m| run(m, 1)).collect();
+    let t8: Vec<_> = modes.iter().map(|&m| run(m, 8)).collect();
+
+    // "the performance gain of the C+B mode increases with the number of
+    // nodes" — 1.28× at 1 node, 1.38× at 8 (vs Cluster).
+    let gain1 = t1[0] / t1[2];
+    let gain8 = t8[0] / t8[2];
+    assert!(gain8 > gain1, "gain grows with nodes: {gain1:.2} → {gain8:.2}");
+    assert!((1.25..=1.55).contains(&gain8), "≈1.38× at 8 nodes: {gain8:.2}");
+    // "1.34× faster than on the Booster alone"
+    let gain8b = t8[1] / t8[2];
+    assert!((1.2..=1.6).contains(&gain8b), "≈1.34× vs Booster: {gain8b:.2}");
+
+    // "The C+B mode also achieves a better parallel efficiency (85%) than
+    // using the Cluster (79%) and Booster (77%) as stand-alone systems."
+    let eff = |t1: hwmodel::SimTime, t8: hwmodel::SimTime| t1.as_secs() / (8.0 * t8.as_secs());
+    let (ec, eb, ecb) = (eff(t1[0], t8[0]), eff(t1[1], t8[1]), eff(t1[2], t8[2]));
+    assert!(ecb > ec && ec > eb, "efficiency ordering C+B > Cluster > Booster: {ecb:.2} {ec:.2} {eb:.2}");
+    for e in [ec, eb, ecb] {
+        assert!((0.7..=0.95).contains(&e), "Fig 8 efficiency range: {e:.2}");
+    }
+}
+
+#[test]
+fn cluster_booster_resources_allocate_independently() {
+    // §II-A: "resources are reserved and allocated independently", enabling
+    // any CN/BN combination and complementary co-scheduling.
+    let launcher = Launcher::new(deep_er_prototype());
+    let rm = launcher.resources();
+    let a = rm.allocate(0, 8).unwrap(); // Booster-only
+    let b = rm.allocate(16, 0).unwrap(); // Cluster-only, concurrently
+    assert_eq!(rm.free_cluster(), 0);
+    assert_eq!(rm.free_booster(), 0);
+    rm.release(&a).unwrap();
+    rm.release(&b).unwrap();
+}
