@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Fully offline — every external crate is
+# vendored under vendor/, so no registry access is needed (or attempted).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== bench compile check =="
+cargo bench --workspace --no-run
+
+echo "CI green."

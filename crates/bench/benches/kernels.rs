@@ -1,0 +1,275 @@
+//! Criterion bench for the shared-memory PIC kernels and the zero-copy
+//! psmpi message path, with a machine-readable `BENCH_kernels.json`
+//! emitter.
+//!
+//! Three sections:
+//!
+//! * **kernels** — serial vs. threaded Boris push and moment deposit at
+//!   the paper's Table II scale (4096 cells × 2048 particles/cell ≈ 8.4 M
+//!   particles) across thread counts 1/2/4/8. Speedups are wall-clock
+//!   only; the determinism contract (`xpic::par`) keeps every result
+//!   bit-identical, which the virtual-time section below demonstrates.
+//! * **router** — throughput of the typed (encode/decode per hop) vs.
+//!   raw-`Bytes` (one shared allocation) message path, point-to-point,
+//!   broadcast fan-out, and the self-send fast path.
+//! * **virtual time** — the same xPic run at every thread count must
+//!   report the *same* virtual runtime; the JSON records the values and
+//!   an `invariant` flag.
+//!
+//! The JSON lands in the workspace root as `BENCH_kernels.json` so the
+//! perf trajectory can be tracked across commits. On a single-core
+//! container the thread-count speedups are ≈1× (see EXPERIMENTS.md); the
+//! `available_parallelism` field records the machine so readers can tell.
+
+use bytes::Bytes;
+use criterion::{black_box, Criterion, Measurement};
+use hwmodel::presets::deep_er_cluster_node;
+use psmpi::UniverseBuilder;
+use std::fmt::Write as _;
+use xpic::moments::{deposit, deposit_threads};
+use xpic::mover::{boris_push, boris_push_threads};
+use xpic::{run_mode, Fields, Grid, Mode, Moments, Species, XpicConfig};
+
+/// Table II: 4096 cells per node, 2048 particles per cell.
+const NX: usize = 64;
+const NY: usize = 64;
+const PPC: usize = 2048;
+const DT: f64 = 0.05;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn table2_setup() -> (Grid, Fields, Species, Moments) {
+    let grid = Grid::slab(NX, NY, 0, 1);
+    let fields = Fields::zeros(&grid);
+    let species = Species::maxwellian_charged(&grid, PPC, 0.05, -1.0, -1.0, 0xC0FFEE);
+    let moments = Moments::zeros(&grid);
+    (grid, fields, species, moments)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (grid, fields, mut species, mut moments) = table2_setup();
+
+    let mut g = c.benchmark_group("kernels/mover");
+    g.sample_size(3);
+    g.bench_function("serial", |b| {
+        b.iter(|| boris_push(&grid, &fields, &mut species, DT));
+    });
+    for t in THREADS {
+        g.bench_function(format!("threads={t}"), |b| {
+            b.iter(|| boris_push_threads(&grid, &fields, &mut species, DT, t));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("kernels/deposit");
+    g.sample_size(3);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            moments.clear();
+            deposit(&grid, &species, &mut moments);
+        });
+    });
+    for t in THREADS {
+        g.bench_function(format!("threads={t}"), |b| {
+            b.iter(|| {
+                moments.clear();
+                deposit_threads(&grid, &species, &mut moments, t);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    const MSG: usize = 1 << 20; // 1 MiB
+    const ROUNDS: usize = 16;
+
+    let mut g = c.benchmark_group("router/p2p_1MiB");
+    g.sample_size(5);
+    g.bench_function("typed", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(2, &deep_er_cluster_node())
+                .run(|rank| {
+                    let payload = vec![0u8; MSG];
+                    for _ in 0..ROUNDS {
+                        if rank.rank() == 0 {
+                            rank.send(1, 0, &payload).unwrap();
+                        } else {
+                            let (v, _) = rank.recv::<Vec<u8>>(Some(0), Some(0)).unwrap();
+                            black_box(v.len());
+                        }
+                    }
+                })
+        });
+    });
+    g.bench_function("bytes", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(2, &deep_er_cluster_node())
+                .run(|rank| {
+                    let w = rank.world();
+                    let payload = Bytes::from(vec![0u8; MSG]);
+                    for _ in 0..ROUNDS {
+                        if rank.rank() == 0 {
+                            rank.send_bytes_comm(&w, 1, 0, payload.clone()).unwrap();
+                        } else {
+                            let (v, _) = rank.recv_bytes_comm(&w, Some(0), Some(0)).unwrap();
+                            black_box(v.len());
+                        }
+                    }
+                })
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("router/bcast_1MiB_8ranks");
+    g.sample_size(5);
+    g.bench_function("typed", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(8, &deep_er_cluster_node())
+                .run(|rank| {
+                    let w = rank.world();
+                    let v = if rank.rank() == 0 { Some(vec![0u8; MSG]) } else { None };
+                    let got = rank.bcast(&w, 0, v).unwrap();
+                    black_box(got.len());
+                })
+        });
+    });
+    g.bench_function("bytes", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(8, &deep_er_cluster_node())
+                .run(|rank| {
+                    let w = rank.world();
+                    let v = if rank.rank() == 0 { Some(Bytes::from(vec![0u8; MSG])) } else { None };
+                    let got = rank.bcast_bytes(&w, 0, v).unwrap();
+                    black_box(got.len());
+                })
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("router/self_send_1MiB");
+    g.sample_size(5);
+    g.bench_function("bytes", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(1, &deep_er_cluster_node())
+                .run(|rank| {
+                    let w = rank.world();
+                    let payload = Bytes::from(vec![0u8; MSG]);
+                    for _ in 0..ROUNDS {
+                        rank.send_bytes_comm(&w, 0, 0, payload.clone()).unwrap();
+                        let (v, _) = rank.recv_bytes_comm(&w, Some(0), Some(0)).unwrap();
+                        black_box(v.len());
+                    }
+                })
+        });
+    });
+    g.finish();
+}
+
+/// Run the same small xPic job at every thread count and return the
+/// virtual runtimes in nanoseconds. The determinism contract demands they
+/// are all identical.
+fn virtual_times() -> Vec<(usize, u128)> {
+    THREADS
+        .iter()
+        .map(|&t| {
+            let launcher = cb_bench::prototype_launcher();
+            let mut config = XpicConfig::test_small();
+            config.threads = t;
+            let report = run_mode(&launcher, Mode::ClusterOnly, 2, &config);
+            (t, (report.total.as_secs() * 1e9).round() as u128)
+        })
+        .collect()
+}
+
+fn mean_ns(ms: &[Measurement], id: &str) -> Option<u128> {
+    ms.iter().find(|m| m.id == id).map(|m| m.mean().as_nanos())
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let vts = virtual_times();
+    let invariant = vts.iter().all(|&(_, ns)| ns == vts[0].1);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"scale\": {{\"cells\": {}, \"particles_per_cell\": {}, \"particles\": {}}},",
+        NX * NY,
+        PPC,
+        NX * NY * PPC
+    );
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}",
+            m.id,
+            m.mean().as_nanos(),
+            m.min().as_nanos(),
+            m.max().as_nanos(),
+            m.samples.len()
+        );
+    }
+    out.push_str("  ],\n");
+
+    for kernel in ["mover", "deposit"] {
+        let serial = mean_ns(measurements, &format!("kernels/{kernel}/serial"));
+        let _ = writeln!(out, "  \"speedup_vs_serial_{kernel}\": {{");
+        for (i, t) in THREADS.iter().enumerate() {
+            let par = mean_ns(measurements, &format!("kernels/{kernel}/threads={t}"));
+            let speedup = match (serial, par) {
+                (Some(s), Some(p)) if p > 0 => s as f64 / p as f64,
+                _ => 0.0,
+            };
+            let comma = if i + 1 < THREADS.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{t}\": {speedup:.3}{comma}");
+        }
+        out.push_str("  },\n");
+    }
+
+    out.push_str("  \"virtual_time_ns_by_threads\": {");
+    for (i, (t, ns)) in vts.iter().enumerate() {
+        let comma = if i + 1 < vts.len() { "," } else { "" };
+        let _ = write!(out, "\"{t}\": {ns}{comma}");
+    }
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"virtual_time_invariant\": {invariant}");
+    out.push_str("}\n");
+
+    assert!(invariant, "virtual time must not depend on the thread count: {vts:?}");
+
+    // Walk up from the bench's cwd to the workspace root (Cargo.toml with
+    // [workspace]) so the artifact lands in a stable place.
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists()
+            && std::fs::read_to_string(&manifest)
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+        {
+            break;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let path = dir.join("BENCH_kernels.json");
+    std::fs::write(&path, out).expect("write BENCH_kernels.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_kernels(&mut criterion);
+    bench_router(&mut criterion);
+    write_json(&criterion.measurements);
+}

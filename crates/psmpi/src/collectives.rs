@@ -49,17 +49,38 @@ impl Rank {
 
     /// Broadcast `value` from `root` to all ranks (binomial tree). Non-root
     /// ranks pass `None` and receive the value; root passes `Some`.
+    ///
+    /// The value is encoded **once** at the root; intermediate tree nodes
+    /// forward the received buffer by reference (see [`Rank::bcast_bytes`])
+    /// and every rank decodes once. Fan-out does not re-serialize.
     pub fn bcast<T: MpiDatatype + Clone>(
         &mut self,
         comm: &Communicator,
         root: usize,
         value: Option<T>,
     ) -> Result<T, PsmpiError> {
+        let payload = value.map(|v| v.to_bytes());
+        let bytes = self.bcast_bytes(comm, root, payload)?;
+        Ok(T::from_bytes(bytes)?)
+    }
+
+    /// Zero-copy broadcast of a raw buffer from `root` (binomial tree).
+    /// Non-root ranks pass `None`; every rank returns the payload.
+    ///
+    /// Intermediate ranks forward the *received* [`bytes::Bytes`] handle to
+    /// their children — a refcount bump per child, never a payload copy —
+    /// so one allocation serves the whole tree.
+    pub fn bcast_bytes(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        payload: Option<bytes::Bytes>,
+    ) -> Result<bytes::Bytes, PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         let rel = (me + n - root) % n;
-        let mut current: Option<T> = if rel == 0 {
-            Some(value.ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?)
+        let mut current: Option<bytes::Bytes> = if rel == 0 {
+            Some(payload.ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?)
         } else {
             None
         };
@@ -69,19 +90,19 @@ impl Rank {
         while mask < n {
             if rel & mask != 0 {
                 let src = (me + n - mask) % n;
-                let (v, _) = self.recv_comm::<T>(comm, Some(src), Some(TAG_BCAST))?;
+                let (v, _) = self.recv_bytes_comm(comm, Some(src), Some(TAG_BCAST))?;
                 current = Some(v);
                 break;
             }
             mask <<= 1;
         }
-        // Send phase: forward to children.
+        // Send phase: forward the shared buffer to children.
         mask >>= 1;
         let v = current.expect("bcast value present after receive phase");
         while mask > 0 {
             if rel + mask < n {
                 let dst = (me + mask) % n;
-                self.send_comm(comm, dst, TAG_BCAST, &v)?;
+                self.send_bytes_comm(comm, dst, TAG_BCAST, v.clone())?;
             }
             mask >>= 1;
         }

@@ -103,6 +103,37 @@ impl MpiDatatype for () {
     }
 }
 
+/// A raw, already-encoded payload: the identity datatype.
+///
+/// `Raw` is the zero-copy escape hatch of the typed API. Its `from_bytes`
+/// returns the received buffer itself (a refcount bump, no copy) and its
+/// `to_bytes` clones the handle, so a `Raw` payload travels sender →
+/// router → receiver — and through collective forwarding fan-out — as one
+/// shared allocation. Use [`crate::Rank::send_bytes`]-family methods (or
+/// `send`/`recv` with `Raw` directly) for large numeric buffers where the
+/// length-prefixed `Vec<f64>` codec would copy element by element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Raw(pub Bytes);
+
+impl MpiDatatype for Raw {
+    fn encode(&self, buf: &mut BytesMut) {
+        // Only reachable when a `Raw` is nested inside a composite type;
+        // the top-level send path uses `to_bytes`, which does not copy.
+        buf.put_slice(&self.0);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        // A raw payload is the whole remaining buffer.
+        let n = buf.remaining();
+        Ok(Raw(buf.split_to(n)))
+    }
+    fn to_bytes(&self) -> Bytes {
+        self.0.clone() // refcount bump, not a copy
+    }
+    fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
+        Ok(Raw(bytes)) // the received buffer, verbatim
+    }
+}
+
 impl<T: MpiDatatype> MpiDatatype for Vec<T> {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.len() as u64);
@@ -254,6 +285,19 @@ mod tests {
         roundtrip((1u32, 2.5f64));
         roundtrip((1u8, "x".to_string(), vec![1i64]));
         roundtrip(vec![vec![1u8], vec![2, 3]]);
+    }
+
+    #[test]
+    fn raw_is_identity_and_zero_copy() {
+        let src = Bytes::from(vec![1u8, 2, 3, 4]);
+        let raw = Raw(src.clone());
+        // to_bytes shares the allocation (same backing pointer).
+        let wire = raw.to_bytes();
+        assert_eq!(wire.as_ptr(), src.as_ptr());
+        // from_bytes returns the buffer itself, not a copy.
+        let back = Raw::from_bytes(wire.clone()).unwrap();
+        assert_eq!(back.0.as_ptr(), src.as_ptr());
+        assert_eq!(back.0, src);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod spawn;
 pub mod universe;
 
 pub use comm::{CommId, Communicator, Intercomm};
-pub use datatype::{MpiDatatype, ReduceOp};
+pub use datatype::{MpiDatatype, Raw, ReduceOp};
 pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG};
 pub use rank::{PsmpiError, Rank, Request};
 pub use universe::{JobReport, Universe, UniverseBuilder};

@@ -4,7 +4,7 @@
 use crate::comm::{CommId, Communicator, Intercomm};
 use crate::datatype::{CodecError, MpiDatatype};
 use crate::envelope::{EndpointId, Envelope, Status, Tag};
-use crate::router::Router;
+use crate::router::{Mailbox, Router};
 use bytes::Bytes;
 use hwmodel::{CostModel, NodeId, NodeSpec, SimTime, WorkSpec};
 use std::marker::PhantomData;
@@ -87,8 +87,7 @@ impl<T: MpiDatatype> Request<T> {
         match &self.kind {
             RequestKind::Send => Ok(Ok((None, None))),
             RequestKind::Recv { comm, src, tag } => {
-                let mb = rank.router().mailbox(rank.endpoint());
-                if mb.probe_match(*comm, *src, *tag).is_some() {
+                if rank.mailbox.probe_match(*comm, *src, *tag).is_some() {
                     Ok(Ok(self.wait(rank)?))
                 } else {
                     Ok(Err(self))
@@ -102,6 +101,10 @@ impl<T: MpiDatatype> Request<T> {
 pub struct Rank {
     router: Arc<Router>,
     endpoint: EndpointId,
+    /// This rank's own mailbox, resolved once at construction: every
+    /// receive lands here, and a self-addressed send is pushed straight in
+    /// without consulting the router's endpoint table at all.
+    mailbox: Arc<Mailbox>,
     node_id: NodeId,
     node: Arc<NodeSpec>,
     world: Communicator,
@@ -134,9 +137,11 @@ impl Rank {
         start_clock: SimTime,
         cores: u32,
     ) -> Self {
+        let mailbox = router.mailbox(endpoint);
         Rank {
             router,
             endpoint,
+            mailbox,
             node_id,
             node,
             world,
@@ -439,19 +444,150 @@ impl Rank {
     /// Blocking probe: wait until a matching message is available and
     /// return its status without receiving it.
     pub fn probe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Status {
-        let mb = self.router.mailbox(self.endpoint);
-        let (src_rank, tag, bytes, stamp, src_ep) = mb.probe_blocking(comm.id, src, tag);
-        let arrival = stamp + self.router.transfer_time(src_ep, self.endpoint, bytes);
+        let (src_rank, tag, bytes, stamp, src_ep) = self.mailbox.probe_blocking(comm.id, src, tag);
+        let arrival = stamp + self.probe_transfer(src_ep, bytes);
         Status { source: src_rank, tag, bytes, arrival }
     }
 
     /// Nonblocking probe.
     pub fn iprobe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
-        let mb = self.router.mailbox(self.endpoint);
-        mb.probe_match(comm.id, src, tag).map(|(src_rank, tag, bytes, stamp, src_ep)| {
-            let arrival = stamp + self.router.transfer_time(src_ep, self.endpoint, bytes);
+        self.mailbox.probe_match(comm.id, src, tag).map(|(src_rank, tag, bytes, stamp, src_ep)| {
+            let arrival = stamp + self.probe_transfer(src_ep, bytes);
             Status { source: src_rank, tag, bytes, arrival }
         })
+    }
+
+    /// Transfer time a probe reports: zero for a self-send (which never
+    /// touches the fabric), the modelled fabric time otherwise.
+    fn probe_transfer(&self, src_ep: EndpointId, bytes: usize) -> SimTime {
+        if src_ep == self.endpoint {
+            SimTime::ZERO
+        } else {
+            self.router.transfer_time(src_ep, self.endpoint, bytes)
+        }
+    }
+
+    // ---- zero-copy point-to-point (raw Bytes payloads) ----
+    //
+    // These move an already-encoded buffer without any serialization step:
+    // the `Bytes` handle is refcount-cloned into the envelope, travels
+    // through the matching engine, and `recv_bytes_*` hands back the very
+    // same allocation. Combined with the self-send bypass and the
+    // forwarding collectives this makes large exchanges single-allocation
+    // end to end. Virtual-time accounting is identical to the typed API.
+
+    /// Zero-copy send of `payload` to `dst` in `comm` with `tag`.
+    pub fn send_bytes_comm(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<(), PsmpiError> {
+        self.send_bytes_comm_opt(comm, dst, tag, payload, None)
+    }
+
+    /// Like [`Rank::send_bytes_comm`] but charging `virtual_bytes` on the
+    /// wire (model-scale exchanges over reduced-scale data).
+    pub fn send_bytes_comm_sized(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        self.send_bytes_comm_opt(comm, dst, tag, payload, Some(virtual_bytes))
+    }
+
+    fn send_bytes_comm_opt(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) -> Result<(), PsmpiError> {
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+        }
+        let src_rank = comm
+            .group
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = comm.group.endpoints[dst];
+        self.send_raw(comm.id, dst_ep, src_rank, tag, payload, virtual_size);
+        Ok(())
+    }
+
+    /// Zero-copy receive on `comm`: the returned [`Bytes`] is the sender's
+    /// buffer (shared allocation), not a copy.
+    pub fn recv_bytes_comm(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(Bytes, Status), PsmpiError> {
+        if let Some(s) = src {
+            if s >= comm.size() {
+                return Err(PsmpiError::InvalidRank { rank: s, size: comm.size() });
+            }
+        }
+        self.recv_raw(comm.id, src, tag)
+    }
+
+    /// Zero-copy inter-communicator send to rank `dst` of the remote group.
+    pub fn send_bytes_inter(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<(), PsmpiError> {
+        self.send_bytes_inter_opt(ic, dst, tag, payload, None)
+    }
+
+    /// Like [`Rank::send_bytes_inter`] but charging `virtual_bytes` on the
+    /// wire.
+    pub fn send_bytes_inter_sized(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        self.send_bytes_inter_opt(ic, dst, tag, payload, Some(virtual_bytes))
+    }
+
+    fn send_bytes_inter_opt(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) -> Result<(), PsmpiError> {
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+        }
+        let src_rank = ic
+            .local
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        self.send_raw(ic.id, dst_ep, src_rank, tag, payload, virtual_size);
+        Ok(())
+    }
+
+    /// Zero-copy inter-communicator receive.
+    pub fn recv_bytes_inter(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<(Bytes, Status), PsmpiError> {
+        self.recv_raw(ic.id, src, tag)
     }
 
     // ---- raw internals ----
@@ -483,7 +619,12 @@ impl Rank {
         self.comm_time += self.clock - pre;
         self.bytes_sent += size as u64;
         self.msgs_sent += 1;
-        self.router.deliver(dst_ep, env);
+        if dst_ep == self.endpoint {
+            // Self-send: straight into our own mailbox, no router lookup.
+            self.mailbox.push(env);
+        } else {
+            self.router.deliver(dst_ep, env);
+        }
     }
 
     pub(crate) fn recv_raw(
@@ -493,20 +634,27 @@ impl Rank {
         tag: Option<Tag>,
     ) -> Result<(Bytes, Status), PsmpiError> {
         let pre = self.clock;
-        let mb = self.router.mailbox(self.endpoint);
-        let env = mb.recv_match(comm, src, tag);
-        let transfer = self.router.transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
-        let arrival = self
-            .router
-            .incast_adjust(self.endpoint, env.send_stamp + transfer, env.wire_size());
-        self.clock = self.clock.max(arrival);
-        self.router.trace_delivery(
-            env.src_endpoint,
-            self.endpoint,
-            env.wire_size(),
-            env.send_stamp,
-            arrival,
-        );
+        let env = self.mailbox.recv_match(comm, src, tag);
+        if env.src_endpoint == self.endpoint {
+            // Self-receive: the message never touched the fabric — no
+            // loopback transfer time, no incast queueing, no trace entry.
+            // The clock only respects causality with the send.
+            self.clock = self.clock.max(env.send_stamp);
+        } else {
+            let transfer =
+                self.router.transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
+            let arrival = self
+                .router
+                .incast_adjust(self.endpoint, env.send_stamp + transfer, env.wire_size());
+            self.clock = self.clock.max(arrival);
+            self.router.trace_delivery(
+                env.src_endpoint,
+                self.endpoint,
+                env.wire_size(),
+                env.send_stamp,
+                arrival,
+            );
+        }
         self.comm_time += self.clock - pre;
         let st = Status {
             source: env.src_rank,

@@ -105,7 +105,7 @@ impl TraceCollector {
     /// Copy of all events, ordered by arrival time.
     pub fn events(&self) -> Vec<TraceEvent> {
         let mut v = self.events.lock().clone();
-        v.sort_by(|a, b| a.arrive.cmp(&b.arrive));
+        v.sort_by_key(|a| a.arrive);
         v
     }
 

@@ -17,14 +17,15 @@ use crate::config::XpicConfig;
 use crate::diagnostics::{field_energy, kinetic_energy};
 use crate::fields::{FieldComm, FieldSolver};
 use crate::grid::{Fields, Grid, Moments};
-use crate::moments::deposit;
-use crate::mover::boris_push;
+use crate::moments::deposit_threads;
+use crate::mover::boris_push_threads;
 use crate::particles::Species;
 use crate::solver::{halo_add_moments, migrate_particles, tags, MpiFieldComm};
+use crate::wire;
 use cluster_booster::{JobSpec, Launcher};
 use hwmodel::SimTime;
 use parking_lot::Mutex;
-use psmpi::{Communicator, Intercomm, Rank, ReduceOp};
+use psmpi::{Communicator, Intercomm, Rank, Raw, ReduceOp};
 use std::sync::Arc;
 
 /// Execution mode (paper §IV-C, Figs. 7–8).
@@ -214,9 +215,9 @@ fn particle_phase(
     st.moments.clear();
     // for (auto is=0; is<nspec; is++) { ParticlesMove(); ParticleMoments(); }
     for is in 0..st.species.len() {
-        boris_push(&st.grid, &st.fields, &mut st.species[is], config.dt);
+        boris_push_threads(&st.grid, &st.fields, &mut st.species[is], config.dt, config.threads);
         rank.compute(&config.work_push().scaled(st.ppc_share[is]));
-        deposit(&st.grid, &st.species[is], &mut st.moments);
+        deposit_threads(&st.grid, &st.species[is], &mut st.moments, config.threads);
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
     }
     halo_add_moments(rank, comm, &st.grid, &mut st.moments, config);
@@ -246,7 +247,7 @@ fn run_combined(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>) {
 
     // Initial moment gathering so the first calculateE sees ρ,J.
     for is in 0..st.species.len() {
-        deposit(&st.grid, &st.species[is], &mut st.moments);
+        deposit_threads(&st.grid, &st.species[is], &mut st.moments, config.threads);
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
     }
     halo_add_moments(rank, &world, &st.grid, &mut st.moments, config);
@@ -362,20 +363,24 @@ fn run_booster_side(
 
     // Initial moments → Cluster.
     for is in 0..st.species.len() {
-        deposit(&st.grid, &st.species[is], &mut st.moments);
+        deposit_threads(&st.grid, &st.species[is], &mut st.moments, config.threads);
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
     }
     halo_add_moments(rank, &world, &st.grid, &mut st.moments, config);
-    rank.send_inter_sized(&ic, me, tags::RHOJ, &st.moments.pack_owned(&st.grid), config.wire_moments())
+    // The ρ,J and E,B interface buffers ride psmpi's zero-copy Bytes path:
+    // packed once into a flat f64 buffer, decoded once on the other side.
+    let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+    rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
         .expect("initial moments");
 
     let mut particle_time = SimTime::ZERO;
     let mut steady_mark = SimTime::ZERO;
     for step in 0..config.steps {
         // ClusterToBooster(); ClusterWait(); — receive E,B.
-        let req = rank.irecv_inter::<Vec<f64>>(&ic, Some(me), Some(tags::EB));
+        let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::EB));
         let (eb, _) = req.wait(rank).expect("receive E,B");
-        st.fields.unpack_owned(&st.grid, &eb.expect("payload"));
+        st.fields
+            .unpack_owned(&st.grid, &wire::bytes_to_f64s(&eb.expect("payload").0));
         // The interface buffer carries owned rows only; refresh the ghost
         // rows within the Booster world so edge particles gather the same
         // fields as in the combined mode.
@@ -394,7 +399,8 @@ fn run_booster_side(
             // BoosterToCluster(); — send ρ,J first (nonblocking), then do
             // the I/O, auxiliary computations and the particle migration
             // while the Cluster solves the fields (Listing 3's structure).
-            rank.send_inter_sized(&ic, me, tags::RHOJ, &st.moments.pack_owned(&st.grid), config.wire_moments())
+            let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+            rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
             particle_time += rank.now() - t0;
             aux_phase(rank, config, config.model.particles_per_node() / 100);
@@ -403,7 +409,8 @@ fn run_booster_side(
             // Ablation: everything before the send → fully serialized.
             aux_phase(rank, config, config.model.particles_per_node() / 100);
             migrate_all(rank, &world, config, &mut st);
-            rank.send_inter_sized(&ic, me, tags::RHOJ, &st.moments.pack_owned(&st.grid), config.wire_moments())
+            let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+            rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
             particle_time += rank.now() - t0;
         }
@@ -441,9 +448,9 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
 
     // Initial moments from the Booster.
     let (mj, _) = rank
-        .recv_inter::<Vec<f64>>(&ic, Some(me), Some(tags::RHOJ))
+        .recv_bytes_inter(&ic, Some(me), Some(tags::RHOJ))
         .expect("initial moments");
-    st.moments.unpack_owned(&st.grid, &mj);
+    st.moments.unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj));
 
     let mut field_time = SimTime::ZERO;
     let mut cg_total: u64 = 0;
@@ -458,22 +465,25 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
             // ClusterToBooster(); — send E,B, then auxiliary computations
             // (the field-energy diagnostic) overlap the Booster's particle
             // phase (Listing 2's structure).
-            rank.send_inter_sized(&ic, me, tags::EB, &st.fields.pack_owned(&st.grid), config.wire_fields())
+            let eb = wire::f64s_to_bytes(&st.fields.pack_owned(&st.grid));
+            rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
             field_time += rank.now() - t0;
             aux_phase(rank, config, config.model.cells_per_node);
         } else {
             // Ablation: auxiliary work delays the send.
             aux_phase(rank, config, config.model.cells_per_node);
-            rank.send_inter_sized(&ic, me, tags::EB, &st.fields.pack_owned(&st.grid), config.wire_fields())
+            let eb = wire::f64s_to_bytes(&st.fields.pack_owned(&st.grid));
+            rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
             field_time += rank.now() - t0;
         }
 
         // BoosterToCluster(); BoosterWait(); — receive ρ,J.
-        let req = rank.irecv_inter::<Vec<f64>>(&ic, Some(me), Some(tags::RHOJ));
+        let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::RHOJ));
         let (mj, _) = req.wait(rank).expect("receive moments");
-        st.moments.unpack_owned(&st.grid, &mj.expect("payload"));
+        st.moments
+            .unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj.expect("payload").0));
 
         // calculateB(); cpyFromArr_M();
         let t2 = rank.now();

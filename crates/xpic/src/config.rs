@@ -133,6 +133,12 @@ pub struct XpicConfig {
     /// Listings 2–3 structure). Disabling this is the overlap ablation:
     /// every phase serializes onto the critical path.
     pub overlap: bool,
+    /// Real OS threads used by the shared-memory kernel parallelism
+    /// (`0` = all available cores). This is a *wall-clock* knob only: the
+    /// kernels partition work on fixed chunk grids (see [`crate::par`]),
+    /// so results — and therefore virtual time — are bit-identical for
+    /// every thread count.
+    pub threads: usize,
     /// Extra particle species beyond the default electron population
     /// (empty = electrons only, against a static ion background).
     pub extra_species: Vec<SpeciesSpec>,
@@ -155,6 +161,7 @@ impl XpicConfig {
             vth: 0.05,
             seed: 20180521,
             overlap: true,
+            threads: 0,
             extra_species: Vec::new(),
             model: ModelScale::paper(),
         }

@@ -28,6 +28,8 @@
 //! modes) or on the spawned field world of the C+B mode.
 
 use crate::grid::{Fields, Grid, Moments};
+use crate::par;
+use std::ops::Range;
 
 /// The solver's communication needs: ghost-row exchange and global sums.
 pub trait FieldComm {
@@ -70,6 +72,10 @@ pub struct FieldSolver {
     pub cg_tol: f64,
     /// CG iteration cap.
     pub cg_max_iters: u32,
+    /// OS threads for the grid loops (resolved; ≥ 1). Wall-clock only —
+    /// the loops are organized so every thread count computes the same
+    /// bits (see [`par`]).
+    pub threads: usize,
 }
 
 impl FieldSolver {
@@ -81,7 +87,42 @@ impl FieldSolver {
             theta: config.theta,
             cg_tol: config.cg_tol,
             cg_max_iters: config.cg_max_iters,
+            threads: par::resolve_threads(config.threads),
         }
+    }
+
+    /// Threads to actually use for a grid pass: stay on the caller below
+    /// [`par::MIN_PAR_ROWS`] rows (spawn overhead dominates; results are
+    /// unaffected either way).
+    fn grid_threads(&self) -> usize {
+        if self.grid.ny_local >= par::MIN_PAR_ROWS {
+            self.threads
+        } else {
+            1
+        }
+    }
+
+    /// Split the owned (non-ghost) region of a slab array into per-task
+    /// row-block slices, paired with their local row ranges. The row
+    /// blocks come from [`par::chunk_ranges`] over the owned rows, so the
+    /// partition is a fixed function of the grid.
+    fn owned_row_tasks<'a>(
+        &self,
+        arr: &'a mut [f64],
+        row_ranges: &[Range<usize>],
+    ) -> Vec<&'a mut [f64]> {
+        let nx = self.grid.nx;
+        let owned = &mut arr[nx..nx * (self.grid.ny_local + 1)];
+        let elem_ranges: Vec<Range<usize>> =
+            row_ranges.iter().map(|r| r.start * nx..r.end * nx).collect();
+        par::split_mut(owned, &elem_ranges)
+    }
+
+    /// Row-block partition of the owned rows for this solver's thread
+    /// count (one block per thread; element-wise loops are bit-exact
+    /// under any partition).
+    fn row_blocks(&self, threads: usize) -> Vec<Range<usize>> {
+        par::chunk_ranges(self.grid.ny_local, threads)
     }
 
     /// κ field: (ω_p Δt θ / 2)² with ω_p² ≈ |ρ| in normalized units.
@@ -91,32 +132,52 @@ impl FieldSolver {
     }
 
     /// Apply the Helmholtz operator to `x` (ghosts must be current):
-    /// `y = (1+κ) x − α ∇² x` over owned cells.
+    /// `y = (1+κ) x − α ∇² x` over owned cells. Each output cell is an
+    /// independent write, so the row-parallel execution is bit-exact.
     fn apply(&self, kappa: &[f64], x: &[f64], y: &mut [f64]) {
         let g = &self.grid;
         let alpha = (self.dt * self.theta).powi(2);
-        for j in 0..g.ny_local as isize {
-            for i in 0..g.nx as isize {
-                let k = g.idx(i, j);
-                let lap = x[g.idx(i + 1, j)] + x[g.idx(i - 1, j)] + x[g.idx(i, j + 1)]
-                    + x[g.idx(i, j - 1)]
-                    - 4.0 * x[k];
-                y[k] = (1.0 + kappa[k]) * x[k] - alpha * lap;
+        let nx = g.nx;
+        let threads = self.grid_threads();
+        let blocks = self.row_blocks(threads);
+        let tasks: Vec<(Range<usize>, &mut [f64])> =
+            blocks.iter().cloned().zip(self.owned_row_tasks(y, &blocks)).collect();
+        par::run_tasks(threads, tasks, |(jr, ys)| {
+            for j in jr.clone() {
+                let js = j as isize;
+                for i in 0..nx as isize {
+                    let k = g.idx(i, js);
+                    let lap = x[g.idx(i + 1, js)] + x[g.idx(i - 1, js)] + x[g.idx(i, js + 1)]
+                        + x[g.idx(i, js - 1)]
+                        - 4.0 * x[k];
+                    ys[(j - jr.start) * nx + i as usize] = (1.0 + kappa[k]) * x[k] - alpha * lap;
+                }
             }
-        }
+        });
     }
 
-    /// Dot product over owned cells.
+    /// Dot product over owned cells: per-row partial sums, combined in row
+    /// order. The association of the floating-point sums is fixed by the
+    /// grid, so the result is identical for every thread count.
     fn dot_local(&self, a: &[f64], b: &[f64]) -> f64 {
         let g = &self.grid;
-        let mut s = 0.0;
-        for j in 0..g.ny_local as isize {
-            let start = g.idx(0, j);
-            for i in 0..g.nx {
-                s += a[start + i] * b[start + i];
+        let nx = g.nx;
+        let mut rows = vec![0.0; g.ny_local];
+        let threads = self.grid_threads();
+        let blocks = self.row_blocks(threads);
+        let tasks: Vec<(Range<usize>, &mut [f64])> =
+            blocks.iter().cloned().zip(par::split_mut(&mut rows, &blocks)).collect();
+        par::run_tasks(threads, tasks, |(jr, out)| {
+            for j in jr.clone() {
+                let start = g.idx(0, j as isize);
+                let mut s = 0.0;
+                for i in 0..nx {
+                    s += a[start + i] * b[start + i];
+                }
+                out[j - jr.start] = s;
             }
-        }
-        s
+        });
+        rows.iter().sum()
     }
 
     /// Solve the Helmholtz system for one component, in place. Returns the
@@ -152,21 +213,52 @@ impl FieldSolver {
             self.apply(kappa, &p, &mut ap);
             let p_ap = comm.allreduce_sum(self.dot_local(&p, &ap));
             let alpha = rs / p_ap;
-            for j in 0..g.ny_local as isize {
-                for i in 0..g.nx as isize {
-                    let k = g.idx(i, j);
-                    x[k] += alpha * p[k];
-                    r[k] -= alpha * ap[k];
-                }
+            {
+                // x += α p, r −= α A p — element-wise, so the row-parallel
+                // execution is bit-exact.
+                let threads = self.grid_threads();
+                let blocks = self.row_blocks(threads);
+                let nx = g.nx;
+                let p = &p;
+                let ap = &ap;
+                let tasks: Vec<(Range<usize>, &mut [f64], &mut [f64])> = blocks
+                    .iter()
+                    .cloned()
+                    .zip(self.owned_row_tasks(x, &blocks))
+                    .zip(self.owned_row_tasks(&mut r, &blocks))
+                    .map(|((jr, xc), rc)| (jr, xc, rc))
+                    .collect();
+                par::run_tasks(threads, tasks, |(jr, xc, rc)| {
+                    for j in jr.clone() {
+                        let start = g.idx(0, j as isize);
+                        let off = (j - jr.start) * nx;
+                        for i in 0..nx {
+                            xc[off + i] += alpha * p[start + i];
+                            rc[off + i] -= alpha * ap[start + i];
+                        }
+                    }
+                });
             }
             let rs_new = comm.allreduce_sum(self.dot_local(&r, &r));
             let beta = rs_new / rs;
             rs = rs_new;
-            for j in 0..g.ny_local as isize {
-                for i in 0..g.nx as isize {
-                    let k = g.idx(i, j);
-                    p[k] = r[k] + beta * p[k];
-                }
+            {
+                // p = r + β p — element-wise.
+                let threads = self.grid_threads();
+                let blocks = self.row_blocks(threads);
+                let nx = g.nx;
+                let r = &r;
+                let tasks: Vec<(Range<usize>, &mut [f64])> =
+                    blocks.iter().cloned().zip(self.owned_row_tasks(&mut p, &blocks)).collect();
+                par::run_tasks(threads, tasks, |(jr, pc)| {
+                    for j in jr.clone() {
+                        let start = g.idx(0, j as isize);
+                        let off = (j - jr.start) * nx;
+                        for i in 0..nx {
+                            pc[off + i] = r[start + i] + beta * pc[off + i];
+                        }
+                    }
+                });
             }
             iters += 1;
         }
@@ -226,7 +318,7 @@ impl FieldSolver {
         // Divergence cleaning is a corrector: production PIC codes run it
         // at a much looser tolerance than the field solve (and often only
         // every few steps). Temporarily relax the CG tolerance.
-        let cleaner = FieldSolver { cg_tol: self.cg_tol.max(1e-4).min(1e-2), ..self.clone() };
+        let cleaner = FieldSolver { cg_tol: self.cg_tol.clamp(1e-4, 1e-2), ..self.clone() };
         let mut phi = vec![0.0; n];
         let iters = cleaner.solve_component(&kappa, &rhs, &mut phi, comm);
         // E ← E − ∇φ.
@@ -354,6 +446,39 @@ mod tests {
                     x[k],
                     x_star[k]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn cg_solve_is_thread_count_invariant() {
+        // A slab tall enough to cross MIN_PAR_ROWS, solved with several
+        // thread counts: every run must produce the same bits (and thus
+        // the same iteration count — what virtual time depends on).
+        let g = Grid::slab(8, par::MIN_PAR_ROWS, 0, 1);
+        let mut reference: Option<(u32, Vec<f64>)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut cfg = XpicConfig::test_small();
+            cfg.threads = threads;
+            let s = FieldSolver::new(g, &cfg);
+            let mut kappa = vec![0.0; g.len()];
+            let mut rhs = vec![0.0; g.len()];
+            for j in 0..g.ny_local as isize {
+                for i in 0..g.nx as isize {
+                    let k = g.idx(i, j);
+                    kappa[k] = 0.05 + 0.01 * ((i * 7 + j) % 5) as f64;
+                    rhs[k] = ((i as f64) * 0.31).sin() * ((j as f64) * 0.17).cos();
+                }
+            }
+            let mut x = vec![0.0; g.len()];
+            let mut comm = SerialComm;
+            let iters = s.solve_component(&kappa, &rhs, &mut x, &mut comm);
+            match &reference {
+                None => reference = Some((iters, x)),
+                Some((ri, rx)) => {
+                    assert_eq!(iters, *ri, "threads={threads} changed CG iterations");
+                    assert_eq!(&x, rx, "threads={threads} changed the solution bits");
+                }
             }
         }
     }

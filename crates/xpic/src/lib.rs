@@ -28,9 +28,11 @@
 //! Module map: [`config`] (setup + kernel cost descriptors), [`grid`]
 //! (fields + moments storage), [`particles`] (species state), [`mover`]
 //! (gather + Boris push), [`moments`] (scatter/deposit), [`fields`] (CG
-//! solver + Faraday), [`solver`] (the per-rank solver drivers with halo
-//! exchange and migration), [`app`] (the three execution modes),
-//! [`diagnostics`] (energies).
+//! solver + Faraday), [`par`] (shared-memory kernel parallelism with a
+//! thread-count-invariant determinism contract), [`solver`] (the per-rank
+//! solver drivers with halo exchange and migration), [`wire`] (raw f64
+//! wire encoding for the zero-copy message path), [`app`] (the three
+//! execution modes), [`diagnostics`] (energies).
 
 pub mod app;
 pub mod config;
@@ -39,9 +41,11 @@ pub mod fields;
 pub mod grid;
 pub mod moments;
 pub mod mover;
+pub mod par;
 pub mod particles;
 pub mod resilience;
 pub mod solver;
+pub mod wire;
 
 pub use app::{run_mode, Mode, XpicReport};
 pub use config::{ModelScale, XpicConfig};

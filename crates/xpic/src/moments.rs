@@ -10,13 +10,21 @@
 //! separate, overlappable steps).
 
 use crate::grid::{Grid, Moments};
+use crate::par;
 use crate::particles::Species;
+use std::ops::Range;
 
 /// Deposit one species' moments. Ghost rows accumulate boundary spillover
 /// to be halo-added by the caller.
 pub fn deposit(grid: &Grid, species: &Species, moments: &mut Moments) {
+    deposit_range(grid, species, moments, 0..species.len());
+}
+
+/// Deposit the particles of one index range (one chunk of the fixed
+/// reduction grid) into a partial accumulation buffer.
+fn deposit_range(grid: &Grid, species: &Species, moments: &mut Moments, particles: Range<usize>) {
     let q = species.q_per_particle;
-    for p in 0..species.len() {
+    for p in particles {
         let lx = species.x[p];
         let ly = grid.to_local_y(species.y[p]);
         let gx = lx - 0.5;
@@ -43,6 +51,41 @@ pub fn deposit(grid: &Grid, species: &Species, moments: &mut Moments) {
             moments.jx[k] += qw * vx;
             moments.jy[k] += qw * vy;
             moments.jz[k] += qw * vz;
+        }
+    }
+}
+
+/// [`deposit`] executed on up to `threads` OS threads (`0` = all cores).
+///
+/// The scatter is a reduction (many particles hit the same cell), so the
+/// particle population is cut into a **fixed chunk grid** — a function of
+/// the particle count only, never of the thread count (see [`par`]) — each
+/// chunk accumulates into its own partial [`Moments`] buffer, and the
+/// partials are merged serially in chunk order. The floating-point result
+/// is therefore bit-identical for every thread count; against the legacy
+/// single-buffer [`deposit`] it differs only in summation association
+/// (≤ 1e-12 relative, guarded by a property test).
+pub fn deposit_threads(grid: &Grid, species: &Species, moments: &mut Moments, threads: usize) {
+    let n = species.len();
+    let chunks = par::reduction_chunks(n);
+    if chunks <= 1 {
+        // One chunk ⇒ the chunked accumulation degenerates to the serial
+        // order exactly; skip the partial buffer.
+        deposit_range(grid, species, moments, 0..n);
+        return;
+    }
+    let ranges = par::chunk_ranges(n, chunks);
+    let mut partials: Vec<Moments> = (0..ranges.len()).map(|_| Moments::zeros(grid)).collect();
+    let threads = par::resolve_threads(threads);
+    let tasks: Vec<(Range<usize>, &mut Moments)> =
+        ranges.into_iter().zip(partials.iter_mut()).collect();
+    par::run_tasks(threads, tasks, |(r, part)| deposit_range(grid, species, part, r));
+    // Merge in chunk order — a fixed association of the sums.
+    for part in &partials {
+        for (dst, src) in moments.components_mut().into_iter().zip(part.components()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += *s;
+            }
         }
     }
 }
@@ -156,6 +199,43 @@ mod tests {
         for (i, j) in [(2, 2), (3, 2), (2, 3), (3, 3)] {
             assert!((m.rho[g.idx(i, j)] + 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn threaded_deposit_is_thread_count_invariant() {
+        // Large enough for a multi-chunk reduction grid.
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = Species::maxwellian(&g, 600, 0.3, -1.0, 13);
+        assert!(crate::par::reduction_chunks(s.len()) > 1);
+        let mut reference = Moments::zeros(&g);
+        deposit_threads(&g, &s, &mut reference, 1);
+        for threads in [2usize, 4, 8] {
+            let mut m = Moments::zeros(&g);
+            deposit_threads(&g, &s, &mut m, threads);
+            assert_eq!(m, reference, "threads={threads} must be bit-exact");
+        }
+        // And the chunked result agrees with the legacy serial order to
+        // rounding accumulation.
+        let mut serial = Moments::zeros(&g);
+        deposit(&g, &s, &mut serial);
+        for (a, b) in reference.components().into_iter().zip(serial.components()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() <= 1e-12 * x.abs().max(y.abs()).max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn small_population_deposit_matches_serial_exactly() {
+        // Below the chunking threshold the threaded entry point is the
+        // serial accumulation, bit for bit.
+        let g = Grid::slab(8, 8, 0, 1);
+        let s = Species::maxwellian(&g, 4, 0.3, -1.0, 17);
+        let mut serial = Moments::zeros(&g);
+        deposit(&g, &s, &mut serial);
+        let mut threaded = Moments::zeros(&g);
+        deposit_threads(&g, &s, &mut threaded, 8);
+        assert_eq!(threaded, serial);
     }
 
     #[test]

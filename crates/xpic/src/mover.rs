@@ -9,6 +9,7 @@
 //! neighbour rank is the solver driver's job.
 
 use crate::grid::{Fields, Grid};
+use crate::par;
 use crate::particles::Species;
 
 /// Bilinear interpolation of one field array at (x, y) in local cell
@@ -33,14 +34,24 @@ pub fn gather(grid: &Grid, field: &[f64], x: f64, y: f64) -> f64 {
         + w11 * field[grid.idx(i0 + 1, j0 + 1)]
 }
 
-/// Advance all particles of `species` by `dt` under `fields` (slab-local,
-/// ghosts valid). Positions are stored global-periodic in x, *unbounded*
-/// in y relative to the global domain — callers migrate/wrap afterwards.
-pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) {
-    let qom_half_dt = 0.5 * species.qom * dt;
-    for p in 0..species.len() {
-        let lx = species.x[p];
-        let ly = grid.to_local_y(species.y[p]);
+/// One contiguous block of a species' structure-of-arrays storage, handed
+/// to a worker thread by [`boris_push_threads`].
+struct PushChunk<'a> {
+    x: &'a mut [f64],
+    y: &'a mut [f64],
+    vx: &'a mut [f64],
+    vy: &'a mut [f64],
+    vz: &'a mut [f64],
+}
+
+/// The per-particle Boris kernel over one chunk. Each particle reads and
+/// writes only its own state (fields are read-only), so any chunking is
+/// bit-exact with the serial loop.
+fn push_chunk(grid: &Grid, fields: &Fields, qom_half_dt: f64, dt: f64, c: PushChunk<'_>) {
+    let nx = grid.nx as f64;
+    for p in 0..c.x.len() {
+        let lx = c.x[p];
+        let ly = grid.to_local_y(c.y[p]);
         debug_assert!(
             (-1.0..=(grid.ny_local as f64 + 1.0)).contains(&ly),
             "particle outside slab+ghost region: ly={ly}"
@@ -53,9 +64,9 @@ pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) 
         let bz = gather(grid, &fields.bz, lx, ly);
 
         // Half electric acceleration.
-        let mut vx = species.vx[p] + qom_half_dt * ex;
-        let mut vy = species.vy[p] + qom_half_dt * ey;
-        let mut vz = species.vz[p] + qom_half_dt * ez;
+        let mut vx = c.vx[p] + qom_half_dt * ex;
+        let mut vy = c.vy[p] + qom_half_dt * ey;
+        let mut vz = c.vz[p] + qom_half_dt * ez;
         // Boris rotation.
         let tx = qom_half_dt * bx;
         let ty = qom_half_dt * by;
@@ -75,14 +86,57 @@ pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) 
         vy += qom_half_dt * ey;
         vz += qom_half_dt * ez;
 
-        species.vx[p] = vx;
-        species.vy[p] = vy;
-        species.vz[p] = vz;
+        c.vx[p] = vx;
+        c.vy[p] = vy;
+        c.vz[p] = vz;
         // Position update; x wraps periodically, y handled by migration.
-        let nx = grid.nx as f64;
-        species.x[p] = (species.x[p] + vx * dt).rem_euclid(nx);
-        species.y[p] += vy * dt;
+        c.x[p] = (c.x[p] + vx * dt).rem_euclid(nx);
+        c.y[p] += vy * dt;
     }
+}
+
+/// Advance all particles of `species` by `dt` under `fields` (slab-local,
+/// ghosts valid). Positions are stored global-periodic in x, *unbounded*
+/// in y relative to the global domain — callers migrate/wrap afterwards.
+pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) {
+    let qom_half_dt = 0.5 * species.qom * dt;
+    let chunk = PushChunk {
+        x: &mut species.x,
+        y: &mut species.y,
+        vx: &mut species.vx,
+        vy: &mut species.vy,
+        vz: &mut species.vz,
+    };
+    push_chunk(grid, fields, qom_half_dt, dt, chunk);
+}
+
+/// [`boris_push`] executed on up to `threads` OS threads (`0` = all
+/// cores). The kernel is element-wise, so the result is bit-identical to
+/// the serial path for every thread count; only wall-clock time changes
+/// (virtual time is charged separately by the caller's cost model).
+pub fn boris_push_threads(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64, threads: usize) {
+    let threads = par::resolve_threads(threads);
+    let n = species.len();
+    if threads <= 1 || n < par::MIN_PAR_PARTICLES {
+        boris_push(grid, fields, species, dt);
+        return;
+    }
+    let qom_half_dt = 0.5 * species.qom * dt;
+    let ranges = par::chunk_ranges(n, threads.min(par::MAX_CHUNKS));
+    let xs = par::split_mut(&mut species.x, &ranges);
+    let ys = par::split_mut(&mut species.y, &ranges);
+    let vxs = par::split_mut(&mut species.vx, &ranges);
+    let vys = par::split_mut(&mut species.vy, &ranges);
+    let vzs = par::split_mut(&mut species.vz, &ranges);
+    let tasks: Vec<PushChunk<'_>> = xs
+        .into_iter()
+        .zip(ys)
+        .zip(vxs)
+        .zip(vys)
+        .zip(vzs)
+        .map(|((((x, y), vx), vy), vz)| PushChunk { x, y, vx, vy, vz })
+        .collect();
+    par::run_tasks(threads, tasks, |c| push_chunk(grid, fields, qom_half_dt, dt, c));
 }
 
 #[cfg(test)]
@@ -168,6 +222,26 @@ mod tests {
         let mut s = one_particle(&g, 4.0, 4.0, (0.0, 0.0, 0.0));
         boris_push(&g, &f, &mut s, 0.1);
         assert!((s.vx[0] + 0.2 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_push_is_bit_exact() {
+        use crate::particles::Species as S;
+        let g = Grid::slab(8, 8, 0, 1);
+        let f = uniform_fields(&g, |f, k| {
+            f.ex[k] = 0.1;
+            f.bz[k] = 0.7;
+        });
+        // Enough particles to cross the MIN_PAR_PARTICLES threshold.
+        let base = S::maxwellian(&g, 300, 0.2, -1.0, 11);
+        assert!(base.len() >= crate::par::MIN_PAR_PARTICLES);
+        let mut serial = base.clone();
+        boris_push(&g, &f, &mut serial, 0.05);
+        for threads in [1usize, 2, 4, 8] {
+            let mut s = base.clone();
+            boris_push_threads(&g, &f, &mut s, 0.05, threads);
+            assert_eq!(s, serial, "threads={threads} must be bit-exact");
+        }
     }
 
     #[test]

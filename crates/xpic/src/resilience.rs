@@ -19,7 +19,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cluster_booster::{JobSpec, Launcher, ModuleKind};
 use hwmodel::SimTime;
 use parking_lot::Mutex;
-use psmpi::{MpiDatatype, Rank, ReduceOp};
+use psmpi::{MpiDatatype, ReduceOp};
 use scr::{CheckpointLevel, ScrManager};
 use std::sync::Arc;
 

@@ -3,13 +3,17 @@
 //!
 //! All exchanges run at model-scale wire sizes (see [`crate::config`]):
 //! the payloads carry the real reduced-scale data while virtual time is
-//! charged for the Table II workload.
+//! charged for the Table II workload. Every bulk exchange here uses the
+//! zero-copy `Bytes` path ([`crate::wire`]): rows are encoded once into a
+//! flat f64 buffer and the receiver decodes straight out of the sender's
+//! allocation.
 
 use crate::config::XpicConfig;
 use crate::fields::FieldComm;
 use crate::grid::{Grid, Moments};
 use crate::moments::{add_into_border_row, clear_ghosts, extract_ghost_row};
 use crate::particles::Species;
+use crate::wire;
 use psmpi::{Communicator, Rank, ReduceOp};
 
 /// Reserved message tags of the xPic exchanges.
@@ -73,28 +77,28 @@ impl FieldComm for MpiFieldComm<'_> {
         let prev = (me + n - 1) % n;
         let next = (me + 1) % n;
         let nx = grid.nx;
-        let first: Vec<f64> = arr[grid.idx(0, 0)..grid.idx(0, 0) + nx].to_vec();
+        let first = wire::f64s_to_bytes(&arr[grid.idx(0, 0)..grid.idx(0, 0) + nx]);
         let last_j = grid.ny_local as isize - 1;
-        let last: Vec<f64> = arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx].to_vec();
+        let last = wire::f64s_to_bytes(&arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx]);
         self.rank
-            .send_comm_sized(&self.comm, prev, tags::HALO_UP, &first, self.wire_halo)
+            .send_bytes_comm_sized(&self.comm, prev, tags::HALO_UP, first, self.wire_halo)
             .expect("halo send up");
         self.rank
-            .send_comm_sized(&self.comm, next, tags::HALO_DOWN, &last, self.wire_halo)
+            .send_bytes_comm_sized(&self.comm, next, tags::HALO_DOWN, last, self.wire_halo)
             .expect("halo send down");
         // Our bottom ghost row is the next slab's first row.
         let (from_next, _) = self
             .rank
-            .recv_comm::<Vec<f64>>(&self.comm, Some(next), Some(tags::HALO_UP))
+            .recv_bytes_comm(&self.comm, Some(next), Some(tags::HALO_UP))
             .expect("halo recv from next");
         // Our top ghost row is the previous slab's last row.
         let (from_prev, _) = self
             .rank
-            .recv_comm::<Vec<f64>>(&self.comm, Some(prev), Some(tags::HALO_DOWN))
+            .recv_bytes_comm(&self.comm, Some(prev), Some(tags::HALO_DOWN))
             .expect("halo recv from prev");
-        arr[grid.idx(0, -1)..grid.idx(0, -1) + nx].copy_from_slice(&from_prev);
+        wire::read_f64s_into(&from_prev, &mut arr[grid.idx(0, -1)..grid.idx(0, -1) + nx]);
         let bot = grid.idx(0, grid.ny_local as isize);
-        arr[bot..bot + nx].copy_from_slice(&from_next);
+        wire::read_f64s_into(&from_next, &mut arr[bot..bot + nx]);
     }
 
     fn allreduce_sum(&mut self, v: f64) -> f64 {
@@ -123,21 +127,22 @@ pub fn halo_add_moments(
     let me = rank_in_comm(rank, comm);
     let prev = (me + n - 1) % n;
     let next = (me + 1) % n;
-    let wire = config.wire_halo();
-    let top = extract_ghost_row(grid, moments, true);
-    let bottom = extract_ghost_row(grid, moments, false);
-    rank.send_comm_sized(comm, prev, tags::MOM_UP, &top, wire).expect("mom send up");
-    rank.send_comm_sized(comm, next, tags::MOM_DOWN, &bottom, wire).expect("mom send down");
+    let wire_size = config.wire_halo();
+    let top = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, true));
+    let bottom = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, false));
+    rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size).expect("mom send up");
+    rank.send_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)
+        .expect("mom send down");
     let (from_next, _) = rank
-        .recv_comm::<Vec<f64>>(comm, Some(next), Some(tags::MOM_UP))
+        .recv_bytes_comm(comm, Some(next), Some(tags::MOM_UP))
         .expect("mom recv next");
     let (from_prev, _) = rank
-        .recv_comm::<Vec<f64>>(comm, Some(prev), Some(tags::MOM_DOWN))
+        .recv_bytes_comm(comm, Some(prev), Some(tags::MOM_DOWN))
         .expect("mom recv prev");
     // The next slab's top ghost is spill below our last row; the previous
     // slab's bottom ghost is spill above our first row.
-    add_into_border_row(grid, moments, &from_next, false);
-    add_into_border_row(grid, moments, &from_prev, true);
+    add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_next), false);
+    add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_prev), true);
     clear_ghosts(grid, moments);
 }
 
@@ -178,15 +183,19 @@ pub fn migrate_particles(
         dest.extend_from_slice(&[x, y, vx, vy, vz]);
     }
     let sent = (up.len() + down.len()) / 5;
-    let wire = config.wire_migration();
-    rank.send_comm_sized(comm, prev, tags::MIG_UP, &up, wire).expect("mig send up");
-    rank.send_comm_sized(comm, next, tags::MIG_DOWN, &down, wire).expect("mig send down");
+    let wire_size = config.wire_migration();
+    rank.send_bytes_comm_sized(comm, prev, tags::MIG_UP, wire::f64s_to_bytes(&up), wire_size)
+        .expect("mig send up");
+    rank.send_bytes_comm_sized(comm, next, tags::MIG_DOWN, wire::f64s_to_bytes(&down), wire_size)
+        .expect("mig send down");
     let (from_next, _) = rank
-        .recv_comm::<Vec<f64>>(comm, Some(next), Some(tags::MIG_UP))
+        .recv_bytes_comm(comm, Some(next), Some(tags::MIG_UP))
         .expect("mig recv next");
     let (from_prev, _) = rank
-        .recv_comm::<Vec<f64>>(comm, Some(prev), Some(tags::MIG_DOWN))
+        .recv_bytes_comm(comm, Some(prev), Some(tags::MIG_DOWN))
         .expect("mig recv prev");
+    let from_next = wire::bytes_to_f64s(&from_next);
+    let from_prev = wire::bytes_to_f64s(&from_prev);
     for chunk in from_next.chunks_exact(5).chain(from_prev.chunks_exact(5)) {
         debug_assert!(grid.owns_row(chunk[1].floor() as isize), "migrated to wrong rank");
         species.push_particle(chunk[0], chunk[1], chunk[2], chunk[3], chunk[4]);

@@ -1,0 +1,67 @@
+//! Raw wire encoding for the solver exchanges: flat little-endian `f64`
+//! buffers, no framing.
+//!
+//! The halo, migration and interface-buffer messages are plain `f64`
+//! arrays whose lengths both sides already know (or can derive from the
+//! byte count), so they travel over psmpi's zero-copy `Bytes` path —
+//! encoded once at the sender, decoded once at the receiver, with no
+//! per-element codec or length prefix in between.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encode a slice of `f64` as a flat little-endian byte buffer.
+pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(v.len() * 8);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+    buf.freeze()
+}
+
+/// Decode a flat little-endian `f64` buffer (inverse of
+/// [`f64s_to_bytes`]). Panics on a length that is not a multiple of 8 —
+/// a framing bug, not a recoverable condition.
+pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "raw f64 buffer length must be a multiple of 8");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+/// Decode a flat `f64` buffer straight into `out` (no intermediate `Vec`).
+/// Panics if the element counts disagree.
+pub fn read_f64s_into(b: &Bytes, out: &mut [f64]) {
+    assert_eq!(b.len(), out.len() * 8, "raw f64 buffer length mismatch");
+    for (c, o) in b.chunks_exact(8).zip(out.iter_mut()) {
+        *o = f64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = vec![0.0, -1.5, f64::MIN_POSITIVE, 1e300];
+        let b = f64s_to_bytes(&v);
+        assert_eq!(b.len(), v.len() * 8);
+        assert_eq!(bytes_to_f64s(&b), v);
+        let mut out = vec![0.0; v.len()];
+        read_f64s_into(&b, &mut out);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let b = f64s_to_bytes(&[]);
+        assert!(bytes_to_f64s(&b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn ragged_buffer_panics() {
+        let b = Bytes::from(vec![0u8; 12]);
+        bytes_to_f64s(&b);
+    }
+}

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use xpic::grid::{Fields, Grid, Moments};
-use xpic::moments::{deposit, fold_ghosts_periodic};
-use xpic::mover::{boris_push, gather};
+use xpic::moments::{deposit, deposit_threads, fold_ghosts_periodic};
+use xpic::mover::{boris_push, boris_push_threads, gather};
 use xpic::particles::Species;
 
 fn arb_grid() -> impl Strategy<Value = Grid> {
@@ -133,5 +133,65 @@ proptest! {
         let mut g = Fields::zeros(&grid);
         g.unpack_owned(&grid, &packed);
         prop_assert_eq!(g.pack_owned(&grid), packed);
+    }
+}
+
+// Determinism guard for the parallel kernels: populations large enough to
+// take the chunked code paths (≥ par::MIN_PAR_PARTICLES particles), so
+// fewer cases keep the runtime reasonable.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_kernels_are_thread_count_invariant(
+        seed in any::<u64>(),
+        ppc in 260usize..330,
+        bz in -1.0f64..1.0,
+        dt in 0.01f64..0.1,
+    ) {
+        // 8×8 cells × ~300 ppc ≈ 19k particles: above both the parallel
+        // threshold of the mover and the multi-chunk threshold of the
+        // deposit reduction.
+        let grid = Grid::slab(8, 8, 0, 1);
+        let mut fields = Fields::zeros(&grid);
+        for v in fields.bz.iter_mut() {
+            *v = bz;
+        }
+        let reference = Species::maxwellian_charged(&grid, ppc, 0.05, -1.0, -1.0, seed);
+
+        // The mover must be bit-exact against serial for every thread count
+        // (element-wise kernel: chunking cannot change any arithmetic).
+        let mut serial = reference.clone();
+        boris_push(&grid, &fields, &mut serial, dt);
+        for threads in [1usize, 2, 4, 8] {
+            let mut s = reference.clone();
+            boris_push_threads(&grid, &fields, &mut s, dt, threads);
+            prop_assert_eq!(&s.x, &serial.x, "x at threads={}", threads);
+            prop_assert_eq!(&s.y, &serial.y, "y at threads={}", threads);
+            prop_assert_eq!(&s.vx, &serial.vx, "vx at threads={}", threads);
+            prop_assert_eq!(&s.vy, &serial.vy, "vy at threads={}", threads);
+            prop_assert_eq!(&s.vz, &serial.vz, "vz at threads={}", threads);
+        }
+
+        // The deposit is a reduction: bit-identical across thread counts
+        // (fixed chunk grid + serial merge), and within strict rounding
+        // distance of the legacy single-accumulator serial path.
+        let mut m1 = Moments::zeros(&grid);
+        deposit_threads(&grid, &serial, &mut m1, 1);
+        for threads in [2usize, 4, 8] {
+            let mut mt = Moments::zeros(&grid);
+            deposit_threads(&grid, &serial, &mut mt, threads);
+            for (a, b) in mt.components().iter().zip(m1.components().iter()) {
+                prop_assert_eq!(*a, *b, "deposit differs at threads={}", threads);
+            }
+        }
+        let mut ms = Moments::zeros(&grid);
+        deposit(&grid, &serial, &mut ms);
+        for (a, b) in m1.components().iter().zip(ms.components().iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let tol = 1e-12 * x.abs().max(y.abs()).max(1.0);
+                prop_assert!((x - y).abs() <= tol, "{} vs {}", x, y);
+            }
+        }
     }
 }

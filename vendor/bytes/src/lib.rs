@@ -1,0 +1,381 @@
+//! Minimal, vendored re-implementation of the parts of the `bytes` crate
+//! this workspace uses. The build environment has no registry access, so
+//! the real crate cannot be fetched; this stand-in keeps the same API shape
+//! and — crucially — the same *sharing* semantics: [`Bytes`] is a cheaply
+//! clonable view into reference-counted storage, so cloning a payload for
+//! fan-out (bcast trees, forwarding, self-sends) bumps a refcount instead
+//! of copying the buffer. Pointer identity (`Bytes::as_ptr`) is therefore
+//! a valid witness of zero-copy behaviour, and the psmpi tests use it.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Reference-counted immutable byte buffer: a `(storage, start, end)` view.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Repr,
+    start: usize,
+    end: usize,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Repr {
+    fn slice(&self) -> &[u8] {
+        match self {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v.as_slice(),
+        }
+    }
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes { data: Repr::Static(&[]), start: 0, end: 0 }
+    }
+
+    /// View over a static slice (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes { data: Repr::Static(s), start: 0, end: s.len() }
+    }
+
+    /// Copy `data` into a fresh owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view sharing the same storage (no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice {begin}..{end} out of range for {len}");
+        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
+    }
+
+    /// Split off the first `at` bytes into a new view; `self` keeps the
+    /// rest. Both share the storage.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to {at} out of range for {}", self.len());
+        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+
+    /// Split off everything after `at`; `self` keeps the first `at` bytes.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off {at} out of range for {}", self.len());
+        let tail = Bytes { data: self.data.clone(), start: self.start + at, end: self.end };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Address of the first byte of the view — stable across clones of the
+    /// same storage, which makes it usable as a zero-copy witness.
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data.slice()[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Repr::Shared(Arc::new(v)), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "…({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer; freeze into [`Bytes`] without copying.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable [`Bytes`] (moves the storage, no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+macro_rules! le_getters {
+    ($($name:ident -> $t:ty),* $(,)?) => {
+        $(
+            /// Read one little-endian scalar.
+            fn $name(&mut self) -> $t {
+                let mut raw = [0u8; std::mem::size_of::<$t>()];
+                self.copy_to_slice(&mut raw);
+                <$t>::from_le_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read cursor over a byte source (the subset of `bytes::Buf` we use).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copy `dst.len()` bytes out and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Read one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    le_getters! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i16_le -> i16,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+macro_rules! le_putters {
+    ($($name:ident($t:ty)),* $(,)?) => {
+        $(
+            /// Append one little-endian scalar.
+            fn $name(&mut self, v: $t) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )*
+    };
+}
+
+/// Write sink (the subset of `bytes::BufMut` we use).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    le_putters! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i16_le(i16),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u64_le(0xDEAD_BEEF);
+        b.put_f64_le(1.5);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        let c = a.slice(1..3);
+        assert_eq!(&c[..], &[2, 3]);
+        assert_eq!(unsafe { a.as_ptr().add(1) }, c.as_ptr());
+    }
+
+    #[test]
+    fn split_to_keeps_rest() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let head = a.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&a[..], &[3, 4]);
+    }
+
+    #[test]
+    fn freeze_does_not_copy() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[9, 9, 9]);
+        let p = b.as_ref().as_ptr();
+        let f = b.freeze();
+        assert_eq!(f.as_ptr(), p);
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal, vendored benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses. The build environment has no
+//! registry access, so the real crate cannot be fetched.
+//!
+//! Statistics are deliberately simple: each benchmark takes `sample_size`
+//! wall-clock samples (one call per sample after one warmup call) and
+//! prints mean / min / max to stdout. That is enough to track the perf
+//! trajectory; there is no outlier analysis, HTML report, or saved
+//! baseline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark measurement: samples of wall-clock time per call.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, e.g. `group/label/param`.
+    pub id: String,
+    /// Per-sample durations.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Mean over samples.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Slowest sample.
+    pub fn max(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Every measurement taken so far (available to custom reporters).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 10 }
+    }
+}
+
+/// Identifier combining a function label and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `label/parameter`.
+    pub fn new(label: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{label}/{parameter}") }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, label: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(format!("{}/{label}", self.name), &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(format!("{}/{id}", self.name), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Explicitly end the group (dropping it is equivalent).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        let m = Measurement { id, samples: bencher.samples };
+        println!(
+            "bench {:<48} mean {:>12.6?}  (min {:.6?} .. max {:.6?}, n={})",
+            m.id,
+            m.mean(),
+            m.min(),
+            m.max(),
+            m.samples.len()
+        );
+        self.criterion.measurements.push(m);
+    }
+}
+
+/// Runs and times the closure under benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one untimed warmup call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_records_measurements() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("sized", 8), &8usize, |b, &n| {
+                b.iter(|| vec![0u8; n].len())
+            });
+        }
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[0].id, "g/noop");
+        assert_eq!(c.measurements[1].id, "g/sized/8");
+        assert_eq!(c.measurements[0].samples.len(), 3);
+        assert!(c.measurements[0].mean() >= c.measurements[0].min());
+    }
+}

@@ -1,0 +1,645 @@
+//! Minimal, vendored property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses. The build environment has no
+//! registry access, so the real crate cannot be fetched.
+//!
+//! Differences from upstream worth knowing:
+//! - **No shrinking.** A failing case panics with the inputs' debug output;
+//!   re-running is deterministic (the RNG is seeded from the test name), so
+//!   failures reproduce exactly.
+//! - `&str` strategies support only the `.{lo,hi}` regex shape the tests
+//!   use (arbitrary strings with a length range); other patterns fall back
+//!   to a generic printable-string generator.
+//! - Default case count is 64 (upstream: 256) — the suite runs on small
+//!   single-core CI boxes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded construction (one stream per test name).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Test-runner plumbing: config, case outcomes, and the case loop.
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Subset of upstream `ProptestConfig`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Inputs rejected (filter/assume) — does not count as a failure.
+        Reject,
+        /// Assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `f` until `config.cases` cases pass; panic on the first failure.
+    /// Deterministic: the RNG stream depends only on the test name.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = 1000 + 10 * config.cases as u64;
+        while passed < config.cases {
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{name}': too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case {passed}: {msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// Inputs rejected during generation (e.g. by a filter).
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a dependent strategy from each value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred` (resamples; rejects the case
+        /// if no value passes after many tries).
+        fn prop_filter<F>(self, _reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejected> {
+            self.inner.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Result<T::Value, Rejected> {
+            let outer = self.inner.new_value(rng)?;
+            (self.f)(outer).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+            for _ in 0..100 {
+                let v = self.inner.new_value(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejected)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        Ok(self.start + rng.below(span) as $t)
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo) as u64;
+                        if span == u64::MAX {
+                            return Ok(rng.next_u64() as $t);
+                        }
+                        Ok(lo + rng.below(span + 1) as $t)
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! sint_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = self.end.wrapping_sub(self.start) as u64;
+                        Ok(self.start.wrapping_add(rng.below(span) as $t))
+                    }
+                }
+            )*
+        };
+    }
+
+    sint_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+            assert!(self.start < self.end, "empty range strategy");
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            // Occasionally emit the exact endpoints so `..=1.0` really
+            // exercises 1.0.
+            Ok(match rng.below(64) {
+                0 => lo,
+                1 => hi,
+                _ => lo + rng.unit_f64() * (hi - lo),
+            })
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.new_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+
+    /// Regex-shaped string strategy. Supports the `.{lo,hi}` form (any
+    /// characters, length in `[lo, hi]`); anything else falls back to
+    /// printable strings of length 0–32.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> Result<String, Rejected> {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                // Mostly printable ASCII, with occasional multibyte chars to
+                // exercise UTF-8 handling.
+                let c = match rng.below(16) {
+                    0 => 'é',
+                    1 => 'Ж',
+                    2 => '→',
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                };
+                s.push(c);
+            }
+            Ok(s)
+        }
+    }
+
+    fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+        let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// `any::<T>()` support: uniformly arbitrary values of primitive types.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Arbitrary bit patterns: includes subnormals, infinities, NaN —
+        /// callers filter what they cannot accept.
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use super::strategy::{Rejected, Strategy};
+    use super::TestRng;
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejected> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `prop::option` — `Option<T>` strategies.
+pub mod option {
+    use super::strategy::{Rejected, Strategy};
+    use super::TestRng;
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Result<Option<S::Value>, Rejected> {
+            if rng.below(4) == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(self.inner.new_value(rng)?))
+            }
+        }
+    }
+
+    /// `None` about a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::option::of` work.
+pub mod prop {
+    pub use super::collection;
+    pub use super::option;
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{any, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::new_value(&($strat), __rng) {
+                            Ok(v) => v,
+                            Err(_) => {
+                                return ::std::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject);
+                            }
+                        };
+                    )+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; failure reports the case, no panic mid-rng.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} != {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{}: {:?} != {:?}", format!($($fmt)+), __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} == {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Reject the current case unless `cond` holds (does not count as failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in -5i64..5, z in 0.5f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..=1.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_option((v, o) in (prop::collection::vec(any::<u8>(), 2..6), prop::option::of(1u32..4))) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            if let Some(x) = o {
+                prop_assert!((1..4).contains(&x));
+            }
+        }
+
+        #[test]
+        fn map_filter_flat_map(n in (1usize..5).prop_flat_map(|k| (k..k + 1).prop_map(|v| v * 2)).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(n % 2 == 0 && (2..10).contains(&n));
+        }
+
+        #[test]
+        fn string_pattern(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n > 0);
+            prop_assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let mut r1 = crate::TestRng::seed_from_u64(9);
+        let mut r2 = crate::TestRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut r1).unwrap(), s.new_value(&mut r2).unwrap());
+        }
+    }
+}

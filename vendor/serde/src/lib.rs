@@ -1,0 +1,7 @@
+//! Minimal, vendored stand-in for `serde`. The workspace only uses the
+//! `Serialize`/`Deserialize` *derives*, and only decoratively — nothing
+//! serializes through serde (the wire format is `psmpi::datatype`'s
+//! hand-written codec). This crate re-exports no-op derive macros so
+//! `use serde::{Deserialize, Serialize}` keeps compiling offline.
+
+pub use serde_derive::{Deserialize, Serialize};

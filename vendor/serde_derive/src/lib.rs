@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives. The
+//! workspace annotates types with these derives but never serializes
+//! through serde — the wire format is the hand-written `MpiDatatype`
+//! codec in `psmpi::datatype` — so expanding to nothing is sound. The
+//! build environment has no registry access, so the real macros cannot
+//! be fetched.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
