@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== format check =="
+cargo fmt --all -- --check
+
 echo "== build (release) =="
 cargo build --release
 
@@ -14,6 +17,11 @@ cargo test -q --workspace
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== deepcheck (determinism contract + MPI usage) =="
+# Fails on any finding not covered by allowlist.toml; writes
+# DEEPCHECK_REPORT.json with every finding, verdict, and the allowlist hash.
+cargo run -q --release -p deepcheck -- --root . --report DEEPCHECK_REPORT.json
 
 echo "== bench compile check =="
 cargo bench --workspace --no-run

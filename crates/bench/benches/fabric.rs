@@ -10,15 +10,15 @@ fn bench_pingpong(c: &mut Criterion) {
     let bn = deep_er_booster_node();
     let mut g = c.benchmark_group("fig3/pingpong");
     g.sample_size(10);
-    for (label, a, b) in [("CN-CN", &cn, &cn), ("BN-BN", &bn, &bn), ("CN-BN", &cn, &bn)] {
+    for (label, a, b) in [
+        ("CN-CN", &cn, &cn),
+        ("BN-BN", &bn, &bn),
+        ("CN-BN", &cn, &bn),
+    ] {
         for size in [1usize, 4096, 1 << 20] {
-            g.bench_with_input(
-                BenchmarkId::new(label, size),
-                &size,
-                |bencher, &size| {
-                    bencher.iter(|| pingpong::measure(a, b, &[size], 1));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, size), &size, |bencher, &size| {
+                bencher.iter(|| pingpong::measure(a, b, &[size], 1));
+            });
         }
     }
     g.finish();

@@ -130,7 +130,11 @@ fn bench_router(c: &mut Criterion) {
                 .add_nodes(8, &deep_er_cluster_node())
                 .run(|rank| {
                     let w = rank.world();
-                    let v = if rank.rank() == 0 { Some(vec![0u8; MSG]) } else { None };
+                    let v = if rank.rank() == 0 {
+                        Some(vec![0u8; MSG])
+                    } else {
+                        None
+                    };
                     let got = rank.bcast(&w, 0, v).unwrap();
                     black_box(got.len());
                 })
@@ -142,7 +146,11 @@ fn bench_router(c: &mut Criterion) {
                 .add_nodes(8, &deep_er_cluster_node())
                 .run(|rank| {
                     let w = rank.world();
-                    let v = if rank.rank() == 0 { Some(Bytes::from(vec![0u8; MSG])) } else { None };
+                    let v = if rank.rank() == 0 {
+                        Some(Bytes::from(vec![0u8; MSG]))
+                    } else {
+                        None
+                    };
                     let got = rank.bcast_bytes(&w, 0, v).unwrap();
                     black_box(got.len());
                 })
@@ -191,7 +199,17 @@ fn mean_ns(ms: &[Measurement], id: &str) -> Option<u128> {
 }
 
 fn write_json(measurements: &[Measurement]) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The workspace root is two levels above this crate's manifest —
+    // resolved at compile time, so the artifact lands in a stable place
+    // no matter where the bench is launched from.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let vts = virtual_times();
     let invariant = vts.iter().all(|&(_, ns)| ns == vts[0].1);
 
@@ -204,6 +222,14 @@ fn write_json(measurements: &[Measurement]) {
         NX * NY * PPC
     );
     let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    // Fingerprint of the deepcheck exception list in force when the numbers
+    // were produced — ties every benchmark artifact to the exact set of
+    // determinism-contract waivers it ran under.
+    let _ = writeln!(
+        out,
+        "  \"deepcheck_allowlist_hash\": \"{}\",",
+        deepcheck::allowlist_hash(&root)
+    );
 
     out.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -244,25 +270,12 @@ fn write_json(measurements: &[Measurement]) {
     let _ = writeln!(out, "  \"virtual_time_invariant\": {invariant}");
     out.push_str("}\n");
 
-    assert!(invariant, "virtual time must not depend on the thread count: {vts:?}");
+    assert!(
+        invariant,
+        "virtual time must not depend on the thread count: {vts:?}"
+    );
 
-    // Walk up from the bench's cwd to the workspace root (Cargo.toml with
-    // [workspace]) so the artifact lands in a stable place.
-    let mut dir = std::env::current_dir().expect("cwd");
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if manifest.exists()
-            && std::fs::read_to_string(&manifest)
-                .map(|s| s.contains("[workspace]"))
-                .unwrap_or(false)
-        {
-            break;
-        }
-        if !dir.pop() {
-            break;
-        }
-    }
-    let path = dir.join("BENCH_kernels.json");
+    let path = root.join("BENCH_kernels.json");
     std::fs::write(&path, out).expect("write BENCH_kernels.json");
     println!("wrote {}", path.display());
 }

@@ -39,15 +39,25 @@ pub fn eager_threshold_sweep(thresholds: &[usize]) -> Vec<ThresholdPoint> {
     thresholds
         .iter()
         .map(|&threshold| {
-            let model = LogGpModel { eager_threshold: threshold, ..LogGpModel::default() };
+            let model = LogGpModel {
+                eager_threshold: threshold,
+                ..LogGpModel::default()
+            };
             let mut topo = Topology::new();
             topo.add_nodes(1, &deep_er_cluster_node());
             topo.add_nodes(1, &deep_er_booster_node());
             let fabric = Fabric::with_model(topo, model);
             let bw = |size: usize| {
-                fabric.bandwidth_at(NodeId(0), NodeId(1), size).expect("pair") / 1e6
+                fabric
+                    .bandwidth_at(NodeId(0), NodeId(1), size)
+                    .expect("pair")
+                    / 1e6
             };
-            ThresholdPoint { threshold, bw_16k: bw(16 << 10), bw_64k: bw(64 << 10) }
+            ThresholdPoint {
+                threshold,
+                bw_16k: bw(16 << 10),
+                bw_64k: bw(64 << 10),
+            }
         })
         .collect()
 }
@@ -71,7 +81,10 @@ impl OverlapStudy {
 /// Run the overlap ablation at `nodes` per solver.
 pub fn overlap_study(launcher: &Launcher, nodes: usize, steps: u32) -> OverlapStudy {
     let on = XpicConfig::paper_bench(steps);
-    let off = XpicConfig { overlap: false, ..on.clone() };
+    let off = XpicConfig {
+        overlap: false,
+        ..on.clone()
+    };
     OverlapStudy {
         with_overlap: run_mode(launcher, Mode::ClusterBooster, nodes, &on).total,
         without_overlap: run_mode(launcher, Mode::ClusterBooster, nodes, &off).total,
@@ -92,7 +105,10 @@ pub struct SchedulerStudy {
 /// A mixed workload (Cluster-heavy, Booster-heavy, and hybrid jobs) run
 /// under both policies on a 16 CN + 16 BN machine.
 pub fn scheduler_study() -> SchedulerStudy {
-    let sys = SystemBuilder::new("study").cluster_nodes(16).booster_nodes(16).build();
+    let sys = SystemBuilder::new("study")
+        .cluster_nodes(16)
+        .booster_nodes(16)
+        .build();
     let run = |policy: AllocationPolicy| {
         let rm = ResourceManager::with_policy(&sys, policy);
         let mut sched = BatchScheduler::with_discipline(rm, Discipline::EasyBackfill);
@@ -109,7 +125,11 @@ pub fn scheduler_study() -> SchedulerStudy {
     };
     let (ind, util_i) = run(AllocationPolicy::Independent);
     let (locked, util_l) = run(AllocationPolicy::NodeLocked { ratio: 1 });
-    SchedulerStudy { independent: ind, node_locked: locked, utilization: (util_i, util_l) }
+    SchedulerStudy {
+        independent: ind,
+        node_locked: locked,
+        utilization: (util_i, util_l),
+    }
 }
 
 /// One point of the checkpoint-interval sweep.
@@ -144,7 +164,11 @@ pub fn checkpoint_sweep(node_mtbf_hours: f64, ckpt_cost_s: f64, seed: u64) -> Ve
         .into_iter()
         .map(|(interval, is_young)| {
             let out = simulate_run(work, interval, ckpt, restart, &trace);
-            CheckpointPoint { interval, wall: out.wall_time, is_young }
+            CheckpointPoint {
+                interval,
+                wall: out.wall_time,
+                is_young,
+            }
         })
         .collect()
 }
@@ -189,7 +213,11 @@ pub struct WeakScalingPoint {
 }
 
 /// Run the weak-scaling sweep in C+B mode.
-pub fn weak_scaling(launcher: &Launcher, steps: u32, node_counts: &[usize]) -> Vec<WeakScalingPoint> {
+pub fn weak_scaling(
+    launcher: &Launcher,
+    steps: u32,
+    node_counts: &[usize],
+) -> Vec<WeakScalingPoint> {
     let cfg = XpicConfig::paper_bench(steps); // model stays per-node
     node_counts
         .iter()
@@ -228,7 +256,11 @@ pub fn nam_checkpoint(bytes: usize) -> NamStudy {
     assert_eq!(back, data, "NAM round trip");
     let nam_get = fabric.nam_rdma_time(NodeId(0), 0, bytes).expect("path");
     let buddy_copy = fabric.p2p_time(NodeId(0), NodeId(1), bytes).expect("pair");
-    NamStudy { nam_put, buddy_copy, nam_get }
+    NamStudy {
+        nam_put,
+        buddy_copy,
+        nam_get,
+    }
 }
 
 /// Render all ablation results as text.
@@ -236,9 +268,15 @@ pub fn render_all(launcher: &Launcher) -> String {
     let mut out = String::new();
 
     out.push_str("ABLATION 1: eager/rendezvous threshold sweep (CN-BN bandwidth, MB/s)\n");
-    out.push_str(&format!("{:>12} {:>12} {:>12}\n", "threshold", "@16KiB", "@64KiB"));
+    out.push_str(&format!(
+        "{:>12} {:>12} {:>12}\n",
+        "threshold", "@16KiB", "@64KiB"
+    ));
     for p in eager_threshold_sweep(&[4 << 10, 16 << 10, 32 << 10, 128 << 10]) {
-        out.push_str(&format!("{:>12} {:>12.1} {:>12.1}\n", p.threshold, p.bw_16k, p.bw_64k));
+        out.push_str(&format!(
+            "{:>12} {:>12.1} {:>12.1}\n",
+            p.threshold, p.bw_16k, p.bw_64k
+        ));
     }
 
     let ov = overlap_study(launcher, 4, 4);
@@ -257,7 +295,10 @@ pub fn render_all(launcher: &Launcher) -> String {
     ));
 
     out.push_str("\nEXTENSION 1: checkpoint interval sweep (week-long job, 27 nodes)\n");
-    out.push_str(&format!("{:>14} {:>16} {:>8}\n", "interval [s]", "wall [s]", "young?"));
+    out.push_str(&format!(
+        "{:>14} {:>16} {:>8}\n",
+        "interval [s]", "wall [s]", "young?"
+    ));
     for p in checkpoint_sweep(24.0, 30.0, 42) {
         out.push_str(&format!(
             "{:>14.0} {:>16.0} {:>8}\n",
@@ -335,16 +376,28 @@ mod tests {
         let pts = checkpoint_sweep(24.0, 30.0, 7);
         let best = pts.iter().map(|p| p.wall).min().unwrap();
         let young = pts.iter().find(|p| p.is_young).expect("young point").wall;
-        assert!(young.as_secs() <= best.as_secs() * 1.2, "young {young} vs best {best}");
+        assert!(
+            young.as_secs() <= best.as_secs() * 1.2,
+            "young {young} vs best {best}"
+        );
     }
 
     #[test]
     fn booster_wins_energy_cb_wins_edp() {
         let e = energy_study(&prototype_launcher(), 40);
         // The Booster's Flops/W advantage makes it the raw-energy winner.
-        assert!(e.energy[1] < e.energy[0], "Booster energy {} < Cluster {}", e.energy[1], e.energy[0]);
+        assert!(
+            e.energy[1] < e.energy[0],
+            "Booster energy {} < Cluster {}",
+            e.energy[1],
+            e.energy[0]
+        );
         // The C+B split wins the energy-delay product.
-        assert!(e.edp[2] < e.edp[0] && e.edp[2] < e.edp[1], "C+B EDP best: {:?}", e.edp);
+        assert!(
+            e.edp[2] < e.edp[0] && e.edp[2] < e.edp[1],
+            "C+B EDP best: {:?}",
+            e.edp
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub fn series_for(sizes: &[usize]) -> Vec<Row> {
     sizes
         .iter()
         .enumerate()
-        .map(|(i, &size)| Row { size, cn_cn: cc[i], bn_bn: bb[i], cn_bn: cb[i] })
+        .map(|(i, &size)| Row {
+            size,
+            cn_cn: cc[i],
+            bn_bn: bb[i],
+            cn_bn: cb[i],
+        })
         .collect()
 }
 

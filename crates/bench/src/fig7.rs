@@ -60,13 +60,19 @@ pub fn render(bars: &Bars) -> String {
     out.push_str("TABLE II: xPic experiment setup\n");
     out.push_str("  Number of cells per node      4096\n");
     out.push_str("  Number of particles per cell  2048\n");
-    out.push_str("  Compilation flags             -openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)\n\n");
+    out.push_str(
+        "  Compilation flags             -openmp, -mavx (Cluster), -xMIC-AVX512 (Booster)\n\n",
+    );
     out.push_str("FIG 7: Runtime of xPic and its constituents [virtual s]\n");
     out.push_str(&format!(
         "{:>12} {:>12} {:>12} {:>12}\n",
         "", "Cluster", "Booster", "C+B"
     ));
-    for (name, row) in [("Fields", &bars.fields), ("Particles", &bars.particles), ("Total", &bars.total)] {
+    for (name, row) in [
+        ("Fields", &bars.fields),
+        ("Particles", &bars.particles),
+        ("Total", &bars.total),
+    ] {
         out.push_str(&format!(
             "{:>12} {:>12.4} {:>12.4} {:>12.4}\n",
             name,
@@ -106,14 +112,25 @@ mod tests {
     #[test]
     fn fig7_headline_numbers() {
         let bars = run(&prototype_launcher(), 4);
-        assert!((4.5..=7.5).contains(&bars.field_ratio()), "{}", bars.field_ratio());
-        assert!((1.2..=1.55).contains(&bars.particle_ratio()), "{}", bars.particle_ratio());
+        assert!(
+            (4.5..=7.5).contains(&bars.field_ratio()),
+            "{}",
+            bars.field_ratio()
+        );
+        assert!(
+            (1.2..=1.55).contains(&bars.particle_ratio()),
+            "{}",
+            bars.particle_ratio()
+        );
         assert!(bars.gain_vs_cluster() > 1.1, "{}", bars.gain_vs_cluster());
         assert!(bars.gain_vs_booster() > 1.05, "{}", bars.gain_vs_booster());
         // In C+B the field solver runs on the Cluster: its bar matches the
         // Cluster-only field bar closely.
         let rel = (bars.fields[2] / bars.fields[0] - 1.0).abs();
-        assert!(rel < 0.35, "C+B field section ≈ Cluster field section: {rel}");
+        assert!(
+            rel < 0.35,
+            "C+B field section ≈ Cluster field section: {rel}"
+        );
         let text = render(&bars);
         assert!(text.contains("TABLE II"));
         assert!(text.contains("FIG 7"));

@@ -30,7 +30,10 @@ pub struct Scaling {
 impl Scaling {
     /// The point for a node count.
     pub fn at(&self, nodes: usize) -> &Point {
-        self.points.iter().find(|p| p.nodes == nodes).expect("node count present")
+        self.points
+            .iter()
+            .find(|p| p.nodes == nodes)
+            .expect("node count present")
     }
 
     /// C+B gain vs Cluster-only at a node count (paper: 1.28× → 1.38×).
@@ -73,7 +76,11 @@ pub fn run(launcher: &Launcher, steps: u32, node_counts: &[usize]) -> Scaling {
                 eff[i] = (base_runtime[i].as_secs() * base_nodes as f64)
                     / (nodes as f64 * rt[i].as_secs());
             }
-            Point { nodes, runtime: *rt, efficiency: eff }
+            Point {
+                nodes,
+                runtime: *rt,
+                efficiency: eff,
+            }
         })
         .collect();
     Scaling { points }
@@ -158,8 +165,16 @@ mod tests {
         // Efficiency ordering at 8 nodes: C+B ≥ Cluster > Booster
         // (paper: 85% / 79% / 77%).
         let p8 = s.at(8);
-        assert!(p8.efficiency[2] > p8.efficiency[0], "C+B most efficient: {:?}", p8.efficiency);
-        assert!(p8.efficiency[0] > p8.efficiency[1], "Cluster beats Booster: {:?}", p8.efficiency);
+        assert!(
+            p8.efficiency[2] > p8.efficiency[0],
+            "C+B most efficient: {:?}",
+            p8.efficiency
+        );
+        assert!(
+            p8.efficiency[0] > p8.efficiency[1],
+            "Cluster beats Booster: {:?}",
+            p8.efficiency
+        );
         // All efficiencies within the plot's 0.5–1.0 range.
         for p in &s.points {
             for e in p.efficiency {

@@ -15,6 +15,8 @@
 //! | ablations & extensions | [`ablation`] | `ablations` |
 //! | calibration sensitivity | [`sensitivity`] | `ablations` |
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod fig3;
 pub mod fig7;

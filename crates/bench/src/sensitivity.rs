@@ -47,9 +47,13 @@ pub fn perturbed(knob: Knob, factor: f64) -> (NodeSpec, NodeSpec) {
     let mut bn = deep_er_booster_node();
     match knob {
         Knob::HswScalar => cn.processor.scalar_flops_per_cycle *= factor,
-        Knob::HswSimdEff => cn.processor.simd_efficiency = (cn.processor.simd_efficiency * factor).min(1.0),
+        Knob::HswSimdEff => {
+            cn.processor.simd_efficiency = (cn.processor.simd_efficiency * factor).min(1.0)
+        }
         Knob::KnlScalar => bn.processor.scalar_flops_per_cycle *= factor,
-        Knob::KnlSimdEff => bn.processor.simd_efficiency = (bn.processor.simd_efficiency * factor).min(1.0),
+        Knob::KnlSimdEff => {
+            bn.processor.simd_efficiency = (bn.processor.simd_efficiency * factor).min(1.0)
+        }
         Knob::HswDramBw => {
             for m in cn.memory.iter_mut() {
                 if m.kind == hwmodel::MemoryKind::Ddr4 {
@@ -94,7 +98,10 @@ pub fn render(eps: f64) -> String {
         "knob", "fld −", "fld +", "pcl −", "pcl +"
     ));
     let (f0, p0) = ratios(Knob::HswScalar, 1.0);
-    out.push_str(&format!("{:<14} baseline: field {:.2}x, particles {:.2}x\n", "", f0, p0));
+    out.push_str(&format!(
+        "{:<14} baseline: field {:.2}x, particles {:.2}x\n",
+        "", f0, p0
+    ));
     for knob in all_knobs() {
         let (f_lo, p_lo) = ratios(knob, 1.0 - eps);
         let (f_hi, p_hi) = ratios(knob, 1.0 + eps);
@@ -136,7 +143,10 @@ mod tests {
         for knob in all_knobs() {
             for factor in [0.95, 1.05] {
                 let (field, particles) = ratios(knob, factor);
-                assert!((4.5..=8.5).contains(&field), "{knob:?}×{factor}: field {field:.2}");
+                assert!(
+                    (4.5..=8.5).contains(&field),
+                    "{knob:?}×{factor}: field {field:.2}"
+                );
                 assert!(
                     (1.1..=1.7).contains(&particles),
                     "{knob:?}×{factor}: particles {particles:.2}"

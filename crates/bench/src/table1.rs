@@ -21,9 +21,7 @@ fn ram_string(n: &NodeSpec) -> String {
         .memory
         .iter()
         .filter_map(|m| match m.kind {
-            hwmodel::MemoryKind::Mcdram => {
-                Some(format!("{} GB – MCDRAM", m.capacity_bytes >> 30))
-            }
+            hwmodel::MemoryKind::Mcdram => Some(format!("{} GB – MCDRAM", m.capacity_bytes >> 30)),
             hwmodel::MemoryKind::Ddr4 => Some(format!("{} GB – DDR4", m.capacity_bytes >> 30)),
             _ => None,
         })
@@ -35,13 +33,37 @@ fn ram_string(n: &NodeSpec) -> String {
 pub fn rows() -> Vec<Row> {
     let cn = deep_er_cluster_node();
     let bn = deep_er_booster_node();
-    let row = |feature, c: String, b: String| Row { feature, cluster: c, booster: b };
+    let row = |feature, c: String, b: String| Row {
+        feature,
+        cluster: c,
+        booster: b,
+    };
     vec![
-        row("Processor", cn.processor.name.clone(), bn.processor.name.clone()),
-        row("Microarchitecture", format!("{:?}", cn.processor.arch), format!("{:?}", bn.processor.arch)),
-        row("Sockets per node", cn.sockets.to_string(), bn.sockets.to_string()),
-        row("Cores per node", cn.cores().to_string(), bn.cores().to_string()),
-        row("Threads per node", cn.threads().to_string(), bn.threads().to_string()),
+        row(
+            "Processor",
+            cn.processor.name.clone(),
+            bn.processor.name.clone(),
+        ),
+        row(
+            "Microarchitecture",
+            format!("{:?}", cn.processor.arch),
+            format!("{:?}", bn.processor.arch),
+        ),
+        row(
+            "Sockets per node",
+            cn.sockets.to_string(),
+            bn.sockets.to_string(),
+        ),
+        row(
+            "Cores per node",
+            cn.cores().to_string(),
+            bn.cores().to_string(),
+        ),
+        row(
+            "Threads per node",
+            cn.threads().to_string(),
+            bn.threads().to_string(),
+        ),
         row(
             "Frequency",
             format!("{} GHz", cn.processor.freq_ghz),
@@ -50,11 +72,25 @@ pub fn rows() -> Vec<Row> {
         row("Memory (RAM)", ram_string(&cn), ram_string(&bn)),
         row(
             "NVMe capacity",
-            format!("{} GB", cn.nvme().map_or(0, |m| m.capacity_bytes / 1_000_000_000)),
-            format!("{} GB", bn.nvme().map_or(0, |m| m.capacity_bytes / 1_000_000_000)),
+            format!(
+                "{} GB",
+                cn.nvme().map_or(0, |m| m.capacity_bytes / 1_000_000_000)
+            ),
+            format!(
+                "{} GB",
+                bn.nvme().map_or(0, |m| m.capacity_bytes / 1_000_000_000)
+            ),
         ),
-        row("Interconnect", "EXTOLL Tourmalet A3".into(), "EXTOLL Tourmalet A3".into()),
-        row("Max. link bandwidth", "100 Gbit/s".into(), "100 Gbit/s".into()),
+        row(
+            "Interconnect",
+            "EXTOLL Tourmalet A3".into(),
+            "EXTOLL Tourmalet A3".into(),
+        ),
+        row(
+            "Max. link bandwidth",
+            "100 Gbit/s".into(),
+            "100 Gbit/s".into(),
+        ),
         row(
             "MPI latency",
             format!("{:.1} µs", 2.0 * cn.nic_send_overhead.as_micros() + 0.3),
@@ -73,11 +109,17 @@ pub fn rows() -> Vec<Row> {
 pub fn render() -> String {
     let mut out = String::new();
     out.push_str("TABLE I: Hardware configuration of the DEEP-ER prototype (from the model)\n");
-    out.push_str(&format!("{:<22} {:<28} {:<28}\n", "Feature", "Cluster", "Booster"));
+    out.push_str(&format!(
+        "{:<22} {:<28} {:<28}\n",
+        "Feature", "Cluster", "Booster"
+    ));
     out.push_str(&"-".repeat(78));
     out.push('\n');
     for r in rows() {
-        out.push_str(&format!("{:<22} {:<28} {:<28}\n", r.feature, r.cluster, r.booster));
+        out.push_str(&format!(
+            "{:<22} {:<28} {:<28}\n",
+            r.feature, r.cluster, r.booster
+        ));
     }
     out
 }

@@ -127,7 +127,11 @@ impl Launcher {
     pub fn new(system: System) -> Self {
         let rm = ResourceManager::new(&system);
         let universe = Universe::new(system.fabric().clone());
-        Launcher { system, rm, universe }
+        Launcher {
+            system,
+            rm,
+            universe,
+        }
     }
 
     /// The managed system.
@@ -153,14 +157,18 @@ impl Launcher {
     where
         F: Fn(&mut Rank, &Allocation) + Send + Sync + 'static,
     {
-        let alloc = self.rm.allocate_modular(spec.cluster_nodes, spec.booster_nodes, spec.dam_nodes)?;
+        let alloc =
+            self.rm
+                .allocate_modular(spec.cluster_nodes, spec.booster_nodes, spec.dam_nodes)?;
         let boot_nodes = match spec.boot {
             ModuleKind::Cluster => &alloc.cluster,
             ModuleKind::Booster => &alloc.booster,
             ModuleKind::Dam => &alloc.dam,
             ModuleKind::Storage => {
                 self.rm.release(&alloc).ok();
-                return Err(LaunchError::BadSpec("cannot boot on the storage module".into()));
+                return Err(LaunchError::BadSpec(
+                    "cannot boot on the storage module".into(),
+                ));
             }
         };
         if boot_nodes.is_empty() {
@@ -181,7 +189,9 @@ impl Launcher {
         let report = self
             .universe
             .launch(&placements, move |rank| entry(rank, &alloc_in));
-        self.rm.release(&alloc_arc).expect("allocation live until here");
+        self.rm
+            .release(&alloc_arc)
+            .expect("allocation live until here");
         Ok(report)
     }
 }
@@ -232,13 +242,17 @@ mod tests {
                 let cluster = alloc.cluster.clone();
                 let w = rank.world();
                 let ic = rank
-                    .spawn(&w, &cluster, Arc::new(|child: &mut Rank| {
-                        assert_eq!(child.node().kind, NodeKind::Cluster);
-                        let pic = child.parent().unwrap();
-                        if child.rank() == 0 {
-                            child.send_inter(&pic, 0, 1, &7u32).unwrap();
-                        }
-                    }))
+                    .spawn(
+                        &w,
+                        &cluster,
+                        Arc::new(|child: &mut Rank| {
+                            assert_eq!(child.node().kind, NodeKind::Cluster);
+                            let pic = child.parent().unwrap();
+                            if child.rank() == 0 {
+                                child.send_inter(&pic, 0, 1, &7u32).unwrap();
+                            }
+                        }),
+                    )
                     .unwrap();
                 if rank.rank() == 0 {
                     let (v, _) = rank.recv_inter::<u32>(&ic, Some(0), Some(1)).unwrap();
@@ -260,7 +274,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, LaunchError::BadSpec(_)));
         // Over-allocation.
-        let err = l.launch(&JobSpec::cluster_only("big", 99), |_, _| {}).unwrap_err();
+        let err = l
+            .launch(&JobSpec::cluster_only("big", 99), |_, _| {})
+            .unwrap_err();
         assert!(matches!(err, LaunchError::Allocation(_)));
         // Failed launches leak nothing.
         assert_eq!(l.resources().free_cluster(), 2);

@@ -24,6 +24,8 @@
 //!
 //! The crate re-exports the pieces a typical application needs.
 
+#![forbid(unsafe_code)]
+
 pub mod launch;
 pub mod malleable;
 pub mod resources;

@@ -78,7 +78,11 @@ impl MalleableScheduler {
     /// Scheduler over a pool of `nodes` nodes.
     pub fn new(nodes: usize) -> Self {
         assert!(nodes >= 1);
-        MalleableScheduler { nodes, queue: Vec::new(), next_id: 0 }
+        MalleableScheduler {
+            nodes,
+            queue: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Submit a job; returns its id.
@@ -109,10 +113,13 @@ impl MalleableScheduler {
     /// nodes used.
     fn rebalance(&self, running: &mut [Running], policy: Policy) -> usize {
         match policy {
-            Policy::Rigid => running.iter_mut().map(|r| {
-                r.alloc = r.job.max_nodes;
-                r.alloc
-            }).sum(),
+            Policy::Rigid => running
+                .iter_mut()
+                .map(|r| {
+                    r.alloc = r.job.max_nodes;
+                    r.alloc
+                })
+                .sum(),
             Policy::EquiPartition => {
                 let mut used = 0;
                 for r in running.iter_mut() {
@@ -157,7 +164,9 @@ impl MalleableScheduler {
             // Admit arrived jobs whose minimum fits (FIFO).
             loop {
                 let used_min: usize = running.iter().map(|r| r.job.min_nodes).sum();
-                let Some(pos) = pending.iter().position(|j| j.submit <= now) else { break };
+                let Some(pos) = pending.iter().position(|j| j.submit <= now) else {
+                    break;
+                };
                 let j = &pending[pos];
                 if used_min + j.min_nodes <= self.nodes {
                     let j = pending.remove(pos);
@@ -181,7 +190,9 @@ impl MalleableScheduler {
                 let mut keep = Vec::new();
                 let mut demoted = Vec::new();
                 for r in running.drain(..) {
-                    if !r.remaining.eq(&r.job.work_node_seconds) || used + r.job.max_nodes <= self.nodes {
+                    if !r.remaining.eq(&r.job.work_node_seconds)
+                        || used + r.job.max_nodes <= self.nodes
+                    {
                         used += r.job.max_nodes;
                         keep.push(r);
                     } else {
@@ -242,7 +253,12 @@ impl MalleableScheduler {
                 .sum();
             SimTime::from_secs(total / spans.len() as f64)
         };
-        MalleableStats { makespan: now, mean_turnaround, spans, idle_node_seconds: idle_ns }
+        MalleableStats {
+            makespan: now,
+            mean_turnaround,
+            spans,
+            idle_node_seconds: idle_ns,
+        }
     }
 }
 

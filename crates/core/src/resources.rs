@@ -34,7 +34,11 @@ pub enum AllocationError {
 impl std::fmt::Display for AllocationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocationError::Insufficient { module, requested, free } => write!(
+            AllocationError::Insufficient {
+                module,
+                requested,
+                free,
+            } => write!(
                 f,
                 "insufficient {module:?} nodes: requested {requested}, free {free}"
             ),
@@ -198,7 +202,12 @@ impl ResourceManager {
     }
 
     /// Reserve nodes from all three compute modules (DEEP-EST systems).
-    pub fn allocate_modular(&self, cn: usize, bn: usize, dn: usize) -> Result<Allocation, AllocationError> {
+    pub fn allocate_modular(
+        &self,
+        cn: usize,
+        bn: usize,
+        dn: usize,
+    ) -> Result<Allocation, AllocationError> {
         let (need_cn, need_bn) = self.effective_request(cn, bn);
         let mut p = self.pools.lock();
         if p.free_cluster.len() < need_cn {
@@ -237,7 +246,12 @@ impl ResourceManager {
         let id = p.next_id;
         p.next_id += 1;
         p.live.insert(id);
-        Ok(Allocation { id, cluster, booster, dam })
+        Ok(Allocation {
+            id,
+            cluster,
+            booster,
+            dam,
+        })
     }
 
     /// Return an allocation's nodes to the pools.
@@ -290,7 +304,13 @@ mod tests {
     fn allocation_is_atomic_on_failure() {
         let rm = rm();
         let err = rm.allocate(20, 2).unwrap_err();
-        assert!(matches!(err, AllocationError::Insufficient { module: ModuleKind::Cluster, .. }));
+        assert!(matches!(
+            err,
+            AllocationError::Insufficient {
+                module: ModuleKind::Cluster,
+                ..
+            }
+        ));
         // Nothing was taken.
         assert_eq!(rm.free_cluster(), 16);
         assert_eq!(rm.free_booster(), 8);
@@ -303,7 +323,10 @@ mod tests {
         rm.release(&a).unwrap();
         assert_eq!(rm.free_cluster(), 16);
         assert_eq!(rm.free_booster(), 8);
-        assert!(matches!(rm.release(&a), Err(AllocationError::StaleAllocation)));
+        assert!(matches!(
+            rm.release(&a),
+            Err(AllocationError::StaleAllocation)
+        ));
     }
 
     #[test]

@@ -131,7 +131,14 @@ impl BatchScheduler {
         let id = self.next_id;
         self.next_id += 1;
         self.submits.insert(id, submit);
-        self.queue.push(BatchJob { id, name: name.into(), cn, bn, duration, submit });
+        self.queue.push(BatchJob {
+            id,
+            name: name.into(),
+            cn,
+            bn,
+            duration,
+            submit,
+        });
         id
     }
 
@@ -159,7 +166,13 @@ impl BatchScheduler {
                 self.rm.release(&r.alloc).expect("release running job");
                 busy_cn += (r.end - r.start) * r.job.cn as f64;
                 busy_bn += (r.end - r.start) * r.job.bn as f64;
-                states.insert(r.job.id, JobState::Done { start: r.start, end: r.end });
+                states.insert(
+                    r.job.id,
+                    JobState::Done {
+                        start: r.start,
+                        end: r.end,
+                    },
+                );
             }
 
             // Start jobs while the discipline allows.
@@ -170,7 +183,9 @@ impl BatchScheduler {
                     .filter(|(_, j)| j.submit <= now)
                     .map(|(i, _)| i)
                     .collect();
-                let Some(&head_idx) = arrived.first() else { break };
+                let Some(&head_idx) = arrived.first() else {
+                    break;
+                };
                 let shadow = self.head_shadow_start(&pending[head_idx], &running, now);
                 let mut started = None;
                 for &i in &arrived {
@@ -198,7 +213,12 @@ impl BatchScheduler {
                         let alloc = self.rm.allocate(job.cn, job.bn).expect("checked fit");
                         let end = now + job.duration;
                         states.insert(job.id, JobState::Running { start: now });
-                        running.push(Running { job, alloc, start: now, end });
+                        running.push(Running {
+                            job,
+                            alloc,
+                            start: now,
+                            end,
+                        });
                     }
                     None => break,
                 }
@@ -246,8 +266,16 @@ impl BatchScheduler {
             jobs: states,
             makespan,
             mean_wait,
-            cluster_utilization: if denom_cn > 0.0 { busy_cn.as_secs() / denom_cn } else { 0.0 },
-            booster_utilization: if denom_bn > 0.0 { busy_bn.as_secs() / denom_bn } else { 0.0 },
+            cluster_utilization: if denom_cn > 0.0 {
+                busy_cn.as_secs() / denom_cn
+            } else {
+                0.0
+            },
+            booster_utilization: if denom_bn > 0.0 {
+                busy_bn.as_secs() / denom_bn
+            } else {
+                0.0
+            },
         }
     }
 
@@ -273,7 +301,13 @@ impl BatchScheduler {
 
     /// Whether starting `j` now still leaves the head its reservation at the
     /// shadow time (conservative node-count check).
-    fn fits_beside_head(&self, j: &BatchJob, head: &BatchJob, running: &[Running], now: SimTime) -> bool {
+    fn fits_beside_head(
+        &self,
+        j: &BatchJob,
+        head: &BatchJob,
+        running: &[Running],
+        now: SimTime,
+    ) -> bool {
         let shadow = self.head_shadow_start(head, running, now);
         let mut free_cn = self.rm.free_cluster();
         let mut free_bn = self.rm.free_booster();
@@ -356,7 +390,11 @@ mod tests {
             let stats = sc.simulate();
             stats.span(small).0
         };
-        assert_eq!(run(Discipline::EasyBackfill), s(2.0), "backfill starts early");
+        assert_eq!(
+            run(Discipline::EasyBackfill),
+            s(2.0),
+            "backfill starts early"
+        );
         assert!(run(Discipline::Fifo) >= s(100.0), "fifo waits for head");
     }
 
@@ -369,7 +407,11 @@ mod tests {
         let long_small = sc.submit("long-small", 4, 0, s(500.0), s(2.0));
         let stats = sc.simulate();
         assert_eq!(stats.span(wide), (s(0.0), s(50.0)));
-        assert_eq!(stats.span(head).0, s(50.0), "head starts exactly at shadow time");
+        assert_eq!(
+            stats.span(head).0,
+            s(50.0),
+            "head starts exactly at shadow time"
+        );
         assert!(stats.span(long_small).0 >= s(60.0));
     }
 

@@ -109,17 +109,23 @@ impl System {
 
     /// Node ids of the Cluster module (empty if absent).
     pub fn cluster_nodes(&self) -> Vec<NodeId> {
-        self.module(ModuleKind::Cluster).map(|m| m.nodes.clone()).unwrap_or_default()
+        self.module(ModuleKind::Cluster)
+            .map(|m| m.nodes.clone())
+            .unwrap_or_default()
     }
 
     /// Node ids of the Booster module (empty if absent).
     pub fn booster_nodes(&self) -> Vec<NodeId> {
-        self.module(ModuleKind::Booster).map(|m| m.nodes.clone()).unwrap_or_default()
+        self.module(ModuleKind::Booster)
+            .map(|m| m.nodes.clone())
+            .unwrap_or_default()
     }
 
     /// Node ids of the Data Analytics Module (empty if absent).
     pub fn dam_nodes(&self) -> Vec<NodeId> {
-        self.module(ModuleKind::Dam).map(|m| m.nodes.clone()).unwrap_or_default()
+        self.module(ModuleKind::Dam)
+            .map(|m| m.nodes.clone())
+            .unwrap_or_default()
     }
 
     /// The shared fabric.
@@ -142,7 +148,12 @@ impl System {
 
     /// Human-readable system summary (the sysadmin's `sinfo`).
     pub fn describe(&self) -> String {
-        let mut out = format!("system `{}` — {} nodes, {} modules\n", self.name, self.total_nodes(), self.modules.len());
+        let mut out = format!(
+            "system `{}` — {} nodes, {} modules\n",
+            self.name,
+            self.total_nodes(),
+            self.modules.len()
+        );
         for m in &self.modules {
             out.push_str(&format!(
                 "  {:<8} {:>3} × {:<24} {:>4} cores {:>6.1} GF {:>6} GB RAM\n",
@@ -154,7 +165,10 @@ impl System {
                 m.spec.ram_bytes() >> 30,
             ));
         }
-        out.push_str(&format!("  fabric: {} NAM device(s)\n", self.fabric.nams().len()));
+        out.push_str(&format!(
+            "  fabric: {} NAM device(s)\n",
+            self.fabric.nams().len()
+        ));
         out
     }
 }
@@ -260,25 +274,45 @@ impl SystemBuilder {
         let mut modules = Vec::new();
         if self.cluster > 0 {
             let nodes = topology.add_nodes(self.cluster, &self.cluster_spec);
-            modules.push(Module { kind: ModuleKind::Cluster, nodes, spec: self.cluster_spec.clone() });
+            modules.push(Module {
+                kind: ModuleKind::Cluster,
+                nodes,
+                spec: self.cluster_spec.clone(),
+            });
         }
         if self.booster > 0 {
             let nodes = topology.add_nodes(self.booster, &self.booster_spec);
-            modules.push(Module { kind: ModuleKind::Booster, nodes, spec: self.booster_spec.clone() });
+            modules.push(Module {
+                kind: ModuleKind::Booster,
+                nodes,
+                spec: self.booster_spec.clone(),
+            });
         }
         if self.dam > 0 {
             let nodes = topology.add_nodes(self.dam, &self.dam_spec);
-            modules.push(Module { kind: ModuleKind::Dam, nodes, spec: self.dam_spec.clone() });
+            modules.push(Module {
+                kind: ModuleKind::Dam,
+                nodes,
+                spec: self.dam_spec.clone(),
+            });
         }
         if self.storage > 0 || self.metadata > 0 {
             let spec = deep_er_storage_server();
             let mut nodes = topology.add_nodes(self.storage, &spec);
             nodes.extend(topology.add_nodes(self.metadata, &deep_er_metadata_server()));
-            modules.push(Module { kind: ModuleKind::Storage, nodes, spec });
+            modules.push(Module {
+                kind: ModuleKind::Storage,
+                nodes,
+                spec,
+            });
         }
         let nams = (0..self.nams).map(|_| NamDevice::deep_er()).collect();
         let fabric = Fabric::with_nams(topology, self.link_model, nams);
-        System { name: self.name, modules, fabric }
+        System {
+            name: self.name,
+            modules,
+            fabric,
+        }
     }
 }
 

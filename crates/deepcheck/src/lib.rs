@@ -1,0 +1,168 @@
+//! deepcheck — the workspace static analyzer enforcing the determinism
+//! contract and psmpi usage correctness.
+//!
+//! PR 1 established the repo's core guarantee: virtual times and CG
+//! iteration counts are bit-identical across thread counts. This crate
+//! *enforces* it offline, with its own lightweight Rust tokenizer (no
+//! `syn` — consistent with the vendored-stubs policy). It walks every
+//! workspace `src/`, `src/bin/` and `benches/` file, reports rustc-style
+//! `file:line` diagnostics plus a machine-readable `DEEPCHECK_REPORT.json`,
+//! and exits non-zero on any finding not covered by `allowlist.toml`.
+//!
+//! Lint families (details in DESIGN.md §"Enforcing the determinism
+//! contract"):
+//!
+//! * **D001** — wall-clock / OS-entropy / host-environment sources;
+//! * **D002** — `HashMap`/`HashSet` iteration in virtual-time crates;
+//! * **D003** — `available_parallelism` outside the sanctioned sites;
+//! * **D004** — parallelism bypassing `xpic::par::run_tasks`'s fixed-order
+//!   merge;
+//! * **M001** — psmpi misuse shapes: collectives under rank-dependent
+//!   conditionals, send/recv tag-literal mismatches, inter-communicator
+//!   use after `disconnect`.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+pub use allowlist::{fnv1a64_hex, Allowlist, AllowlistError};
+pub use lints::{Finding, VIRTUAL_TIME_CRATES};
+pub use report::{Judged, Report};
+
+use std::path::{Path, PathBuf};
+
+/// Analyze one source string as `path` belonging to `crate_name` (the
+/// workspace directory name, e.g. `psmpi`). Test modules are stripped
+/// before linting.
+pub fn analyze_source(crate_name: &str, path: &str, src: &str) -> Vec<Finding> {
+    let toks = lexer::strip_test_modules(lexer::tokenize(src));
+    lints::run_all(crate_name, path, &toks)
+}
+
+/// Locate the workspace root: the closest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists()
+            && std::fs::read_to_string(&manifest)
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+        {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The `.rs` files deepcheck audits, workspace-relative and sorted (the
+/// report must not depend on directory enumeration order — the analyzer
+/// obeys its own contract). Covers `crates/*/src/**`, `crates/*/benches/**`
+/// and the root `src/`; `vendor/` (external stand-ins), `target/` and
+/// `tests/` directories are out of scope.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for member in read_dir_sorted(&crates_dir)? {
+            if !member.is_dir() {
+                continue;
+            }
+            for sub in ["src", "benches"] {
+                let d = member.join(sub);
+                if d.is_dir() {
+                    collect_rs(&d, &mut out)?;
+                }
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for p in read_dir_sorted(dir)? {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    v.sort();
+    Ok(v)
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…` maps
+/// to `<name>`, the root `src/` maps to `root`.
+pub fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("root"),
+        _ => "root",
+    }
+}
+
+/// Run the full analysis over a workspace. Returns the report; the caller
+/// decides how to render it and what exit code to use.
+pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(analyze_source(crate_of(&rel), &rel, &src));
+    }
+    let hash = allowlist_hash(root);
+    Ok(Report::new(findings, allowlist, files.len(), hash))
+}
+
+/// Fingerprint of the workspace's `allowlist.toml` (or `"absent"`). The
+/// bench records the same value in `BENCH_kernels.json`, tying perf
+/// artifacts to the audited source state.
+pub fn allowlist_hash(root: &Path) -> String {
+    match std::fs::read(root.join("allowlist.toml")) {
+        Ok(bytes) => fnv1a64_hex(&bytes),
+        Err(_) => "absent".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/psmpi/src/router.rs"), "psmpi");
+        assert_eq!(crate_of("crates/bench/benches/kernels.rs"), "bench");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn analyze_source_strips_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let t = Instant::now(); }\n}\n";
+        assert!(analyze_source("psmpi", "x.rs", src).is_empty());
+    }
+}

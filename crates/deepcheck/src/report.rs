@@ -1,0 +1,203 @@
+//! Rendering: rustc-style text diagnostics and the machine-readable
+//! `DEEPCHECK_REPORT.json` (hand-written JSON, same approach as the bench
+//! artifact emitter — no serializer dependency).
+
+use crate::allowlist::{AllowEntry, Allowlist};
+use crate::lints::Finding;
+use std::fmt::Write as _;
+
+/// A finding joined with its allowlist verdict.
+#[derive(Debug, Clone)]
+pub struct Judged {
+    /// The raw finding.
+    pub finding: Finding,
+    /// The documented reason, when the site is allowlisted.
+    pub reason: Option<String>,
+}
+
+/// The complete result of one analyzer run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every finding, allowlisted or not, in (path, line) order.
+    pub judged: Vec<Judged>,
+    /// Stale allowlist entries (matched nothing).
+    pub unused_allow: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Fingerprint of the allowlist the run was judged against.
+    pub allowlist_hash: String,
+}
+
+impl Report {
+    /// Join findings with the allowlist.
+    pub fn new(
+        mut findings: Vec<Finding>,
+        allowlist: &Allowlist,
+        files_scanned: usize,
+        allowlist_hash: String,
+    ) -> Report {
+        findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+        let unused_allow = allowlist.unused(&findings).into_iter().cloned().collect();
+        let judged = findings
+            .into_iter()
+            .map(|finding| {
+                let reason = allowlist.lookup(&finding).map(|e| e.reason.clone());
+                Judged { finding, reason }
+            })
+            .collect();
+        Report {
+            judged,
+            unused_allow,
+            files_scanned,
+            allowlist_hash,
+        }
+    }
+
+    /// Findings not covered by the allowlist — these fail CI.
+    pub fn violations(&self) -> impl Iterator<Item = &Judged> {
+        self.judged.iter().filter(|j| j.reason.is_none())
+    }
+
+    /// rustc-style text output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for j in &self.judged {
+            let f = &j.finding;
+            match &j.reason {
+                None => {
+                    let _ = writeln!(out, "error[{}]: {}", f.lint, f.message);
+                    let _ = writeln!(out, "  --> {}:{}", f.path, f.line);
+                }
+                Some(reason) => {
+                    let _ = writeln!(out, "allowed[{}]: {} ({reason})", f.lint, f.message);
+                    let _ = writeln!(out, "  --> {}:{}", f.path, f.line);
+                }
+            }
+        }
+        for e in &self.unused_allow {
+            let _ = writeln!(
+                out,
+                "warning: stale allowlist entry {} {} matched nothing — prune it",
+                e.lint, e.path
+            );
+        }
+        let violations = self.violations().count();
+        let allowed = self.judged.len() - violations;
+        let _ = writeln!(
+            out,
+            "deepcheck: {} files scanned, {} finding(s): {} violation(s), {} allowlisted",
+            self.files_scanned,
+            self.judged.len(),
+            violations,
+            allowed
+        );
+        out
+    }
+
+    /// The machine-readable report body.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"deepcheck\",");
+        let _ = writeln!(out, "  \"allowlist_hash\": \"{}\",", self.allowlist_hash);
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [\n");
+        for (i, j) in self.judged.iter().enumerate() {
+            let f = &j.finding;
+            let comma = if i + 1 < self.judged.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"allowed\": {}, \"reason\": {}, \"message\": \"{}\"}}{comma}",
+                f.lint,
+                escape(&f.path),
+                f.line,
+                j.reason.is_some(),
+                match &j.reason {
+                    Some(r) => format!("\"{}\"", escape(r)),
+                    None => "null".to_string(),
+                },
+                escape(&f.message),
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"unused_allowlist_entries\": [\n");
+        for (i, e) in self.unused_allow.iter().enumerate() {
+            let comma = if i + 1 < self.unused_allow.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"lint\": \"{}\", \"path\": \"{}\"}}{comma}",
+                e.lint,
+                escape(&e.path)
+            );
+        }
+        out.push_str("  ],\n");
+        let violations = self.violations().count();
+        let _ = writeln!(
+            out,
+            "  \"counts\": {{\"total\": {}, \"violations\": {}, \"allowed\": {}}}",
+            self.judged.len(),
+            violations,
+            self.judged.len() - violations
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            lint,
+            path: path.to_string(),
+            line,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn violations_and_allowed_are_separated() {
+        let allow =
+            Allowlist::parse("[[allow]]\nlint = \"D003\"\npath = \"a.rs\"\nreason = \"ok here\"\n")
+                .unwrap();
+        let r = Report::new(
+            vec![finding("D003", "a.rs", 3), finding("D001", "b.rs", 9)],
+            &allow,
+            2,
+            "fnv1a64:0".to_string(),
+        );
+        assert_eq!(r.violations().count(), 1);
+        let text = r.render_text();
+        assert!(text.contains("error[D001]"), "{text}");
+        assert!(text.contains("allowed[D003]"), "{text}");
+        let json = r.render_json();
+        assert!(json.contains("\"violations\": 1"), "{json}");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nlint = \"D002\"\npath = \"gone.rs\"\nreason = \"was fixed\"\n",
+        )
+        .unwrap();
+        let r = Report::new(vec![], &allow, 0, "fnv1a64:0".to_string());
+        assert_eq!(r.unused_allow.len(), 1);
+        assert!(r.render_text().contains("stale allowlist entry"));
+    }
+}

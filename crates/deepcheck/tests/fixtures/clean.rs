@@ -1,0 +1,55 @@
+// Clean fixture: near-miss patterns that must NOT fire any lint.
+// "Instant::now" and available_parallelism appear only in comments and
+// string literals, iteration uses ordered collections, tags match, and
+// the collective is unconditional.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct State {
+    ordered: BTreeMap<u64, Vec<u8>>,
+    lookup: HashMap<u64, usize>,
+}
+
+impl State {
+    fn deterministic_walk(&self) -> usize {
+        // BTreeMap iteration is ordered — fine in virtual-time crates.
+        let mut n = 0;
+        for (_, v) in self.ordered.iter() {
+            n += v.len();
+        }
+        n
+    }
+
+    fn point_access(&self) -> usize {
+        // HashMap get/insert/remove without iteration is fine.
+        self.lookup.get(&1).copied().unwrap_or(0)
+    }
+
+    fn sorted_collect(&self) -> Vec<u64> {
+        // Iterating the *sorted* copy of the keys: the keys() call sits on
+        // the BTreeMap, so nothing fires.
+        self.ordered.keys().copied().collect()
+    }
+}
+
+fn exchange(rank: &mut Rank) {
+    // Matched literal tags: 5 flows both ways.
+    if rank.rank() == 0 {
+        rank.send(1, 5, &[1u8]).unwrap();
+    } else {
+        let (_d, _s) = rank.recv::<Vec<u8>>(Some(0), Some(5)).unwrap();
+    }
+    // Unconditional collective: every rank enters.
+    rank.barrier(&rank.world()).unwrap();
+}
+
+fn managed_parallelism(threads: usize, tasks: Vec<u32>) {
+    // The sanctioned path: par::run_tasks handles the workers. The string
+    // below mentions "std::thread::spawn" and available_parallelism but
+    // strings are opaque to the scanner.
+    let label = "std::thread::spawn / available_parallelism / Instant::now";
+    let _ = label.len();
+    par::run_tasks(threads, tasks, |t| {
+        let _ = t;
+    });
+}

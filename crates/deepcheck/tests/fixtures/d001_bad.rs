@@ -1,0 +1,21 @@
+// D001 fixture: wall-clock and entropy sources. Never compiled — a lint
+// corpus file loaded by tests/lints.rs.
+
+fn wall_clock() -> u128 {
+    let t0 = std::time::Instant::now(); // line 5: D001
+    t0.elapsed().as_nanos()
+}
+
+fn epoch() -> u64 {
+    let now = std::time::SystemTime::now(); // line 10: D001
+    now.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); // line 15: D001
+    rng.next_u64()
+}
+
+fn host_env() -> String {
+    std::env::var("SEED").unwrap_or_default() // line 20: D001
+}

@@ -1,0 +1,39 @@
+// D002 fixture: HashMap/HashSet iteration in a virtual-time crate.
+
+use std::collections::{HashMap, HashSet};
+
+struct Sched {
+    queues: HashMap<u64, Vec<u8>>,
+    dead: HashSet<u32>,
+}
+
+impl Sched {
+    fn drain_all(&mut self) -> f64 {
+        let mut total = 0.0;
+        for (_, q) in self.queues.iter() {
+            // line 13: D002 (.iter())
+            total += q.len() as f64;
+        }
+        total
+    }
+
+    fn sweep(&mut self) {
+        self.dead.retain(|d| *d != 0); // line 21: D002 (.retain())
+    }
+
+    fn locals() {
+        let mut pending = HashMap::new();
+        pending.insert(1u32, 2u32);
+        for kv in &pending {
+            // line 27: D002 (for over &map)
+            let _ = kv;
+        }
+    }
+
+    fn replay(&self) {
+        for (_, q) in &self.queues {
+            // line 34: D002 (for over &self.<field>)
+            let _ = q;
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// D003 fixture: host topology reaching sizing decisions outside the
+// sanctioned sites.
+
+fn pick_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) // line 5: D003
+}

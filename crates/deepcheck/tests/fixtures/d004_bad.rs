@@ -1,0 +1,19 @@
+// D004 fixture: parallel reduction bypassing the fixed-order merge helper.
+
+fn direct_threads(data: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    std::thread::scope(|s| {
+        // line 5: D004 (thread::scope)
+        for chunk in data.chunks(1024) {
+            s.spawn(move || chunk.iter().sum::<f64>());
+        }
+    });
+    sum += 0.0;
+    sum
+}
+
+fn atomic_float(total: &std::sync::atomic::AtomicU64, x: f64) {
+    // line 16: D004 (AtomicU64 + from_bits accumulation)
+    let cur = f64::from_bits(total.load(std::sync::atomic::Ordering::Relaxed));
+    total.store((cur + x).to_bits(), std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,17 @@
+// M001 fixture (deadlock shape): a collective guarded by a rank test.
+// Every member of the communicator must enter the collective; ranks != 0
+// never do, so the job hangs — the classic bring-up bug after
+// MPI_Comm_spawn when only the root touches the inter-communicator.
+
+fn broadcast_config(rank: &mut Rank, world: &Communicator) {
+    if rank.rank() == 0 {
+        let cfg = vec![1u8, 2, 3];
+        rank.bcast(world, 0, Some(cfg)).unwrap(); // line 9: M001
+    }
+}
+
+fn sync_roots_only(rank: &mut Rank, world: &Communicator) {
+    if rank.rank() % 2 == 0 {
+        rank.barrier(world).unwrap(); // line 15: M001
+    }
+}

@@ -1,0 +1,11 @@
+// M001 fixture (lifecycle shape): inter-communicator used after
+// disconnect. psmpi's Rust API consumes the handle, but C-shaped ports
+// (and clones) can still express the bug.
+
+fn offload_and_leak(rank: &mut Rank, ic: Intercomm) {
+    let ic2 = ic.clone();
+    rank.disconnect(ic).unwrap();
+    ic2.disconnect(); // consume the clone too
+    let n = ic2.remote_size(); // line 9: M001 (use after disconnect)
+    let _ = n;
+}

@@ -1,0 +1,11 @@
+// M001 fixture (matching shape): literal tags that cannot match within
+// the crate. Tag 7 is sent but nothing ever receives it; tag 8 is awaited
+// but nothing ever sends it.
+
+fn exchange(rank: &mut Rank) {
+    if rank.rank() == 0 {
+        rank.send(1, 7, &[1u8, 2, 3]).unwrap(); // line 7: M001 (sent, never received)
+    } else {
+        let (_data, _src) = rank.recv::<Vec<u8>>(Some(0), Some(8)).unwrap(); // line 9: M001
+    }
+}

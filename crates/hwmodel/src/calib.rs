@@ -147,6 +147,10 @@ mod tests {
     fn scalar_per_core_ratio_is_large() {
         let hsw = HSW_FREQ_GHZ * HSW_SCALAR_FLOPS_PER_CYCLE;
         let knl = KNL_FREQ_GHZ * KNL_SCALAR_FLOPS_PER_CYCLE;
-        assert!(hsw / knl > 5.0, "single-thread gap must be large: {}", hsw / knl);
+        assert!(
+            hsw / knl > 5.0,
+            "single-thread gap must be large: {}",
+            hsw / knl
+        );
     }
 }

@@ -66,7 +66,9 @@ impl CostModel {
 
     /// Total modelled time: `max(compute, memory) + overhead`.
     pub fn time(&self, node: &NodeSpec, work: &WorkSpec) -> SimTime {
-        self.compute_time(node, work).max(self.memory_time(node, work)) + work.overhead
+        self.compute_time(node, work)
+            .max(self.memory_time(node, work))
+            + work.overhead
     }
 
     /// Effective GFlop/s the kernel achieves on the node.
@@ -113,7 +115,9 @@ mod tests {
     fn overhead_is_additive() {
         let m = CostModel;
         let cn = deep_er_cluster_node();
-        let w = WorkSpec::named("oh").overhead(SimTime::from_micros(7.0)).build();
+        let w = WorkSpec::named("oh")
+            .overhead(SimTime::from_micros(7.0))
+            .build();
         assert_eq!(m.time(&cn, &w), SimTime::from_micros(7.0));
     }
 

@@ -29,6 +29,8 @@
 //! `xpic` application) charges virtual time exclusively through this crate,
 //! so the calibration lives in exactly one place.
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod cost;
 pub mod memory;

@@ -54,8 +54,17 @@ impl MemoryLevel {
         write_bw_gbs: f64,
         latency: SimTime,
     ) -> Self {
-        assert!(read_bw_gbs > 0.0 && write_bw_gbs > 0.0, "bandwidth must be positive");
-        MemoryLevel { kind, capacity_bytes, read_bw_gbs, write_bw_gbs, latency }
+        assert!(
+            read_bw_gbs > 0.0 && write_bw_gbs > 0.0,
+            "bandwidth must be positive"
+        );
+        MemoryLevel {
+            kind,
+            capacity_bytes,
+            read_bw_gbs,
+            write_bw_gbs,
+            latency,
+        }
     }
 
     /// Time to read `bytes` bytes as one streamed access.

@@ -65,7 +65,11 @@ mod tests {
         // The architectural premise: the Booster is ~3× more efficient.
         let cn = gflops_per_watt(&deep_er_cluster_node());
         let bn = gflops_per_watt(&deep_er_booster_node());
-        assert!(bn / cn > 2.5, "Booster efficiency advantage: {:.1}", bn / cn);
+        assert!(
+            bn / cn > 2.5,
+            "Booster efficiency advantage: {:.1}",
+            bn / cn
+        );
     }
 
     #[test]
@@ -77,14 +81,21 @@ mod tests {
         // Fully idle: 10 s × 120 W.
         assert_eq!(energy_joules(&cn, wall, SimTime::ZERO), 1200.0);
         // Half busy.
-        assert_eq!(energy_joules(&cn, wall, SimTime::from_secs(5.0)), 1500.0 + 600.0);
+        assert_eq!(
+            energy_joules(&cn, wall, SimTime::from_secs(5.0)),
+            1500.0 + 600.0
+        );
         // Compute time can never exceed wall.
         assert_eq!(energy_joules(&cn, wall, SimTime::from_secs(50.0)), 3000.0);
     }
 
     #[test]
     fn idle_below_active_everywhere() {
-        for n in [deep_er_cluster_node(), deep_er_booster_node(), deep_er_storage_server()] {
+        for n in [
+            deep_er_cluster_node(),
+            deep_er_booster_node(),
+            deep_er_storage_server(),
+        ] {
             assert!(idle_watts(&n) < active_watts(&n));
         }
     }

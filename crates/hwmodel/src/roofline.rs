@@ -23,8 +23,7 @@ pub struct RooflinePoint {
 /// The attainable GFlop/s on `node` at intensity `i` for a kernel with
 /// the given vectorizable and parallel fractions.
 pub fn attainable_gflops(node: &NodeSpec, intensity: f64, vf: f64, pf: f64) -> f64 {
-    let compute =
-        node.processor.core_gflops(vf) * amdahl_speedup(node.cores(), pf);
+    let compute = node.processor.core_gflops(vf) * amdahl_speedup(node.cores(), pf);
     let memory = node.stream_bw_gbs() * intensity;
     compute.min(memory)
 }
@@ -44,7 +43,10 @@ pub fn curve(node: &NodeSpec, vf: f64, pf: f64, points: usize) -> Vec<RooflinePo
             // 2^-6 .. 2^8 flops/byte.
             let exp = -6.0 + 14.0 * k as f64 / (points - 1) as f64;
             let intensity = exp.exp2();
-            RooflinePoint { intensity, gflops: attainable_gflops(node, intensity, vf, pf) }
+            RooflinePoint {
+                intensity,
+                gflops: attainable_gflops(node, intensity, vf, pf),
+            }
         })
         .collect()
 }
@@ -55,7 +57,12 @@ pub fn curve(node: &NodeSpec, vf: f64, pf: f64, points: usize) -> Vec<RooflinePo
 pub fn verify_on_roof(node: &NodeSpec, work: &WorkSpec) -> (f64, f64) {
     let m = CostModel;
     let eff = m.effective_gflops(node, work);
-    let bound = attainable_gflops(node, work.intensity(), work.vector_fraction, work.parallel_fraction);
+    let bound = attainable_gflops(
+        node,
+        work.intensity(),
+        work.vector_fraction,
+        work.parallel_fraction,
+    );
     (eff, bound)
 }
 
@@ -69,7 +76,10 @@ mod tests {
         let bn = deep_er_booster_node();
         let c = curve(&bn, 1.0, 1.0, 40);
         for w in c.windows(2) {
-            assert!(w[1].gflops >= w[0].gflops - 1e-9, "roofline never decreases");
+            assert!(
+                w[1].gflops >= w[0].gflops - 1e-9,
+                "roofline never decreases"
+            );
         }
         // The right end is compute-bound: equals the flat roof.
         let roof = bn.processor.core_gflops(1.0) * bn.cores() as f64;
@@ -87,7 +97,10 @@ mod tests {
         let above = attainable_gflops(&cn, ridge * 2.0, 0.9, 0.99);
         assert!(below < above, "left of the ridge is memory-bound");
         let far = attainable_gflops(&cn, ridge * 8.0, 0.9, 0.99);
-        assert!((far - above).abs() / above < 1e-9, "right of the ridge is flat");
+        assert!(
+            (far - above).abs() / above < 1e-9,
+            "right of the ridge is flat"
+        );
     }
 
     #[test]

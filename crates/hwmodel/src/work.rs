@@ -65,10 +65,16 @@ impl WorkSpec {
     /// can call this in tests.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.vector_fraction) {
-            return Err(format!("vector_fraction {} out of [0,1]", self.vector_fraction));
+            return Err(format!(
+                "vector_fraction {} out of [0,1]",
+                self.vector_fraction
+            ));
         }
         if !(0.0..=1.0).contains(&self.parallel_fraction) {
-            return Err(format!("parallel_fraction {} out of [0,1]", self.parallel_fraction));
+            return Err(format!(
+                "parallel_fraction {} out of [0,1]",
+                self.parallel_fraction
+            ));
         }
         if self.flops < 0.0 || !self.flops.is_finite() {
             return Err(format!("flops {} invalid", self.flops));

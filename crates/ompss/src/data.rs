@@ -5,12 +5,14 @@
 //! really read/write it, which lets tests verify that out-of-order parallel
 //! scheduling preserves sequential semantics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Named blocks of doubles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DataStore {
-    blocks: HashMap<String, Vec<f64>>,
+    /// Name → block. Ordered so snapshot/restore walk blocks in a
+    /// reproducible order (deepcheck D002).
+    blocks: BTreeMap<String, Vec<f64>>,
 }
 
 impl DataStore {
@@ -49,7 +51,7 @@ impl DataStore {
     }
 
     /// Snapshot the named blocks (the §III-D input-saving feature).
-    pub fn snapshot(&self, names: &[String]) -> HashMap<String, Vec<f64>> {
+    pub fn snapshot(&self, names: &[String]) -> BTreeMap<String, Vec<f64>> {
         names
             .iter()
             .filter_map(|n| self.blocks.get(n).map(|b| (n.clone(), b.clone())))
@@ -57,7 +59,7 @@ impl DataStore {
     }
 
     /// Restore blocks from a snapshot.
-    pub fn restore(&mut self, snap: &HashMap<String, Vec<f64>>) {
+    pub fn restore(&mut self, snap: &BTreeMap<String, Vec<f64>>) {
         for (k, v) in snap {
             self.blocks.insert(k.clone(), v.clone());
         }

@@ -80,9 +80,18 @@ mod tests {
 
     fn graph() -> TaskGraph {
         let mut g = TaskGraph::new();
-        let w = || WorkSpec::named("w").flops(1e8).parallel_fraction(0.9).build();
-        g.add_task("assemble", &[], &["m"], Device::Cluster, w(), |s| s.put("m", vec![1.0]));
-        g.add_task("push", &["m"], &["p"], Device::Booster, w(), |s| s.put("p", vec![2.0]));
+        let w = || {
+            WorkSpec::named("w")
+                .flops(1e8)
+                .parallel_fraction(0.9)
+                .build()
+        };
+        g.add_task("assemble", &[], &["m"], Device::Cluster, w(), |s| {
+            s.put("m", vec![1.0])
+        });
+        g.add_task("push", &["m"], &["p"], Device::Booster, w(), |s| {
+            s.put("p", vec![2.0])
+        });
         g.add_task("reduce", &["p"], &[], Device::Cluster, w(), |_| {});
         g
     }

@@ -8,7 +8,7 @@
 
 use crate::data::DataStore;
 use hwmodel::WorkSpec;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Task index within its graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -101,9 +101,9 @@ impl TaskGraph {
     /// Dependency edges: `deps[i]` lists tasks that must finish before task
     /// `i` starts.
     pub fn dependencies(&self) -> Vec<Vec<TaskId>> {
-        let mut last_writer: HashMap<&str, usize> = HashMap::new();
-        let mut readers_since_write: HashMap<&str, Vec<usize>> = HashMap::new();
-        let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); self.tasks.len()];
+        let mut last_writer: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut readers_since_write: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.tasks.len()];
 
         for (i, t) in self.tasks.iter().enumerate() {
             for d in &t.ins {
@@ -129,19 +129,17 @@ impl TaskGraph {
                 readers_since_write.insert(d.as_str(), Vec::new());
             }
         }
+        // BTreeSet iterates in ascending order, so the edge lists come out
+        // sorted without an explicit sort.
         deps.into_iter()
-            .map(|s| {
-                let mut v: Vec<TaskId> = s.into_iter().map(TaskId).collect();
-                v.sort_unstable();
-                v
-            })
+            .map(|s| s.into_iter().map(TaskId).collect())
             .collect()
     }
 
     /// For each task input, the task that produces it (`None` = initial
     /// data). Used for cross-device transfer costing.
     pub fn producers(&self) -> Vec<Vec<(String, Option<TaskId>)>> {
-        let mut last_writer: HashMap<&str, usize> = HashMap::new();
+        let mut last_writer: BTreeMap<&str, usize> = BTreeMap::new();
         let mut out = Vec::with_capacity(self.tasks.len());
         for t in &self.tasks {
             let row = t
@@ -220,7 +218,14 @@ mod tests {
         // inout(x) three times: each depends on the previous (RAW + WAW).
         let mut g = TaskGraph::new();
         for i in 0..3 {
-            g.add_task(format!("t{i}"), &["x"], &["x"], Device::Cluster, w(), |_| {});
+            g.add_task(
+                format!("t{i}"),
+                &["x"],
+                &["x"],
+                Device::Cluster,
+                w(),
+                |_| {},
+            );
         }
         let d = g.dependencies();
         assert_eq!(d[1], ids(&[0]));

@@ -26,6 +26,8 @@
 //!   losing concurrent work), and fast-forward of a restarted application
 //!   past already-completed tasks.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod dot;
 pub mod graph;

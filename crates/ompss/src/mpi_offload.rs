@@ -139,8 +139,10 @@ pub fn run_offloaded(
                 Device::Booster => {
                     let blocks = pack_blocks(&store_in.lock(), &ins);
                     let moved: u64 = blocks.iter().map(|(_, d)| d.len() as u64).sum();
-                    rank.send_inter(&ic, 0, TAG_RUN, &(i as i64)).expect("task index");
-                    rank.send_inter(&ic, 0, TAG_BLOCKS, &blocks).expect("inputs");
+                    rank.send_inter(&ic, 0, TAG_RUN, &(i as i64))
+                        .expect("task index");
+                    rank.send_inter(&ic, 0, TAG_BLOCKS, &blocks)
+                        .expect("inputs");
                     let (results, _) = rank
                         .recv_inter::<Vec<(String, Vec<f64>)>>(&ic, Some(0), Some(TAG_DONE))
                         .expect("results");
@@ -157,7 +159,8 @@ pub fn run_offloaded(
             }
         }
         // Shut the worker down.
-        rank.send_inter(&ic, 0, TAG_RUN, &(-1i64)).expect("shutdown");
+        rank.send_inter(&ic, 0, TAG_RUN, &(-1i64))
+            .expect("shutdown");
         // Make the job's end deterministic.
         let w = rank.world();
         let _ = rank.allreduce_scalar(&w, 0.0, ReduceOp::Sum);
@@ -168,7 +171,11 @@ pub fn run_offloaded(
         .map(Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone());
     Ok((
-        OffloadReport { makespan: report.makespan(), offloaded_tasks, elements_moved },
+        OffloadReport {
+            makespan: report.makespan(),
+            offloaded_tasks,
+            elements_moved,
+        },
         out_store,
     ))
 }
@@ -193,18 +200,39 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut s = DataStore::new();
         s.put("input", (0..256).map(|i| i as f64).collect());
-        g.add_task("prepare", &["input"], &["staged"], Device::Cluster, work(1e8, 0.1), |s| {
-            let v: Vec<f64> = s.get("input").iter().map(|x| x + 1.0).collect();
-            s.put("staged", v);
-        });
-        g.add_task("crunch", &["staged"], &["crunched"], Device::Booster, work(2e9, 0.95), |s| {
-            let v: Vec<f64> = s.get("staged").iter().map(|x| x * 3.0).collect();
-            s.put("crunched", v);
-        });
-        g.add_task("finish", &["crunched"], &["answer"], Device::Cluster, work(1e7, 0.1), |s| {
-            let total: f64 = s.get("crunched").iter().sum();
-            s.put("answer", vec![total]);
-        });
+        g.add_task(
+            "prepare",
+            &["input"],
+            &["staged"],
+            Device::Cluster,
+            work(1e8, 0.1),
+            |s| {
+                let v: Vec<f64> = s.get("input").iter().map(|x| x + 1.0).collect();
+                s.put("staged", v);
+            },
+        );
+        g.add_task(
+            "crunch",
+            &["staged"],
+            &["crunched"],
+            Device::Booster,
+            work(2e9, 0.95),
+            |s| {
+                let v: Vec<f64> = s.get("staged").iter().map(|x| x * 3.0).collect();
+                s.put("crunched", v);
+            },
+        );
+        g.add_task(
+            "finish",
+            &["crunched"],
+            &["answer"],
+            Device::Cluster,
+            work(1e7, 0.1),
+            |s| {
+                let total: f64 = s.get("crunched").iter().sum();
+                s.put("answer", vec![total]);
+            },
+        );
         (g, s)
     }
 
@@ -216,7 +244,10 @@ mod tests {
         // Σ 3(i+1) for i in 0..256 = 3·(256·257/2) = 98688.
         assert_eq!(out.get("answer"), &[98688.0]);
         assert_eq!(report.offloaded_tasks, 1);
-        assert!(report.elements_moved >= 512, "inputs + outputs crossed the fabric");
+        assert!(
+            report.elements_moved >= 512,
+            "inputs + outputs crossed the fabric"
+        );
         assert!(report.makespan > SimTime::ZERO);
     }
 

@@ -18,7 +18,7 @@
 use crate::data::DataStore;
 use crate::graph::TaskGraph;
 use crate::runtime::{OmpssRuntime, RunError, RunReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A persistent record of completed tasks and the data they produced —
 /// what SCR-backed OmpSs keeps so a restarted run can skip finished work.
@@ -27,7 +27,9 @@ pub struct CompletionLog {
     /// Completed task names (names identify tasks across process restarts).
     completed: Vec<String>,
     /// The saved outputs of completed tasks.
-    outputs: HashMap<String, Vec<f64>>,
+    /// Task outputs by block name. Ordered so `restore_outputs` replays in
+    /// a reproducible order (deepcheck D002).
+    outputs: BTreeMap<String, Vec<f64>>,
 }
 
 impl CompletionLog {
@@ -123,7 +125,10 @@ mod tests {
     }
 
     fn w() -> WorkSpec {
-        WorkSpec::named("w").flops(1e8).parallel_fraction(0.9).build()
+        WorkSpec::named("w")
+            .flops(1e8)
+            .parallel_fraction(0.9)
+            .build()
     }
 
     fn pipeline(counter_mult: f64) -> (TaskGraph, DataStore) {
@@ -214,7 +219,11 @@ mod tests {
         let rep2 = fast_forward(&runtime, &mut g2, &mut s2, &mut log).unwrap();
         assert_eq!(rep2.tasks.len(), 1, "only stage2 re-executed");
         assert_eq!(rep2.tasks[0].name, "stage2");
-        assert_eq!(s2.get("out"), &[11.0], "result identical to uninterrupted run");
+        assert_eq!(
+            s2.get("out"),
+            &[11.0],
+            "result identical to uninterrupted run"
+        );
         assert!(log.is_complete("stage2"));
     }
 

@@ -242,9 +242,7 @@ impl OmpssRuntime {
                     if from != device {
                         let bytes = store.bytes_of(name);
                         moved += bytes;
-                        let base = producer
-                            .and_then(|p| finish[p.0])
-                            .unwrap_or(SimTime::ZERO);
+                        let base = producer.and_then(|p| finish[p.0]).unwrap_or(SimTime::ZERO);
                         let arrive = base + self.transfer_time(from, device, bytes);
                         if arrive > ready {
                             ready = arrive;
@@ -280,7 +278,10 @@ impl OmpssRuntime {
                 while t.failures > 0 {
                     t.failures -= 1;
                     if !self.resilient {
-                        return Err(RunError::TaskFailed { task: i, name: t.name.clone() });
+                        return Err(RunError::TaskFailed {
+                            task: i,
+                            name: t.name.clone(),
+                        });
                     }
                     retries += 1;
                     // The failed attempt costs its full duration plus the
@@ -317,7 +318,12 @@ impl OmpssRuntime {
 
         let tasks: Vec<TaskRecord> = records.into_iter().map(|r| r.expect("all ran")).collect();
         let makespan = tasks.iter().map(|r| r.end).max().unwrap_or(SimTime::ZERO);
-        Ok(RunReport { tasks, makespan, total_transfer_bytes: total_transfer, total_retries })
+        Ok(RunReport {
+            tasks,
+            makespan,
+            total_transfer_bytes: total_transfer,
+            total_retries,
+        })
     }
 }
 
@@ -355,14 +361,28 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut store = DataStore::new();
         store.put("a", vec![1.0, 2.0]);
-        g.add_task("init-b", &["a"], &["b"], Device::Cluster, work(1e6, 0.0), |s| {
-            let a: Vec<f64> = s.get("a").iter().map(|x| x * 2.0).collect();
-            s.put("b", a);
-        });
-        g.add_task("sum", &["b"], &["c"], Device::Booster, work(1e6, 0.9), |s| {
-            let c = s.get("b").iter().sum::<f64>();
-            s.put("c", vec![c]);
-        });
+        g.add_task(
+            "init-b",
+            &["a"],
+            &["b"],
+            Device::Cluster,
+            work(1e6, 0.0),
+            |s| {
+                let a: Vec<f64> = s.get("a").iter().map(|x| x * 2.0).collect();
+                s.put("b", a);
+            },
+        );
+        g.add_task(
+            "sum",
+            &["b"],
+            &["c"],
+            Device::Booster,
+            work(1e6, 0.9),
+            |s| {
+                let c = s.get("b").iter().sum::<f64>();
+                s.put("c", vec![c]);
+            },
+        );
         let report = rt().run(&mut g, &mut store).unwrap();
         assert_eq!(store.get("c"), &[6.0]);
         assert_eq!(report.tasks.len(), 2);
@@ -401,16 +421,30 @@ mod tests {
     fn same_device_single_worker_serializes() {
         let mut g = TaskGraph::new();
         let mut store = DataStore::new();
-        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
-        g.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| s.put("y", vec![]));
+        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| {
+            s.put("x", vec![])
+        });
+        g.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| {
+            s.put("y", vec![])
+        });
         let rep = rt().run(&mut g, &mut store).unwrap();
         let (a, b) = (rep.task(TaskId(0)), rep.task(TaskId(1)));
-        assert!(b.start >= a.end || a.start >= b.end, "one worker → serialized");
+        assert!(
+            b.start >= a.end || a.start >= b.end,
+            "one worker → serialized"
+        );
         // With two workers they overlap.
         let mut g2 = TaskGraph::new();
-        g2.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
-        g2.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| s.put("y", vec![]));
-        let rep2 = rt().with_workers(2).run(&mut g2, &mut DataStore::new()).unwrap();
+        g2.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| {
+            s.put("x", vec![])
+        });
+        g2.add_task("b", &[], &["y"], Device::Cluster, work(1e9, 0.0), |s| {
+            s.put("y", vec![])
+        });
+        let rep2 = rt()
+            .with_workers(2)
+            .run(&mut g2, &mut DataStore::new())
+            .unwrap();
         assert_eq!(rep2.task(TaskId(1)).start, SimTime::ZERO);
     }
 
@@ -419,15 +453,43 @@ mod tests {
         let mut g = TaskGraph::new();
         let mut store = DataStore::new();
         store.put("big", vec![0.0; 1 << 20]); // 8 MiB
-        g.add_task("produce", &[], &["big"], Device::Cluster, work(1e6, 0.0), |_| {});
-        g.add_task("consume", &["big"], &[], Device::Booster, work(1e6, 1.0), |_| {});
+        g.add_task(
+            "produce",
+            &[],
+            &["big"],
+            Device::Cluster,
+            work(1e6, 0.0),
+            |_| {},
+        );
+        g.add_task(
+            "consume",
+            &["big"],
+            &[],
+            Device::Booster,
+            work(1e6, 1.0),
+            |_| {},
+        );
         let rep = rt().run(&mut g, &mut store).unwrap();
         assert_eq!(rep.task(TaskId(1)).transfer_bytes, 8 << 20);
         assert!(rep.total_transfer_bytes > 0);
         // Same-device version moves nothing.
         let mut g2 = TaskGraph::new();
-        g2.add_task("produce", &[], &["big"], Device::Cluster, work(1e6, 0.0), |_| {});
-        g2.add_task("consume", &["big"], &[], Device::Cluster, work(1e6, 0.0), |_| {});
+        g2.add_task(
+            "produce",
+            &[],
+            &["big"],
+            Device::Cluster,
+            work(1e6, 0.0),
+            |_| {},
+        );
+        g2.add_task(
+            "consume",
+            &["big"],
+            &[],
+            Device::Cluster,
+            work(1e6, 0.0),
+            |_| {},
+        );
         let rep2 = rt().run(&mut g2, &mut store).unwrap();
         assert_eq!(rep2.total_transfer_bytes, 0);
     }
@@ -449,8 +511,12 @@ mod tests {
         // chain: a → b → c, plus an off-path task d.
         let mut g = TaskGraph::new();
         let mut store = DataStore::new();
-        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| s.put("x", vec![]));
-        g.add_task("b", &["x"], &["y"], Device::Booster, work(1e10, 1.0), |s| s.put("y", vec![]));
+        g.add_task("a", &[], &["x"], Device::Cluster, work(1e9, 0.0), |s| {
+            s.put("x", vec![])
+        });
+        g.add_task("b", &["x"], &["y"], Device::Booster, work(1e10, 1.0), |s| {
+            s.put("y", vec![])
+        });
         g.add_task("c", &["y"], &[], Device::Cluster, work(1e9, 0.0), |_| {});
         g.add_task("d", &[], &[], Device::Booster, work(1e6, 1.0), |_| {});
         let rep = rt().with_workers(2).run(&mut g, &mut store).unwrap();

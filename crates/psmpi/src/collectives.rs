@@ -80,7 +80,10 @@ impl Rank {
         let me = self.comm_rank(comm)?;
         let rel = (me + n - root) % n;
         let mut current: Option<bytes::Bytes> = if rel == 0 {
-            Some(payload.ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?)
+            Some(
+                payload
+                    .ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?,
+            )
         } else {
             None
         };
@@ -186,7 +189,9 @@ impl Rank {
             let (v, _) = self.recv_comm::<T>(comm, Some(src), Some(TAG_GATHER))?;
             *slot = Some(v);
         }
-        Ok(Some(out.into_iter().map(|o| o.expect("all gathered")).collect()))
+        Ok(Some(
+            out.into_iter().map(|o| o.expect("all gathered")).collect(),
+        ))
     }
 
     /// Gather to rank 0, then broadcast the assembled vector to everyone.
@@ -210,9 +215,13 @@ impl Rank {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         if me == root {
-            let vals = values.ok_or_else(|| PsmpiError::Spawn("scatter root must supply values".into()))?;
+            let vals = values
+                .ok_or_else(|| PsmpiError::Spawn("scatter root must supply values".into()))?;
             if vals.len() != n {
-                return Err(PsmpiError::InvalidRank { rank: vals.len(), size: n });
+                return Err(PsmpiError::InvalidRank {
+                    rank: vals.len(),
+                    size: n,
+                });
             }
             let mut own: Option<T> = None;
             for (i, v) in vals.into_iter().enumerate() {
@@ -239,7 +248,10 @@ impl Rank {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         if values.len() != n {
-            return Err(PsmpiError::InvalidRank { rank: values.len(), size: n });
+            return Err(PsmpiError::InvalidRank {
+                rank: values.len(),
+                size: n,
+            });
         }
         // Buffered sends cannot deadlock; send everything, then receive.
         for (i, v) in values.iter().enumerate() {
@@ -341,10 +353,19 @@ impl Rank {
             return Ok(None);
         }
         let group = Group {
-            endpoints: members.iter().map(|&r| comm.group.endpoints[r as usize]).collect(),
-            nodes: members.iter().map(|&r| comm.group.nodes[r as usize]).collect(),
+            endpoints: members
+                .iter()
+                .map(|&r| comm.group.endpoints[r as usize])
+                .collect(),
+            nodes: members
+                .iter()
+                .map(|&r| comm.group.nodes[r as usize])
+                .collect(),
         };
-        Ok(Some(Communicator { id: CommId(new_id), group: Arc::new(group) }))
+        Ok(Some(Communicator {
+            id: CommId(new_id),
+            group: Arc::new(group),
+        }))
     }
 
     /// Duplicate a communicator (fresh context id, same group).
@@ -356,6 +377,9 @@ impl Rank {
         } else {
             self.bcast::<u64>(comm, 0, None)?
         };
-        Ok(Communicator { id: CommId(id), group: comm.group.clone() })
+        Ok(Communicator {
+            id: CommId(id),
+            group: comm.group.clone(),
+        })
     }
 }

@@ -91,7 +91,10 @@ impl Rank {
     ) -> Result<Vec<f64>, PsmpiError> {
         let n = comm.size();
         if !contribution.len().is_multiple_of(n) {
-            return Err(PsmpiError::InvalidRank { rank: contribution.len(), size: n });
+            return Err(PsmpiError::InvalidRank {
+                rank: contribution.len(),
+                size: n,
+            });
         }
         let block = contribution.len() / n;
         let me = comm
@@ -132,7 +135,9 @@ impl Rank {
             let (v, _) = self.recv_comm::<Vec<T>>(comm, Some(src), Some(TAG_GATHERV))?;
             *slot = Some(v);
         }
-        Ok(Some(out.into_iter().map(|o| o.expect("gathered")).collect()))
+        Ok(Some(
+            out.into_iter().map(|o| o.expect("gathered")).collect(),
+        ))
     }
 
     /// Global minimum *and* its owning rank (MPI_MINLOC over one double).
@@ -159,7 +164,9 @@ mod tests {
     use hwmodel::presets::deep_er_cluster_node;
 
     fn run(n: u32, f: impl Fn(&mut Rank) + Send + Sync + 'static) {
-        UniverseBuilder::new().add_nodes(n, &deep_er_cluster_node()).run(f);
+        UniverseBuilder::new()
+            .add_nodes(n, &deep_er_cluster_node())
+            .run(f);
     }
 
     #[test]
@@ -193,7 +200,9 @@ mod tests {
             let w = rank.world();
             let s = rank.exscan(&w, &[1.0], ReduceOp::Sum).unwrap();
             assert_eq!(s, vec![rank.rank() as f64]);
-            let m = rank.exscan(&w, &[rank.rank() as f64], ReduceOp::Max).unwrap();
+            let m = rank
+                .exscan(&w, &[rank.rank() as f64], ReduceOp::Max)
+                .unwrap();
             if rank.rank() == 0 {
                 assert_eq!(m, vec![f64::NEG_INFINITY], "identity on rank 0");
             } else {
@@ -209,7 +218,9 @@ mod tests {
             // Everyone contributes [1,2,3,4,5,6]; the sum is 3× that; rank
             // i gets block i of length 2.
             let contribution = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-            let mine = rank.reduce_scatter_block(&w, &contribution, ReduceOp::Sum).unwrap();
+            let mine = rank
+                .reduce_scatter_block(&w, &contribution, ReduceOp::Sum)
+                .unwrap();
             let b = rank.rank() as f64;
             assert_eq!(mine, vec![(2.0 * b + 1.0) * 3.0, (2.0 * b + 2.0) * 3.0]);
         });
@@ -247,7 +258,11 @@ mod tests {
         run(5, |rank| {
             let w = rank.world();
             // Rank 3 has the smallest value.
-            let value = if rank.rank() == 3 { -7.5 } else { rank.rank() as f64 };
+            let value = if rank.rank() == 3 {
+                -7.5
+            } else {
+                rank.rank() as f64
+            };
             let (v, owner) = rank.minloc(&w, value).unwrap();
             assert_eq!(v, -7.5);
             assert_eq!(owner, 3);

@@ -46,7 +46,10 @@ pub trait MpiDatatype: Sized {
 
 fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), CodecError> {
     if buf.remaining() < n {
-        Err(CodecError(format!("short buffer decoding {what}: need {n}, have {}", buf.remaining())))
+        Err(CodecError(format!(
+            "short buffer decoding {what}: need {n}, have {}",
+            buf.remaining()
+        )))
     } else {
         Ok(())
     }

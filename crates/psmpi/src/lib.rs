@@ -46,6 +46,8 @@
 //! assert!(report.makespan().as_secs() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod collectives_ext;
 pub mod comm;

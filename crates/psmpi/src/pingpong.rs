@@ -82,8 +82,16 @@ mod tests {
         let cc = measure(&cn, &cn, &[1], 3);
         let bb = measure(&bn, &bn, &[1], 3);
         let cb = measure(&cn, &bn, &[1], 3);
-        assert!((cc[0].latency.as_micros() - 1.0).abs() < 0.05, "CN-CN {:?}", cc[0]);
-        assert!((bb[0].latency.as_micros() - 1.8).abs() < 0.05, "BN-BN {:?}", bb[0]);
+        assert!(
+            (cc[0].latency.as_micros() - 1.0).abs() < 0.05,
+            "CN-CN {:?}",
+            cc[0]
+        );
+        assert!(
+            (bb[0].latency.as_micros() - 1.8).abs() < 0.05,
+            "BN-BN {:?}",
+            bb[0]
+        );
         let mid = cb[0].latency.as_micros();
         assert!(mid > 1.0 && mid < 1.8, "CN-BN {mid} µs");
     }

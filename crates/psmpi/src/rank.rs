@@ -28,7 +28,10 @@ impl std::fmt::Display for PsmpiError {
         match self {
             PsmpiError::Codec(e) => write!(f, "{e}"),
             PsmpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             PsmpiError::NotInCommunicator => write!(f, "caller not in communicator"),
             PsmpiError::Spawn(s) => write!(f, "spawn failed: {s}"),
@@ -58,7 +61,11 @@ pub struct Request<T: MpiDatatype = ()> {
 
 enum RequestKind {
     Send,
-    Recv { comm: CommId, src: Option<usize>, tag: Option<Tag> },
+    Recv {
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    },
 }
 
 impl<T: MpiDatatype> Request<T> {
@@ -251,7 +258,10 @@ impl Rank {
         value: &T,
     ) -> Result<(), PsmpiError> {
         if dst >= comm.size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
         }
         let src_rank = comm
             .group
@@ -274,14 +284,24 @@ impl Rank {
         virtual_bytes: usize,
     ) -> Result<(), PsmpiError> {
         if dst >= comm.size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
         }
         let src_rank = comm
             .group
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
-        self.send_raw(comm.id, dst_ep, src_rank, tag, value.to_bytes(), Some(virtual_bytes));
+        self.send_raw(
+            comm.id,
+            dst_ep,
+            src_rank,
+            tag,
+            value.to_bytes(),
+            Some(virtual_bytes),
+        );
         Ok(())
     }
 
@@ -295,7 +315,10 @@ impl Rank {
     ) -> Result<(T, Status), PsmpiError> {
         if let Some(s) = src {
             if s >= comm.size() {
-                return Err(PsmpiError::InvalidRank { rank: s, size: comm.size() });
+                return Err(PsmpiError::InvalidRank {
+                    rank: s,
+                    size: comm.size(),
+                });
             }
         }
         let (bytes, st) = self.recv_raw(comm.id, src, tag)?;
@@ -311,7 +334,10 @@ impl Rank {
         value: &T,
     ) -> Result<Request, PsmpiError> {
         self.send_comm(comm, dst, tag, value)?;
-        Ok(Request { kind: RequestKind::Send, _t: PhantomData })
+        Ok(Request {
+            kind: RequestKind::Send,
+            _t: PhantomData,
+        })
     }
 
     /// Nonblocking receive on `comm`; complete with [`Request::wait`].
@@ -322,7 +348,11 @@ impl Rank {
         tag: Option<Tag>,
     ) -> Request<T> {
         Request {
-            kind: RequestKind::Recv { comm: comm.id, src, tag },
+            kind: RequestKind::Recv {
+                comm: comm.id,
+                src,
+                tag,
+            },
             _t: PhantomData,
         }
     }
@@ -330,7 +360,12 @@ impl Rank {
     // ---- point-to-point on the world (convenience) ----
 
     /// [`Rank::send_comm`] on the world communicator.
-    pub fn send<T: MpiDatatype>(&mut self, dst: usize, tag: Tag, value: &T) -> Result<(), PsmpiError> {
+    pub fn send<T: MpiDatatype>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<(), PsmpiError> {
         let w = self.world.clone();
         self.send_comm(&w, dst, tag, value)
     }
@@ -346,7 +381,12 @@ impl Rank {
     }
 
     /// [`Rank::isend_comm`] on the world communicator.
-    pub fn isend<T: MpiDatatype>(&mut self, dst: usize, tag: Tag, value: &T) -> Result<Request, PsmpiError> {
+    pub fn isend<T: MpiDatatype>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: &T,
+    ) -> Result<Request, PsmpiError> {
         let w = self.world.clone();
         self.isend_comm(&w, dst, tag, value)
     }
@@ -369,7 +409,10 @@ impl Rank {
         value: &T,
     ) -> Result<(), PsmpiError> {
         if dst >= ic.remote_size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
         }
         let src_rank = ic
             .local
@@ -390,14 +433,24 @@ impl Rank {
         virtual_bytes: usize,
     ) -> Result<(), PsmpiError> {
         if dst >= ic.remote_size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
         }
         let src_rank = ic
             .local
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
-        self.send_raw(ic.id, dst_ep, src_rank, tag, value.to_bytes(), Some(virtual_bytes));
+        self.send_raw(
+            ic.id,
+            dst_ep,
+            src_rank,
+            tag,
+            value.to_bytes(),
+            Some(virtual_bytes),
+        );
         Ok(())
     }
 
@@ -422,7 +475,10 @@ impl Rank {
         value: &T,
     ) -> Result<Request, PsmpiError> {
         self.send_inter(ic, dst, tag, value)?;
-        Ok(Request { kind: RequestKind::Send, _t: PhantomData })
+        Ok(Request {
+            kind: RequestKind::Send,
+            _t: PhantomData,
+        })
     }
 
     /// Nonblocking inter-communicator receive (the `MPI_Irecv` of
@@ -434,7 +490,11 @@ impl Rank {
         tag: Option<Tag>,
     ) -> Request<T> {
         Request {
-            kind: RequestKind::Recv { comm: ic.id, src, tag },
+            kind: RequestKind::Recv {
+                comm: ic.id,
+                src,
+                tag,
+            },
             _t: PhantomData,
         }
     }
@@ -446,15 +506,32 @@ impl Rank {
     pub fn probe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Status {
         let (src_rank, tag, bytes, stamp, src_ep) = self.mailbox.probe_blocking(comm.id, src, tag);
         let arrival = stamp + self.probe_transfer(src_ep, bytes);
-        Status { source: src_rank, tag, bytes, arrival }
+        Status {
+            source: src_rank,
+            tag,
+            bytes,
+            arrival,
+        }
     }
 
     /// Nonblocking probe.
-    pub fn iprobe(&mut self, comm: &Communicator, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
-        self.mailbox.probe_match(comm.id, src, tag).map(|(src_rank, tag, bytes, stamp, src_ep)| {
-            let arrival = stamp + self.probe_transfer(src_ep, bytes);
-            Status { source: src_rank, tag, bytes, arrival }
-        })
+    pub fn iprobe(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Option<Status> {
+        self.mailbox
+            .probe_match(comm.id, src, tag)
+            .map(|(src_rank, tag, bytes, stamp, src_ep)| {
+                let arrival = stamp + self.probe_transfer(src_ep, bytes);
+                Status {
+                    source: src_rank,
+                    tag,
+                    bytes,
+                    arrival,
+                }
+            })
     }
 
     /// Transfer time a probe reports: zero for a self-send (which never
@@ -509,7 +586,10 @@ impl Rank {
         virtual_size: Option<usize>,
     ) -> Result<(), PsmpiError> {
         if dst >= comm.size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: comm.size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
         }
         let src_rank = comm
             .group
@@ -530,7 +610,10 @@ impl Rank {
     ) -> Result<(Bytes, Status), PsmpiError> {
         if let Some(s) = src {
             if s >= comm.size() {
-                return Err(PsmpiError::InvalidRank { rank: s, size: comm.size() });
+                return Err(PsmpiError::InvalidRank {
+                    rank: s,
+                    size: comm.size(),
+                });
             }
         }
         self.recv_raw(comm.id, src, tag)
@@ -569,7 +652,10 @@ impl Rank {
         virtual_size: Option<usize>,
     ) -> Result<(), PsmpiError> {
         if dst >= ic.remote_size() {
-            return Err(PsmpiError::InvalidRank { rank: dst, size: ic.remote_size() });
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
         }
         let src_rank = ic
             .local
@@ -642,10 +728,13 @@ impl Rank {
             self.clock = self.clock.max(env.send_stamp);
         } else {
             let transfer =
-                self.router.transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
-            let arrival = self
-                .router
-                .incast_adjust(self.endpoint, env.send_stamp + transfer, env.wire_size());
+                self.router
+                    .transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
+            let arrival = self.router.incast_adjust(
+                self.endpoint,
+                env.send_stamp + transfer,
+                env.wire_size(),
+            );
             self.clock = self.clock.max(arrival);
             self.router.trace_delivery(
                 env.src_endpoint,

@@ -52,9 +52,15 @@ impl Mailbox {
         tag: Option<Tag>,
     ) -> Option<(usize, Tag, usize, SimTime, EndpointId)> {
         let q = self.queue.lock();
-        q.iter()
-            .find(|e| e.matches(comm, src, tag))
-            .map(|e| (e.src_rank, e.tag, e.payload.len(), e.send_stamp, e.src_endpoint))
+        q.iter().find(|e| e.matches(comm, src, tag)).map(|e| {
+            (
+                e.src_rank,
+                e.tag,
+                e.payload.len(),
+                e.send_stamp,
+                e.src_endpoint,
+            )
+        })
     }
 
     /// Blocking probe: wait until a matching envelope is queued, return its
@@ -68,7 +74,13 @@ impl Mailbox {
         let mut q = self.queue.lock();
         loop {
             if let Some(e) = q.iter().find(|e| e.matches(comm, src, tag)) {
-                return (e.src_rank, e.tag, e.payload.len(), e.send_stamp, e.src_endpoint);
+                return (
+                    e.src_rank,
+                    e.tag,
+                    e.payload.len(),
+                    e.send_stamp,
+                    e.src_endpoint,
+                );
             }
             self.cv.wait(&mut q);
         }
@@ -156,7 +168,9 @@ impl Router {
     /// Allocate a fresh endpoint bound to `node`.
     pub fn register_endpoint(&self, node: NodeId) -> EndpointId {
         let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed));
-        self.mailboxes.write().insert(id, Arc::new(Mailbox::default()));
+        self.mailboxes
+            .write()
+            .insert(id, Arc::new(Mailbox::default()));
         self.endpoint_nodes.write().insert(id, node);
         id
     }
@@ -218,11 +232,21 @@ impl Router {
         arrive: SimTime,
     ) {
         let guard = self.trace.lock();
-        let Some(collector) = guard.as_ref() else { return };
+        let Some(collector) = guard.as_ref() else {
+            return;
+        };
         let src_node = self.node_of(src);
         let dst_node = self.node_of(dst);
-        let src_kind = self.fabric.node(src_node).map(|n| n.kind).unwrap_or(hwmodel::NodeKind::Cluster);
-        let dst_kind = self.fabric.node(dst_node).map(|n| n.kind).unwrap_or(hwmodel::NodeKind::Cluster);
+        let src_kind = self
+            .fabric
+            .node(src_node)
+            .map(|n| n.kind)
+            .unwrap_or(hwmodel::NodeKind::Cluster);
+        let dst_kind = self
+            .fabric
+            .node(dst_node)
+            .map(|n| n.kind)
+            .unwrap_or(hwmodel::NodeKind::Cluster);
         collector.record(simnet::TraceEvent {
             src: src_node,
             dst: dst_node,

@@ -33,7 +33,10 @@ impl MpiDatatype for WireGroup {
         self.nodes.encode(buf);
     }
     fn decode(buf: &mut bytes::Bytes) -> Result<Self, crate::datatype::CodecError> {
-        Ok(WireGroup { endpoints: Vec::decode(buf)?, nodes: Vec::decode(buf)? })
+        Ok(WireGroup {
+            endpoints: Vec::decode(buf)?,
+            nodes: Vec::decode(buf)?,
+        })
     }
 }
 
@@ -63,7 +66,12 @@ impl MpiDatatype for SpawnInfo {
             return Err(crate::datatype::CodecError("short SpawnInfo clock".into()));
         }
         let start_clock_ns = buf.get_u64_le();
-        Ok(SpawnInfo { child_world, intercomm, group, start_clock_ns })
+        Ok(SpawnInfo {
+            child_world,
+            intercomm,
+            group,
+            start_clock_ns,
+        })
     }
 }
 
@@ -100,7 +108,10 @@ impl Rank {
             let cores = cores_per_rank(&router, placements);
             let start_clock = self.now();
 
-            let child_world = Communicator { id: child_world_id, group: child_group.clone() };
+            let child_world = Communicator {
+                id: child_world_id,
+                group: child_group.clone(),
+            };
             let parent_ic_for_children = Intercomm {
                 id: intercomm_id,
                 local: child_group.clone(),
@@ -136,7 +147,12 @@ impl Rank {
         };
 
         let remote = Arc::new(Group {
-            endpoints: info.group.endpoints.iter().map(|&e| crate::envelope::EndpointId(e)).collect(),
+            endpoints: info
+                .group
+                .endpoints
+                .iter()
+                .map(|&e| crate::envelope::EndpointId(e))
+                .collect(),
             nodes: info.group.nodes.iter().map(|&n| NodeId(n)).collect(),
         });
         Ok(Intercomm {
@@ -149,7 +165,11 @@ impl Rank {
     /// Convenience: spawn using this rank's world as the parent
     /// communicator, with one child per placement and one counting
     /// rank-per-node core share.
-    pub fn spawn_world<F>(&mut self, placements: &[NodeId], entry: F) -> Result<Intercomm, PsmpiError>
+    pub fn spawn_world<F>(
+        &mut self,
+        placements: &[NodeId],
+        entry: F,
+    ) -> Result<Intercomm, PsmpiError>
     where
         F: Fn(&mut Rank) + Send + Sync + 'static,
     {
@@ -181,7 +201,10 @@ mod tests {
 
     #[test]
     fn wire_group_roundtrip() {
-        let g = WireGroup { endpoints: vec![1, 2, 3], nodes: vec![7, 8, 9] };
+        let g = WireGroup {
+            endpoints: vec![1, 2, 3],
+            nodes: vec![7, 8, 9],
+        };
         let mut buf = BytesMut::new();
         g.encode(&mut buf);
         let back = WireGroup::decode(&mut buf.freeze()).unwrap();
@@ -193,7 +216,10 @@ mod tests {
         let i = SpawnInfo {
             child_world: 5,
             intercomm: 6,
-            group: WireGroup { endpoints: vec![10], nodes: vec![3] },
+            group: WireGroup {
+                endpoints: vec![10],
+                nodes: vec![3],
+            },
             start_clock_ns: 123_456,
         };
         let mut buf = BytesMut::new();

@@ -11,7 +11,7 @@ use crate::rank::Rank;
 use crate::router::{RankOutcome, Router};
 use hwmodel::{NodeId, NodeSpec, SimTime};
 use simnet::{Fabric, LogGpModel, Topology};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -27,7 +27,9 @@ pub struct Universe {
 impl Universe {
     /// Create a universe over a fabric.
     pub fn new(fabric: Fabric) -> Self {
-        Universe { router: Router::new(fabric) }
+        Universe {
+            router: Router::new(fabric),
+        }
     }
 
     /// The underlying fabric.
@@ -63,7 +65,10 @@ impl Universe {
         assert!(!placements.is_empty(), "job needs at least one rank");
         let world_id = self.router.alloc_comm();
         let group = build_group(&self.router, placements);
-        let world = Communicator { id: world_id, group: Arc::new(group) };
+        let world = Communicator {
+            id: world_id,
+            group: Arc::new(group),
+        };
         let cores = cores_per_rank(&self.router, placements);
 
         let mut handles = Vec::with_capacity(placements.len());
@@ -101,13 +106,19 @@ impl Universe {
 
 /// Build the group for a placement list: endpoints registered in order.
 pub(crate) fn build_group(router: &Arc<Router>, placements: &[NodeId]) -> Group {
-    let endpoints = placements.iter().map(|&n| router.register_endpoint(n)).collect();
-    Group { endpoints, nodes: placements.to_vec() }
+    let endpoints = placements
+        .iter()
+        .map(|&n| router.register_endpoint(n))
+        .collect();
+    Group {
+        endpoints,
+        nodes: placements.to_vec(),
+    }
 }
 
 /// Cores available to each rank: node cores divided by ranks on that node.
 pub(crate) fn cores_per_rank(router: &Arc<Router>, placements: &[NodeId]) -> Vec<u32> {
-    let mut counts: HashMap<NodeId, u32> = HashMap::new();
+    let mut counts: BTreeMap<NodeId, u32> = BTreeMap::new();
     for &n in placements {
         *counts.entry(n).or_insert(0) += 1;
     }
@@ -132,7 +143,11 @@ pub(crate) fn spawn_rank_thread(
     cores: u32,
     entry: Arc<RankFn>,
 ) -> JoinHandle<()> {
-    let node = router.fabric().node(node_id).expect("rank on known node").clone();
+    let node = router
+        .fabric()
+        .node(node_id)
+        .expect("rank on known node")
+        .clone();
     let endpoint = world.group.endpoints[rank_idx];
     std::thread::Builder::new()
         .name(format!("psmpi-w{}r{}", world.id.0, rank_idx))
@@ -226,7 +241,11 @@ impl JobReport {
     /// The job's virtual runtime: the maximum final clock over all ranks of
     /// all worlds.
     pub fn makespan(&self) -> SimTime {
-        self.outcomes.iter().map(|o| o.clock).max().unwrap_or(SimTime::ZERO)
+        self.outcomes
+            .iter()
+            .map(|o| o.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Worlds that took part in the job.

@@ -16,7 +16,10 @@ fn gather_makespan(incast: bool, senders: u32) -> SimTime {
     let c2 = clock.clone();
     UniverseBuilder::new()
         .add_nodes(senders + 1, &deep_er_cluster_node())
-        .link_model(LogGpModel { model_incast: incast, ..LogGpModel::default() })
+        .link_model(LogGpModel {
+            model_incast: incast,
+            ..LogGpModel::default()
+        })
         .run(move |rank| {
             let payload = vec![0u8; 4 << 20]; // ~0.43 ms on the wire each
             if rank.rank() == 0 {
@@ -49,7 +52,10 @@ fn incast_is_free_for_a_single_sender() {
     let without = gather_makespan(false, 1);
     let with = gather_makespan(true, 1);
     let rel = (with.as_secs() - without.as_secs()).abs() / without.as_secs();
-    assert!(rel < 1e-9, "one flow sees no contention: {without} vs {with}");
+    assert!(
+        rel < 1e-9,
+        "one flow sees no contention: {without} vs {with}"
+    );
 }
 
 #[test]

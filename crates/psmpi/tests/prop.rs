@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use psmpi::{MpiDatatype, ReduceOp};
 
 fn roundtrip<T: MpiDatatype + PartialEq + std::fmt::Debug + Clone>(x: &T) -> bool {
-    T::from_bytes(x.to_bytes()).map(|y| y == *x).unwrap_or(false)
+    T::from_bytes(x.to_bytes())
+        .map(|y| y == *x)
+        .unwrap_or(false)
 }
 
 proptest! {

@@ -59,25 +59,23 @@ fn tag_matching_selects_correct_message() {
 
 #[test]
 fn wildcard_source_and_tag() {
-    cluster(3).run(|rank| {
-        match rank.rank() {
-            0 => {
-                rank.send(2, 5, &10u32).unwrap();
-            }
-            1 => {
-                rank.send(2, 6, &20u32).unwrap();
-            }
-            2 => {
-                let mut sum = 0;
-                for _ in 0..2 {
-                    let (v, st) = rank.recv::<u32>(ANY_SOURCE, ANY_TAG).unwrap();
-                    assert!(st.source == 0 || st.source == 1);
-                    sum += v;
-                }
-                assert_eq!(sum, 30);
-            }
-            _ => unreachable!(),
+    cluster(3).run(|rank| match rank.rank() {
+        0 => {
+            rank.send(2, 5, &10u32).unwrap();
         }
+        1 => {
+            rank.send(2, 6, &20u32).unwrap();
+        }
+        2 => {
+            let mut sum = 0;
+            for _ in 0..2 {
+                let (v, st) = rank.recv::<u32>(ANY_SOURCE, ANY_TAG).unwrap();
+                assert!(st.source == 0 || st.source == 1);
+                sum += v;
+            }
+            assert_eq!(sum, 30);
+        }
+        _ => unreachable!(),
     });
 }
 
@@ -166,9 +164,15 @@ fn barrier_synchronizes_clocks() {
         c2.lock().push(rank.now());
     });
     let clocks = clocks.lock();
-    let min = clocks.iter().cloned().fold(SimTime::from_secs(1e9), SimTime::min);
+    let min = clocks
+        .iter()
+        .cloned()
+        .fold(SimTime::from_secs(1e9), SimTime::min);
     // Everyone must leave the barrier no earlier than the slow rank entered.
-    assert!(min >= SimTime::from_millis(5.0), "barrier must wait for the slowest rank");
+    assert!(
+        min >= SimTime::from_millis(5.0),
+        "barrier must wait for the slowest rank"
+    );
 }
 
 #[test]
@@ -198,7 +202,9 @@ fn reduce_and_allreduce() {
         }
         let all = rank.allreduce(&w, &mine, ReduceOp::Max).unwrap();
         assert_eq!(all, vec![5.0, 1.0]);
-        let s = rank.allreduce_scalar(&w, rank.rank() as f64, ReduceOp::Min).unwrap();
+        let s = rank
+            .allreduce_scalar(&w, rank.rank() as f64, ReduceOp::Min)
+            .unwrap();
         assert_eq!(s, 0.0);
     });
 }
@@ -215,7 +221,15 @@ fn gather_scatter_allgather_alltoall() {
         }
 
         let s = rank
-            .scatter(&w, 0, if me == 0 { Some(vec![10u64, 11, 12, 13]) } else { None })
+            .scatter(
+                &w,
+                0,
+                if me == 0 {
+                    Some(vec![10u64, 11, 12, 13])
+                } else {
+                    None
+                },
+            )
             .unwrap();
         assert_eq!(s, 10 + me as u64);
 
@@ -241,7 +255,9 @@ fn split_forms_subcommunicators() {
             .expect("everyone has a color");
         assert_eq!(comm.size(), 3);
         // Keys are descending in old rank, so new rank 0 is the largest old.
-        let sum = rank.allreduce_scalar(&comm, me as f64, ReduceOp::Sum).unwrap();
+        let sum = rank
+            .allreduce_scalar(&comm, me as f64, ReduceOp::Sum)
+            .unwrap();
         if me % 2 == 0 {
             assert_eq!(sum, 0.0 + 2.0 + 4.0);
         } else {
@@ -297,24 +313,35 @@ fn spawn_creates_child_world_with_intercomm() {
                 // world rank calls it (booster ranks with no color).
                 let w = rank.world();
                 let parents = rank
-                    .split(&w, if rank.rank() < 2 { Some(0) } else { None }, rank.rank() as i64)
+                    .split(
+                        &w,
+                        if rank.rank() < 2 { Some(0) } else { None },
+                        rank.rank() as i64,
+                    )
                     .unwrap();
                 let Some(parents) = parents else {
                     return; // booster ranks idle in the initial world
                 };
                 let booster_nodes = [NodeId(2), NodeId(3), NodeId(4)];
                 let ic = rank
-                    .spawn(&parents, &booster_nodes, Arc::new(|child: &mut psmpi::Rank| {
-                        let pic = child.parent().expect("child sees parent");
-                        assert_eq!(child.size(), 3);
-                        assert_eq!(pic.remote_size(), 2);
-                        // Child rank 0 sends its world size to parent rank 0.
-                        if child.rank() == 0 {
-                            child.send_inter(&pic, 0, 9, &(child.size() as u64)).unwrap();
-                            let (echo, _) = child.recv_inter::<u64>(&pic, Some(0), Some(10)).unwrap();
-                            assert_eq!(echo, 42);
-                        }
-                    }))
+                    .spawn(
+                        &parents,
+                        &booster_nodes,
+                        Arc::new(|child: &mut psmpi::Rank| {
+                            let pic = child.parent().expect("child sees parent");
+                            assert_eq!(child.size(), 3);
+                            assert_eq!(pic.remote_size(), 2);
+                            // Child rank 0 sends its world size to parent rank 0.
+                            if child.rank() == 0 {
+                                child
+                                    .send_inter(&pic, 0, 9, &(child.size() as u64))
+                                    .unwrap();
+                                let (echo, _) =
+                                    child.recv_inter::<u64>(&pic, Some(0), Some(10)).unwrap();
+                                assert_eq!(echo, 42);
+                            }
+                        }),
+                    )
                     .unwrap();
                 assert_eq!(ic.remote_size(), 3);
                 assert_eq!(ic.local_size(), 2);

@@ -77,16 +77,23 @@ fn spawn_from_split_subcommunicator() {
     let report = u.launch(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)], |rank| {
         let w = rank.world();
         let color = (rank.rank() % 2) as u32;
-        let sub = rank.split(&w, Some(color), rank.rank() as i64).unwrap().unwrap();
+        let sub = rank
+            .split(&w, Some(color), rank.rank() as i64)
+            .unwrap()
+            .unwrap();
         if color == 0 {
             let ic = rank
-                .spawn(&sub, &[NodeId(4)], Arc::new(|child: &mut Rank| {
-                    let p = child.parent().unwrap();
-                    assert_eq!(p.remote_size(), 2, "parent group is the sub-communicator");
-                    if child.rank() == 0 {
-                        child.send_inter(&p, 1, 3, &5u8).unwrap();
-                    }
-                }))
+                .spawn(
+                    &sub,
+                    &[NodeId(4)],
+                    Arc::new(|child: &mut Rank| {
+                        let p = child.parent().unwrap();
+                        assert_eq!(p.remote_size(), 2, "parent group is the sub-communicator");
+                        if child.rank() == 0 {
+                            child.send_inter(&p, 1, 3, &5u8).unwrap();
+                        }
+                    }),
+                )
                 .unwrap();
             assert_eq!(ic.local_size(), 2);
             // Sub-rank 1 (world rank 2) receives.

@@ -25,7 +25,11 @@ fn send_bytes_delivers_senders_allocation() {
             assert_eq!(got.len(), 1 << 16);
             // The received handle points into the sender's buffer: no copy
             // happened anywhere on the path.
-            assert_eq!(got.as_ptr() as u64, ptr, "receive must not copy the payload");
+            assert_eq!(
+                got.as_ptr() as u64,
+                ptr,
+                "receive must not copy the payload"
+            );
         }
     });
 }
@@ -37,7 +41,11 @@ fn bcast_bytes_shares_one_allocation() {
     cluster(5).run(|rank| {
         let w = rank.world();
         let me = rank.rank();
-        let payload = if me == 2 { Some(Bytes::from(vec![9u8; 4096])) } else { None };
+        let payload = if me == 2 {
+            Some(Bytes::from(vec![9u8; 4096]))
+        } else {
+            None
+        };
         let b = rank.bcast_bytes(&w, 2, payload).unwrap();
         assert_eq!(b.len(), 4096);
         assert!(b.iter().all(|&x| x == 9));
@@ -82,7 +90,11 @@ fn self_send_charges_only_send_overhead() {
         for _ in 0..rounds {
             rank.send_bytes_comm(&w, 0, 7, payload.clone()).unwrap();
             let (v, _) = rank.recv_bytes_comm(&w, Some(0), Some(7)).unwrap();
-            assert_eq!(v.as_ptr(), payload.as_ptr(), "self round trip must not copy");
+            assert_eq!(
+                v.as_ptr(),
+                payload.as_ptr(),
+                "self round trip must not copy"
+            );
         }
         assert_eq!(
             rank.now(),
@@ -111,7 +123,10 @@ fn self_probe_reports_zero_transfer() {
         rank.send(0, 4, &vec![1u8, 2, 3]).unwrap();
         let sent_at = rank.now();
         let st = rank.probe(&w, Some(0), Some(4));
-        assert!(st.arrival <= sent_at, "self message is available at its send stamp");
+        assert!(
+            st.arrival <= sent_at,
+            "self message is available at its send stamp"
+        );
         let _ = rank.recv::<Vec<u8>>(Some(0), Some(4)).unwrap();
     });
 }

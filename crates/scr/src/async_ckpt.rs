@@ -231,7 +231,8 @@ mod tests {
     #[test]
     fn failure_before_drain_falls_back_to_local() {
         let m = manager(2);
-        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 1)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 1))
+            .unwrap();
         let (_pending, _) = m
             .checkpoint_async(2, CheckpointLevel::Buddy, &blobs(2, 2))
             .unwrap();
@@ -256,7 +257,11 @@ mod tests {
             sync.wall_time
         );
         // Ideal: only the local stages block → 500 + 9×2 = 518 s.
-        assert!((asynch.wall_time.as_secs() - 518.0).abs() < 1e-9, "{}", asynch.wall_time);
+        assert!(
+            (asynch.wall_time.as_secs() - 518.0).abs() < 1e-9,
+            "{}",
+            asynch.wall_time
+        );
     }
 
     #[test]
@@ -273,10 +278,17 @@ mod tests {
         // Timeline: ckpt 1 drains by t=16 (protects 10 s), ckpt 2 by t=27
         // (protects 20 s). A failure at t=30 therefore loses only the 8 s
         // computed since t=22 — the drained checkpoint 2 is usable.
-        let failures = [FailureEvent { at: s(30.0), node: NodeId(0) }];
+        let failures = [FailureEvent {
+            at: s(30.0),
+            node: NodeId(0),
+        }];
         let out = simulate_run_async(s(100.0), s(10.0), s(1.0), s(5.0), s(2.0), &failures);
         assert_eq!(out.failures_hit, 1);
-        assert!((out.rework_time.as_secs() - 8.0).abs() < 1e-9, "rework {}", out.rework_time);
+        assert!(
+            (out.rework_time.as_secs() - 8.0).abs() < 1e-9,
+            "rework {}",
+            out.rework_time
+        );
         assert!(out.wall_time > s(100.0));
     }
 
@@ -284,9 +296,16 @@ mod tests {
     fn async_failure_with_inflight_drain_loses_more() {
         // Failure at t=25, before ckpt 2's drain finishes at 27: restart
         // falls back to ckpt 1 (10 s protected) → 10 + 3 s of rework.
-        let failures = [FailureEvent { at: s(25.0), node: NodeId(0) }];
+        let failures = [FailureEvent {
+            at: s(25.0),
+            node: NodeId(0),
+        }];
         let out = simulate_run_async(s(100.0), s(10.0), s(1.0), s(5.0), s(2.0), &failures);
         assert_eq!(out.failures_hit, 1);
-        assert!((out.rework_time.as_secs() - 13.0).abs() < 1e-9, "rework {}", out.rework_time);
+        assert!(
+            (out.rework_time.as_secs() - 13.0).abs() < 1e-9,
+            "rework {}",
+            out.rework_time
+        );
     }
 }

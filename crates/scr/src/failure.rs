@@ -116,8 +116,16 @@ mod tests {
     fn deterministic_under_seed() {
         let m = FailureModel::new(SimTime::from_secs(10.0));
         let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
-        let t1 = m.sample_trace(&mut StdRng::seed_from_u64(1), &nodes, SimTime::from_secs(100.0));
-        let t2 = m.sample_trace(&mut StdRng::seed_from_u64(1), &nodes, SimTime::from_secs(100.0));
+        let t1 = m.sample_trace(
+            &mut StdRng::seed_from_u64(1),
+            &nodes,
+            SimTime::from_secs(100.0),
+        );
+        let t2 = m.sample_trace(
+            &mut StdRng::seed_from_u64(1),
+            &nodes,
+            SimTime::from_secs(100.0),
+        );
         assert_eq!(t1, t2);
     }
 

@@ -41,8 +41,14 @@ impl MultiLevelSchedule {
         let base_interval = young_daly_interval(local_cost, system_mtbf);
         // Escalate with the square root of the cost ratio (the same
         // first-order optimality argument applied per level).
-        let buddy_every = (buddy_cost.as_secs() / local_cost.as_secs()).sqrt().ceil().max(1.0);
-        let global_every = (global_cost.as_secs() / local_cost.as_secs()).sqrt().ceil().max(1.0);
+        let buddy_every = (buddy_cost.as_secs() / local_cost.as_secs())
+            .sqrt()
+            .ceil()
+            .max(1.0);
+        let global_every = (global_cost.as_secs() / local_cost.as_secs())
+            .sqrt()
+            .ceil()
+            .max(1.0);
         MultiLevelSchedule {
             base_interval,
             buddy_every: buddy_every as u32,

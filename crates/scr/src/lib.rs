@@ -20,6 +20,8 @@
 //!   checkpoint schedule and a failure trace, compute the wall time with
 //!   rework and restarts. Drives the checkpoint-interval sweep bench.
 
+#![forbid(unsafe_code)]
+
 pub mod async_ckpt;
 pub mod failure;
 pub mod interval;

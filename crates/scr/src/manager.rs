@@ -4,7 +4,7 @@ use hwmodel::{MemoryLevel, NodeId, SimTime};
 use parking_lot::Mutex;
 use simnet::LogGpModel;
 use sionio::{ParallelFs, SionContainer};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Where a checkpoint lives — SCR's storage hierarchy on the prototype.
@@ -38,7 +38,10 @@ impl std::fmt::Display for ScrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScrError::WrongRankCount { got, want } => {
-                write!(f, "checkpoint carries {got} rank blobs, job has {want} ranks")
+                write!(
+                    f,
+                    "checkpoint carries {got} rank blobs, job has {want} ranks"
+                )
             }
             ScrError::NothingToRestart => write!(f, "no restartable checkpoint"),
         }
@@ -77,16 +80,19 @@ struct CheckpointRecord {
 
 #[derive(Default)]
 struct ScrState {
+    // Ordered maps/sets throughout: drain, failure sweeps, and recovery
+    // scans iterate these, and their virtual-time outcomes must not depend
+    // on hash order (deepcheck D002).
     /// Payloads of asynchronous checkpoints whose drain is in flight.
-    pending: HashMap<u64, Vec<Vec<u8>>>,
+    pending: BTreeMap<u64, Vec<Vec<u8>>>,
     /// (ckpt id, rank) → blob, on the rank's own node.
-    local: HashMap<(u64, usize), Vec<u8>>,
+    local: BTreeMap<(u64, usize), Vec<u8>>,
     /// (ckpt id, rank) → blob, on the buddy node.
-    buddy: HashMap<(u64, usize), Vec<u8>>,
+    buddy: BTreeMap<(u64, usize), Vec<u8>>,
     /// Database of taken checkpoints, newest last.
     db: Vec<CheckpointRecord>,
     /// Nodes currently failed.
-    dead: HashSet<NodeId>,
+    dead: BTreeSet<NodeId>,
 }
 
 /// The checkpoint manager for one job.
@@ -112,7 +118,13 @@ impl ScrManager {
     ) -> Self {
         assert_eq!(nodes.len(), specs.len());
         assert!(!nodes.is_empty());
-        ScrManager { config, nodes, specs, pfs, state: Arc::new(Mutex::new(ScrState::default())) }
+        ScrManager {
+            config,
+            nodes,
+            specs,
+            pfs,
+            state: Arc::new(Mutex::new(ScrState::default())),
+        }
     }
 
     /// Number of ranks.
@@ -140,14 +152,18 @@ impl ScrManager {
                     bytes_per_rank as usize,
                     1,
                 );
-                local + self.config.nvme.read_time(bytes_per_rank).max(copy)
+                local
+                    + self.config.nvme.read_time(bytes_per_rank).max(copy)
                     + self.config.nvme.write_time(bytes_per_rank)
             }
             CheckpointLevel::Global => {
                 // All ranks' chunks funnel into the striped PFS; staging
                 // from NVMe overlaps the slower disk path.
                 let total = bytes_per_rank * self.ranks() as u64;
-                self.config.nvme.read_time(bytes_per_rank).max(self.pfs.transfer_time(total))
+                self.config
+                    .nvme
+                    .read_time(bytes_per_rank)
+                    .max(self.pfs.transfer_time(total))
             }
         }
     }
@@ -161,7 +177,10 @@ impl ScrManager {
         rank_data: &[Vec<u8>],
     ) -> Result<SimTime, ScrError> {
         if rank_data.len() != self.ranks() {
-            return Err(ScrError::WrongRankCount { got: rank_data.len(), want: self.ranks() });
+            return Err(ScrError::WrongRankCount {
+                got: rank_data.len(),
+                want: self.ranks(),
+            });
         }
         let max_bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
         let cost = self.checkpoint_cost(level, max_bytes);
@@ -179,7 +198,12 @@ impl ScrManager {
                 }
             }
             CheckpointLevel::Global => {
-                let chunk = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(1).max(1);
+                let chunk = rank_data
+                    .iter()
+                    .map(|d| d.len() as u64)
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
                 let (c, _) = SionContainer::create(
                     &self.pfs,
                     format!("/scr/ckpt-{id}.sion"),
@@ -188,7 +212,8 @@ impl ScrManager {
                 )
                 .expect("fresh container path");
                 for (r, d) in rank_data.iter().enumerate() {
-                    c.write_task(r, d).expect("chunk sized for the largest blob");
+                    c.write_task(r, d)
+                        .expect("chunk sized for the largest blob");
                 }
             }
         }
@@ -209,7 +234,8 @@ impl ScrManager {
         // Local copies live on the rank's node; buddy copies on the buddy's.
         st.local.retain(|(_, r), _| !dead.contains(&self.nodes[*r]));
         let buddies: Vec<usize> = (0..self.ranks()).map(|r| self.buddy_of(r)).collect();
-        st.buddy.retain(|(_, r), _| !dead.contains(&self.nodes[buddies[*r]]));
+        st.buddy
+            .retain(|(_, r), _| !dead.contains(&self.nodes[buddies[*r]]));
     }
 
     /// Repair failed nodes (replacement hardware / reboot).
@@ -255,8 +281,9 @@ impl ScrManager {
                 let blob = match level {
                     CheckpointLevel::Global => {
                         drop(st);
-                        let (c, _) = SionContainer::open(&self.pfs, &format!("/scr/ckpt-{id}.sion"))
-                            .expect("global checkpoint container");
+                        let (c, _) =
+                            SionContainer::open(&self.pfs, &format!("/scr/ckpt-{id}.sion"))
+                                .expect("global checkpoint container");
                         let mut out = Vec::with_capacity(self.ranks());
                         for rr in 0..self.ranks() {
                             out.push(c.read_task(rr).expect("task chunk").0);
@@ -356,7 +383,9 @@ mod tests {
     #[test]
     fn local_checkpoint_roundtrip() {
         let m = manager(4);
-        let t = m.checkpoint(1, CheckpointLevel::Local, &blobs(4, 10)).unwrap();
+        let t = m
+            .checkpoint(1, CheckpointLevel::Local, &blobs(4, 10))
+            .unwrap();
         assert!(t > SimTime::ZERO);
         let (id, level, data, cost) = m.restart().unwrap();
         assert_eq!(id, 1);
@@ -379,8 +408,10 @@ mod tests {
     #[test]
     fn node_failure_kills_local_but_not_buddy() {
         let m = manager(4);
-        m.checkpoint(1, CheckpointLevel::Local, &blobs(4, 0)).unwrap();
-        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 50)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Local, &blobs(4, 0))
+            .unwrap();
+        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 50))
+            .unwrap();
         m.fail_nodes(&[NodeId(2)]);
         assert!(!m.recoverable(1), "local copy of rank 2 died with its node");
         assert!(m.recoverable(2), "buddy copy survives one node");
@@ -394,7 +425,8 @@ mod tests {
         // Buddy offset 1: ranks 1 and 2 are each other's neighbours; killing
         // nodes 1 and 2 destroys rank 1's local AND its buddy copy (on 2).
         let m = manager(4);
-        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(4, 0)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(4, 0))
+            .unwrap();
         m.fail_nodes(&[NodeId(1), NodeId(2)]);
         assert!(!m.recoverable(1));
         assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
@@ -403,7 +435,8 @@ mod tests {
     #[test]
     fn global_survives_everything() {
         let m = manager(4);
-        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 0)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 0))
+            .unwrap();
         m.fail_nodes(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert!(m.recoverable(1));
         let (id, level, data, _) = m.restart().unwrap();
@@ -414,9 +447,12 @@ mod tests {
     #[test]
     fn restart_falls_back_through_levels() {
         let m = manager(4);
-        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 1)).unwrap();
-        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 2)).unwrap();
-        m.checkpoint(3, CheckpointLevel::Local, &blobs(4, 3)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Global, &blobs(4, 1))
+            .unwrap();
+        m.checkpoint(2, CheckpointLevel::Buddy, &blobs(4, 2))
+            .unwrap();
+        m.checkpoint(3, CheckpointLevel::Local, &blobs(4, 3))
+            .unwrap();
         // Newest first.
         assert_eq!(m.restart().unwrap().0, 3);
         // Node failure invalidates 3 (local) and leaves 2 (buddy).
@@ -439,14 +475,16 @@ mod tests {
     #[test]
     fn heal_restores_access() {
         let m = manager(2);
-        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 0)).unwrap();
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(2, 0))
+            .unwrap();
         m.fail_nodes(&[NodeId(0), NodeId(1)]);
         assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
         m.heal();
         // Copies were erased by the failure; healing alone doesn't resurrect
         // them (the data is gone) — only future checkpoints work again.
         assert!(matches!(m.restart(), Err(ScrError::NothingToRestart)));
-        m.checkpoint(2, CheckpointLevel::Local, &blobs(2, 9)).unwrap();
+        m.checkpoint(2, CheckpointLevel::Local, &blobs(2, 9))
+            .unwrap();
         assert_eq!(m.restart().unwrap().0, 2);
     }
 
@@ -454,7 +492,8 @@ mod tests {
     fn prune_evicts_old_checkpoints() {
         let m = manager(2);
         for id in 1..=5 {
-            m.checkpoint(id, CheckpointLevel::Local, &blobs(2, id as u8)).unwrap();
+            m.checkpoint(id, CheckpointLevel::Local, &blobs(2, id as u8))
+                .unwrap();
         }
         assert_eq!(m.prune(2), 3);
         assert!(!m.recoverable(3));

@@ -117,7 +117,13 @@ mod tests {
     }
 
     fn fail_at(times: &[f64]) -> Vec<FailureEvent> {
-        times.iter().map(|&t| FailureEvent { at: s(t), node: NodeId(0) }).collect()
+        times
+            .iter()
+            .map(|&t| FailureEvent {
+                at: s(t),
+                node: NodeId(0),
+            })
+            .collect()
     }
 
     #[test]
@@ -182,7 +188,12 @@ mod tests {
         let many_failures = fail_at(&(1..40).map(|i| i as f64 * 13.0).collect::<Vec<_>>());
         let short = simulate_run(s(200.0), s(5.0), s(0.5), s(2.0), &many_failures);
         let long = simulate_run(s(200.0), s(100.0), s(0.5), s(2.0), &many_failures);
-        assert!(short.wall_time < long.wall_time, "short {} vs long {}", short.wall_time, long.wall_time);
+        assert!(
+            short.wall_time < long.wall_time,
+            "short {} vs long {}",
+            short.wall_time,
+            long.wall_time
+        );
         let short_ff = simulate_run(s(200.0), s(5.0), s(0.5), s(2.0), &[]);
         let long_ff = simulate_run(s(200.0), s(100.0), s(0.5), s(2.0), &[]);
         assert!(long_ff.wall_time < short_ff.wall_time);

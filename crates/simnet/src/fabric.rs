@@ -30,14 +30,22 @@ impl Fabric {
     /// ablation benches).
     pub fn with_model(topology: Topology, model: LogGpModel) -> Self {
         Fabric {
-            inner: Arc::new(FabricInner { topology, model, nams: Vec::new() }),
+            inner: Arc::new(FabricInner {
+                topology,
+                model,
+                nams: Vec::new(),
+            }),
         }
     }
 
     /// Build a fabric with NAM devices attached (DEEP-ER has two, 2 GB each).
     pub fn with_nams(topology: Topology, model: LogGpModel, nams: Vec<NamDevice>) -> Self {
         Fabric {
-            inner: Arc::new(FabricInner { topology, model, nams }),
+            inner: Arc::new(FabricInner {
+                topology,
+                model,
+                nams,
+            }),
         }
     }
 
@@ -62,7 +70,12 @@ impl Fabric {
     }
 
     /// Time for one two-sided message of `size` bytes from `src` to `dst`.
-    pub fn p2p_time(&self, src: NodeId, dst: NodeId, size: usize) -> Result<SimTime, TopologyError> {
+    pub fn p2p_time(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        size: usize,
+    ) -> Result<SimTime, TopologyError> {
         let s = self.inner.topology.node(src)?;
         let d = self.inner.topology.node(dst)?;
         let hops = self.inner.topology.hops(src, dst)?;
@@ -76,7 +89,12 @@ impl Fabric {
     }
 
     /// Effective point-to-point bandwidth at a message size, bytes/s.
-    pub fn bandwidth_at(&self, src: NodeId, dst: NodeId, size: usize) -> Result<f64, TopologyError> {
+    pub fn bandwidth_at(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        size: usize,
+    ) -> Result<f64, TopologyError> {
         let t = self.p2p_time(src, dst, size)?;
         Ok(size as f64 / t.as_secs())
     }
@@ -84,7 +102,12 @@ impl Fabric {
     /// Time for a one-sided RDMA operation of `size` bytes issued by
     /// `initiator` against `target` (node or NAM — the target CPU is not
     /// involved either way).
-    pub fn rdma_time(&self, initiator: NodeId, target: NodeId, size: usize) -> Result<SimTime, TopologyError> {
+    pub fn rdma_time(
+        &self,
+        initiator: NodeId,
+        target: NodeId,
+        size: usize,
+    ) -> Result<SimTime, TopologyError> {
         let i = self.inner.topology.node(initiator)?;
         let hops = self.inner.topology.hops(initiator, target)?;
         Ok(self.inner.model.rdma_time(i, size, hops))
@@ -95,7 +118,12 @@ impl Fabric {
     /// while the payload is still arriving, so the device bandwidth
     /// *overlaps* the wire serialization — the slower of the two pipes
     /// bounds the transfer, plus the FPGA pipeline latency.
-    pub fn nam_rdma_time(&self, initiator: NodeId, nam_index: usize, size: usize) -> Result<SimTime, TopologyError> {
+    pub fn nam_rdma_time(
+        &self,
+        initiator: NodeId,
+        nam_index: usize,
+        size: usize,
+    ) -> Result<SimTime, TopologyError> {
         let i = self.inner.topology.node(initiator)?;
         let Some(nam) = self.inner.nams.get(nam_index) else {
             return Ok(self.inner.model.rdma_time(i, size, 1));
@@ -120,7 +148,11 @@ mod tests {
         let mut t = Topology::new();
         t.add_nodes(16, &deep_er_cluster_node());
         t.add_nodes(8, &deep_er_booster_node());
-        Fabric::with_nams(t, LogGpModel::default(), vec![NamDevice::deep_er(), NamDevice::deep_er()])
+        Fabric::with_nams(
+            t,
+            LogGpModel::default(),
+            vec![NamDevice::deep_er(), NamDevice::deep_er()],
+        )
     }
 
     #[test]

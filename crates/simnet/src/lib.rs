@@ -18,6 +18,8 @@
 //! * [`nam`] — the Network Attached Memory device (HMC + FPGA on the
 //!   fabric), usable by all nodes through RDMA.
 
+#![forbid(unsafe_code)]
+
 pub mod fabric;
 pub mod loggp;
 pub mod nam;
@@ -29,5 +31,5 @@ pub use fabric::Fabric;
 pub use loggp::{LogGpModel, Protocol};
 pub use nam::{NamDevice, NamError, NamRegion};
 pub use rdma::RdmaEngine;
-pub use trace::{TraceCollector, TraceEvent, TrafficSummary};
 pub use topology::{Topology, TopologyError};
+pub use trace::{TraceCollector, TraceEvent, TrafficSummary};

@@ -85,13 +85,7 @@ impl LogGpModel {
     /// End-to-end time for one message of `size` bytes from `src` to `dst`
     /// across `hops` switch hops. `hops == 0` means loopback (shared-memory
     /// transport inside one node).
-    pub fn transfer_time(
-        &self,
-        src: &NodeSpec,
-        dst: &NodeSpec,
-        size: usize,
-        hops: u32,
-    ) -> SimTime {
+    pub fn transfer_time(&self, src: &NodeSpec, dst: &NodeSpec, size: usize, hops: u32) -> SimTime {
         if hops == 0 {
             return self.loopback_time(src, size);
         }
@@ -115,8 +109,7 @@ impl LogGpModel {
     /// Same-node transfer through shared memory: one copy at the host's
     /// per-core copy bandwidth plus a fixed software latency.
     pub fn loopback_time(&self, node: &NodeSpec, size: usize) -> SimTime {
-        self.loopback_latency
-            + SimTime::from_secs(size as f64 / (node.processor.copy_bw_gbs * 1e9))
+        self.loopback_latency + SimTime::from_secs(size as f64 / (node.processor.copy_bw_gbs * 1e9))
     }
 
     /// Effective bandwidth in bytes/s observed by a ping-pong of `size`.

@@ -22,7 +22,11 @@ pub enum NamError {
     /// Not enough free capacity for the requested region.
     OutOfMemory { requested: u64, free: u64 },
     /// Access outside an allocated region.
-    OutOfBounds { offset: u64, len: u64, region_len: u64 },
+    OutOfBounds {
+        offset: u64,
+        len: u64,
+        region_len: u64,
+    },
     /// The region handle is stale (already freed).
     StaleRegion,
 }
@@ -31,10 +35,20 @@ impl std::fmt::Display for NamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NamError::OutOfMemory { requested, free } => {
-                write!(f, "NAM out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "NAM out of memory: requested {requested} B, free {free} B"
+                )
             }
-            NamError::OutOfBounds { offset, len, region_len } => {
-                write!(f, "NAM access [{offset}, +{len}) outside region of {region_len} B")
+            NamError::OutOfBounds {
+                offset,
+                len,
+                region_len,
+            } => {
+                write!(
+                    f,
+                    "NAM access [{offset}, +{len}) outside region of {region_len} B"
+                )
             }
             NamError::StaleRegion => write!(f, "stale NAM region handle"),
         }
@@ -125,7 +139,10 @@ impl NamDevice {
         let mut st = self.state.lock();
         let free = self.capacity - st.used;
         if len > free {
-            return Err(NamError::OutOfMemory { requested: len, free });
+            return Err(NamError::OutOfMemory {
+                requested: len,
+                free,
+            });
         }
         let id = st.next_id;
         st.next_id += 1;
@@ -150,7 +167,10 @@ impl NamDevice {
     /// RDMA-put: write `data` at `offset` within the region.
     pub fn put(&self, region: NamRegion, offset: u64, data: &[u8]) -> Result<(), NamError> {
         let mut st = self.state.lock();
-        let buf = st.regions.get_mut(&region.id).ok_or(NamError::StaleRegion)?;
+        let buf = st
+            .regions
+            .get_mut(&region.id)
+            .ok_or(NamError::StaleRegion)?;
         let end = offset + data.len() as u64;
         if end > buf.len() as u64 {
             return Err(NamError::OutOfBounds {
@@ -169,7 +189,11 @@ impl NamDevice {
         let buf = st.regions.get(&region.id).ok_or(NamError::StaleRegion)?;
         let end = offset + len;
         if end > buf.len() as u64 {
-            return Err(NamError::OutOfBounds { offset, len, region_len: buf.len() as u64 });
+            return Err(NamError::OutOfBounds {
+                offset,
+                len,
+                region_len: buf.len() as u64,
+            });
         }
         Ok(buf[offset as usize..end as usize].to_vec())
     }
@@ -203,7 +227,10 @@ mod tests {
         let nam = NamDevice::new(1000, SimTime::ZERO, 1e9);
         let _a = nam.alloc(800).unwrap();
         match nam.alloc(300) {
-            Err(NamError::OutOfMemory { requested: 300, free: 200 }) => {}
+            Err(NamError::OutOfMemory {
+                requested: 300,
+                free: 200,
+            }) => {}
             other => panic!("expected OOM, got {other:?}"),
         }
     }
@@ -226,7 +253,10 @@ mod tests {
             nam.put(r, 10, &[0u8; 10]),
             Err(NamError::OutOfBounds { .. })
         ));
-        assert!(matches!(nam.get(r, 0, 17), Err(NamError::OutOfBounds { .. })));
+        assert!(matches!(
+            nam.get(r, 0, 17),
+            Err(NamError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -258,7 +288,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = NamError::OutOfMemory { requested: 10, free: 5 };
+        let e = NamError::OutOfMemory {
+            requested: 10,
+            free: 5,
+        };
         assert!(e.to_string().contains("requested 10"));
     }
 }

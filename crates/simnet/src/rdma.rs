@@ -23,7 +23,11 @@ pub enum RdmaError {
     /// Unknown window handle.
     UnknownWindow(WindowId),
     /// Access outside the window.
-    OutOfBounds { offset: usize, len: usize, window_len: usize },
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        window_len: usize,
+    },
     /// Topology lookup failed.
     Topology(TopologyError),
 }
@@ -32,8 +36,15 @@ impl std::fmt::Display for RdmaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RdmaError::UnknownWindow(w) => write!(f, "unknown RDMA window {:?}", w),
-            RdmaError::OutOfBounds { offset, len, window_len } => {
-                write!(f, "RDMA access [{offset}, +{len}) outside window of {window_len} B")
+            RdmaError::OutOfBounds {
+                offset,
+                len,
+                window_len,
+            } => {
+                write!(
+                    f,
+                    "RDMA access [{offset}, +{len}) outside window of {window_len} B"
+                )
             }
             RdmaError::Topology(e) => write!(f, "topology error: {e}"),
         }
@@ -78,7 +89,10 @@ impl RdmaEngine {
         *id += 1;
         self.windows.write().insert(
             wid,
-            Arc::new(Window { owner, data: RwLock::new(vec![0u8; len]) }),
+            Arc::new(Window {
+                owner,
+                data: RwLock::new(vec![0u8; len]),
+            }),
         );
         wid
     }
@@ -115,7 +129,11 @@ impl RdmaEngine {
             let mut buf = w.data.write();
             let end = offset + data.len();
             if end > buf.len() {
-                return Err(RdmaError::OutOfBounds { offset, len: data.len(), window_len: buf.len() });
+                return Err(RdmaError::OutOfBounds {
+                    offset,
+                    len: data.len(),
+                    window_len: buf.len(),
+                });
             }
             buf[offset..end].copy_from_slice(data);
         }
@@ -135,7 +153,11 @@ impl RdmaEngine {
             let buf = w.data.read();
             let end = offset + len;
             if end > buf.len() {
-                return Err(RdmaError::OutOfBounds { offset, len, window_len: buf.len() });
+                return Err(RdmaError::OutOfBounds {
+                    offset,
+                    len,
+                    window_len: buf.len(),
+                });
             }
             buf[offset..end].to_vec()
         };
@@ -193,7 +215,10 @@ mod tests {
         let e = engine();
         let w = e.register(NodeId(0), 8);
         e.deregister(w).unwrap();
-        assert!(matches!(e.put(NodeId(1), w, 0, b"x"), Err(RdmaError::UnknownWindow(_))));
+        assert!(matches!(
+            e.put(NodeId(1), w, 0, b"x"),
+            Err(RdmaError::UnknownWindow(_))
+        ));
         assert!(matches!(e.deregister(w), Err(RdmaError::UnknownWindow(_))));
     }
 

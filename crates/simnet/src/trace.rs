@@ -67,7 +67,10 @@ impl TrafficSummary {
             "traffic: {} messages, {} bytes (largest {})\n",
             self.messages, self.bytes, self.max_message
         );
-        out.push_str(&format!("{:>6} → {:<6} {:>10} {:>14}\n", "src", "dst", "msgs", "bytes"));
+        out.push_str(&format!(
+            "{:>6} → {:<6} {:>10} {:>14}\n",
+            "src", "dst", "msgs", "bytes"
+        ));
         for ((s, d), (m, b)) in &self.pairs {
             out.push_str(&format!("{s:>6} → {d:<6} {m:>10} {b:>14}\n"));
         }
@@ -113,7 +116,10 @@ impl TraceCollector {
     pub fn summary(&self) -> TrafficSummary {
         let mut s = TrafficSummary::default();
         for e in self.events.lock().iter() {
-            let key = (e.src_kind.label().to_string(), e.dst_kind.label().to_string());
+            let key = (
+                e.src_kind.label().to_string(),
+                e.dst_kind.label().to_string(),
+            );
             let entry = s.pairs.entry(key).or_insert((0, 0));
             entry.0 += 1;
             entry.1 += e.bytes as u64;

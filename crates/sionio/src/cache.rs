@@ -10,7 +10,7 @@
 use crate::pfs::{FsError, ParallelFs};
 use hwmodel::{MemoryLevel, NodeId, SimTime};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Write policy of the cache domain.
@@ -27,8 +27,10 @@ pub enum CacheMode {
 
 #[derive(Debug, Default)]
 struct CacheState {
-    /// (node, path) → (bytes, dirty, last-use stamp)
-    entries: HashMap<(NodeId, String), (Vec<u8>, bool, u64)>,
+    /// (node, path) → (bytes, dirty, last-use stamp). Ordered: flush and
+    /// eviction walk this map, and both their virtual-time sums and their
+    /// PFS write order must be reproducible (deepcheck D002).
+    entries: BTreeMap<(NodeId, String), (Vec<u8>, bool, u64)>,
     /// Monotone access counter for LRU ordering.
     tick: u64,
 }
@@ -63,7 +65,13 @@ impl CacheDomain {
     /// A cache domain using the given NVMe device model in front of `pfs`.
     pub fn new(pfs: ParallelFs, nvme: MemoryLevel, mode: CacheMode) -> Self {
         let capacity = nvme.capacity_bytes;
-        CacheDomain { pfs, nvme, mode, capacity, state: Arc::new(Mutex::new(CacheState::default())) }
+        CacheDomain {
+            pfs,
+            nvme,
+            mode,
+            capacity,
+            state: Arc::new(Mutex::new(CacheState::default())),
+        }
     }
 
     /// Restrict the per-node staging capacity (testing / partitioned NVMe).
@@ -150,7 +158,8 @@ impl CacheDomain {
                 let pfs_t = self.pfs.write(path.clone(), data);
                 let mut st = self.state.lock();
                 let tick = st.touch();
-                st.entries.insert((node, path), (data.to_vec(), false, tick));
+                st.entries
+                    .insert((node, path), (data.to_vec(), false, tick));
                 room_t + nvme_t + pfs_t
             }
             CacheMode::Asynchronous => {
@@ -344,6 +353,49 @@ mod tests {
         assert_eq!(c.used_bytes(N1), 1500);
         assert_eq!(c.dirty_count(N0), 1);
         assert_eq!(c.dirty_count(N1), 1);
+    }
+
+    #[test]
+    fn flush_cost_accumulates_in_path_order() {
+        // Regression for the D002 fix: `flush` folds per-file `max(nvme
+        // read, pfs write)` times into a float sum, so the result depends
+        // on visit order. With `entries` hash-ordered this drifted between
+        // runs/layouts; with the BTreeMap it must equal the fold over
+        // path-sorted order, exactly, regardless of insertion order.
+        let c = domain(CacheMode::Asynchronous);
+        let sizes: &[(&str, usize)] = &[
+            ("/zeta", 3 << 20),
+            ("/alpha", 7 << 20),
+            ("/mid", 1 << 20),
+            ("/beta", 5 << 20),
+        ];
+        for (path, len) in sizes {
+            c.write(N0, *path, &vec![1u8; *len]);
+        }
+        let nvme = hwmodel::presets::nvme_p3700();
+        let mut sorted = sizes.to_vec();
+        sorted.sort_by_key(|(p, _)| *p);
+        let mut expected = SimTime::ZERO;
+        for (_, len) in &sorted {
+            let read_back = nvme.read_time(*len as u64);
+            let write_out = c.pfs().transfer_time(*len as u64);
+            expected += read_back.max(write_out);
+        }
+        assert_eq!(
+            c.flush(N0),
+            expected,
+            "flush must visit dirty entries path-sorted"
+        );
+        // And the PFS saw every file.
+        assert_eq!(
+            c.pfs().list(),
+            vec![
+                "/alpha".to_string(),
+                "/beta".into(),
+                "/mid".into(),
+                "/zeta".into()
+            ]
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! All layers move real bytes (round-trip tested); virtual time comes from
 //! the `hwmodel` device models and the `simnet` fabric.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod pfs;
 pub mod sion;

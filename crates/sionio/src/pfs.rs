@@ -9,7 +9,7 @@
 
 use hwmodel::{MemoryKind, NodeSpec, SimTime};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// File-system errors.
@@ -88,7 +88,9 @@ impl PfsConfig {
 
 #[derive(Debug, Default)]
 struct FsState {
-    files: HashMap<String, Vec<u8>>,
+    /// Path → contents. Ordered so every directory-style scan is
+    /// deterministic (deepcheck D002).
+    files: BTreeMap<String, Vec<u8>>,
 }
 
 /// The shared parallel file system. Clone-shared across ranks.
@@ -101,9 +103,15 @@ pub struct ParallelFs {
 impl ParallelFs {
     /// An empty file system with the given configuration.
     pub fn new(config: PfsConfig) -> Self {
-        assert!(config.storage_servers >= 1, "need at least one storage server");
+        assert!(
+            config.storage_servers >= 1,
+            "need at least one storage server"
+        );
         assert!(config.stripe_size >= 1);
-        ParallelFs { config, state: Arc::new(Mutex::new(FsState::default())) }
+        ParallelFs {
+            config,
+            state: Arc::new(Mutex::new(FsState::default())),
+        }
     }
 
     /// The DEEP-ER storage rack: two storage servers.
@@ -141,7 +149,11 @@ impl ParallelFs {
     }
 
     /// Create exclusively; error if the path exists.
-    pub fn create_exclusive(&self, path: impl Into<String>, data: &[u8]) -> Result<SimTime, FsError> {
+    pub fn create_exclusive(
+        &self,
+        path: impl Into<String>,
+        data: &[u8],
+    ) -> Result<SimTime, FsError> {
         let path = path.into();
         let mut st = self.state.lock();
         if st.files.contains_key(&path) {
@@ -155,24 +167,44 @@ impl ParallelFs {
     pub fn append(&self, path: impl Into<String>, data: &[u8]) -> SimTime {
         let path = path.into();
         let t = self.transfer_time(data.len() as u64);
-        self.state.lock().files.entry(path).or_default().extend_from_slice(data);
+        self.state
+            .lock()
+            .files
+            .entry(path)
+            .or_default()
+            .extend_from_slice(data);
         t
     }
 
     /// Read a whole file.
     pub fn read(&self, path: &str) -> Result<(Vec<u8>, SimTime), FsError> {
         let st = self.state.lock();
-        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        let data = st
+            .files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.into()))?;
         Ok((data.clone(), self.transfer_time(data.len() as u64)))
     }
 
     /// Read a byte range of a file.
-    pub fn read_at(&self, path: &str, offset: u64, len: u64) -> Result<(Vec<u8>, SimTime), FsError> {
+    pub fn read_at(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Vec<u8>, SimTime), FsError> {
         let st = self.state.lock();
-        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        let data = st
+            .files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.into()))?;
         let end = offset + len;
         if end > data.len() as u64 {
-            return Err(FsError::OutOfBounds { offset, len, size: data.len() as u64 });
+            return Err(FsError::OutOfBounds {
+                offset,
+                len,
+                size: data.len() as u64,
+            });
         }
         let out = data[offset as usize..end as usize].to_vec();
         Ok((out, self.transfer_time(len)))
@@ -193,7 +225,10 @@ impl ParallelFs {
     /// File size, plus a metadata-only cost.
     pub fn stat(&self, path: &str) -> Result<(u64, SimTime), FsError> {
         let st = self.state.lock();
-        let data = st.files.get(path).ok_or_else(|| FsError::NotFound(path.into()))?;
+        let data = st
+            .files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.into()))?;
         Ok((data.len() as u64, self.config.metadata_latency))
     }
 
@@ -213,14 +248,17 @@ impl ParallelFs {
 
     /// All paths (sorted) — for directory-style scans.
     pub fn list(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.state.lock().files.keys().cloned().collect();
-        v.sort();
-        v
+        self.state.lock().files.keys().cloned().collect()
     }
 
     /// Total bytes stored.
     pub fn used_bytes(&self) -> u64 {
-        self.state.lock().files.values().map(|f| f.len() as u64).sum()
+        self.state
+            .lock()
+            .files
+            .values()
+            .map(|f| f.len() as u64)
+            .sum()
     }
 }
 
@@ -251,7 +289,10 @@ mod tests {
     fn exclusive_create() {
         let fs = ParallelFs::deep_er();
         fs.create_exclusive("/a", b"1").unwrap();
-        assert!(matches!(fs.create_exclusive("/a", b"2"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.create_exclusive("/a", b"2"),
+            Err(FsError::AlreadyExists(_))
+        ));
         let (d, _) = fs.read("/a").unwrap();
         assert_eq!(d, b"1");
     }
@@ -262,7 +303,10 @@ mod tests {
         fs.write("/f", b"0123456789");
         let (d, _) = fs.read_at("/f", 2, 3).unwrap();
         assert_eq!(d, b"234");
-        assert!(matches!(fs.read_at("/f", 8, 5), Err(FsError::OutOfBounds { .. })));
+        assert!(matches!(
+            fs.read_at("/f", 8, 5),
+            Err(FsError::OutOfBounds { .. })
+        ));
         fs.write_at("/f", 8, b"XYZ"); // grows the file
         let (all, _) = fs.read("/f").unwrap();
         assert_eq!(all, b"01234567XYZ");
@@ -274,10 +318,16 @@ mod tests {
         // multi-stripe file (large enough that the 5 ms disk latency is
         // negligible against the streaming term).
         let big = 1024 * 1024 * 1024u64;
-        let t2 = ParallelFs::new(PfsConfig { storage_servers: 2, ..Default::default() })
-            .transfer_time(big);
-        let t4 = ParallelFs::new(PfsConfig { storage_servers: 4, ..Default::default() })
-            .transfer_time(big);
+        let t2 = ParallelFs::new(PfsConfig {
+            storage_servers: 2,
+            ..Default::default()
+        })
+        .transfer_time(big);
+        let t4 = ParallelFs::new(PfsConfig {
+            storage_servers: 4,
+            ..Default::default()
+        })
+        .transfer_time(big);
         let ratio = t2.as_secs() / t4.as_secs();
         assert!(ratio > 1.8 && ratio < 2.2, "ratio {ratio}");
     }

@@ -197,7 +197,8 @@ fn field_solve_e(
     // products per CG iteration, three components' setup reductions).
     let target = 2 * config.model.cg_iters + 6;
     for _ in done..target {
-        rank.allreduce_scalar(comm, 0.0, ReduceOp::Sum).expect("pad allreduce");
+        rank.allreduce_scalar(comm, 0.0, ReduceOp::Sum)
+            .expect("pad allreduce");
     }
     iters
 }
@@ -205,17 +206,18 @@ fn field_solve_e(
 /// Particle phase: the Listing-1 species loop — push + moment gathering
 /// for every species — then the halo-add (deposit-then-migrate; the
 /// migration itself is the caller's, so C+B can overlap it).
-fn particle_phase(
-    rank: &mut Rank,
-    comm: &Communicator,
-    config: &XpicConfig,
-    st: &mut SlabState,
-) {
+fn particle_phase(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st: &mut SlabState) {
     rank.compute(&config.work_cpy()); // cpyFromArr_F
     st.moments.clear();
     // for (auto is=0; is<nspec; is++) { ParticlesMove(); ParticleMoments(); }
     for is in 0..st.species.len() {
-        boris_push_threads(&st.grid, &st.fields, &mut st.species[is], config.dt, config.threads);
+        boris_push_threads(
+            &st.grid,
+            &st.fields,
+            &mut st.species[is],
+            config.dt,
+            config.threads,
+        );
         rank.compute(&config.work_push().scaled(st.ppc_share[is]));
         deposit_threads(&st.grid, &st.species[is], &mut st.moments, config.threads);
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
@@ -290,7 +292,16 @@ fn run_combined(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>) {
     let loop_time = steady_total(rank.now() - steady_mark, config.steps);
 
     finalize_combined(
-        rank, &world, config, &st, field_time, particle_time, loop_time, cg_total, &history, acc,
+        rank,
+        &world,
+        config,
+        &st,
+        field_time,
+        particle_time,
+        loop_time,
+        cg_total,
+        &history,
+        acc,
     );
 }
 
@@ -319,7 +330,11 @@ fn finalize_combined(
     let maxes = rank
         .allreduce(
             world,
-            &[field_time.as_secs(), particle_time.as_secs(), loop_time.as_secs()],
+            &[
+                field_time.as_secs(),
+                particle_time.as_secs(),
+                loop_time.as_secs(),
+            ],
             ReduceOp::Max,
         )
         .expect("final time reduction");
@@ -427,7 +442,11 @@ fn run_booster_side(
         .allreduce(&world, &[ke, charge], ReduceOp::Sum)
         .expect("booster reduction");
     let maxes = rank
-        .allreduce(&world, &[particle_time.as_secs(), loop_time.as_secs()], ReduceOp::Max)
+        .allreduce(
+            &world,
+            &[particle_time.as_secs(), loop_time.as_secs()],
+            ReduceOp::Max,
+        )
         .expect("booster time reduction");
     if me == 0 {
         let mut a = acc.lock();
@@ -511,7 +530,11 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
         .allreduce(&world, &[fe, cg_total as f64], ReduceOp::Sum)
         .expect("cluster reduction");
     let maxes = rank
-        .allreduce(&world, &[field_time.as_secs(), loop_time.as_secs()], ReduceOp::Max)
+        .allreduce(
+            &world,
+            &[field_time.as_secs(), loop_time.as_secs()],
+            ReduceOp::Max,
+        )
         .expect("cluster time reduction");
     if me == 0 {
         let mut a = acc.lock();
@@ -547,9 +570,7 @@ pub fn run_mode(
     let report = launcher
         .launch(&spec, move |rank, alloc| match mode {
             Mode::ClusterOnly | Mode::BoosterOnly => run_combined(rank, &config_in, &acc_in),
-            Mode::ClusterBooster => {
-                run_booster_side(rank, &config_in, &alloc.cluster, &acc_in)
-            }
+            Mode::ClusterBooster => run_booster_side(rank, &config_in, &alloc.cluster, &acc_in),
         })
         .expect("xpic launch");
 
@@ -560,15 +581,23 @@ pub fn run_mode(
         let cn = sys.cluster_nodes()[0];
         let bn = sys.booster_nodes()[0];
         let fabric = sys.fabric();
-        let per_step = fabric.p2p_time(cn, bn, config.wire_fields()).expect("cn-bn path")
-            + fabric.p2p_time(bn, cn, config.wire_moments()).expect("bn-cn path");
+        let per_step = fabric
+            .p2p_time(cn, bn, config.wire_fields())
+            .expect("cn-bn path")
+            + fabric
+                .p2p_time(bn, cn, config.wire_moments())
+                .expect("bn-cn path");
         per_step * config.steps as f64
     } else {
         SimTime::ZERO
     };
 
     let a = acc.lock();
-    let total = if a.loop_time.is_zero() { report.makespan() } else { a.loop_time };
+    let total = if a.loop_time.is_zero() {
+        report.makespan()
+    } else {
+        a.loop_time
+    };
     let energy_joules = report.total_energy_joules();
     XpicReport {
         mode,

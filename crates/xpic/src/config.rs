@@ -398,7 +398,14 @@ mod tests {
     #[test]
     fn work_specs_validate() {
         let c = XpicConfig::test_small();
-        for w in [c.work_push(), c.work_moments(), c.work_cg_iter(), c.work_curl(), c.work_cpy(), c.work_aux(100)] {
+        for w in [
+            c.work_push(),
+            c.work_moments(),
+            c.work_cg_iter(),
+            c.work_curl(),
+            c.work_cpy(),
+            c.work_aux(100),
+        ] {
             assert!(w.validate().is_ok(), "{}", w.name);
         }
     }

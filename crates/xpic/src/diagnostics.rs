@@ -77,7 +77,11 @@ mod tests {
         let g = Grid::slab(16, 16, 0, 1);
         let s = Species::maxwellian(&g, 8, 0.2, -1.0, 11);
         let h = velocity_histogram(&s.vx, 21, 1.0);
-        assert_eq!(h.iter().sum::<u64>() as usize, s.len(), "every particle binned");
+        assert_eq!(
+            h.iter().sum::<u64>() as usize,
+            s.len(),
+            "every particle binned"
+        );
         // Maxwellian: the central bin dominates and the histogram is
         // roughly symmetric.
         let center = h[10];

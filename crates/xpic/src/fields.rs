@@ -113,8 +113,10 @@ impl FieldSolver {
     ) -> Vec<&'a mut [f64]> {
         let nx = self.grid.nx;
         let owned = &mut arr[nx..nx * (self.grid.ny_local + 1)];
-        let elem_ranges: Vec<Range<usize>> =
-            row_ranges.iter().map(|r| r.start * nx..r.end * nx).collect();
+        let elem_ranges: Vec<Range<usize>> = row_ranges
+            .iter()
+            .map(|r| r.start * nx..r.end * nx)
+            .collect();
         par::split_mut(owned, &elem_ranges)
     }
 
@@ -140,14 +142,19 @@ impl FieldSolver {
         let nx = g.nx;
         let threads = self.grid_threads();
         let blocks = self.row_blocks(threads);
-        let tasks: Vec<(Range<usize>, &mut [f64])> =
-            blocks.iter().cloned().zip(self.owned_row_tasks(y, &blocks)).collect();
+        let tasks: Vec<(Range<usize>, &mut [f64])> = blocks
+            .iter()
+            .cloned()
+            .zip(self.owned_row_tasks(y, &blocks))
+            .collect();
         par::run_tasks(threads, tasks, |(jr, ys)| {
             for j in jr.clone() {
                 let js = j as isize;
                 for i in 0..nx as isize {
                     let k = g.idx(i, js);
-                    let lap = x[g.idx(i + 1, js)] + x[g.idx(i - 1, js)] + x[g.idx(i, js + 1)]
+                    let lap = x[g.idx(i + 1, js)]
+                        + x[g.idx(i - 1, js)]
+                        + x[g.idx(i, js + 1)]
                         + x[g.idx(i, js - 1)]
                         - 4.0 * x[k];
                     ys[(j - jr.start) * nx + i as usize] = (1.0 + kappa[k]) * x[k] - alpha * lap;
@@ -165,8 +172,11 @@ impl FieldSolver {
         let mut rows = vec![0.0; g.ny_local];
         let threads = self.grid_threads();
         let blocks = self.row_blocks(threads);
-        let tasks: Vec<(Range<usize>, &mut [f64])> =
-            blocks.iter().cloned().zip(par::split_mut(&mut rows, &blocks)).collect();
+        let tasks: Vec<(Range<usize>, &mut [f64])> = blocks
+            .iter()
+            .cloned()
+            .zip(par::split_mut(&mut rows, &blocks))
+            .collect();
         par::run_tasks(threads, tasks, |(jr, out)| {
             for j in jr.clone() {
                 let start = g.idx(0, j as isize);
@@ -248,8 +258,11 @@ impl FieldSolver {
                 let blocks = self.row_blocks(threads);
                 let nx = g.nx;
                 let r = &r;
-                let tasks: Vec<(Range<usize>, &mut [f64])> =
-                    blocks.iter().cloned().zip(self.owned_row_tasks(&mut p, &blocks)).collect();
+                let tasks: Vec<(Range<usize>, &mut [f64])> = blocks
+                    .iter()
+                    .cloned()
+                    .zip(self.owned_row_tasks(&mut p, &blocks))
+                    .collect();
                 par::run_tasks(threads, tasks, |(jr, pc)| {
                     for j in jr.clone() {
                         let start = g.idx(0, j as isize);
@@ -318,7 +331,10 @@ impl FieldSolver {
         // Divergence cleaning is a corrector: production PIC codes run it
         // at a much looser tolerance than the field solve (and often only
         // every few steps). Temporarily relax the CG tolerance.
-        let cleaner = FieldSolver { cg_tol: self.cg_tol.clamp(1e-4, 1e-2), ..self.clone() };
+        let cleaner = FieldSolver {
+            cg_tol: self.cg_tol.clamp(1e-4, 1e-2),
+            ..self.clone()
+        };
         let mut phi = vec![0.0; n];
         let iters = cleaner.solve_component(&kappa, &rhs, &mut phi, comm);
         // E ← E − ∇φ.
@@ -426,8 +442,7 @@ mod tests {
         let mut x_star = vec![0.0; g.len()];
         for j in 0..g.ny_local as isize {
             for i in 0..g.nx as isize {
-                x_star[g.idx(i, j)] =
-                    ((i as f64) * 0.37).sin() + ((j as f64) * 0.21).cos();
+                x_star[g.idx(i, j)] = ((i as f64) * 0.37).sin() + ((j as f64) * 0.21).cos();
             }
         }
         let mut comm = SerialComm;
@@ -528,7 +543,10 @@ mod tests {
         }
         let mut comm = SerialComm;
         s.calculate_b(&mut f, &mut comm);
-        assert!(f.bx.iter().all(|&v| v.abs() < 1e-14), "curl of uniform E is 0");
+        assert!(
+            f.bx.iter().all(|&v| v.abs() < 1e-14),
+            "curl of uniform E is 0"
+        );
         assert!(f.bz.iter().all(|&v| v.abs() < 1e-14));
     }
 
@@ -541,8 +559,7 @@ mod tests {
         for j in -1..=(g.ny_local as isize) {
             for i in 0..g.nx as isize {
                 // sin so the periodic wrap stays smooth
-                f.ey[g.idx(i, j)] =
-                    (2.0 * std::f64::consts::PI * i as f64 / g.nx as f64).sin();
+                f.ey[g.idx(i, j)] = (2.0 * std::f64::consts::PI * i as f64 / g.nx as f64).sin();
             }
         }
         let mut comm = SerialComm;

@@ -30,7 +30,12 @@ impl Grid {
         let extra = ny % nranks;
         let ny_local = base + usize::from(rank < extra);
         let y0 = rank * base + rank.min(extra);
-        Grid { nx, ny, y0, ny_local }
+        Grid {
+            nx,
+            ny,
+            y0,
+            ny_local,
+        }
     }
 
     /// Cells owned by the slab.
@@ -171,7 +176,12 @@ impl Moments {
     /// Zero moments on a slab.
     pub fn zeros(grid: &Grid) -> Moments {
         let n = grid.len();
-        Moments { rho: vec![0.0; n], jx: vec![0.0; n], jy: vec![0.0; n], jz: vec![0.0; n] }
+        Moments {
+            rho: vec![0.0; n],
+            jx: vec![0.0; n],
+            jy: vec![0.0; n],
+            jz: vec![0.0; n],
+        }
     }
 
     /// Reset to zero (start of a deposit pass).

@@ -34,6 +34,8 @@
 //! wire encoding for the zero-copy message path), [`app`] (the three
 //! execution modes), [`diagnostics`] (energies).
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod config;
 pub mod diagnostics;

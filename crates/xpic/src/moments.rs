@@ -79,7 +79,9 @@ pub fn deposit_threads(grid: &Grid, species: &Species, moments: &mut Moments, th
     let threads = par::resolve_threads(threads);
     let tasks: Vec<(Range<usize>, &mut Moments)> =
         ranges.into_iter().zip(partials.iter_mut()).collect();
-    par::run_tasks(threads, tasks, |(r, part)| deposit_range(grid, species, part, r));
+    par::run_tasks(threads, tasks, |(r, part)| {
+        deposit_range(grid, species, part, r)
+    });
     // Merge in chunk order — a fixed association of the sums.
     for part in &partials {
         for (dst, src) in moments.components_mut().into_iter().zip(part.components()) {
@@ -154,7 +156,11 @@ mod tests {
     use crate::particles::Species;
 
     fn electron_at(x: f64, y: f64, v: (f64, f64, f64)) -> Species {
-        let mut s = Species { qom: -1.0, q_per_particle: -1.0, ..Species::default() };
+        let mut s = Species {
+            qom: -1.0,
+            q_per_particle: -1.0,
+            ..Species::default()
+        };
         s.push_particle(x, y, v.0, v.1, v.2);
         s
     }

@@ -114,7 +114,13 @@ pub fn boris_push(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64) 
 /// cores). The kernel is element-wise, so the result is bit-identical to
 /// the serial path for every thread count; only wall-clock time changes
 /// (virtual time is charged separately by the caller's cost model).
-pub fn boris_push_threads(grid: &Grid, fields: &Fields, species: &mut Species, dt: f64, threads: usize) {
+pub fn boris_push_threads(
+    grid: &Grid,
+    fields: &Fields,
+    species: &mut Species,
+    dt: f64,
+    threads: usize,
+) {
     let threads = par::resolve_threads(threads);
     let n = species.len();
     if threads <= 1 || n < par::MIN_PAR_PARTICLES {
@@ -136,7 +142,9 @@ pub fn boris_push_threads(grid: &Grid, fields: &Fields, species: &mut Species, d
         .zip(vzs)
         .map(|((((x, y), vx), vy), vz)| PushChunk { x, y, vx, vy, vz })
         .collect();
-    par::run_tasks(threads, tasks, |c| push_chunk(grid, fields, qom_half_dt, dt, c));
+    par::run_tasks(threads, tasks, |c| {
+        push_chunk(grid, fields, qom_half_dt, dt, c)
+    });
 }
 
 #[cfg(test)]
@@ -153,7 +161,11 @@ mod tests {
     }
 
     fn one_particle(grid: &Grid, x: f64, y: f64, v: (f64, f64, f64)) -> Species {
-        let mut s = Species { qom: -1.0, q_per_particle: -1.0, ..Species::default() };
+        let mut s = Species {
+            qom: -1.0,
+            q_per_particle: -1.0,
+            ..Species::default()
+        };
         let _ = grid;
         s.push_particle(x, y, v.0, v.1, v.2);
         s
@@ -211,7 +223,10 @@ mod tests {
             s.y[0] = s.y[0].rem_euclid(8.0);
         }
         let v = (s.vx[0] * s.vx[0] + s.vy[0] * s.vy[0] + s.vz[0] * s.vz[0]).sqrt();
-        assert!((v - v0).abs() < 1e-12, "Boris must conserve |v|: {v0} vs {v}");
+        assert!(
+            (v - v0).abs() < 1e-12,
+            "Boris must conserve |v|: {v0} vs {v}"
+        );
     }
 
     #[test]

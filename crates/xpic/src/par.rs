@@ -52,7 +52,9 @@ pub const MIN_PAR_ROWS: usize = 64;
 /// is taken literally.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         requested
     }
@@ -201,8 +203,11 @@ mod tests {
     fn run_tasks_with_mutable_slices() {
         let mut data = vec![0u64; 100];
         let ranges = chunk_ranges(data.len(), 8);
-        let tasks: Vec<(Range<usize>, &mut [u64])> =
-            ranges.iter().cloned().zip(split_mut(&mut data, &ranges)).collect();
+        let tasks: Vec<(Range<usize>, &mut [u64])> = ranges
+            .iter()
+            .cloned()
+            .zip(split_mut(&mut data, &ranges))
+            .collect();
         run_tasks(4, tasks, |(r, chunk)| {
             for (off, v) in chunk.iter_mut().enumerate() {
                 *v = (r.start + off) as u64;

@@ -77,7 +77,8 @@ impl Species {
         s.vy.reserve(n);
         s.vz.reserve(n);
         for row in grid.y0..grid.y0 + grid.ny_local {
-            let mut rng = StdRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9E3779B97F4A7C15));
             for i in 0..grid.nx {
                 for _ in 0..ppc {
                     s.x.push(i as f64 + rng.gen::<f64>());
@@ -120,7 +121,9 @@ impl Species {
                 .x
                 .iter()
                 .enumerate()
-                .map(|(i, _)| self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i])
+                .map(|(i, _)| {
+                    self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i]
+                })
                 .sum::<f64>()
     }
 

@@ -67,7 +67,15 @@ pub fn unpack_state(data: &[u8], grid: &Grid) -> (Vec<Species>, Fields) {
         let vx = get_f64s(&mut buf);
         let vy = get_f64s(&mut buf);
         let vz = get_f64s(&mut buf);
-        species.push(Species { qom, q_per_particle, x, y, vx, vy, vz });
+        species.push(Species {
+            qom,
+            q_per_particle,
+            x,
+            y,
+            vx,
+            vy,
+            vz,
+        });
     }
     let mut fields = Fields::zeros(grid);
     for comp in fields.components_mut() {

@@ -54,7 +54,12 @@ pub struct MpiFieldComm<'a> {
 impl<'a> MpiFieldComm<'a> {
     /// Wrap a rank for solver communication.
     pub fn new(rank: &'a mut Rank, comm: Communicator, config: &XpicConfig) -> Self {
-        MpiFieldComm { rank, comm, wire_halo: config.wire_halo(), allreduces: 0 }
+        MpiFieldComm {
+            rank,
+            comm,
+            wire_halo: config.wire_halo(),
+            allreduces: 0,
+        }
     }
 }
 
@@ -130,7 +135,8 @@ pub fn halo_add_moments(
     let wire_size = config.wire_halo();
     let top = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, true));
     let bottom = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, false));
-    rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size).expect("mom send up");
+    rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size)
+        .expect("mom send up");
     rank.send_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)
         .expect("mom send down");
     let (from_next, _) = rank
@@ -179,15 +185,31 @@ pub fn migrate_particles(
             continue;
         }
         let (x, _, vx, vy, vz) = species.take(i);
-        let dest = if prev_grid.owns_row(y.floor() as isize) { &mut up } else { &mut down };
+        let dest = if prev_grid.owns_row(y.floor() as isize) {
+            &mut up
+        } else {
+            &mut down
+        };
         dest.extend_from_slice(&[x, y, vx, vy, vz]);
     }
     let sent = (up.len() + down.len()) / 5;
     let wire_size = config.wire_migration();
-    rank.send_bytes_comm_sized(comm, prev, tags::MIG_UP, wire::f64s_to_bytes(&up), wire_size)
-        .expect("mig send up");
-    rank.send_bytes_comm_sized(comm, next, tags::MIG_DOWN, wire::f64s_to_bytes(&down), wire_size)
-        .expect("mig send down");
+    rank.send_bytes_comm_sized(
+        comm,
+        prev,
+        tags::MIG_UP,
+        wire::f64s_to_bytes(&up),
+        wire_size,
+    )
+    .expect("mig send up");
+    rank.send_bytes_comm_sized(
+        comm,
+        next,
+        tags::MIG_DOWN,
+        wire::f64s_to_bytes(&down),
+        wire_size,
+    )
+    .expect("mig send down");
     let (from_next, _) = rank
         .recv_bytes_comm(comm, Some(next), Some(tags::MIG_UP))
         .expect("mig recv next");
@@ -197,7 +219,10 @@ pub fn migrate_particles(
     let from_next = wire::bytes_to_f64s(&from_next);
     let from_prev = wire::bytes_to_f64s(&from_prev);
     for chunk in from_next.chunks_exact(5).chain(from_prev.chunks_exact(5)) {
-        debug_assert!(grid.owns_row(chunk[1].floor() as isize), "migrated to wrong rank");
+        debug_assert!(
+            grid.owns_row(chunk[1].floor() as isize),
+            "migrated to wrong rank"
+        );
         species.push_particle(chunk[0], chunk[1], chunk[2], chunk[3], chunk[4]);
     }
     sent

@@ -22,7 +22,11 @@ pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
 /// [`f64s_to_bytes`]). Panics on a length that is not a multiple of 8 —
 /// a framing bug, not a recoverable condition.
 pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
-    assert_eq!(b.len() % 8, 0, "raw f64 buffer length must be a multiple of 8");
+    assert_eq!(
+        b.len() % 8,
+        0,
+        "raw f64 buffer length must be a multiple of 8"
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect()

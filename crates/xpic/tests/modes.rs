@@ -59,12 +59,12 @@ fn all_modes_compute_identical_physics() {
         (rc.total_charge, rcb.total_charge, "charge C vs C+B"),
     ] {
         let denom = a.abs().max(1e-12);
-        assert!(
-            ((a - b) / denom).abs() < 1e-9,
-            "{what}: {a} vs {b}"
-        );
+        assert!(((a - b) / denom).abs() < 1e-9, "{what}: {a} vs {b}");
     }
-    assert_eq!(rc.cg_iters, rb.cg_iters, "identical arithmetic → same CG path");
+    assert_eq!(
+        rc.cg_iters, rb.cg_iters,
+        "identical arithmetic → same CG path"
+    );
 }
 
 #[test]
@@ -162,7 +162,10 @@ fn energy_history_recorded_and_mode_independent() {
     // The time series is physically sane: finite, non-negative energies.
     assert!(rc.energy_history.iter().all(|e| e.is_finite() && *e >= 0.0));
     // The last entry matches the reported final field energy.
-    assert!(((rc.energy_history.last().unwrap() - rc.field_energy) / rc.field_energy.max(1e-300)).abs() < 1e-9);
+    assert!(
+        ((rc.energy_history.last().unwrap() - rc.field_energy) / rc.field_energy.max(1e-300)).abs()
+            < 1e-9
+    );
 }
 
 #[test]
@@ -176,7 +179,12 @@ fn mode_labels() {
 fn scaling_reduces_runtime() {
     // Strong scaling: more nodes per solver → shorter runtime, in every
     // mode (the monotone part of Fig. 8's runtime plot).
-    let base = XpicConfig { ny: 8, nx: 8, steps: 3, ..XpicConfig::test_small() };
+    let base = XpicConfig {
+        ny: 8,
+        nx: 8,
+        steps: 3,
+        ..XpicConfig::test_small()
+    };
     let global_cells = 4 * base.model.cells_per_node; // Table II load at n=4
     let l = launcher(4, 4);
     for mode in [Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster] {

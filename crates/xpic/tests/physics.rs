@@ -18,8 +18,16 @@ fn long_run_energies_stay_bounded() {
     // energy must neither blow up nor collapse (implicit schemes damp
     // slightly; a factor-2 band over 20 steps is conservative for a
     // stable run).
-    let l = Launcher::new(SystemBuilder::new("t").cluster_nodes(1).booster_nodes(1).build());
-    let cfg = XpicConfig { steps: 20, ..XpicConfig::test_small() };
+    let l = Launcher::new(
+        SystemBuilder::new("t")
+            .cluster_nodes(1)
+            .booster_nodes(1)
+            .build(),
+    );
+    let cfg = XpicConfig {
+        steps: 20,
+        ..XpicConfig::test_small()
+    };
     let r = run_mode(&l, Mode::ClusterOnly, 1, &cfg);
     let e0 = r.kinetic_energy + r.energy_history.first().unwrap();
     let e_end = r.kinetic_energy + r.energy_history.last().unwrap();
@@ -51,8 +59,7 @@ fn momentum_drift_is_small() {
     let mut moments = Moments::zeros(&grid);
     let mut comm = SerialComm;
 
-    let p0: f64 = species.vx.iter().sum::<f64>().abs()
-        + species.vy.iter().sum::<f64>().abs();
+    let p0: f64 = species.vx.iter().sum::<f64>().abs() + species.vy.iter().sum::<f64>().abs();
     let thermal_scale = cfg.vth * (species.len() as f64).sqrt();
 
     deposit(&grid, &species, &mut moments);
@@ -68,8 +75,7 @@ fn momentum_drift_is_small() {
         fold_ghosts_periodic(&grid, &mut moments);
         solver.calculate_b(&mut fields, &mut comm);
     }
-    let p1: f64 = species.vx.iter().sum::<f64>().abs()
-        + species.vy.iter().sum::<f64>().abs();
+    let p1: f64 = species.vx.iter().sum::<f64>().abs() + species.vy.iter().sum::<f64>().abs();
     // Momentum stays at the initial thermal-noise level (no secular pump).
     assert!(
         p1 < p0 + 0.5 * thermal_scale,
@@ -82,11 +88,14 @@ fn cold_plasma_oscillates_not_explodes() {
     // A cold (vth = 0) electron plasma with a small sinusoidal density
     // perturbation undergoes plasma oscillations: kinetic energy must
     // oscillate within bounds rather than grow monotonically.
-    let cfg = XpicConfig { vth: 0.0, dt: 0.1, ..XpicConfig::test_small() };
+    let cfg = XpicConfig {
+        vth: 0.0,
+        dt: 0.1,
+        ..XpicConfig::test_small()
+    };
     let grid = Grid::slab(cfg.nx, cfg.ny, 0, 1);
     let solver = FieldSolver::new(grid, &cfg);
-    let mut species =
-        Species::maxwellian(&grid, cfg.sim_particles_per_cell, 0.0, -1.0, cfg.seed);
+    let mut species = Species::maxwellian(&grid, cfg.sim_particles_per_cell, 0.0, -1.0, cfg.seed);
     // Perturb positions sinusoidally in x.
     let nx = grid.nx as f64;
     for x in species.x.iter_mut() {

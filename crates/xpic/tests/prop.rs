@@ -19,7 +19,11 @@ fn arb_species(grid: Grid, n: usize) -> impl Strategy<Value = Species> {
         1..n,
     )
     .prop_map(move |ps| {
-        let mut s = Species { qom: -1.0, q_per_particle: -0.5, ..Species::default() };
+        let mut s = Species {
+            qom: -1.0,
+            q_per_particle: -0.5,
+            ..Species::default()
+        };
         for (x, y, vx, vy, vz) in ps {
             s.push_particle(x.min(nx - 1e-9), y.min(ny - 1e-9), vx, vy, vz);
         }

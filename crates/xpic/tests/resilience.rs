@@ -6,13 +6,18 @@ use cluster_booster::{Launcher, SystemBuilder};
 use hwmodel::NodeId;
 use scr::{CheckpointLevel, ScrConfig, ScrManager};
 use sionio::ParallelFs;
-use xpic::resilience::{pack_state, run_checkpointed, unpack_state};
 use xpic::grid::{Fields, Grid};
 use xpic::particles::Species;
+use xpic::resilience::{pack_state, run_checkpointed, unpack_state};
 use xpic::XpicConfig;
 
 fn launcher(n: u32) -> Launcher {
-    Launcher::new(SystemBuilder::new("res").cluster_nodes(n).booster_nodes(1).build())
+    Launcher::new(
+        SystemBuilder::new("res")
+            .cluster_nodes(n)
+            .booster_nodes(1)
+            .build(),
+    )
 }
 
 fn scr_for(launcher: &Launcher, nodes: usize) -> ScrManager {
@@ -25,7 +30,12 @@ fn scr_for(launcher: &Launcher, nodes: usize) -> ScrManager {
 }
 
 fn config() -> XpicConfig {
-    XpicConfig { nx: 8, ny: 8, steps: 6, ..XpicConfig::test_small() }
+    XpicConfig {
+        nx: 8,
+        ny: 8,
+        steps: 6,
+        ..XpicConfig::test_small()
+    }
 }
 
 #[test]
@@ -55,34 +65,67 @@ fn restart_reaches_identical_final_state() {
     // Reference: uninterrupted run.
     let l1 = launcher(2);
     let scr1 = scr_for(&l1, nodes);
-    let clean = run_checkpointed(&l1, nodes, &cfg, &scr1, CheckpointLevel::Buddy, 2, None, false);
+    let clean = run_checkpointed(
+        &l1,
+        nodes,
+        &cfg,
+        &scr1,
+        CheckpointLevel::Buddy,
+        2,
+        None,
+        false,
+    );
     assert!(!clean.interrupted);
     assert_eq!(clean.steps_done, cfg.steps);
 
     // Crash after step 5 (checkpoints at 2 and 4 exist), then restart.
     let l2 = launcher(2);
     let scr2 = scr_for(&l2, nodes);
-    let crashed =
-        run_checkpointed(&l2, nodes, &cfg, &scr2, CheckpointLevel::Buddy, 2, Some(5), false);
+    let crashed = run_checkpointed(
+        &l2,
+        nodes,
+        &cfg,
+        &scr2,
+        CheckpointLevel::Buddy,
+        2,
+        Some(5),
+        false,
+    );
     assert!(crashed.interrupted);
     assert_eq!(crashed.steps_done, 5);
 
     // The node failure wipes rank 0's local copies; buddy level survives.
     scr2.fail_nodes(&[l2.system().cluster_nodes()[0]]);
     scr2.heal();
-    let resumed =
-        run_checkpointed(&l2, nodes, &cfg, &scr2, CheckpointLevel::Buddy, 2, None, true);
+    let resumed = run_checkpointed(
+        &l2,
+        nodes,
+        &cfg,
+        &scr2,
+        CheckpointLevel::Buddy,
+        2,
+        None,
+        true,
+    );
     assert!(!resumed.interrupted);
     assert_eq!(resumed.steps_done, cfg.steps);
 
     // Bit-level agreement of the physics diagnostics.
-    let rel_fe = ((resumed.field_energy - clean.field_energy)
-        / clean.field_energy.max(1e-300))
-    .abs();
-    let rel_ke =
-        ((resumed.kinetic_energy - clean.kinetic_energy) / clean.kinetic_energy).abs();
-    assert!(rel_fe < 1e-9, "fe {} vs {}", resumed.field_energy, clean.field_energy);
-    assert!(rel_ke < 1e-9, "ke {} vs {}", resumed.kinetic_energy, clean.kinetic_energy);
+    let rel_fe =
+        ((resumed.field_energy - clean.field_energy) / clean.field_energy.max(1e-300)).abs();
+    let rel_ke = ((resumed.kinetic_energy - clean.kinetic_energy) / clean.kinetic_energy).abs();
+    assert!(
+        rel_fe < 1e-9,
+        "fe {} vs {}",
+        resumed.field_energy,
+        clean.field_energy
+    );
+    assert!(
+        rel_ke < 1e-9,
+        "ke {} vs {}",
+        resumed.kinetic_energy,
+        clean.kinetic_energy
+    );
 }
 
 #[test]
@@ -95,7 +138,16 @@ fn restart_skips_completed_work() {
     let full = run_checkpointed(&l, 2, &cfg, &scr, CheckpointLevel::Local, 2, None, false);
     let l2 = launcher(2);
     let scr2 = scr_for(&l2, 2);
-    run_checkpointed(&l2, 2, &cfg, &scr2, CheckpointLevel::Local, 2, Some(5), false);
+    run_checkpointed(
+        &l2,
+        2,
+        &cfg,
+        &scr2,
+        CheckpointLevel::Local,
+        2,
+        Some(5),
+        false,
+    );
     let resumed = run_checkpointed(&l2, 2, &cfg, &scr2, CheckpointLevel::Local, 2, None, true);
     assert!(
         resumed.makespan.as_secs() < 0.8 * full.makespan.as_secs(),

@@ -5,7 +5,12 @@ use cluster_booster::{Launcher, SystemBuilder};
 use xpic::{run_mode, Mode, XpicConfig};
 
 fn launcher() -> Launcher {
-    Launcher::new(SystemBuilder::new("sp").cluster_nodes(2).booster_nodes(2).build())
+    Launcher::new(
+        SystemBuilder::new("sp")
+            .cluster_nodes(2)
+            .booster_nodes(2)
+            .build(),
+    )
 }
 
 fn two_species_config() -> XpicConfig {
@@ -72,7 +77,12 @@ fn ion_inertia_slows_energy_exchange() {
         &l,
         Mode::ClusterOnly,
         1,
-        &XpicConfig { nx: 8, ny: 8, steps: 3, ..XpicConfig::test_small() },
+        &XpicConfig {
+            nx: 8,
+            ny: 8,
+            steps: 3,
+            ..XpicConfig::test_small()
+        },
     );
     // Both stay bounded; the neutral plasma's field energy is not larger
     // than ~the non-neutral one after the same number of steps.
@@ -90,7 +100,12 @@ fn work_charging_scales_with_species_count() {
         &l,
         Mode::BoosterOnly,
         1,
-        &XpicConfig { nx: 8, ny: 8, steps: 3, ..XpicConfig::test_small() },
+        &XpicConfig {
+            nx: 8,
+            ny: 8,
+            steps: 3,
+            ..XpicConfig::test_small()
+        },
     );
     let double = run_mode(&l, Mode::BoosterOnly, 1, &two_species_config());
     let ratio = double.particle_time / single.particle_time;

@@ -39,7 +39,8 @@ fn main() {
     );
 
     // Take checkpoints per the schedule, then kill a node and restart.
-    let state = |tag: u8| -> Vec<Vec<u8>> { (0..ranks).map(|r| vec![tag + r as u8; 1024]).collect() };
+    let state =
+        |tag: u8| -> Vec<Vec<u8>> { (0..ranks).map(|r| vec![tag + r as u8; 1024]).collect() };
     for k in 1..=4u64 {
         let level = schedule.level_of(k as u32);
         let cost = scr.checkpoint(k, level, &state(k as u8 * 10)).unwrap();
@@ -49,12 +50,23 @@ fn main() {
     println!("\nnode 3 fails!");
     scr.fail_nodes(&[NodeId(3)]);
     let (id, level, blobs, cost) = scr.restart().expect("restartable");
-    println!("restarted from checkpoint {id} ({level:?}) in {cost}; rank 3 state byte = {}", blobs[3][0]);
-    assert_eq!(blobs[3][0], (id as u8) * 10 + 3, "latest surviving state restored");
+    println!(
+        "restarted from checkpoint {id} ({level:?}) in {cost}; rank 3 state byte = {}",
+        blobs[3][0]
+    );
+    assert_eq!(
+        blobs[3][0],
+        (id as u8) * 10 + 3,
+        "latest surviving state restored"
+    );
 
     // The failure model also validates the interval choice end to end.
     let mut rng = StdRng::seed_from_u64(2018);
-    let trace = model.sample_trace(&mut rng, &(0..8).map(NodeId).collect::<Vec<_>>(), SimTime::from_secs(1e7));
+    let trace = model.sample_trace(
+        &mut rng,
+        &(0..8).map(NodeId).collect::<Vec<_>>(),
+        SimTime::from_secs(1e7),
+    );
     let week = SimTime::from_secs(7.0 * 24.0 * 3600.0);
     let out = simulate_run(week, schedule.base_interval, local, buddy, &trace);
     println!(

@@ -14,8 +14,10 @@ fn main() {
     let bn = deep_er_booster_node();
 
     println!("ping-pong on the psmpi runtime (one-way, Fig. 3 style):");
-    println!("{:>10} | {:>9} {:>9} {:>9} | {:>10} {:>10} {:>10}",
-        "size", "CN-CN µs", "BN-BN µs", "CN-BN µs", "CC MB/s", "BB MB/s", "CB MB/s");
+    println!(
+        "{:>10} | {:>9} {:>9} {:>9} | {:>10} {:>10} {:>10}",
+        "size", "CN-CN µs", "BN-BN µs", "CN-BN µs", "CC MB/s", "BB MB/s", "CB MB/s"
+    );
     for p in [0usize, 6, 10, 14, 20, 24] {
         let size = 1usize << p;
         let cc = &pingpong::measure(&cn, &cn, &[size], 1)[0];
@@ -49,7 +51,8 @@ fn main() {
 
     // The NAM: fabric-attached memory usable by every node.
     let region = nam.alloc(8 << 20).unwrap();
-    nam.put(region, 0, b"globally visible checkpoint fragment").unwrap();
+    nam.put(region, 0, b"globally visible checkpoint fragment")
+        .unwrap();
     let t_nam = fabric.nam_rdma_time(NodeId(0), 0, 8 << 20).unwrap();
     println!(
         "NAM: 8 MiB staged in {t_nam}; device holds {}/{} bytes used",

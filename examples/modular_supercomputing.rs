@@ -36,7 +36,10 @@ fn main() {
     // The workflow boots its coordinator on the Cluster and reserves all
     // three modules in one heterogeneous allocation.
     let spec = JobSpec::cluster_only("workflow", 2).with_dam_nodes(2);
-    let spec = JobSpec { booster_nodes: 4, ..spec };
+    let spec = JobSpec {
+        booster_nodes: 4,
+        ..spec
+    };
 
     let report = launcher
         .launch(&spec, |rank, alloc| {

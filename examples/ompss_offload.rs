@@ -31,17 +31,38 @@ fn main() {
     let mut store = DataStore::new();
     store.put("mesh", (0..512).map(|i| i as f64).collect());
 
-    graph.add_task("assemble", &["mesh"], &["matrix"], Device::Cluster, work("asm", 1e8, 0.1), |s| {
-        let m: Vec<f64> = s.get("mesh").iter().map(|x| 2.0 * x + 1.0).collect();
-        s.put("matrix", m);
-    });
-    graph.add_task("solve", &["matrix"], &["field"], Device::Cluster, work("slv", 5e8, 0.05), |s| {
-        let f: Vec<f64> = s.get("matrix").iter().map(|x| x / 3.0).collect();
-        s.put("field", f);
-    });
-    graph.add_task("init-particles", &[], &["particles"], Device::Booster, work("init", 1e8, 0.9), |s| {
-        s.put("particles", vec![0.5; 512]);
-    });
+    graph.add_task(
+        "assemble",
+        &["mesh"],
+        &["matrix"],
+        Device::Cluster,
+        work("asm", 1e8, 0.1),
+        |s| {
+            let m: Vec<f64> = s.get("mesh").iter().map(|x| 2.0 * x + 1.0).collect();
+            s.put("matrix", m);
+        },
+    );
+    graph.add_task(
+        "solve",
+        &["matrix"],
+        &["field"],
+        Device::Cluster,
+        work("slv", 5e8, 0.05),
+        |s| {
+            let f: Vec<f64> = s.get("matrix").iter().map(|x| x / 3.0).collect();
+            s.put("field", f);
+        },
+    );
+    graph.add_task(
+        "init-particles",
+        &[],
+        &["particles"],
+        Device::Booster,
+        work("init", 1e8, 0.9),
+        |s| {
+            s.put("particles", vec![0.5; 512]);
+        },
+    );
     // The offloaded compute task (the `#pragma omp target device(booster)`
     // of the DEEP programming model).
     let push = graph.add_task(
@@ -60,10 +81,17 @@ fn main() {
             s.put("moments", vec![m]);
         },
     );
-    graph.add_task("diagnose", &["moments"], &["result"], Device::Cluster, work("diag", 1e7, 0.2), |s| {
-        let m = s.get("moments")[0];
-        s.put("result", vec![m / 512.0]);
-    });
+    graph.add_task(
+        "diagnose",
+        &["moments"],
+        &["result"],
+        Device::Cluster,
+        work("diag", 1e7, 0.2),
+        |s| {
+            let m = s.get("moments")[0];
+            s.put("result", vec![m / 512.0]);
+        },
+    );
 
     // Make the offloaded task fail twice: the resilient runtime restores
     // its saved inputs and retries without losing the other tasks' work.
@@ -87,5 +115,8 @@ fn main() {
         report.makespan, report.total_transfer_bytes, report.total_retries
     );
     println!("result = {:?}", store.get("result"));
-    assert_eq!(report.total_retries, 2, "the injected failures were absorbed");
+    assert_eq!(
+        report.total_retries, 2,
+        "the injected failures were absorbed"
+    );
 }

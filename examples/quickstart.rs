@@ -27,7 +27,8 @@ fn main() {
 
     // A partitioned job: boot 2 ranks on the Cluster, offload 4 workers to
     // the Booster, exchange data over the inter-communicator.
-    let spec = JobSpec::partitioned("quickstart", 2, 4).boot_on(cluster_booster::ModuleKind::Cluster);
+    let spec =
+        JobSpec::partitioned("quickstart", 2, 4).boot_on(cluster_booster::ModuleKind::Cluster);
     let report = launcher
         .launch(&spec, |rank, alloc| {
             let world = rank.world();
@@ -46,9 +47,8 @@ fn main() {
                     Arc::new(|child: &mut psmpi::Rank| {
                         let parent = child.parent().expect("spawned world has a parent");
                         if child.rank() == 0 {
-                            let (value, _) = child
-                                .recv_inter::<f64>(&parent, Some(0), Some(0))
-                                .unwrap();
+                            let (value, _) =
+                                child.recv_inter::<f64>(&parent, Some(0), Some(0)).unwrap();
                             println!(
                                 "[booster rank {}/{}] received {} from the cluster side",
                                 child.rank(),
@@ -61,7 +61,10 @@ fn main() {
                 .unwrap();
 
             if rank.rank() == 0 {
-                println!("[cluster rank 0] allreduce sum = {sum}, offloading to {} booster ranks", ic.remote_size());
+                println!(
+                    "[cluster rank 0] allreduce sum = {sum}, offloading to {} booster ranks",
+                    ic.remote_size()
+                );
                 rank.send_inter(&ic, 0, 0, &sum).unwrap();
             }
         })

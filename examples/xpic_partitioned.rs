@@ -8,7 +8,10 @@ use cluster_booster::Launcher;
 use xpic::{run_mode, Mode, XpicConfig};
 
 fn main() {
-    let steps = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let launcher = Launcher::new(deep_er_prototype());
     let config = XpicConfig::paper_bench(steps);
 
@@ -30,12 +33,23 @@ fn main() {
 
     let (rc, rb, rcb) = (&reports[0], &reports[1], &reports[2]);
     println!();
-    println!("field solver:   Cluster is {:.2}x faster than Booster (paper ~6x)", rb.field_time / rc.field_time);
-    println!("particle solver: Booster is {:.2}x faster than Cluster (paper ~1.35x)", rc.particle_time / rb.particle_time);
-    println!("C+B speedup:    {:.2}x vs Cluster-only, {:.2}x vs Booster-only (paper: 1.28x / 1.21x)",
-        rc.total / rcb.total, rb.total / rcb.total);
-    println!("C+B coupling:   {:.1}% of runtime (paper: a small fraction, 3-4%)",
-        100.0 * rcb.coupling_fraction());
+    println!(
+        "field solver:   Cluster is {:.2}x faster than Booster (paper ~6x)",
+        rb.field_time / rc.field_time
+    );
+    println!(
+        "particle solver: Booster is {:.2}x faster than Cluster (paper ~1.35x)",
+        rc.particle_time / rb.particle_time
+    );
+    println!(
+        "C+B speedup:    {:.2}x vs Cluster-only, {:.2}x vs Booster-only (paper: 1.28x / 1.21x)",
+        rc.total / rcb.total,
+        rb.total / rcb.total
+    );
+    println!(
+        "C+B coupling:   {:.1}% of runtime (paper: a small fraction, 3-4%)",
+        100.0 * rcb.coupling_fraction()
+    );
 
     // The three placements computed the *same* simulation:
     assert!(((rc.field_energy - rcb.field_energy) / rc.field_energy).abs() < 1e-9);

@@ -18,7 +18,11 @@ fn job_writes_task_local_checkpoints_through_the_stack() {
     // cache into a SION container, simulating the §III-C I/O path.
     let launcher = Launcher::new(deep_er_prototype());
     let pfs = ParallelFs::deep_er();
-    let cache = CacheDomain::new(pfs.clone(), hwmodel::presets::nvme_p3700(), CacheMode::Asynchronous);
+    let cache = CacheDomain::new(
+        pfs.clone(),
+        hwmodel::presets::nvme_p3700(),
+        CacheMode::Asynchronous,
+    );
     let (container, _) = SionContainer::create(&pfs, "/ckpt/state.sion", 4, 4096).unwrap();
 
     let cache_in = cache.clone();
@@ -43,7 +47,10 @@ fn job_writes_task_local_checkpoints_through_the_stack() {
         assert_eq!(data, vec![r as u8; 2048]);
     }
     // The async cache still holds dirty staged copies until flushed.
-    assert!(cache.dirty_count(NodeId(16)) > 0, "staged data awaits flush");
+    assert!(
+        cache.dirty_count(NodeId(16)) > 0,
+        "staged data awaits flush"
+    );
     cache.flush(NodeId(16));
     assert_eq!(cache.dirty_count(NodeId(16)), 0);
 }
@@ -58,7 +65,12 @@ fn xpic_like_job_survives_node_failure_via_scr() {
         .iter()
         .map(|&n| launcher.system().fabric().node(n).unwrap().clone())
         .collect();
-    let scr = ScrManager::new(ScrConfig::default(), nodes.clone(), specs, ParallelFs::deep_er());
+    let scr = ScrManager::new(
+        ScrConfig::default(),
+        nodes.clone(),
+        specs,
+        ParallelFs::deep_er(),
+    );
 
     let scr_in = scr.clone();
     let step_counter = Arc::new(Mutex::new(Vec::<u64>::new()));
@@ -74,7 +86,9 @@ fn xpic_like_job_survives_node_failure_via_scr() {
                 // the gather models the same data movement).
                 let gathered = rank.gather(&w, 0, &state).unwrap();
                 if let Some(blobs) = gathered {
-                    let cost = scr_in.checkpoint(step, CheckpointLevel::Buddy, &blobs).unwrap();
+                    let cost = scr_in
+                        .checkpoint(step, CheckpointLevel::Buddy, &blobs)
+                        .unwrap();
                     rank.advance(cost);
                     steps_in.lock().push(step);
                 }
@@ -110,16 +124,20 @@ fn spawned_worlds_share_the_fabric_with_io() {
                 let booster = alloc.booster.clone();
                 let sent_at = rank.now();
                 let ic = rank
-                    .spawn(&w, &booster, Arc::new(|child: &mut psmpi::Rank| {
-                        let p = child.parent().unwrap();
-                        let cw = child.world();
-                        let s = child
-                            .allreduce_scalar(&cw, child.rank() as f64, ReduceOp::Sum)
-                            .unwrap();
-                        if child.rank() == 0 {
-                            child.send_inter(&p, 0, 5, &s).unwrap();
-                        }
-                    }))
+                    .spawn(
+                        &w,
+                        &booster,
+                        Arc::new(|child: &mut psmpi::Rank| {
+                            let p = child.parent().unwrap();
+                            let cw = child.world();
+                            let s = child
+                                .allreduce_scalar(&cw, child.rank() as f64, ReduceOp::Sum)
+                                .unwrap();
+                            if child.rank() == 0 {
+                                child.send_inter(&p, 0, 5, &s).unwrap();
+                            }
+                        }),
+                    )
                     .unwrap();
                 if rank.rank() == 0 {
                     let (s, st) = rank.recv_inter::<f64>(&ic, Some(0), Some(5)).unwrap();

@@ -86,9 +86,8 @@ fn fig8_scaling_claims() {
     let base = XpicConfig::paper_bench(3);
     let global = 8 * base.model.cells_per_node;
 
-    let run = |mode, n: usize| {
-        run_mode(&launcher, mode, n, &base.clone().strong_scaled(global, n)).total
-    };
+    let run =
+        |mode, n: usize| run_mode(&launcher, mode, n, &base.clone().strong_scaled(global, n)).total;
     let modes = [Mode::ClusterOnly, Mode::BoosterOnly, Mode::ClusterBooster];
     let t1: Vec<_> = modes.iter().map(|&m| run(m, 1)).collect();
     let t8: Vec<_> = modes.iter().map(|&m| run(m, 8)).collect();
@@ -97,17 +96,29 @@ fn fig8_scaling_claims() {
     // nodes" — 1.28× at 1 node, 1.38× at 8 (vs Cluster).
     let gain1 = t1[0] / t1[2];
     let gain8 = t8[0] / t8[2];
-    assert!(gain8 > gain1, "gain grows with nodes: {gain1:.2} → {gain8:.2}");
-    assert!((1.25..=1.55).contains(&gain8), "≈1.38× at 8 nodes: {gain8:.2}");
+    assert!(
+        gain8 > gain1,
+        "gain grows with nodes: {gain1:.2} → {gain8:.2}"
+    );
+    assert!(
+        (1.25..=1.55).contains(&gain8),
+        "≈1.38× at 8 nodes: {gain8:.2}"
+    );
     // "1.34× faster than on the Booster alone"
     let gain8b = t8[1] / t8[2];
-    assert!((1.2..=1.6).contains(&gain8b), "≈1.34× vs Booster: {gain8b:.2}");
+    assert!(
+        (1.2..=1.6).contains(&gain8b),
+        "≈1.34× vs Booster: {gain8b:.2}"
+    );
 
     // "The C+B mode also achieves a better parallel efficiency (85%) than
     // using the Cluster (79%) and Booster (77%) as stand-alone systems."
     let eff = |t1: hwmodel::SimTime, t8: hwmodel::SimTime| t1.as_secs() / (8.0 * t8.as_secs());
     let (ec, eb, ecb) = (eff(t1[0], t8[0]), eff(t1[1], t8[1]), eff(t1[2], t8[2]));
-    assert!(ecb > ec && ec > eb, "efficiency ordering C+B > Cluster > Booster: {ecb:.2} {ec:.2} {eb:.2}");
+    assert!(
+        ecb > ec && ec > eb,
+        "efficiency ordering C+B > Cluster > Booster: {ecb:.2} {ec:.2} {eb:.2}"
+    );
     for e in [ec, eb, ecb] {
         assert!((0.7..=0.95).contains(&e), "Fig 8 efficiency range: {e:.2}");
     }

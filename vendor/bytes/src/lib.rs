@@ -36,12 +36,20 @@ impl Repr {
 impl Bytes {
     /// Empty buffer.
     pub const fn new() -> Bytes {
-        Bytes { data: Repr::Static(&[]), start: 0, end: 0 }
+        Bytes {
+            data: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// View over a static slice (no allocation).
     pub const fn from_static(s: &'static [u8]) -> Bytes {
-        Bytes { data: Repr::Static(s), start: 0, end: s.len() }
+        Bytes {
+            data: Repr::Static(s),
+            start: 0,
+            end: s.len(),
+        }
     }
 
     /// Copy `data` into a fresh owned buffer.
@@ -72,23 +80,46 @@ impl Bytes {
             std::ops::Bound::Excluded(&n) => n,
             std::ops::Bound::Unbounded => len,
         };
-        assert!(begin <= end && end <= len, "slice {begin}..{end} out of range for {len}");
-        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of range for {len}"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
+        }
     }
 
     /// Split off the first `at` bytes into a new view; `self` keeps the
     /// rest. Both share the storage.
     pub fn split_to(&mut self, at: usize) -> Bytes {
-        assert!(at <= self.len(), "split_to {at} out of range for {}", self.len());
-        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        assert!(
+            at <= self.len(),
+            "split_to {at} out of range for {}",
+            self.len()
+        );
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
 
     /// Split off everything after `at`; `self` keeps the first `at` bytes.
     pub fn split_off(&mut self, at: usize) -> Bytes {
-        assert!(at <= self.len(), "split_off {at} out of range for {}", self.len());
-        let tail = Bytes { data: self.data.clone(), start: self.start + at, end: self.end };
+        assert!(
+            at <= self.len(),
+            "split_off {at} out of range for {}",
+            self.len()
+        );
+        let tail = Bytes {
+            data: self.data.clone(),
+            start: self.start + at,
+            end: self.end,
+        };
         self.end = self.start + at;
         tail
     }
@@ -126,7 +157,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
-        Bytes { data: Repr::Shared(Arc::new(v)), start: 0, end }
+        Bytes {
+            data: Repr::Shared(Arc::new(v)),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -177,7 +212,9 @@ impl BytesMut {
 
     /// Empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length.

@@ -55,7 +55,11 @@ pub struct Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
     }
 }
 
@@ -68,7 +72,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `label/parameter`.
     pub fn new(label: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { text: format!("{label}/{parameter}") }
+        BenchmarkId {
+            text: format!("{label}/{parameter}"),
+        }
     }
 }
 
@@ -102,16 +108,13 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark parameterized by `input`.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        self.run(format!("{}/{id}", self.name), &mut |b: &mut Bencher| f(b, input));
+        self.run(format!("{}/{id}", self.name), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
         self
     }
 
@@ -119,9 +122,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
-        let m = Measurement { id, samples: bencher.samples };
+        let m = Measurement {
+            id,
+            samples: bencher.samples,
+        };
         println!(
             "bench {:<48} mean {:>12.6?}  (min {:.6?} .. max {:.6?}, n={})",
             m.id,

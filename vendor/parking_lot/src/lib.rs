@@ -24,12 +24,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -69,13 +73,18 @@ pub struct Condvar {
 impl Condvar {
     /// New condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Atomically release the guarded lock and block until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard active");
-        let std_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
     }
 
@@ -99,12 +108,16 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
