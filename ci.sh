@@ -26,4 +26,9 @@ cargo run -q --release -p deepcheck -- --root . --report DEEPCHECK_REPORT.json
 echo "== bench compile check =="
 cargo bench --workspace --no-run
 
+echo "== bench smoke (codec regression gate) =="
+# Reduced-sample fabric bench; fails if the 1 MiB typed p2p path costs more
+# than the stored multiple of the raw-bytes path (see fabric.rs).
+cargo bench -q -p cb-bench --bench fabric -- --smoke
+
 echo "CI green."

@@ -1,15 +1,29 @@
 //! Criterion bench behind Fig. 3: the psmpi ping-pong on the modelled
 //! EXTOLL fabric for the three node-pair classes at characteristic sizes.
+//!
+//! `cargo bench --bench fabric -- --smoke` runs the CI regression gate
+//! instead: a reduced-sample pass over the ping-pong plus the 1 MiB
+//! typed-vs-bytes p2p comparison, failing the process if the typed path
+//! costs more than [`P2P_TYPED_BYTES_MAX_RATIO`] times the raw-bytes path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::Bytes;
+use criterion::{black_box, BenchmarkId, Criterion};
 use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
-use psmpi::pingpong;
+use psmpi::{pingpong, UniverseBuilder};
 
-fn bench_pingpong(c: &mut Criterion) {
+/// Stored regression threshold for the typed codec. The pre-fast-path
+/// per-element codec sat at ~1150x the raw-bytes cost on the 1 MiB p2p
+/// workload; the bulk POD path brings it to low single digits, so any
+/// breach of this (generous) ceiling means the fast path stopped being
+/// taken. Tighten as the measured ratio in BENCH_kernels.json ratchets
+/// down.
+const P2P_TYPED_BYTES_MAX_RATIO: f64 = 100.0;
+
+fn bench_pingpong(c: &mut Criterion, samples: usize) {
     let cn = deep_er_cluster_node();
     let bn = deep_er_booster_node();
     let mut g = c.benchmark_group("fig3/pingpong");
-    g.sample_size(10);
+    g.sample_size(samples);
     for (label, a, b) in [
         ("CN-CN", &cn, &cn),
         ("BN-BN", &bn, &bn),
@@ -24,5 +38,79 @@ fn bench_pingpong(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pingpong);
-criterion_main!(benches);
+/// The same 1 MiB typed-vs-bytes p2p workload `kernels.rs` records in
+/// BENCH_kernels.json, measured at `samples` samples. Returns
+/// `(typed_mean_ns, bytes_mean_ns)`.
+fn measure_p2p(c: &mut Criterion, samples: usize) -> (u128, u128) {
+    const MSG: usize = 1 << 20;
+    const ROUNDS: usize = 16;
+
+    let mut g = c.benchmark_group("smoke/p2p_1MiB");
+    g.sample_size(samples);
+    g.bench_function("typed", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(2, &deep_er_cluster_node())
+                .run(|rank| {
+                    let payload = vec![0u8; MSG];
+                    for _ in 0..ROUNDS {
+                        if rank.rank() == 0 {
+                            rank.send(1, 0, &payload).unwrap();
+                        } else {
+                            let (v, _) = rank.recv::<Vec<u8>>(Some(0), Some(0)).unwrap();
+                            black_box(v.len());
+                        }
+                    }
+                })
+        });
+    });
+    g.bench_function("bytes", |b| {
+        b.iter(|| {
+            UniverseBuilder::new()
+                .add_nodes(2, &deep_er_cluster_node())
+                .run(|rank| {
+                    let w = rank.world();
+                    let payload = Bytes::from(vec![0u8; MSG]);
+                    for _ in 0..ROUNDS {
+                        if rank.rank() == 0 {
+                            rank.send_bytes_comm(&w, 1, 0, payload.clone()).unwrap();
+                        } else {
+                            let (v, _) = rank.recv_bytes_comm(&w, Some(0), Some(0)).unwrap();
+                            black_box(v.len());
+                        }
+                    }
+                })
+        });
+    });
+    g.finish();
+
+    let mean = |id: &str| {
+        c.measurements
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean().as_nanos())
+            .expect("measurement recorded")
+    };
+    (mean("smoke/p2p_1MiB/typed"), mean("smoke/p2p_1MiB/bytes"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut criterion = Criterion::default();
+    if smoke {
+        bench_pingpong(&mut criterion, 2);
+        let (typed, bytes) = measure_p2p(&mut criterion, 3);
+        let ratio = typed as f64 / bytes.max(1) as f64;
+        println!(
+            "smoke: p2p 1MiB typed/bytes ratio {ratio:.1} (ceiling {P2P_TYPED_BYTES_MAX_RATIO})"
+        );
+        assert!(
+            ratio <= P2P_TYPED_BYTES_MAX_RATIO,
+            "typed p2p regressed to {ratio:.1}x the bytes path \
+             (ceiling {P2P_TYPED_BYTES_MAX_RATIO}x): the POD fast path is \
+             no longer carrying Vec<u8> sends"
+        );
+    } else {
+        bench_pingpong(&mut criterion, 10);
+    }
+}

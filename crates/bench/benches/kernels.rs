@@ -9,9 +9,12 @@
 //!   particles) across thread counts 1/2/4/8. Speedups are wall-clock
 //!   only; the determinism contract (`xpic::par`) keeps every result
 //!   bit-identical, which the virtual-time section below demonstrates.
+//! * **codec** — encode/decode throughput of the bulk POD path on a 1 MiB
+//!   `Vec<f64>`, reported as MB/s in the JSON.
 //! * **router** — throughput of the typed (encode/decode per hop) vs.
 //!   raw-`Bytes` (one shared allocation) message path, point-to-point,
-//!   broadcast fan-out, and the self-send fast path.
+//!   broadcast fan-out, and the self-send fast path; the JSON stamps the
+//!   typed/bytes p2p cost ratio the smoke gate in `fabric.rs` ratchets on.
 //! * **virtual time** — the same xPic run at every thread count must
 //!   report the *same* virtual runtime; the JSON records the values and
 //!   an `invariant` flag.
@@ -24,7 +27,7 @@
 use bytes::Bytes;
 use criterion::{black_box, Criterion, Measurement};
 use hwmodel::presets::deep_er_cluster_node;
-use psmpi::UniverseBuilder;
+use psmpi::{MpiDatatype, UniverseBuilder};
 use std::fmt::Write as _;
 use xpic::moments::{deposit, deposit_threads};
 use xpic::mover::{boris_push, boris_push_threads};
@@ -178,6 +181,25 @@ fn bench_router(c: &mut Criterion) {
     g.finish();
 }
 
+/// Standalone codec throughput: encode/decode a 1 MiB `Vec<f64>` through
+/// the `MpiDatatype` bulk POD path, no fabric in the way. The JSON section
+/// converts the means to MB/s.
+fn bench_codec(c: &mut Criterion) {
+    const N: usize = 1 << 17; // 131072 f64 = 1 MiB of payload
+    let v: Vec<f64> = (0..N).map(|i| i as f64 * 0.5 - 7.0).collect();
+    let encoded = v.to_bytes();
+
+    let mut g = c.benchmark_group("codec/vec_f64_1MiB");
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(v.to_bytes()));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Vec::<f64>::from_bytes(encoded.clone()).unwrap()));
+    });
+    g.finish();
+}
+
 /// Run the same small xPic job at every thread count and return the
 /// virtual runtimes in nanoseconds. The determinism contract demands they
 /// are all identical.
@@ -222,6 +244,12 @@ fn write_json(measurements: &[Measurement]) {
         NX * NY * PPC
     );
     let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "  \"parallel_env_note\": \"available_parallelism is 1: mover/deposit thread speedups are expected to sit near 1.0x on this host; the virtual-time invariance below is the meaningful signal\","
+        );
+    }
     // Fingerprint of the deepcheck exception list in force when the numbers
     // were produced — ties every benchmark artifact to the exact set of
     // determinism-contract waivers it ran under.
@@ -261,6 +289,33 @@ fn write_json(measurements: &[Measurement]) {
         out.push_str("  },\n");
     }
 
+    // The codec fast-path win, pinned two ways: element throughput of the
+    // bulk path in isolation, and the end-to-end typed/bytes cost ratio on
+    // the 1 MiB p2p workload (the number ISSUE 3 ratchets on).
+    let mb_per_s = |id: &str| -> f64 {
+        match mean_ns(measurements, id) {
+            Some(ns) if ns > 0 => (1u64 << 20) as f64 / (ns as f64 / 1e9) / 1e6,
+            _ => 0.0,
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  \"codec_vec_f64_mb_per_s\": {{\"encode\": {:.1}, \"decode\": {:.1}}},",
+        mb_per_s("codec/vec_f64_1MiB/encode"),
+        mb_per_s("codec/vec_f64_1MiB/decode")
+    );
+    let typed_bytes_ratio = match (
+        mean_ns(measurements, "router/p2p_1MiB/typed"),
+        mean_ns(measurements, "router/p2p_1MiB/bytes"),
+    ) {
+        (Some(t), Some(b)) if b > 0 => t as f64 / b as f64,
+        _ => 0.0,
+    };
+    let _ = writeln!(
+        out,
+        "  \"router_p2p_typed_bytes_ratio\": {typed_bytes_ratio:.2},"
+    );
+
     out.push_str("  \"virtual_time_ns_by_threads\": {");
     for (i, (t, ns)) in vts.iter().enumerate() {
         let comma = if i + 1 < vts.len() { "," } else { "" };
@@ -283,6 +338,7 @@ fn write_json(measurements: &[Measurement]) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_kernels(&mut criterion);
+    bench_codec(&mut criterion);
     bench_router(&mut criterion);
     write_json(&criterion.measurements);
 }

@@ -19,6 +19,41 @@ const TAG_GATHER: i32 = -13;
 const TAG_SCATTER: i32 = -14;
 const TAG_ALLTOALL: i32 = -15;
 const TAG_SPLIT: i32 = -16;
+const TAG_ALLREDUCE: i32 = -17;
+const TAG_BCAST_HDR: i32 = -18;
+const TAG_BCAST_SEG: i32 = -19;
+// -20..-23 are used by `collectives_ext`.
+const TAG_ALLGATHER: i32 = -24;
+
+/// Broadcast payloads above this size go out as a pipelined segment
+/// stream instead of one message (see [`Rank::bcast_bytes_with`]).
+pub const BCAST_SEGMENT_THRESHOLD: usize = 1 << 20;
+
+/// Default segment size of the pipelined broadcast.
+pub const BCAST_SEGMENT_SIZE: usize = 256 << 10;
+
+/// Parent and children of `rel` (rank relative to the root) in the
+/// binomial broadcast tree, children in descending-distance (send) order.
+fn binomial_tree(rel: usize, n: usize) -> (Option<usize>, Vec<usize>) {
+    let mut mask = 1usize;
+    let mut parent = None;
+    while mask < n {
+        if rel & mask != 0 {
+            parent = Some(rel ^ mask);
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut children = Vec::new();
+    let mut m = mask >> 1;
+    while m > 0 {
+        if rel + m < n {
+            children.push(rel + m);
+        }
+        m >>= 1;
+    }
+    (parent, children)
+}
 
 impl Rank {
     fn comm_rank(&self, comm: &Communicator) -> Result<usize, PsmpiError> {
@@ -59,7 +94,7 @@ impl Rank {
         root: usize,
         value: Option<T>,
     ) -> Result<T, PsmpiError> {
-        let payload = value.map(|v| v.to_bytes());
+        let payload = value.map(|v| v.to_wire(self.router().buffer_pool()));
         let bytes = self.bcast_bytes(comm, root, payload)?;
         Ok(T::from_bytes(bytes)?)
     }
@@ -67,49 +102,109 @@ impl Rank {
     /// Zero-copy broadcast of a raw buffer from `root` (binomial tree).
     /// Non-root ranks pass `None`; every rank returns the payload.
     ///
-    /// Intermediate ranks forward the *received* [`bytes::Bytes`] handle to
+    /// Payloads up to [`BCAST_SEGMENT_THRESHOLD`] travel as one message and
+    /// intermediate ranks forward the *received* [`bytes::Bytes`] handle to
     /// their children — a refcount bump per child, never a payload copy —
-    /// so one allocation serves the whole tree.
+    /// so one allocation serves the whole tree. Larger payloads switch to a
+    /// pipelined segment stream (see [`Rank::bcast_bytes_with`]).
     pub fn bcast_bytes(
         &mut self,
         comm: &Communicator,
         root: usize,
         payload: Option<bytes::Bytes>,
     ) -> Result<bytes::Bytes, PsmpiError> {
+        self.bcast_bytes_with(
+            comm,
+            root,
+            payload,
+            BCAST_SEGMENT_THRESHOLD,
+            BCAST_SEGMENT_SIZE,
+        )
+    }
+
+    /// [`Rank::bcast_bytes`] with explicit pipelining parameters: payloads
+    /// larger than `threshold` are cut into `segment`-byte slices that flow
+    /// down the same binomial tree as a stream of messages. A rank forwards
+    /// each segment to its subtree as soon as it arrives, so transfers down
+    /// different tree levels overlap — the classic segmented-broadcast
+    /// pipeline — and that overlap is *emergent* virtual-time behaviour of
+    /// the per-message fabric model, not a formula.
+    ///
+    /// The root decides: receivers learn of the segmented protocol from a
+    /// header message (`TAG_BCAST_HDR`), so `threshold`/`segment` need not
+    /// match across ranks. Segments are refcount-forwarded slices of the
+    /// root's single allocation; only the final reassembly writes bytes,
+    /// into a pool-drawn buffer.
+    pub fn bcast_bytes_with(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        payload: Option<bytes::Bytes>,
+        threshold: usize,
+        segment: usize,
+    ) -> Result<bytes::Bytes, PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         let rel = (me + n - root) % n;
-        let mut current: Option<bytes::Bytes> = if rel == 0 {
-            Some(
-                payload
-                    .ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?,
-            )
-        } else {
-            None
-        };
+        let to_abs = |r: usize| (r + root) % n;
+        let (parent, children) = binomial_tree(rel, n);
 
-        // Receive phase: find the parent in the binomial tree.
-        let mut mask = 1usize;
-        while mask < n {
-            if rel & mask != 0 {
-                let src = (me + n - mask) % n;
-                let (v, _) = self.recv_bytes_comm(comm, Some(src), Some(TAG_BCAST))?;
-                current = Some(v);
-                break;
+        if rel == 0 {
+            let payload = payload
+                .ok_or_else(|| PsmpiError::Spawn("bcast root must supply a value".into()))?;
+            if payload.len() > threshold && n > 1 {
+                let seg = segment.max(1);
+                let header = (payload.len() as u64, seg as u64);
+                for &c in &children {
+                    self.send_comm(comm, to_abs(c), TAG_BCAST_HDR, &header)?;
+                }
+                let mut off = 0;
+                while off < payload.len() {
+                    let end = (off + seg).min(payload.len());
+                    let slice = payload.slice(off..end);
+                    for &c in &children {
+                        self.send_bytes_comm(comm, to_abs(c), TAG_BCAST_SEG, slice.clone())?;
+                    }
+                    off = end;
+                }
+            } else {
+                for &c in &children {
+                    self.send_bytes_comm(comm, to_abs(c), TAG_BCAST, payload.clone())?;
+                }
             }
-            mask <<= 1;
+            return Ok(payload);
         }
-        // Send phase: forward the shared buffer to children.
-        mask >>= 1;
-        let v = current.expect("bcast value present after receive phase");
-        while mask > 0 {
-            if rel + mask < n {
-                let dst = (me + mask) % n;
-                self.send_bytes_comm(comm, dst, TAG_BCAST, v.clone())?;
+
+        let parent_abs = to_abs(parent.expect("non-root has a parent"));
+        let first =
+            self.mailbox()
+                .probe_blocking_either(comm.id, parent_abs, TAG_BCAST, TAG_BCAST_HDR);
+        if first == TAG_BCAST {
+            let (v, _) = self.recv_bytes_comm(comm, Some(parent_abs), Some(TAG_BCAST))?;
+            for &c in &children {
+                self.send_bytes_comm(comm, to_abs(c), TAG_BCAST, v.clone())?;
             }
-            mask >>= 1;
+            return Ok(v);
         }
-        Ok(v)
+        let (header, _) =
+            self.recv_comm::<(u64, u64)>(comm, Some(parent_abs), Some(TAG_BCAST_HDR))?;
+        for &c in &children {
+            self.send_comm(comm, to_abs(c), TAG_BCAST_HDR, &header)?;
+        }
+        let (total, seg) = (header.0 as usize, header.1 as usize);
+        let mut out = self.router().buffer_pool().get(total);
+        while out.len() < total {
+            let (slice, _) = self.recv_bytes_comm(comm, Some(parent_abs), Some(TAG_BCAST_SEG))?;
+            for &c in &children {
+                self.send_bytes_comm(comm, to_abs(c), TAG_BCAST_SEG, slice.clone())?;
+            }
+            out.extend_from_slice(&slice);
+            debug_assert!(
+                slice.len() == seg || out.len() == total,
+                "only the last segment may be short"
+            );
+        }
+        Ok(out.freeze())
     }
 
     /// Reduce element-wise `f64` vectors to `root` (reverse binomial tree).
@@ -143,17 +238,47 @@ impl Rank {
         Ok(Some(acc))
     }
 
-    /// Reduce to rank 0 then broadcast: every rank gets the reduced vector.
+    /// Every rank gets the element-wise reduction of all contributions.
     /// This is the global-synchronization workhorse of the xPic field
     /// solver's CG iteration.
+    ///
+    /// Power-of-two communicators use recursive doubling: log₂ n rounds of
+    /// pairwise exchanges, reducing in place, with the combine always
+    /// applied lower-rank-block first. That ordering makes every rank
+    /// evaluate the *same balanced association tree* — the one the
+    /// reduce-to-0 + bcast fallback also evaluates — so results are
+    /// bit-identical across ranks, across thread counts, and across the
+    /// algorithm switch. Other sizes fall back to reduce + bcast.
     pub fn allreduce(
         &mut self,
         comm: &Communicator,
         contribution: &[f64],
         op: ReduceOp,
     ) -> Result<Vec<f64>, PsmpiError> {
-        let reduced = self.reduce(comm, 0, contribution, op)?;
-        self.bcast(comm, 0, reduced)
+        let n = comm.size();
+        if !n.is_power_of_two() || n < 2 {
+            let reduced = self.reduce(comm, 0, contribution, op)?;
+            return self.bcast(comm, 0, reduced);
+        }
+        let me = self.comm_rank(comm)?;
+        let mut acc = contribution.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            let partner = me ^ mask;
+            self.send_comm(comm, partner, TAG_ALLREDUCE, &acc)?;
+            let (theirs, _) =
+                self.recv_comm::<Vec<f64>>(comm, Some(partner), Some(TAG_ALLREDUCE))?;
+            if partner > me {
+                // Our block is the lower half of this round's pair.
+                op.apply_slice(&mut acc, &theirs);
+            } else {
+                let mut merged = theirs;
+                op.apply_slice(&mut merged, &acc);
+                acc = merged;
+            }
+            mask <<= 1;
+        }
+        Ok(acc)
     }
 
     /// Scalar convenience over [`Rank::allreduce`].
@@ -194,14 +319,42 @@ impl Rank {
         ))
     }
 
-    /// Gather to rank 0, then broadcast the assembled vector to everyone.
+    /// Every rank gets every rank's value, in rank order (ring algorithm:
+    /// n−1 rounds, each rank forwarding the block it just received to its
+    /// right neighbour). Bandwidth-optimal — each block crosses each link
+    /// once, encoded once at its origin and refcount-forwarded around the
+    /// ring — unlike the old gather-to-0 + bcast, which moved the whole
+    /// assembled vector down a tree after serializing it a second time.
     pub fn allgather<T: MpiDatatype + Clone>(
         &mut self,
         comm: &Communicator,
         value: &T,
     ) -> Result<Vec<T>, PsmpiError> {
-        let gathered = self.gather(comm, 0, value)?;
-        self.bcast(comm, 0, gathered)
+        let n = comm.size();
+        let me = self.comm_rank(comm)?;
+        if n == 1 {
+            return Ok(vec![value.clone()]);
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut blocks: Vec<Option<bytes::Bytes>> = vec![None; n];
+        let own = value.to_wire(self.router().buffer_pool());
+        blocks[me] = Some(own.clone());
+        let mut current = own;
+        for round in 0..n - 1 {
+            self.send_bytes_comm(comm, right, TAG_ALLGATHER, current)?;
+            let (incoming, _) = self.recv_bytes_comm(comm, Some(left), Some(TAG_ALLGATHER))?;
+            // Round r delivers the block that originated r+1 hops to the
+            // left (FIFO per link keeps the stream in origin order).
+            let origin = (me + n - 1 - round) % n;
+            blocks[origin] = Some(incoming.clone());
+            current = incoming;
+        }
+        let mut out = Vec::with_capacity(n);
+        for b in blocks {
+            out.push(T::from_bytes(b.expect("ring filled every block"))?);
+        }
+        Ok(out)
     }
 
     /// Scatter `values[i]` from `root` to rank `i`. Root passes `Some`

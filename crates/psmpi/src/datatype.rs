@@ -25,14 +25,57 @@ impl std::error::Error for CodecError {}
 
 /// A type that can cross the simulated fabric.
 pub trait MpiDatatype: Sized {
+    /// Encoded width in bytes when every value of the type encodes to the
+    /// same number of bytes (the POD scalars). Drives the bulk `Vec<T>`
+    /// fast path and lets `Vec::decode` reject a corrupt length prefix
+    /// before allocating.
+    const FIXED_WIDTH: Option<usize> = None;
+
     /// Append the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
     /// Decode one value from the front of `buf`.
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
 
+    /// Lower bound on the encoded size, used to reserve buffers up front.
+    fn size_hint(&self) -> usize {
+        Self::FIXED_WIDTH.unwrap_or(0)
+    }
+
+    /// Append the encodings of every element of `items`. Fixed-width
+    /// scalars override this with a chunked bulk conversion; the default
+    /// is the generic per-element path.
+    fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+        for x in items {
+            x.encode(buf);
+        }
+    }
+
+    /// Decode `n` consecutive values (the inverse of [`encode_slice`]).
+    ///
+    /// [`encode_slice`]: MpiDatatype::encode_slice
+    fn decode_vec(n: usize, buf: &mut Bytes) -> Result<Vec<Self>, CodecError> {
+        // Cap the speculative allocation: a hostile length prefix on a
+        // variable-width element type is only discovered element by
+        // element, so don't trust `n` further than one arena's worth.
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push(Self::decode(buf)?);
+        }
+        Ok(v)
+    }
+
     /// Encode into a fresh buffer.
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.size_hint());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode for the wire, drawing the staging buffer from `pool`. Types
+    /// that already hold their encoded form (`Raw`) override this to hand
+    /// the existing buffer over without copying.
+    fn to_wire(&self, pool: &crate::pool::BufferPool) -> Bytes {
+        let mut buf = pool.get(self.size_hint());
         self.encode(&mut buf);
         buf.freeze()
     }
@@ -42,6 +85,92 @@ pub trait MpiDatatype: Sized {
         let mut b = bytes;
         Self::decode(&mut b)
     }
+}
+
+/// Marker for POD scalars whose encoding is exactly the little-endian
+/// image of the value: [`WIDTH`](FixedWidth::WIDTH) bytes, no framing.
+/// Buffers of these types move through the wire stack in bulk — reserve
+/// once, convert in cache-sized chunks — instead of one `BufMut` dispatch
+/// per element.
+pub trait FixedWidth: MpiDatatype + Copy {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+
+    /// Write the little-endian image into `out` (exactly `WIDTH` bytes).
+    fn put_le(self, out: &mut [u8]);
+
+    /// Read a value back from a `WIDTH`-byte little-endian image.
+    fn get_le(src: &[u8]) -> Self;
+}
+
+/// Staging-block size for bulk conversion: big enough to amortise the
+/// `extend_from_slice` calls, small enough to stay cache-resident.
+const POD_CHUNK_BYTES: usize = 8192;
+
+/// Append the encodings of `items` in bulk: one capacity reservation,
+/// then cache-sized chunks converted on the stack and appended with
+/// `extend_from_slice`. Byte-identical to encoding each element in turn.
+pub fn encode_pod_slice<T: FixedWidth>(items: &[T], buf: &mut BytesMut) {
+    buf.reserve(items.len() * T::WIDTH);
+    let per_chunk = (POD_CHUNK_BYTES / T::WIDTH).max(1);
+    let mut tmp = [0u8; POD_CHUNK_BYTES];
+    for chunk in items.chunks(per_chunk) {
+        let mut off = 0;
+        for &x in chunk {
+            x.put_le(&mut tmp[off..off + T::WIDTH]);
+            off += T::WIDTH;
+        }
+        buf.extend_from_slice(&tmp[..off]);
+    }
+}
+
+/// Decode `n` values in bulk after an up-front length check, so a corrupt
+/// count fails fast instead of after `n` short-buffer probes.
+pub fn decode_pod_vec<T: FixedWidth>(n: usize, buf: &mut Bytes) -> Result<Vec<T>, CodecError> {
+    let total = pod_run_length::<T>(n, buf)?;
+    let mut v = Vec::with_capacity(n);
+    v.extend(buf.chunk()[..total].chunks_exact(T::WIDTH).map(T::get_le));
+    buf.advance(total);
+    Ok(v)
+}
+
+/// Decode exactly `out.len()` values into an existing slice (no
+/// allocation — the halo-exchange path reuses ghost rows in place).
+pub fn read_pod_into<T: FixedWidth>(buf: &Bytes, out: &mut [T]) -> Result<(), CodecError> {
+    let total = pod_run_length::<T>(out.len(), buf)?;
+    for (dst, src) in out.iter_mut().zip(buf[..total].chunks_exact(T::WIDTH)) {
+        *dst = T::get_le(src);
+    }
+    Ok(())
+}
+
+/// Encode a bare (unframed: no length prefix) POD slice into one buffer.
+pub fn pod_to_bytes<T: FixedWidth>(items: &[T]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(items.len() * T::WIDTH);
+    T::encode_slice(items, &mut buf);
+    buf.freeze()
+}
+
+/// Decode a bare POD buffer whose length must be a multiple of
+/// [`FixedWidth::WIDTH`].
+pub fn bytes_to_pod<T: FixedWidth>(buf: &Bytes) -> Result<Vec<T>, CodecError> {
+    if !buf.len().is_multiple_of(T::WIDTH) {
+        return Err(CodecError(format!(
+            "raw POD buffer of {} bytes is not a multiple of the element width {}",
+            buf.len(),
+            T::WIDTH
+        )));
+    }
+    let mut view = buf.clone();
+    decode_pod_vec(buf.len() / T::WIDTH, &mut view)
+}
+
+fn pod_run_length<T: FixedWidth>(n: usize, buf: &Bytes) -> Result<usize, CodecError> {
+    let total = n
+        .checked_mul(T::WIDTH)
+        .ok_or_else(|| CodecError(format!("POD vector length {n} overflows")))?;
+    need(buf, total, "POD vector body")?;
+    Ok(total)
 }
 
 fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), CodecError> {
@@ -58,6 +187,8 @@ fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), CodecError> {
 macro_rules! impl_scalar {
     ($t:ty, $put:ident, $get:ident) => {
         impl MpiDatatype for $t {
+            const FIXED_WIDTH: Option<usize> = Some(std::mem::size_of::<$t>());
+
             fn encode(&self, buf: &mut BytesMut) {
                 buf.$put(*self);
             }
@@ -65,20 +196,101 @@ macro_rules! impl_scalar {
                 need(buf, std::mem::size_of::<$t>(), stringify!($t))?;
                 Ok(buf.$get())
             }
+            fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+                encode_pod_slice(items, buf);
+            }
+            fn decode_vec(n: usize, buf: &mut Bytes) -> Result<Vec<Self>, CodecError> {
+                decode_pod_vec(n, buf)
+            }
+        }
+
+        impl FixedWidth for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+
+            fn put_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn get_le(src: &[u8]) -> Self {
+                let mut raw = [0u8; std::mem::size_of::<$t>()];
+                raw.copy_from_slice(src);
+                <$t>::from_le_bytes(raw)
+            }
         }
     };
 }
 
-impl_scalar!(u8, put_u8, get_u8);
 impl_scalar!(u16, put_u16_le, get_u16_le);
 impl_scalar!(u32, put_u32_le, get_u32_le);
 impl_scalar!(u64, put_u64_le, get_u64_le);
-impl_scalar!(i8, put_i8, get_i8);
 impl_scalar!(i16, put_i16_le, get_i16_le);
 impl_scalar!(i32, put_i32_le, get_i32_le);
 impl_scalar!(i64, put_i64_le, get_i64_le);
 impl_scalar!(f32, put_f32_le, get_f32_le);
 impl_scalar!(f64, put_f64_le, get_f64_le);
+
+// Byte-width scalars get hand-written impls: a `&[u8]` already *is* its
+// wire image, so the bulk hooks collapse to single memcpys instead of the
+// staging-chunk loop the macro generates.
+impl MpiDatatype for u8 {
+    const FIXED_WIDTH: Option<usize> = Some(1);
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 1, "u8")?;
+        Ok(buf.get_u8())
+    }
+    fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+        buf.extend_from_slice(items);
+    }
+    fn decode_vec(n: usize, buf: &mut Bytes) -> Result<Vec<Self>, CodecError> {
+        need(buf, n, "POD vector body")?;
+        let v = buf.chunk()[..n].to_vec();
+        buf.advance(n);
+        Ok(v)
+    }
+}
+
+impl FixedWidth for u8 {
+    const WIDTH: usize = 1;
+
+    fn put_le(self, out: &mut [u8]) {
+        out[0] = self;
+    }
+    fn get_le(src: &[u8]) -> Self {
+        src[0]
+    }
+}
+
+impl MpiDatatype for i8 {
+    const FIXED_WIDTH: Option<usize> = Some(1);
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        need(buf, 1, "i8")?;
+        Ok(buf.get_i8())
+    }
+    fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+        encode_pod_slice(items, buf);
+    }
+    fn decode_vec(n: usize, buf: &mut Bytes) -> Result<Vec<Self>, CodecError> {
+        decode_pod_vec(n, buf)
+    }
+}
+
+impl FixedWidth for i8 {
+    const WIDTH: usize = 1;
+
+    fn put_le(self, out: &mut [u8]) {
+        out[0] = self as u8;
+    }
+    fn get_le(src: &[u8]) -> Self {
+        src[0] as i8
+    }
+}
 
 impl MpiDatatype for usize {
     fn encode(&self, buf: &mut BytesMut) {
@@ -132,6 +344,9 @@ impl MpiDatatype for Raw {
     fn to_bytes(&self) -> Bytes {
         self.0.clone() // refcount bump, not a copy
     }
+    fn to_wire(&self, _pool: &crate::pool::BufferPool) -> Bytes {
+        self.0.clone() // already wire-shaped; never staged through the pool
+    }
     fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
         Ok(Raw(bytes)) // the received buffer, verbatim
     }
@@ -139,19 +354,31 @@ impl MpiDatatype for Raw {
 
 impl<T: MpiDatatype> MpiDatatype for Vec<T> {
     fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(8 + T::FIXED_WIDTH.unwrap_or(0) * self.len());
         buf.put_u64_le(self.len() as u64);
-        for x in self {
-            x.encode(buf);
-        }
+        T::encode_slice(self, buf);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         need(buf, 8, "Vec length")?;
         let n = buf.get_u64_le() as usize;
-        let mut v = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            v.push(T::decode(buf)?);
+        if let Some(width) = T::FIXED_WIDTH {
+            // Fixed-width elements let us validate the whole run against
+            // the bytes actually present, so a corrupt length prefix is
+            // one comparison, not up to 2^20 speculative pushes.
+            let total = n
+                .checked_mul(width)
+                .ok_or_else(|| CodecError(format!("corrupt Vec length prefix {n}: overflows")))?;
+            if total > buf.remaining() {
+                return Err(CodecError(format!(
+                    "corrupt Vec length prefix {n}: need {total} bytes, have {}",
+                    buf.remaining()
+                )));
+            }
         }
-        Ok(v)
+        T::decode_vec(n, buf)
+    }
+    fn size_hint(&self) -> usize {
+        8 + T::FIXED_WIDTH.unwrap_or(0) * self.len()
     }
 }
 
@@ -159,6 +386,9 @@ impl MpiDatatype for String {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.len() as u64);
         buf.put_slice(self.as_bytes());
+    }
+    fn size_hint(&self) -> usize {
+        8 + self.len()
     }
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         need(buf, 8, "String length")?;
@@ -323,6 +553,64 @@ mod tests {
         let v = vec![7u8; 10];
         let b = v.to_bytes();
         assert_eq!(b.len(), 8 + 10);
+    }
+
+    #[test]
+    fn pod_fast_path_roundtrips() {
+        roundtrip(vec![1u32, 2, 3, u32::MAX]);
+        roundtrip(vec![0.5f32, -1.5, f32::MIN_POSITIVE]);
+        roundtrip((0..4097u64).collect::<Vec<_>>()); // crosses a staging chunk
+        roundtrip(vec![-1i8, 0, 1]);
+        roundtrip(vec![u8::MAX; 3]);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_fails_fast() {
+        // Claim 2^56 f64s but supply 16 bytes: must error on the length
+        // check, long before any element decode or giant allocation.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1 << 56);
+        buf.put_f64_le(1.0);
+        buf.put_f64_le(2.0);
+        let err = Vec::<f64>::from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.0.contains("corrupt Vec length prefix"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_overflow_is_caught() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        let err = Vec::<u64>::from_bytes(buf.freeze()).unwrap_err();
+        assert!(err.0.contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn unframed_pod_helpers_roundtrip() {
+        let src = vec![1.0f64, -2.5, 3.25];
+        let wire = pod_to_bytes(&src);
+        assert_eq!(wire.len(), 24);
+        assert_eq!(bytes_to_pod::<f64>(&wire).unwrap(), src);
+        let mut out = [0.0f64; 3];
+        read_pod_into(&wire, &mut out).unwrap();
+        assert_eq!(&out[..], &src[..]);
+        // Misaligned buffer is an error, not a panic.
+        let odd = wire.slice(0..10);
+        assert!(bytes_to_pod::<f64>(&odd).is_err());
+    }
+
+    #[test]
+    fn to_wire_draws_from_pool_and_raw_bypasses_it() {
+        let pool = crate::pool::BufferPool::new();
+        let staged = pool.get(64);
+        let ptr = staged.as_ref().as_ptr();
+        pool.recycle(staged.freeze());
+        // A typed value stages through the pooled buffer…
+        let wire = vec![1.0f64, 2.0].to_wire(&pool);
+        assert_eq!(wire.as_ptr(), ptr);
+        // …while Raw hands its own allocation over untouched.
+        let raw = Raw(Bytes::from(vec![7u8; 16]));
+        let raw_wire = raw.to_wire(&pool);
+        assert_eq!(raw_wire.as_ptr(), raw.0.as_ptr());
     }
 
     #[test]

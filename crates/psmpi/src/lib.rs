@@ -54,13 +54,15 @@ pub mod comm;
 pub mod datatype;
 pub mod envelope;
 pub mod pingpong;
+pub mod pool;
 pub mod rank;
 pub mod router;
 pub mod spawn;
 pub mod universe;
 
 pub use comm::{CommId, Communicator, Intercomm};
-pub use datatype::{MpiDatatype, Raw, ReduceOp};
+pub use datatype::{FixedWidth, MpiDatatype, Raw, ReduceOp};
 pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG};
+pub use pool::BufferPool;
 pub use rank::{PsmpiError, Rank, Request};
 pub use universe::{JobReport, Universe, UniverseBuilder};

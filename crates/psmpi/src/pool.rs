@@ -1,0 +1,114 @@
+//! Thread-safe pool of reusable encode buffers.
+//!
+//! Every typed send encodes into a [`BytesMut`] that is frozen into the
+//! envelope payload; without reuse, a hot exchange loop (halo rows every CG
+//! iteration, E/B field hand-offs every step) allocates and frees a
+//! megabyte-class buffer per message. The pool keeps a bounded stack of
+//! retired buffers: senders draw staging buffers from it, and receivers
+//! return payload allocations after decoding via [`Bytes::try_into_mut`],
+//! which only succeeds when the receiver holds the last reference — so a
+//! buffer still shared with a zero-copy consumer (a `Raw` decode, a bcast
+//! sibling, a self-send alias) is never recycled while aliased.
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+
+/// Retired buffers above this capacity are dropped rather than pooled, so
+/// one pathological message cannot pin a huge allocation forever.
+const MAX_POOLED_CAPACITY: usize = 16 << 20;
+
+/// Bound on pooled buffers; beyond it, retired buffers are simply freed.
+const MAX_POOLED_BUFFERS: usize = 64;
+
+/// A bounded stack of retired [`BytesMut`] allocations (see module docs).
+#[derive(Default)]
+pub struct BufferPool {
+    bufs: Mutex<Vec<BytesMut>>,
+}
+
+impl BufferPool {
+    /// New, empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// An empty buffer with at least `cap` bytes reserved, reusing a
+    /// retired allocation when one is available.
+    pub fn get(&self, cap: usize) -> BytesMut {
+        let recycled = self.bufs.lock().pop();
+        match recycled {
+            Some(mut b) => {
+                b.clear();
+                b.reserve(cap);
+                b
+            }
+            None => BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Retire a buffer into the pool (dropped if the pool is full or the
+    /// buffer is outsized).
+    pub fn put(&self, buf: BytesMut) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < MAX_POOLED_BUFFERS {
+            bufs.push(buf);
+        }
+    }
+
+    /// Try to reclaim a frozen payload's storage. Succeeds only when
+    /// `bytes` is the sole owner; aliased or static buffers are dropped
+    /// untouched, which keeps every zero-copy sharing guarantee intact.
+    pub fn recycle(&self, bytes: Bytes) {
+        if let Ok(buf) = bytes.try_into_mut() {
+            self.put(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (for tests and diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.bufs.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_and_reuse_same_allocation() {
+        let pool = BufferPool::new();
+        let mut b = pool.get(4096);
+        b.extend_from_slice(&[1, 2, 3]);
+        let ptr = b.as_ref().as_ptr();
+        pool.recycle(b.freeze());
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.get(16);
+        assert_eq!(again.as_ref().as_ptr(), ptr);
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 4096);
+    }
+
+    #[test]
+    fn aliased_payload_is_never_recycled() {
+        let pool = BufferPool::new();
+        let mut b = pool.get(64);
+        b.extend_from_slice(&[9; 8]);
+        let frozen = b.freeze();
+        let alias = frozen.clone();
+        pool.recycle(frozen);
+        assert_eq!(pool.pooled(), 0, "aliased buffer must not be pooled");
+        assert_eq!(&alias[..], &[9; 8]);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..200 {
+            pool.put(BytesMut::with_capacity(8));
+        }
+        assert!(pool.pooled() <= 64);
+    }
+}

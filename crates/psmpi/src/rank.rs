@@ -77,7 +77,8 @@ impl<T: MpiDatatype> Request<T> {
             RequestKind::Send => Ok((None, None)),
             RequestKind::Recv { comm, src, tag } => {
                 let (v, st) = rank.recv_raw(comm, src, tag)?;
-                let val = T::from_bytes(v)?;
+                let val = T::from_bytes(v.clone())?;
+                rank.router.buffer_pool().recycle(v);
                 Ok((Some(val), Some(st)))
             }
         }
@@ -223,9 +224,21 @@ impl Rank {
         &self.router
     }
 
+    /// The universe-wide encode-buffer pool. Applications encoding raw
+    /// payloads for the `send_bytes_*` API can stage through it to reuse
+    /// retired allocations on hot exchange paths.
+    pub fn buffer_pool(&self) -> &crate::pool::BufferPool {
+        self.router.buffer_pool()
+    }
+
     /// This rank's endpoint id.
     pub(crate) fn endpoint(&self) -> EndpointId {
         self.endpoint
+    }
+
+    /// This rank's mailbox (collectives dispatch on queued tags).
+    pub(crate) fn mailbox(&self) -> &Arc<Mailbox> {
+        &self.mailbox
     }
 
     /// Advance the virtual clock unconditionally (used for modelled waits,
@@ -268,7 +281,8 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
-        self.send_raw(comm.id, dst_ep, src_rank, tag, value.to_bytes(), None);
+        let wire = value.to_wire(self.router.buffer_pool());
+        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, None);
         Ok(())
     }
 
@@ -294,14 +308,8 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
-        self.send_raw(
-            comm.id,
-            dst_ep,
-            src_rank,
-            tag,
-            value.to_bytes(),
-            Some(virtual_bytes),
-        );
+        let wire = value.to_wire(self.router.buffer_pool());
+        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes));
         Ok(())
     }
 
@@ -322,7 +330,11 @@ impl Rank {
             }
         }
         let (bytes, st) = self.recv_raw(comm.id, src, tag)?;
-        Ok((T::from_bytes(bytes)?, st))
+        let value = T::from_bytes(bytes.clone())?;
+        // Return the payload allocation to the pool — a no-op whenever the
+        // decode (e.g. `Raw`) or another rank still holds a reference.
+        self.router.buffer_pool().recycle(bytes);
+        Ok((value, st))
     }
 
     /// Nonblocking send on `comm` (completes immediately, buffered).
@@ -419,7 +431,8 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
-        self.send_raw(ic.id, dst_ep, src_rank, tag, value.to_bytes(), None);
+        let wire = value.to_wire(self.router.buffer_pool());
+        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, None);
         Ok(())
     }
 
@@ -443,14 +456,8 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
-        self.send_raw(
-            ic.id,
-            dst_ep,
-            src_rank,
-            tag,
-            value.to_bytes(),
-            Some(virtual_bytes),
-        );
+        let wire = value.to_wire(self.router.buffer_pool());
+        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes));
         Ok(())
     }
 
@@ -462,7 +469,9 @@ impl Rank {
         tag: Option<Tag>,
     ) -> Result<(T, Status), PsmpiError> {
         let (bytes, st) = self.recv_raw(ic.id, src, tag)?;
-        Ok((T::from_bytes(bytes)?, st))
+        let value = T::from_bytes(bytes.clone())?;
+        self.router.buffer_pool().recycle(bytes);
+        Ok((value, st))
     }
 
     /// Nonblocking inter-communicator send (buffered; the `MPI_Issend` of

@@ -7,6 +7,7 @@
 
 use crate::comm::CommId;
 use crate::envelope::{EndpointId, Envelope, Tag};
+use crate::pool::BufferPool;
 use hwmodel::{NodeId, SimTime};
 use parking_lot::{Condvar, Mutex, RwLock};
 use simnet::Fabric;
@@ -15,31 +16,115 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Interior of a [`Mailbox`], guarded by one mutex.
+///
+/// Envelopes live in `slots` in arrival order; consuming one leaves a
+/// tombstone that is compacted away once it reaches the front. On top of
+/// that, `index` maps each exact `(comm, src, tag)` class to its members'
+/// arrival numbers, so the common fully-specified receive is an O(1)
+/// lookup instead of a scan of the whole queue — under incast, a deep
+/// mailbox made the old front-to-back scan quadratic in backlog depth.
+///
+/// The index stays exact because any envelope ever removed — even through
+/// a wildcard receive — is the *earliest live* envelope of its class:
+/// wildcard matching picks the earliest arrival that matches, and every
+/// earlier same-class envelope would have matched too. Removal therefore
+/// always pops that class's deque at the front, and deque fronts always
+/// reference live slots.
+#[derive(Default)]
+struct MailboxState {
+    slots: VecDeque<Option<Envelope>>,
+    /// Arrival number of `slots[0]`.
+    base: u64,
+    /// Exact-match index; only ever *looked up* by key, never iterated,
+    /// so hash order cannot influence matching (determinism contract).
+    index: HashMap<(CommId, usize, Tag), VecDeque<u64>>,
+    /// Number of live (non-tombstone) envelopes.
+    live: usize,
+}
+
+impl MailboxState {
+    /// Arrival number of the earliest live envelope matching the triple.
+    fn find(&self, comm: CommId, src: Option<usize>, tag: Option<Tag>) -> Option<u64> {
+        match (src, tag) {
+            (Some(s), Some(t)) => self
+                .index
+                .get(&(comm, s, t))
+                .and_then(|class| class.front().copied()),
+            _ => self.slots.iter().enumerate().find_map(|(i, slot)| {
+                slot.as_ref()
+                    .filter(|e| e.matches(comm, src, tag))
+                    .map(|_| self.base + i as u64)
+            }),
+        }
+    }
+
+    fn peek(&self, arrival: u64) -> &Envelope {
+        self.slots[(arrival - self.base) as usize]
+            .as_ref()
+            .expect("peeked slot is live")
+    }
+
+    fn take(&mut self, arrival: u64) -> Envelope {
+        let env = self.slots[(arrival - self.base) as usize]
+            .take()
+            .expect("taken slot is live");
+        self.live -= 1;
+        let key = (env.comm, env.src_rank, env.tag);
+        let class = self.index.get_mut(&key).expect("indexed class");
+        debug_assert_eq!(class.front(), Some(&arrival), "removal is class front");
+        class.pop_front();
+        if class.is_empty() {
+            self.index.remove(&key);
+        }
+        // Compact tombstones: always from the front, wholesale when the
+        // queue drained (arrival numbers in `index` stay valid because the
+        // map is empty whenever `live` is zero).
+        if self.live == 0 {
+            self.base += self.slots.len() as u64;
+            self.slots.clear();
+        } else {
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        env
+    }
+}
+
 /// One endpoint's incoming-message queue.
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    state: Mutex<MailboxState>,
     cv: Condvar,
 }
 
 impl Mailbox {
     /// Deposit an envelope and wake any blocked receiver.
     pub fn push(&self, env: Envelope) {
-        self.queue.lock().push_back(env);
+        let mut s = self.state.lock();
+        let arrival = s.base + s.slots.len() as u64;
+        s.index
+            .entry((env.comm, env.src_rank, env.tag))
+            .or_default()
+            .push_back(arrival);
+        s.slots.push_back(Some(env));
+        s.live += 1;
         self.cv.notify_all();
     }
 
     /// Block until an envelope matching `(comm, src, tag)` is queued, then
     /// remove and return it. Envelopes from the same sender are matched in
-    /// send order (MPI non-overtaking) because the scan is front-to-back in
-    /// arrival order and one sender's arrivals are ordered.
+    /// send order (MPI non-overtaking): both the index deques and the slot
+    /// queue are in arrival order, and one sender's arrivals are ordered.
     pub fn recv_match(&self, comm: CommId, src: Option<usize>, tag: Option<Tag>) -> Envelope {
-        let mut q = self.queue.lock();
+        let mut s = self.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(comm, src, tag)) {
-                return q.remove(pos).expect("position just found");
+            if let Some(arrival) = s.find(comm, src, tag) {
+                return s.take(arrival);
             }
-            self.cv.wait(&mut q);
+            self.cv.wait(&mut s);
         }
     }
 
@@ -51,8 +136,9 @@ impl Mailbox {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Option<(usize, Tag, usize, SimTime, EndpointId)> {
-        let q = self.queue.lock();
-        q.iter().find(|e| e.matches(comm, src, tag)).map(|e| {
+        let s = self.state.lock();
+        s.find(comm, src, tag).map(|arrival| {
+            let e = s.peek(arrival);
             (
                 e.src_rank,
                 e.tag,
@@ -71,9 +157,10 @@ impl Mailbox {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> (usize, Tag, usize, SimTime, EndpointId) {
-        let mut q = self.queue.lock();
+        let mut s = self.state.lock();
         loop {
-            if let Some(e) = q.iter().find(|e| e.matches(comm, src, tag)) {
+            if let Some(arrival) = s.find(comm, src, tag) {
+                let e = s.peek(arrival);
                 return (
                     e.src_rank,
                     e.tag,
@@ -82,18 +169,40 @@ impl Mailbox {
                     e.src_endpoint,
                 );
             }
-            self.cv.wait(&mut q);
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Block until an envelope from `src` on `comm` carrying *either* tag
+    /// is queued, and return the tag seen without dequeuing. Lets a
+    /// collective receiver dispatch between two sub-protocols (e.g. a
+    /// single-shot bcast payload vs. a segmented-stream header) without
+    /// polling.
+    pub fn probe_blocking_either(&self, comm: CommId, src: usize, tag_a: Tag, tag_b: Tag) -> Tag {
+        let mut s = self.state.lock();
+        loop {
+            // Earliest arrival wins so one sender's protocol messages are
+            // dispatched in send order.
+            let a = s.find(comm, Some(src), Some(tag_a));
+            let b = s.find(comm, Some(src), Some(tag_b));
+            match (a, b) {
+                (Some(x), Some(y)) => return if x < y { tag_a } else { tag_b },
+                (Some(_), None) => return tag_a,
+                (None, Some(_)) => return tag_b,
+                (None, None) => {}
+            }
+            self.cv.wait(&mut s);
         }
     }
 
     /// Number of queued envelopes (diagnostics).
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.state.lock().live
     }
 
     /// Whether the mailbox is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -141,6 +250,8 @@ pub struct Router {
     /// Fixed virtual cost of a `spawn` operation (process launch, remote
     /// boot, connection setup).
     pub spawn_latency: SimTime,
+    /// Shared pool of retired encode buffers (see [`BufferPool`]).
+    pool: BufferPool,
 }
 
 impl Router {
@@ -157,12 +268,18 @@ impl Router {
             child_handles: Mutex::new(Vec::new()),
             outcomes: Mutex::new(Vec::new()),
             spawn_latency: SimTime::from_millis(50.0),
+            pool: BufferPool::new(),
         })
     }
 
     /// The fabric.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// The shared encode-buffer pool.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Allocate a fresh endpoint bound to `node`.
@@ -359,6 +476,58 @@ mod tests {
         m.push(env(1, 0, 0, 0));
         let got = h.join().unwrap();
         assert_eq!(got.comm, CommId(1));
+    }
+
+    #[test]
+    fn exact_match_stays_fifo_in_deep_mailbox() {
+        // Interleave three (src, tag) classes deeply, then drain one class
+        // through the exact-match index: arrivals must come back in send
+        // order even with thousands of non-matching envelopes queued.
+        let m = Mailbox::default();
+        for i in 0..3000u64 {
+            m.push(env(1, (i % 3) as usize, 5, i));
+        }
+        for i in 0..1000u64 {
+            let got = m.recv_match(CommId(1), Some(1), Some(5));
+            assert_eq!(got.seq, 3 * i + 1);
+        }
+        assert_eq!(m.len(), 2000, "other classes stay queued");
+    }
+
+    #[test]
+    fn wildcard_after_exact_removal_sees_arrival_order() {
+        let m = Mailbox::default();
+        m.push(env(1, 0, 5, 0));
+        m.push(env(1, 1, 6, 1));
+        m.push(env(1, 0, 5, 2));
+        // Exact-match removal from the middle of the queue…
+        let got = m.recv_match(CommId(1), Some(1), Some(6));
+        assert_eq!(got.seq, 1);
+        // …must not disturb wildcard arrival order across the tombstone.
+        assert_eq!(m.recv_match(CommId(1), None, None).seq, 0);
+        assert_eq!(m.recv_match(CommId(1), None, None).seq, 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn wildcard_removal_keeps_index_exact() {
+        let m = Mailbox::default();
+        m.push(env(1, 0, 5, 0));
+        m.push(env(1, 0, 5, 1));
+        // A wildcard receive consumes the earliest of the (0, 5) class…
+        assert_eq!(m.recv_match(CommId(1), None, None).seq, 0);
+        // …so the exact-match index must now resolve to the next one.
+        assert_eq!(m.recv_match(CommId(1), Some(0), Some(5)).seq, 1);
+    }
+
+    #[test]
+    fn probe_blocking_either_picks_earliest_arrival() {
+        let m = Mailbox::default();
+        m.push(env(1, 0, 8, 0));
+        m.push(env(1, 0, 7, 1));
+        assert_eq!(m.probe_blocking_either(CommId(1), 0, 7, 8), 8);
+        m.recv_match(CommId(1), Some(0), Some(8));
+        assert_eq!(m.probe_blocking_either(CommId(1), 0, 7, 8), 7);
     }
 
     #[test]

@@ -384,7 +384,7 @@ fn run_booster_side(
     halo_add_moments(rank, &world, &st.grid, &mut st.moments, config);
     // The ρ,J and E,B interface buffers ride psmpi's zero-copy Bytes path:
     // packed once into a flat f64 buffer, decoded once on the other side.
-    let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+    let rhoj = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
     rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
         .expect("initial moments");
 
@@ -414,7 +414,8 @@ fn run_booster_side(
             // BoosterToCluster(); — send ρ,J first (nonblocking), then do
             // the I/O, auxiliary computations and the particle migration
             // while the Cluster solves the fields (Listing 3's structure).
-            let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+            let rhoj =
+                wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
             particle_time += rank.now() - t0;
@@ -424,7 +425,8 @@ fn run_booster_side(
             // Ablation: everything before the send → fully serialized.
             aux_phase(rank, config, config.model.particles_per_node() / 100);
             migrate_all(rank, &world, config, &mut st);
-            let rhoj = wire::f64s_to_bytes(&st.moments.pack_owned(&st.grid));
+            let rhoj =
+                wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
             particle_time += rank.now() - t0;
@@ -484,7 +486,8 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
             // ClusterToBooster(); — send E,B, then auxiliary computations
             // (the field-energy diagnostic) overlap the Booster's particle
             // phase (Listing 2's structure).
-            let eb = wire::f64s_to_bytes(&st.fields.pack_owned(&st.grid));
+            let eb =
+                wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.fields.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
             field_time += rank.now() - t0;
@@ -492,7 +495,8 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
         } else {
             // Ablation: auxiliary work delays the send.
             aux_phase(rank, config, config.model.cells_per_node);
-            let eb = wire::f64s_to_bytes(&st.fields.pack_owned(&st.grid));
+            let eb =
+                wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.fields.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
             field_time += rank.now() - t0;

@@ -82,9 +82,11 @@ impl FieldComm for MpiFieldComm<'_> {
         let prev = (me + n - 1) % n;
         let next = (me + 1) % n;
         let nx = grid.nx;
-        let first = wire::f64s_to_bytes(&arr[grid.idx(0, 0)..grid.idx(0, 0) + nx]);
+        let pool = self.rank.buffer_pool();
+        let first = wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, 0)..grid.idx(0, 0) + nx]);
         let last_j = grid.ny_local as isize - 1;
-        let last = wire::f64s_to_bytes(&arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx]);
+        let last =
+            wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx]);
         self.rank
             .send_bytes_comm_sized(&self.comm, prev, tags::HALO_UP, first, self.wire_halo)
             .expect("halo send up");
@@ -133,8 +135,9 @@ pub fn halo_add_moments(
     let prev = (me + n - 1) % n;
     let next = (me + 1) % n;
     let wire_size = config.wire_halo();
-    let top = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, true));
-    let bottom = wire::f64s_to_bytes(&extract_ghost_row(grid, moments, false));
+    let pool = rank.buffer_pool();
+    let top = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, true));
+    let bottom = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, false));
     rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size)
         .expect("mom send up");
     rank.send_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)
@@ -194,22 +197,12 @@ pub fn migrate_particles(
     }
     let sent = (up.len() + down.len()) / 5;
     let wire_size = config.wire_migration();
-    rank.send_bytes_comm_sized(
-        comm,
-        prev,
-        tags::MIG_UP,
-        wire::f64s_to_bytes(&up),
-        wire_size,
-    )
-    .expect("mig send up");
-    rank.send_bytes_comm_sized(
-        comm,
-        next,
-        tags::MIG_DOWN,
-        wire::f64s_to_bytes(&down),
-        wire_size,
-    )
-    .expect("mig send down");
+    let up_wire = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &up);
+    let down_wire = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &down);
+    rank.send_bytes_comm_sized(comm, prev, tags::MIG_UP, up_wire, wire_size)
+        .expect("mig send up");
+    rank.send_bytes_comm_sized(comm, next, tags::MIG_DOWN, down_wire, wire_size)
+        .expect("mig send down");
     let (from_next, _) = rank
         .recv_bytes_comm(comm, Some(next), Some(tags::MIG_UP))
         .expect("mig recv next");

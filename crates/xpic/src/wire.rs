@@ -5,16 +5,28 @@
 //! arrays whose lengths both sides already know (or can derive from the
 //! byte count), so they travel over psmpi's zero-copy `Bytes` path —
 //! encoded once at the sender, decoded once at the receiver, with no
-//! per-element codec or length prefix in between.
+//! per-element codec or length prefix in between. Conversion itself goes
+//! through psmpi's bulk POD codec (reserve once, cache-sized chunks), and
+//! the hot per-step exchanges additionally stage through the router's
+//! [`BufferPool`] so each E/B or rho/J hand-off reuses a retired
+//! allocation instead of growing a fresh one.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
+use psmpi::datatype::{bytes_to_pod, encode_pod_slice, pod_to_bytes, read_pod_into};
+use psmpi::BufferPool;
 
 /// Encode a slice of `f64` as a flat little-endian byte buffer.
 pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(v.len() * 8);
-    for x in v {
-        buf.put_f64_le(*x);
-    }
+    pod_to_bytes(v)
+}
+
+/// [`f64s_to_bytes`] staging through a [`BufferPool`]: the returned buffer
+/// is a recycled allocation when the pool has one. Use with
+/// `rank.router().buffer_pool()`-supplied pools via [`crate::app`] /
+/// [`crate::solver`] call sites.
+pub fn f64s_to_bytes_pooled(pool: &BufferPool, v: &[f64]) -> Bytes {
+    let mut buf: BytesMut = pool.get(v.len() * 8);
+    encode_pod_slice(v, &mut buf);
     buf.freeze()
 }
 
@@ -27,18 +39,14 @@ pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
         0,
         "raw f64 buffer length must be a multiple of 8"
     );
-    b.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect()
+    bytes_to_pod(b).expect("length validated")
 }
 
 /// Decode a flat `f64` buffer straight into `out` (no intermediate `Vec`).
 /// Panics if the element counts disagree.
 pub fn read_f64s_into(b: &Bytes, out: &mut [f64]) {
     assert_eq!(b.len(), out.len() * 8, "raw f64 buffer length mismatch");
-    for (c, o) in b.chunks_exact(8).zip(out.iter_mut()) {
-        *o = f64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-    }
+    read_pod_into(b, out).expect("length validated");
 }
 
 #[cfg(test)]
@@ -67,5 +75,18 @@ mod tests {
     fn ragged_buffer_panics() {
         let b = Bytes::from(vec![0u8; 12]);
         bytes_to_f64s(&b);
+    }
+
+    #[test]
+    fn pooled_encode_matches_and_reuses() {
+        let pool = BufferPool::new();
+        let v = vec![1.0, 2.5, -3.0];
+        let first = f64s_to_bytes_pooled(&pool, &v);
+        assert_eq!(&first[..], &f64s_to_bytes(&v)[..]);
+        let ptr = first.as_ptr();
+        pool.recycle(first);
+        let second = f64s_to_bytes_pooled(&pool, &v);
+        assert_eq!(second.as_ptr(), ptr, "pool must hand the buffer back");
+        assert_eq!(bytes_to_f64s(&second), v);
     }
 }

@@ -130,6 +130,28 @@ impl Bytes {
         self.as_slice().as_ptr()
     }
 
+    /// Reclaim the storage as a [`BytesMut`] when this view is the sole
+    /// owner (mirrors `bytes::Bytes::try_into_mut`). Fails — returning
+    /// `self` unchanged — for static views or while other clones are
+    /// alive, so an aliased buffer can never be mutated.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.data {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(buf) => Ok(BytesMut { buf }),
+                Err(arc) => Err(Bytes {
+                    data: Repr::Shared(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+            data @ Repr::Static(_) => Err(Bytes {
+                data,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data.slice()[self.start..self.end]
     }
@@ -230,6 +252,16 @@ impl BytesMut {
     /// Reserve space for `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
         self.buf.reserve(additional);
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Append a slice.
@@ -405,6 +437,27 @@ mod tests {
         let head = a.split_to(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&a[..], &[3, 4]);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_sole_owner() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(&[1, 2, 3]);
+        let p = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        let reclaimed = frozen.try_into_mut().expect("sole owner reclaims");
+        assert_eq!(reclaimed.as_ref().as_ptr(), p);
+        assert!(reclaimed.capacity() >= 64);
+    }
+
+    #[test]
+    fn try_into_mut_refuses_aliased_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        let back = a.try_into_mut().expect_err("aliased buffer stays frozen");
+        assert_eq!(&back[..], &[1, 2, 3]);
+        drop(b);
+        assert!(back.try_into_mut().is_ok());
     }
 
     #[test]
