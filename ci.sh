@@ -31,4 +31,16 @@ echo "== bench smoke (codec regression gate) =="
 # than the stored multiple of the raw-bytes path (see fabric.rs).
 cargo bench -q -p cb-bench --bench fabric -- --smoke
 
+echo "== obs determinism (virtual-time traces are thread-invariant) =="
+# The same workload, instrumented, at two thread counts: both the Chrome
+# trace and the text report must come out byte-for-byte identical.
+OBS_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --obs "$OBS_TMP/a.json" --steps 3 --nodes 2 --threads 1 > /dev/null
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --obs "$OBS_TMP/b.json" --steps 3 --nodes 2 --threads 2 > /dev/null
+cmp "$OBS_TMP/a.json" "$OBS_TMP/b.json"
+cmp "$OBS_TMP/a.json.report.txt" "$OBS_TMP/b.json.report.txt"
+rm -rf "$OBS_TMP"
+
 echo "CI green."

@@ -220,6 +220,40 @@ fn mean_ns(ms: &[Measurement], id: &str) -> Option<u128> {
     ms.iter().find(|m| m.id == id).map(|m| m.mean().as_nanos())
 }
 
+/// Virtual-time profile of a small C+B run: per-module compute/comm/wait
+/// plus the critical-path length. All values come from the obs recorder,
+/// so the block is byte-stable across hosts and thread counts.
+fn obs_profile_block() -> String {
+    let launcher = cb_bench::prototype_launcher();
+    let rec = obs::Recorder::new();
+    launcher.universe().attach_obs(rec.clone());
+    let mut config = XpicConfig::test_small();
+    config.threads = 1;
+    let _ = run_mode(&launcher, Mode::ClusterBooster, 2, &config);
+    let trace = rec.snapshot();
+    let profile = trace.profile();
+    let cp = trace.critical_path();
+
+    let mut out = String::from("  \"profile\": {\n    \"modules\": {\n");
+    let n = profile.modules.len();
+    for (i, (name, b)) in profile.modules.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      \"{name}\": {{\"compute_s\": {:.9}, \"comm_s\": {:.9}, \"wait_s\": {:.9}}}{comma}",
+            b.compute.as_secs(),
+            b.comm.as_secs(),
+            b.wait.as_secs()
+        );
+    }
+    out.push_str("    },\n");
+    let _ = writeln!(out, "    \"critical_path_s\": {:.9},", cp.length.as_secs());
+    let _ = writeln!(out, "    \"critical_path_hops\": {},", cp.hops.len());
+    let _ = writeln!(out, "    \"makespan_s\": {:.9}", trace.makespan().as_secs());
+    out.push_str("  },\n");
+    out
+}
+
 fn write_json(measurements: &[Measurement]) {
     // The workspace root is two levels above this crate's manifest —
     // resolved at compile time, so the artifact lands in a stable place
@@ -316,6 +350,7 @@ fn write_json(measurements: &[Measurement]) {
         "  \"router_p2p_typed_bytes_ratio\": {typed_bytes_ratio:.2},"
     );
 
+    out.push_str(&obs_profile_block());
     out.push_str("  \"virtual_time_ns_by_threads\": {");
     for (i, (t, ns)) in vts.iter().enumerate() {
         let comma = if i + 1 < vts.len() { "," } else { "" };

@@ -1,10 +1,15 @@
 //! Regenerate Fig. 8: xPic strong scaling and parallel efficiency.
+//!
+//! With `--obs <path>` the binary instead runs one instrumented C+B job and
+//! writes the virtual-time Chrome trace to `<path>` plus the deterministic
+//! text report (profile + critical path) to `<path>.report.txt`.
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = cb_bench::obs_run::parse_fig_cli(&args, 10, 4);
+    if cb_bench::obs_run::maybe_run_obs(&cli) {
+        return;
+    }
     let launcher = cb_bench::prototype_launcher();
-    let steps = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
-    let scaling = cb_bench::fig8::run(&launcher, steps, &cb_bench::fig8::paper_node_counts());
+    let scaling = cb_bench::fig8::run(&launcher, cli.steps, &cb_bench::fig8::paper_node_counts());
     print!("{}", cb_bench::fig8::render(&scaling));
 }

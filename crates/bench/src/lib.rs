@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod fig3;
 pub mod fig7;
 pub mod fig8;
+pub mod obs_run;
 pub mod sensitivity;
 pub mod table1;
 

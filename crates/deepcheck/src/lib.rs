@@ -17,6 +17,8 @@
 //! * **D003** — `available_parallelism` outside the sanctioned sites;
 //! * **D004** — parallelism bypassing `xpic::par::run_tasks`'s fixed-order
 //!   merge;
+//! * **D005** — observability purity: host clock types anywhere in the obs
+//!   crate, and span guards discarded at statement level (leaked spans);
 //! * **M001** — psmpi misuse shapes: collectives under rank-dependent
 //!   conditionals, send/recv tag-literal mismatches, inter-communicator
 //!   use after `disconnect`.

@@ -1,4 +1,4 @@
-//! The lint families enforcing the determinism contract (D001–D004) and
+//! The lint families enforcing the determinism contract (D001–D005) and
 //! psmpi usage correctness (M001).
 //!
 //! All lints are token-pattern heuristics over the stream produced by
@@ -28,8 +28,13 @@ pub struct Finding {
 /// D004 only fire inside these: the bench and the analyzer itself run on
 /// the host, outside the simulated clock.
 pub const VIRTUAL_TIME_CRATES: &[&str] = &[
-    "hwmodel", "simnet", "psmpi", "core", "ompss", "sionio", "scr", "xpic",
+    "hwmodel", "simnet", "psmpi", "core", "ompss", "sionio", "scr", "xpic", "obs",
 ];
+
+/// Crates making up the observability subsystem. D005's wall-clock rule is
+/// scoped to these: every obs timestamp must be a caller-provided
+/// `SimTime`, so even *naming* a host clock type there is a violation.
+pub const OBS_CRATES: &[&str] = &["obs"];
 
 /// Analyze one file's token stream (test modules already stripped).
 /// `crate_name` is the workspace directory name (`psmpi`, `bench`, …).
@@ -41,6 +46,10 @@ pub fn run_all(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
         d004_unmanaged_parallelism(path, toks, &mut out);
     }
     d003_available_parallelism(path, toks, &mut out);
+    if OBS_CRATES.contains(&crate_name) {
+        d005_obs_wall_clock(path, toks, &mut out);
+    }
+    d005_span_guard_discarded(path, toks, &mut out);
     m001_collective_under_rank_conditional(path, toks, &mut out);
     m001_tag_literal_mismatch(path, toks, &mut out);
     m001_use_after_disconnect(path, toks, &mut out);
@@ -307,6 +316,99 @@ fn d004_unmanaged_parallelism(path: &str, toks: &[Tok], out: &mut Vec<Finding>) 
                  merge order; use per-chunk partials merged in chunk order"
                     .to_string(),
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D005 --
+
+/// D005 (virtual-time purity): any mention of `std::time`, `Instant` or
+/// `SystemTime` inside the obs crate. Stricter than D001, which only flags
+/// *reading* the wall clock: the observability subsystem's byte-identical
+/// trace guarantee requires that host clock types cannot even be imported
+/// there.
+fn d005_obs_wall_clock(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    const PATTERNS: &[(&[&str], &str)] = &[
+        (&["std", "::", "time"], "`std::time`"),
+        (&["Instant"], "`Instant`"),
+        (&["SystemTime"], "`SystemTime`"),
+    ];
+    for (pat, what) in PATTERNS {
+        let mut from = 0;
+        while let Some(i) = find_seq(toks, from, pat) {
+            push(
+                out,
+                "D005",
+                path,
+                toks[i].line,
+                format!(
+                    "{what} in the obs crate — obs timestamps come exclusively from \
+                     caller-provided `SimTime`, host clock types are banned here"
+                ),
+            );
+            from = i + pat.len();
+        }
+    }
+}
+
+/// D005 (leaked span guard): an `open_span`/`obs_open` call whose whole
+/// statement is the call itself. The returned `SpanGuard` is dropped on the
+/// spot, force-closing the span at its own open time and counting it as
+/// unclosed — always a bug. Bind the guard and `close()` it. Guards that
+/// are bound (`let`), assigned, returned, or passed on (the close paren is
+/// not followed by `;`) do not fire.
+fn d005_span_guard_discarded(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for method in ["open_span", "obs_open"] {
+        let mut from = 0;
+        while let Some(i) = find_seq(toks, from, &[".", method, "("]) {
+            from = i + 3;
+            // The call's matching close paren.
+            let mut depth = 0i32;
+            let mut k = i + 2;
+            let mut close = None;
+            while k < toks.len() {
+                if toks[k].is_punct("(") {
+                    depth += 1;
+                } else if toks[k].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let Some(close) = close else { continue };
+            if !toks.get(close + 1).is_some_and(|t| t.is_punct(";")) {
+                continue;
+            }
+            // Statement prefix: anything binding or forwarding the guard?
+            let mut bound = false;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.is_ident("let") || t.is_punct("=") || t.is_ident("return") {
+                    bound = true;
+                    break;
+                }
+            }
+            if !bound {
+                push(
+                    out,
+                    "D005",
+                    path,
+                    toks[i + 1].line,
+                    format!(
+                        "span opened via `{method}` without keeping the guard — the \
+                         `SpanGuard` drops immediately, the span closes at its own open \
+                         time and is counted as unclosed; bind it and `close()` it"
+                    ),
+                );
+            }
         }
     }
 }

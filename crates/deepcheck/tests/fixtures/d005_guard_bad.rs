@@ -1,0 +1,18 @@
+//! D005 fixture: span guards discarded at statement level leak the span.
+
+pub fn bad(track: &obs::TrackHandle, now: hwmodel::SimTime) {
+    track.open_span(obs::Category::Phase, "solve", now);
+}
+
+pub fn bad_rank(rank: &mut psmpi::Rank) {
+    rank.obs_open(obs::Category::Compute, "kernel");
+}
+
+pub fn good(track: &obs::TrackHandle, now: hwmodel::SimTime) {
+    let g = track.open_span(obs::Category::Phase, "solve", now);
+    g.close(now);
+}
+
+pub fn good_optional(rank: &mut psmpi::Rank) -> Option<obs::SpanGuard> {
+    rank.obs().map(|t| t.open_span(obs::Category::Phase, "p", rank.now()))
+}

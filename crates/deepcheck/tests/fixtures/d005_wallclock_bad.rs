@@ -1,0 +1,10 @@
+//! D005 fixture: host clock types in the obs crate are violations even as
+//! imports or type mentions — obs time is caller-provided `SimTime` only.
+
+use std::time::Duration;
+
+pub struct Bad {
+    pub started: Instant,
+    pub wall: SystemTime,
+    pub budget: Duration,
+}

@@ -77,6 +77,42 @@ fn d004_fires_on_unmanaged_parallelism() {
 }
 
 #[test]
+fn d005_fires_on_host_clock_types_in_obs() {
+    assert_eq!(
+        lints_of("obs", "d005_wallclock_bad.rs"),
+        vec![
+            ("D005".to_string(), 4), // use std::time
+            ("D005".to_string(), 7), // Instant type mention
+            ("D001".to_string(), 8), // SystemTime (also a D001 source)
+            ("D005".to_string(), 8), // SystemTime in obs
+        ]
+    );
+}
+
+#[test]
+fn d005_wall_clock_rule_is_scoped_to_obs() {
+    // The same source elsewhere only trips the general D001 rule.
+    let findings = analyze_source(
+        "scr",
+        "crates/scr/src/x.rs",
+        &fixture("d005_wallclock_bad.rs"),
+    );
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].lint, "D001");
+}
+
+#[test]
+fn d005_fires_on_discarded_span_guards_workspace_wide() {
+    assert_eq!(
+        lints_of("xpic", "d005_guard_bad.rs"),
+        vec![
+            ("D005".to_string(), 4), // open_span result dropped
+            ("D005".to_string(), 8), // obs_open result dropped
+        ]
+    );
+}
+
+#[test]
 fn m001_fires_on_collectives_under_rank_conditionals() {
     assert_eq!(
         lints_of("psmpi", "m001_collective_bad.rs"),

@@ -137,6 +137,9 @@ pub fn run_offloaded(
                     rank.compute(&work);
                 }
                 Device::Booster => {
+                    // The whole round trip — ship inputs, remote execution,
+                    // ship outputs — is the offload pragma's footprint.
+                    let span = rank.obs_open(obs::Category::Offload, "offload_task");
                     let blocks = pack_blocks(&store_in.lock(), &ins);
                     let moved: u64 = blocks.iter().map(|(_, d)| d.len() as u64).sum();
                     rank.send_inter(&ic, 0, TAG_RUN, &(i as i64))
@@ -155,6 +158,7 @@ pub fn run_offloaded(
                     let mut s = stats_in.lock();
                     s.0 += 1;
                     s.1 += moved + back;
+                    rank.obs_close(span);
                 }
             }
         }

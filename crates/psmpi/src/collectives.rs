@@ -62,9 +62,27 @@ impl Rank {
             .ok_or(PsmpiError::NotInCommunicator)
     }
 
+    /// Run `f` inside an automatic `Collective` span (a no-op when no
+    /// recorder is attached). The point-to-point spans of the underlying
+    /// algorithm nest inside it.
+    fn with_collective<T>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut Rank) -> Result<T, PsmpiError>,
+    ) -> Result<T, PsmpiError> {
+        let span = self.obs_open(obs::Category::Collective, name);
+        let result = f(self);
+        self.obs_close(span);
+        result
+    }
+
     /// Synchronize all ranks of `comm` (dissemination algorithm, ⌈log₂ n⌉
     /// rounds of zero-byte messages).
     pub fn barrier(&mut self, comm: &Communicator) -> Result<(), PsmpiError> {
+        self.with_collective("barrier", |rank| rank.barrier_impl(comm))
+    }
+
+    fn barrier_impl(&mut self, comm: &Communicator) -> Result<(), PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         let mut k = 0usize;
@@ -136,6 +154,19 @@ impl Rank {
     /// root's single allocation; only the final reassembly writes bytes,
     /// into a pool-drawn buffer.
     pub fn bcast_bytes_with(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        payload: Option<bytes::Bytes>,
+        threshold: usize,
+        segment: usize,
+    ) -> Result<bytes::Bytes, PsmpiError> {
+        self.with_collective("bcast", |rank| {
+            rank.bcast_bytes_impl(comm, root, payload, threshold, segment)
+        })
+    }
+
+    fn bcast_bytes_impl(
         &mut self,
         comm: &Communicator,
         root: usize,
@@ -216,6 +247,18 @@ impl Rank {
         contribution: &[f64],
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>, PsmpiError> {
+        self.with_collective("reduce", |rank| {
+            rank.reduce_impl(comm, root, contribution, op)
+        })
+    }
+
+    fn reduce_impl(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         let rel = (me + n - root) % n;
@@ -250,6 +293,17 @@ impl Rank {
     /// bit-identical across ranks, across thread counts, and across the
     /// algorithm switch. Other sizes fall back to reduce + bcast.
     pub fn allreduce(
+        &mut self,
+        comm: &Communicator,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Result<Vec<f64>, PsmpiError> {
+        self.with_collective("allreduce", |rank| {
+            rank.allreduce_impl(comm, contribution, op)
+        })
+    }
+
+    fn allreduce_impl(
         &mut self,
         comm: &Communicator,
         contribution: &[f64],
@@ -299,6 +353,15 @@ impl Rank {
         root: usize,
         value: &T,
     ) -> Result<Option<Vec<T>>, PsmpiError> {
+        self.with_collective("gather", |rank| rank.gather_impl(comm, root, value))
+    }
+
+    fn gather_impl<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        value: &T,
+    ) -> Result<Option<Vec<T>>, PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         if me != root {
@@ -326,6 +389,14 @@ impl Rank {
     /// ring — unlike the old gather-to-0 + bcast, which moved the whole
     /// assembled vector down a tree after serializing it a second time.
     pub fn allgather<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        value: &T,
+    ) -> Result<Vec<T>, PsmpiError> {
+        self.with_collective("allgather", |rank| rank.allgather_impl(comm, value))
+    }
+
+    fn allgather_impl<T: MpiDatatype + Clone>(
         &mut self,
         comm: &Communicator,
         value: &T,
@@ -365,6 +436,15 @@ impl Rank {
         root: usize,
         values: Option<Vec<T>>,
     ) -> Result<T, PsmpiError> {
+        self.with_collective("scatter", |rank| rank.scatter_impl(comm, root, values))
+    }
+
+    fn scatter_impl<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, PsmpiError> {
         let n = comm.size();
         let me = self.comm_rank(comm)?;
         if me == root {
@@ -394,6 +474,14 @@ impl Rank {
     /// All-to-all personalized exchange: rank `i` receives `values[i]` from
     /// every rank, assembled in source order.
     pub fn alltoall<T: MpiDatatype + Clone>(
+        &mut self,
+        comm: &Communicator,
+        values: &[T],
+    ) -> Result<Vec<T>, PsmpiError> {
+        self.with_collective("alltoall", |rank| rank.alltoall_impl(comm, values))
+    }
+
+    fn alltoall_impl<T: MpiDatatype + Clone>(
         &mut self,
         comm: &Communicator,
         values: &[T],

@@ -129,6 +129,10 @@ pub struct Rank {
     msgs_sent: u64,
     compute_time: SimTime,
     comm_time: SimTime,
+    /// Observability track, present when a recorder is attached to the
+    /// universe. All runtime spans/edges are stamped with the virtual
+    /// clock, never wall time.
+    obs: Option<obs::TrackHandle>,
 }
 
 impl Rank {
@@ -144,8 +148,21 @@ impl Rank {
         parent: Option<Intercomm>,
         start_clock: SimTime,
         cores: u32,
+        obs_origin: Option<obs::TrackKey>,
     ) -> Self {
         let mailbox = router.mailbox(endpoint);
+        let obs = router.obs_recorder().map(|rec| {
+            rec.register(
+                obs::TrackKey {
+                    world: world.id.0,
+                    rank: my_rank as u64,
+                },
+                router.kind_of(endpoint).label(),
+                endpoint.0,
+                start_clock,
+                obs_origin,
+            )
+        });
         Rank {
             router,
             endpoint,
@@ -164,6 +181,30 @@ impl Rank {
             msgs_sent: 0,
             compute_time: SimTime::ZERO,
             comm_time: SimTime::ZERO,
+            obs,
+        }
+    }
+
+    /// This rank's observability track, when a recorder is attached.
+    /// Applications can add their own spans/counters through it; prefer
+    /// [`Rank::obs_open`]/[`Rank::obs_close`], which stamp the virtual
+    /// clock for you.
+    pub fn obs(&self) -> Option<&obs::TrackHandle> {
+        self.obs.as_ref()
+    }
+
+    /// Open an application span at the current virtual time. Returns
+    /// `None` when no recorder is attached; close with [`Rank::obs_close`].
+    pub fn obs_open(&self, cat: obs::Category, name: &str) -> Option<obs::SpanGuard> {
+        let now = self.clock;
+        self.obs.as_ref().map(|t| t.open_span(cat, name, now))
+    }
+
+    /// Close a span opened with [`Rank::obs_open`] at the current virtual
+    /// time.
+    pub fn obs_close(&self, guard: Option<obs::SpanGuard>) {
+        if let Some(g) = guard {
+            g.close(self.clock);
         }
     }
 
@@ -253,9 +294,13 @@ impl Rank {
     pub fn compute(&mut self, work: &WorkSpec) -> SimTime {
         let mut w = work.clone();
         w.max_cores = Some(w.max_cores.map_or(self.cores, |m| m.min(self.cores)));
+        let pre = self.clock;
         let t = self.cost.time(&self.node, &w);
         self.clock += t;
         self.compute_time += t;
+        if let Some(track) = &self.obs {
+            track.span(obs::Category::Compute, work.name.as_str(), pre, self.clock);
+        }
         t
     }
 
@@ -714,6 +759,11 @@ impl Rank {
         self.comm_time += self.clock - pre;
         self.bytes_sent += size as u64;
         self.msgs_sent += 1;
+        if let Some(track) = &self.obs {
+            track.span(obs::Category::Send, "send", pre, self.clock);
+            track.add("bytes_sent", size as u64);
+            track.add("msgs_sent", 1);
+        }
         if dst_ep == self.endpoint {
             // Self-send: straight into our own mailbox, no router lookup.
             self.mailbox.push(env);
@@ -732,8 +782,10 @@ impl Rank {
         let env = self.mailbox.recv_match(comm, src, tag);
         if env.src_endpoint == self.endpoint {
             // Self-receive: the message never touched the fabric — no
-            // loopback transfer time, no incast queueing, no trace entry.
-            // The clock only respects causality with the send.
+            // loopback transfer time, no incast queueing, no trace entry,
+            // no obs edge (a self-send can never block: its stamp is in
+            // the receiver's past). The clock only respects causality
+            // with the send.
             self.clock = self.clock.max(env.send_stamp);
         } else {
             let transfer =
@@ -752,8 +804,21 @@ impl Rank {
                 env.send_stamp,
                 arrival,
             );
+            if let Some(track) = &self.obs {
+                // The dependency edge the critical-path walk follows.
+                track.edge(
+                    env.src_endpoint.0,
+                    env.send_stamp,
+                    pre,
+                    self.clock,
+                    env.wire_size() as u64,
+                );
+            }
         }
         self.comm_time += self.clock - pre;
+        if let Some(track) = &self.obs {
+            track.span(obs::Category::Recv, "recv", pre, self.clock);
+        }
         let st = Status {
             source: env.src_rank,
             tag: env.tag,
@@ -766,6 +831,9 @@ impl Rank {
     /// Finalize: build the outcome record. Called by the runtime when the
     /// rank function returns.
     pub(crate) fn into_outcome(self) -> crate::router::RankOutcome {
+        if let Some(track) = &self.obs {
+            track.set_final(self.clock);
+        }
         // Energy accrues only while the rank exists (a spawned child's node
         // is not part of the job before the spawn).
         let wall = self.clock - self.start_clock;

@@ -241,6 +241,10 @@ pub struct Router {
     nic_free: Mutex<HashMap<EndpointId, SimTime>>,
     /// Optional message-trace sink (performance-analysis hook).
     trace: Mutex<Option<simnet::TraceCollector>>,
+    /// Optional span/counter recorder: when attached, every rank of every
+    /// subsequent job registers an `obs` track and the runtime emits
+    /// compute/send/recv/collective spans automatically.
+    obs: Mutex<Option<obs::Recorder>>,
     next_endpoint: AtomicU64,
     next_comm: AtomicU64,
     /// Threads spawned dynamically (via `Rank::spawn`); joined at job end.
@@ -263,6 +267,7 @@ impl Router {
             endpoint_nodes: RwLock::new(HashMap::new()),
             nic_free: Mutex::new(HashMap::new()),
             trace: Mutex::new(None),
+            obs: Mutex::new(None),
             next_endpoint: AtomicU64::new(0),
             next_comm: AtomicU64::new(0),
             child_handles: Mutex::new(Vec::new()),
@@ -337,6 +342,25 @@ impl Router {
     /// Attach a trace collector; every subsequent delivery is recorded.
     pub fn attach_trace(&self, collector: simnet::TraceCollector) {
         *self.trace.lock() = Some(collector);
+    }
+
+    /// Attach an observability recorder; ranks created afterwards get a
+    /// track each and emit runtime spans automatically.
+    pub fn attach_obs(&self, recorder: obs::Recorder) {
+        *self.obs.lock() = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs_recorder(&self) -> Option<obs::Recorder> {
+        self.obs.lock().clone()
+    }
+
+    /// Node kind of an endpoint's node (labels obs tracks).
+    pub fn kind_of(&self, ep: EndpointId) -> hwmodel::NodeKind {
+        self.fabric
+            .node(self.node_of(ep))
+            .map(|n| n.kind)
+            .unwrap_or(hwmodel::NodeKind::Cluster)
     }
 
     /// Record a delivery into the attached trace, if any.

@@ -92,6 +92,21 @@ impl Rank {
             .rank_of(self.endpoint())
             .ok_or(PsmpiError::NotInCommunicator)?;
 
+        // The whole spawn — launch latency, thread start, SpawnInfo
+        // broadcast — is offload machinery.
+        let span = self.obs_open(obs::Category::Offload, "comm_spawn");
+        let result = self.spawn_inner(comm, placements, entry, me);
+        self.obs_close(span);
+        result
+    }
+
+    fn spawn_inner(
+        &mut self,
+        comm: &Communicator,
+        placements: &[NodeId],
+        entry: Arc<RankFn>,
+        me: usize,
+    ) -> Result<Intercomm, PsmpiError> {
         let info = if me == 0 {
             if placements.is_empty() {
                 return Err(PsmpiError::Spawn("empty placement list".into()));
@@ -117,6 +132,10 @@ impl Rank {
                 local: child_group.clone(),
                 remote: comm.group.clone(),
             };
+            // Children's tracks point back at the spawn root: the
+            // critical-path walk crosses the intercommunicator through
+            // this origin even before any message flows.
+            let obs_origin = self.obs().map(|t| t.key());
             let mut handles = Vec::with_capacity(placements.len());
             for (i, &node) in placements.iter().enumerate() {
                 handles.push(spawn_rank_thread(
@@ -127,6 +146,7 @@ impl Rank {
                     Some(parent_ic_for_children.clone()),
                     start_clock,
                     cores[i],
+                    obs_origin,
                     entry.clone(),
                 ));
             }

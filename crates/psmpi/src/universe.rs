@@ -49,6 +49,15 @@ impl Universe {
         self.router.attach_trace(collector);
     }
 
+    /// Attach an observability recorder: every rank of every subsequent
+    /// job gets a virtual-time track with automatic runtime spans
+    /// (compute/send/recv/collective), message dependency edges, and
+    /// counters. Snapshot the recorder after [`Universe::launch`] returns
+    /// to get profiles, critical paths and trace exports.
+    pub fn attach_obs(&self, recorder: obs::Recorder) {
+        self.router.attach_obs(recorder);
+    }
+
     /// Launch a world with one rank per entry of `placements` (a node may
     /// appear several times to place several ranks on it; each rank then
     /// gets an equal share of the node's cores). Blocks until every rank —
@@ -81,6 +90,7 @@ impl Universe {
                 None,
                 SimTime::ZERO,
                 cores[i],
+                None,
                 entry.clone(),
             ));
         }
@@ -141,6 +151,7 @@ pub(crate) fn spawn_rank_thread(
     parent: Option<Intercomm>,
     start_clock: SimTime,
     cores: u32,
+    obs_origin: Option<obs::TrackKey>,
     entry: Arc<RankFn>,
 ) -> JoinHandle<()> {
     let node = router
@@ -162,6 +173,7 @@ pub(crate) fn spawn_rank_thread(
                 parent,
                 start_clock,
                 cores,
+                obs_origin,
             );
             entry(&mut rank);
             router.record_outcome(rank.into_outcome());

@@ -44,6 +44,73 @@ fn trace_captures_cross_module_traffic() {
 }
 
 #[test]
+fn obs_profile_supersedes_trace_summary() {
+    // The obs profile model aggregates the same traffic the TraceCollector
+    // summarizes — per-message analysis should come from the edge log,
+    // which also carries timing.
+    let mut t = Topology::new();
+    t.add_nodes(2, &deep_er_cluster_node());
+    t.add_nodes(2, &deep_er_booster_node());
+    let u = Universe::new(Fabric::new(t));
+    let trace = TraceCollector::new();
+    u.attach_trace(trace.clone());
+    let rec = obs::Recorder::new();
+    u.attach_obs(rec.clone());
+
+    u.launch(
+        &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        |rank| match rank.rank() {
+            0 => {
+                rank.send(1, 0, &vec![0u8; 92]).unwrap();
+                rank.send(2, 0, &vec![0u8; 192]).unwrap();
+            }
+            1 | 2 => {
+                let _ = rank.recv::<Vec<u8>>(Some(0), Some(0)).unwrap();
+            }
+            _ => {}
+        },
+    );
+
+    let s = trace.summary();
+    let p = rec.snapshot().profile();
+    assert_eq!(p.traffic.messages, s.messages);
+    assert_eq!(p.traffic.bytes, s.bytes);
+    assert_eq!(
+        p.traffic.between(NodeKind::Cluster, NodeKind::Booster),
+        s.between(NodeKind::Cluster, NodeKind::Booster)
+    );
+    assert_eq!(
+        p.traffic.between(NodeKind::Cluster, NodeKind::Cluster),
+        s.between(NodeKind::Cluster, NodeKind::Cluster)
+    );
+}
+
+#[test]
+fn bounded_collector_counts_drops_but_keeps_summary_exact() {
+    let mut t = Topology::new();
+    t.add_nodes(2, &deep_er_cluster_node());
+    let u = Universe::new(Fabric::new(t));
+    let trace = TraceCollector::with_capacity(1);
+    u.attach_trace(trace.clone());
+    u.launch(&[NodeId(0), NodeId(1)], |rank| match rank.rank() {
+        0 => {
+            for _ in 0..3 {
+                rank.send(1, 0, &vec![0u8; 92]).unwrap();
+            }
+        }
+        _ => {
+            for _ in 0..3 {
+                let _ = rank.recv::<Vec<u8>>(Some(0), Some(0)).unwrap();
+            }
+        }
+    });
+    assert_eq!(trace.len(), 1, "log bounded at the cap");
+    assert_eq!(trace.dropped(), 2, "overflow counted, not silent");
+    assert_eq!(trace.summary().messages, 3, "aggregate stays exact");
+    assert_eq!(trace.summary().bytes, 300);
+}
+
+#[test]
 fn trace_sees_collective_fanout() {
     let mut t = Topology::new();
     t.add_nodes(4, &deep_er_cluster_node());

@@ -225,6 +225,26 @@ impl ScrManager {
         Ok(cost)
     }
 
+    /// [`ScrManager::checkpoint`] that also records a
+    /// [`obs::Category::Checkpoint`] span covering the virtual cost on
+    /// `track`, starting at `now` (the caller then advances its clock by
+    /// the returned cost, so the span matches the charged time exactly).
+    pub fn checkpoint_traced(
+        &self,
+        id: u64,
+        level: CheckpointLevel,
+        rank_data: &[Vec<u8>],
+        track: Option<&obs::TrackHandle>,
+        now: SimTime,
+    ) -> Result<SimTime, ScrError> {
+        let cost = self.checkpoint(id, level, rank_data)?;
+        if let Some(t) = track {
+            t.span(obs::Category::Checkpoint, "scr_checkpoint", now, now + cost);
+            t.add("ckpt_bytes", rank_data.iter().map(|d| d.len() as u64).sum());
+        }
+        Ok(cost)
+    }
+
     /// Mark nodes as failed: their local checkpoint copies (and the buddy
     /// copies *stored on* them) become unavailable.
     pub fn fail_nodes(&self, nodes: &[NodeId]) {
@@ -326,6 +346,22 @@ impl ScrManager {
             }
         }
         Err(ScrError::NothingToRestart)
+    }
+
+    /// [`ScrManager::restart`] that also records a
+    /// [`obs::Category::Checkpoint`] span for the restore cost on `track`,
+    /// starting at `now`.
+    #[allow(clippy::type_complexity)]
+    pub fn restart_traced(
+        &self,
+        track: Option<&obs::TrackHandle>,
+        now: SimTime,
+    ) -> Result<(u64, CheckpointLevel, Vec<Vec<u8>>, SimTime), ScrError> {
+        let out = self.restart()?;
+        if let Some(t) = track {
+            t.span(obs::Category::Checkpoint, "scr_restart", now, now + out.3);
+        }
+        Ok(out)
     }
 
     /// Stash the payloads of an in-flight asynchronous checkpoint

@@ -7,11 +7,22 @@
 //! recorded with its endpoints, size and virtual times; [`TrafficSummary`]
 //! aggregates per node-kind pair — enough to see, e.g., that the C+B mode's
 //! inter-module traffic is small next to the intra-module solver traffic.
+//!
+//! The collector is **bounded**: it keeps at most [`TraceCollector::cap`]
+//! events and counts (never silently discards) the overflow. The running
+//! [`TrafficSummary`] is maintained incrementally on every `record` call,
+//! so the aggregate stays exact even when individual events were dropped —
+//! long jobs get exact traffic totals at a fixed memory ceiling. For
+//! per-message analysis beyond the cap, use the `obs` crate's span/edge
+//! recorder, which supersedes this collector for profiling.
 
 use hwmodel::{NodeId, NodeKind, SimTime};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Default event capacity (~48 MiB of events at 48 B each).
+pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
 
 /// One recorded message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +57,17 @@ pub struct TrafficSummary {
 }
 
 impl TrafficSummary {
+    /// Fold one message into the aggregate.
+    pub fn add(&mut self, src_kind: NodeKind, dst_kind: NodeKind, bytes: usize) {
+        let key = (src_kind.label().to_string(), dst_kind.label().to_string());
+        let entry = self.pairs.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += bytes as u64;
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.max_message = self.max_message.max(bytes);
+    }
+
     /// Bytes exchanged between two kinds (both directions).
     pub fn between(&self, a: NodeKind, b: NodeKind) -> u64 {
         let ab = self
@@ -78,61 +100,95 @@ impl TrafficSummary {
     }
 }
 
-/// A shared, clonable message-trace sink.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    summary: TrafficSummary,
+    dropped: u64,
+}
+
+/// A shared, clonable, bounded message-trace sink.
+#[derive(Debug, Clone)]
 pub struct TraceCollector {
-    events: Arc<Mutex<Vec<TraceEvent>>>,
+    state: Arc<Mutex<TraceState>>,
+    cap: usize,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::with_capacity(DEFAULT_TRACE_CAP)
+    }
 }
 
 impl TraceCollector {
-    /// Empty collector.
+    /// Collector with the default event cap ([`DEFAULT_TRACE_CAP`]).
     pub fn new() -> Self {
         TraceCollector::default()
     }
 
-    /// Record one delivery.
+    /// Collector keeping at most `cap` individual events. The summary
+    /// keeps aggregating past the cap; only the per-event log stops.
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceCollector {
+            state: Arc::new(Mutex::new(TraceState::default())),
+            cap,
+        }
+    }
+
+    /// The event capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Record one delivery. Events beyond the cap are counted in
+    /// [`TraceCollector::dropped`] but still folded into the summary.
     pub fn record(&self, event: TraceEvent) {
-        self.events.lock().push(event);
+        let mut st = self.state.lock();
+        st.summary.add(event.src_kind, event.dst_kind, event.bytes);
+        if st.events.len() < self.cap {
+            st.events.push(event);
+        } else {
+            st.dropped += 1;
+        }
     }
 
-    /// Number of recorded events.
+    /// Number of *retained* events (≤ cap).
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.state.lock().events.len()
     }
 
-    /// Whether nothing was recorded.
+    /// Whether nothing was recorded at all.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        let st = self.state.lock();
+        st.events.is_empty() && st.dropped == 0
     }
 
-    /// Copy of all events, ordered by arrival time.
+    /// Events that did not fit within the cap. Nonzero means
+    /// [`TraceCollector::events`] is a prefix of the real stream while the
+    /// summary is still exact.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Copy of the retained events, ordered by arrival time.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut v = self.events.lock().clone();
+        let mut v = self.state.lock().events.clone();
         v.sort_by_key(|a| a.arrive);
         v
     }
 
-    /// Aggregate into a summary.
+    /// The exact running aggregate over *all* recorded events, including
+    /// those dropped from the per-event log.
     pub fn summary(&self) -> TrafficSummary {
-        let mut s = TrafficSummary::default();
-        for e in self.events.lock().iter() {
-            let key = (
-                e.src_kind.label().to_string(),
-                e.dst_kind.label().to_string(),
-            );
-            let entry = s.pairs.entry(key).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 += e.bytes as u64;
-            s.messages += 1;
-            s.bytes += e.bytes as u64;
-            s.max_message = s.max_message.max(e.bytes);
-        }
-        s
+        self.state.lock().summary.clone()
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events, the summary, and the drop counter.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        let mut st = self.state.lock();
+        st.events.clear();
+        st.summary = TrafficSummary::default();
+        st.dropped = 0;
     }
 }
 
@@ -160,6 +216,7 @@ mod tests {
         t.record(ev(NodeKind::Cluster, NodeKind::Booster, 200, 1.0));
         t.record(ev(NodeKind::Booster, NodeKind::Cluster, 300, 2.0));
         assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 0);
         let s = t.summary();
         assert_eq!(s.messages, 3);
         assert_eq!(s.bytes, 600);
@@ -189,5 +246,36 @@ mod tests {
         let t2 = t.clone();
         t2.record(ev(NodeKind::Booster, NodeKind::Booster, 7, 0.0));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn cap_bounds_events_but_not_summary() {
+        let t = TraceCollector::with_capacity(2);
+        for i in 0..5 {
+            t.record(ev(NodeKind::Cluster, NodeKind::Booster, 10 + i, i as f64));
+        }
+        // Log is a bounded prefix; nothing was lost from the aggregate.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(!t.is_empty());
+        let s = t.summary();
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.bytes, (10 + 11 + 12 + 13 + 14) as u64);
+        assert_eq!(s.max_message, 14);
+        assert_eq!(t.events().len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.summary().messages, 0);
+    }
+
+    #[test]
+    fn dropped_events_still_count_toward_emptiness() {
+        let t = TraceCollector::with_capacity(0);
+        t.record(ev(NodeKind::Cluster, NodeKind::Cluster, 1, 0.0));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.summary().messages, 1);
     }
 }

@@ -188,6 +188,7 @@ fn field_solve_e(
     config: &XpicConfig,
     st: &mut SlabState,
 ) -> u32 {
+    let phase = rank.obs_open(obs::Category::Phase, "field-solve");
     let mut fc = MpiFieldComm::new(rank, comm.clone(), config);
     let iters = st.solver.calculate_e(&mut st.fields, &st.moments, &mut fc);
     let done = fc.allreduces;
@@ -200,6 +201,7 @@ fn field_solve_e(
         rank.allreduce_scalar(comm, 0.0, ReduceOp::Sum)
             .expect("pad allreduce");
     }
+    rank.obs_close(phase);
     iters
 }
 
@@ -211,6 +213,7 @@ fn particle_phase(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st:
     st.moments.clear();
     // for (auto is=0; is<nspec; is++) { ParticlesMove(); ParticleMoments(); }
     for is in 0..st.species.len() {
+        let phase = rank.obs_open(obs::Category::Phase, "mover");
         boris_push_threads(
             &st.grid,
             &st.fields,
@@ -219,24 +222,33 @@ fn particle_phase(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st:
             config.threads,
         );
         rank.compute(&config.work_push().scaled(st.ppc_share[is]));
+        rank.obs_close(phase);
+        let phase = rank.obs_open(obs::Category::Phase, "deposit");
         deposit_threads(&st.grid, &st.species[is], &mut st.moments, config.threads);
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
+        rank.obs_close(phase);
     }
+    let phase = rank.obs_open(obs::Category::Phase, "halo");
     halo_add_moments(rank, comm, &st.grid, &mut st.moments, config);
+    rank.obs_close(phase);
     rank.compute(&config.work_cpy()); // cpyToArr_M
 }
 
 /// Migrate every species (wraps y periodically on one rank).
 fn migrate_all(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st: &mut SlabState) {
+    let phase = rank.obs_open(obs::Category::Phase, "migrate");
     for is in 0..st.species.len() {
         migrate_particles(rank, comm, &st.grid, &mut st.species[is], config);
     }
+    rank.obs_close(phase);
 }
 
 /// Auxiliary computations + output (overlapped in C+B mode).
 fn aux_phase(rank: &mut Rank, config: &XpicConfig, elems: u64) {
+    let phase = rank.obs_open(obs::Category::Phase, "aux");
     rank.compute(&config.work_aux(elems));
     rank.advance(config.output_overhead());
+    rank.obs_close(phase);
 }
 
 /// The combined main loop of Listing 1, one module (Cluster-only or
@@ -273,12 +285,14 @@ fn run_combined(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>) {
 
         // fld.solver->calculateB(); fld.cpyFromArr_M();
         let t2 = rank.now();
+        let phase = rank.obs_open(obs::Category::Phase, "field-solve");
         {
             let mut fc = MpiFieldComm::new(rank, world.clone(), config);
             st.solver.calculate_b(&mut st.fields, &mut fc);
         }
         rank.compute(&config.work_curl());
         rank.compute(&config.work_cpy());
+        rank.obs_close(phase);
         field_time += rank.now() - t2;
 
         // Auxiliary computations + output (serial in the combined mode):
@@ -384,14 +398,17 @@ fn run_booster_side(
     halo_add_moments(rank, &world, &st.grid, &mut st.moments, config);
     // The ρ,J and E,B interface buffers ride psmpi's zero-copy Bytes path:
     // packed once into a flat f64 buffer, decoded once on the other side.
+    let phase = rank.obs_open(obs::Category::Phase, "interface");
     let rhoj = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
     rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
         .expect("initial moments");
+    rank.obs_close(phase);
 
     let mut particle_time = SimTime::ZERO;
     let mut steady_mark = SimTime::ZERO;
     for step in 0..config.steps {
         // ClusterToBooster(); ClusterWait(); — receive E,B.
+        let phase = rank.obs_open(obs::Category::Phase, "interface");
         let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::EB));
         let (eb, _) = req.wait(rank).expect("receive E,B");
         st.fields
@@ -406,6 +423,7 @@ fn run_booster_side(
                 fc.halo_exchange(&g, comp);
             }
         }
+        rank.obs_close(phase);
 
         // pcl.cpyFromArr_F; ParticlesMove; ParticleMoments; cpyToArr_M.
         let t0 = rank.now();
@@ -414,10 +432,12 @@ fn run_booster_side(
             // BoosterToCluster(); — send ρ,J first (nonblocking), then do
             // the I/O, auxiliary computations and the particle migration
             // while the Cluster solves the fields (Listing 3's structure).
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
             let rhoj =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
+            rank.obs_close(phase);
             particle_time += rank.now() - t0;
             aux_phase(rank, config, config.model.particles_per_node() / 100);
             migrate_all(rank, &world, config, &mut st);
@@ -425,10 +445,12 @@ fn run_booster_side(
             // Ablation: everything before the send → fully serialized.
             aux_phase(rank, config, config.model.particles_per_node() / 100);
             migrate_all(rank, &world, config, &mut st);
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
             let rhoj =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
+            rank.obs_close(phase);
             particle_time += rank.now() - t0;
         }
         if step == 0 {
@@ -468,10 +490,12 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
     st.species.clear(); // particles live on the Booster
 
     // Initial moments from the Booster.
+    let phase = rank.obs_open(obs::Category::Phase, "interface");
     let (mj, _) = rank
         .recv_bytes_inter(&ic, Some(me), Some(tags::RHOJ))
         .expect("initial moments");
     st.moments.unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj));
+    rank.obs_close(phase);
 
     let mut field_time = SimTime::ZERO;
     let mut cg_total: u64 = 0;
@@ -486,36 +510,44 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
             // ClusterToBooster(); — send E,B, then auxiliary computations
             // (the field-energy diagnostic) overlap the Booster's particle
             // phase (Listing 2's structure).
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
             let eb =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.fields.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
+            rank.obs_close(phase);
             field_time += rank.now() - t0;
             aux_phase(rank, config, config.model.cells_per_node);
         } else {
             // Ablation: auxiliary work delays the send.
             aux_phase(rank, config, config.model.cells_per_node);
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
             let eb =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.fields.pack_owned(&st.grid));
             rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
+            rank.obs_close(phase);
             field_time += rank.now() - t0;
         }
 
         // BoosterToCluster(); BoosterWait(); — receive ρ,J.
+        let phase = rank.obs_open(obs::Category::Phase, "interface");
         let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::RHOJ));
         let (mj, _) = req.wait(rank).expect("receive moments");
         st.moments
             .unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj.expect("payload").0));
+        rank.obs_close(phase);
 
         // calculateB(); cpyFromArr_M();
         let t2 = rank.now();
+        let phase = rank.obs_open(obs::Category::Phase, "field-solve");
         {
             let mut fc = MpiFieldComm::new(rank, world.clone(), config);
             st.solver.calculate_b(&mut st.fields, &mut fc);
         }
         rank.compute(&config.work_curl());
         rank.compute(&config.work_cpy());
+        rank.obs_close(phase);
         field_time += rank.now() - t2;
         // Record the per-step field-energy diagnostic (after calculateB,
         // the same point in the step as the combined main loop).

@@ -140,7 +140,9 @@ pub fn run_checkpointed(
 
                 // Fresh start or SCR restart.
                 let (mut species, mut fields, start_step) = if resume {
-                    let (id, _level, blobs, cost) = scr.restart().expect("restartable state");
+                    let (id, _level, blobs, cost) = scr
+                        .restart_traced(rank.obs(), rank.now())
+                        .expect("restartable state");
                     rank.advance(cost);
                     let (sp, f) = unpack_state(&blobs[me], &grid);
                     (sp, f, id as u32)
@@ -208,7 +210,13 @@ pub fn run_checkpointed(
                         let gathered = rank.gather(&world, 0, &blob).expect("gather state");
                         if let Some(blobs) = gathered {
                             let cost = scr
-                                .checkpoint(step as u64, level, &blobs)
+                                .checkpoint_traced(
+                                    step as u64,
+                                    level,
+                                    &blobs,
+                                    rank.obs(),
+                                    rank.now(),
+                                )
                                 .expect("checkpoint");
                             rank.advance(cost);
                         }

@@ -78,6 +78,7 @@ impl FieldComm for MpiFieldComm<'_> {
             crate::fields::SerialComm.halo_exchange(grid, arr);
             return;
         }
+        let phase = self.rank.obs_open(obs::Category::Phase, "halo");
         let me = rank_in_comm(self.rank, &self.comm);
         let prev = (me + n - 1) % n;
         let next = (me + 1) % n;
@@ -106,6 +107,7 @@ impl FieldComm for MpiFieldComm<'_> {
         wire::read_f64s_into(&from_prev, &mut arr[grid.idx(0, -1)..grid.idx(0, -1) + nx]);
         let bot = grid.idx(0, grid.ny_local as isize);
         wire::read_f64s_into(&from_next, &mut arr[bot..bot + nx]);
+        self.rank.obs_close(phase);
     }
 
     fn allreduce_sum(&mut self, v: f64) -> f64 {
