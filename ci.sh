@@ -43,4 +43,27 @@ cmp "$OBS_TMP/a.json" "$OBS_TMP/b.json"
 cmp "$OBS_TMP/a.json.report.txt" "$OBS_TMP/b.json.report.txt"
 rm -rf "$OBS_TMP"
 
+echo "== fault injection (recovery is bit-exact and thread-invariant) =="
+# Kill a Booster node mid-run: the job must restart from the newest SCR
+# checkpoint and print a FINAL energy line bit-identical to a clean run's,
+# at 1 and 2 kernel threads.
+FI_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --steps 3 --nodes 2 --threads 1 --ckpt-every 1 > "$FI_TMP/clean.txt"
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --steps 3 --nodes 2 --threads 1 --ckpt-every 1 --fault-at 0.052 > "$FI_TMP/f1.txt"
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --steps 3 --nodes 2 --threads 2 --ckpt-every 1 --fault-at 0.052 > "$FI_TMP/f2.txt"
+grep -q '^RECOVERIES n=0' "$FI_TMP/clean.txt"
+grep -q '^RECOVERIES n=[1-9]' "$FI_TMP/f1.txt"
+# 0.052 s lands past the step-2 checkpoint: the restart must come from a
+# real surviving checkpoint, not a from-scratch replay.
+grep -q 'resumed from step [1-9]' "$FI_TMP/f1.txt"
+grep '^FINAL' "$FI_TMP/clean.txt" > "$FI_TMP/clean.final"
+grep '^FINAL' "$FI_TMP/f1.txt" > "$FI_TMP/f1.final"
+grep '^FINAL' "$FI_TMP/f2.txt" > "$FI_TMP/f2.final"
+cmp "$FI_TMP/clean.final" "$FI_TMP/f1.final"
+cmp "$FI_TMP/f1.final" "$FI_TMP/f2.final"
+rm -rf "$FI_TMP"
+
 echo "CI green."

@@ -3,10 +3,19 @@
 //! With `--obs <path>` the binary instead runs one instrumented C+B job and
 //! writes the virtual-time Chrome trace to `<path>` plus the deterministic
 //! text report (profile + critical path) to `<path>.report.txt`.
+//!
+//! With `--fault-at <secs>` / `--mtbf <secs>` / `--ckpt-every <n>` it runs
+//! the fault-injection mode: xPic under a fault plan with automatic
+//! SCR checkpoint-restart, printing a `FINAL` line whose energy bit
+//! patterns must match a clean run's.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = cb_bench::obs_run::parse_fig_cli(&args, 10, 4);
     if cb_bench::obs_run::maybe_run_obs(&cli) {
+        return;
+    }
+    if cb_bench::resilience_run::resilient_requested(&cli) {
+        print!("{}", cb_bench::resilience_run::run_resilient_cli(&cli));
         return;
     }
     let launcher = cb_bench::prototype_launcher();

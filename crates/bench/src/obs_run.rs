@@ -129,6 +129,15 @@ pub struct FigCli {
     pub threads: usize,
     /// `--nodes <n>` nodes per solver for the instrumented run.
     pub nodes: usize,
+    /// `--fault-at <secs>`: kill a solver node at this virtual time and
+    /// recover (see [`crate::resilience_run`]).
+    pub fault_at: Option<f64>,
+    /// `--mtbf <secs>`: sample a fault schedule from an exponential
+    /// per-node failure model instead of a single planned death.
+    pub mtbf: Option<f64>,
+    /// `--ckpt-every <n>`: checkpoint interval in steps for the resilient
+    /// run (also selects the resilient mode on its own, with no faults).
+    pub ckpt_every: Option<u32>,
 }
 
 /// Parse the figure binaries' argv (everything after the program name).
@@ -138,6 +147,9 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
         obs_path: None,
         threads: 1,
         nodes: default_nodes,
+        fault_at: None,
+        mtbf: None,
+        ckpt_every: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -166,6 +178,30 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--steps <n>");
+            }
+            "--fault-at" => {
+                i += 1;
+                cli.fault_at = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--fault-at <secs>"),
+                );
+            }
+            "--mtbf" => {
+                i += 1;
+                cli.mtbf = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--mtbf <secs>"),
+                );
+            }
+            "--ckpt-every" => {
+                i += 1;
+                cli.ckpt_every = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--ckpt-every <n>"),
+                );
             }
             s => {
                 cli.steps = s.parse().unwrap_or(cli.steps);
@@ -231,5 +267,21 @@ mod tests {
         let cli = parse_fig_cli(&[], 10, 2);
         assert_eq!(cli.steps, 10);
         assert!(cli.obs_path.is_none());
+        assert!(cli.fault_at.is_none() && cli.mtbf.is_none() && cli.ckpt_every.is_none());
+    }
+
+    #[test]
+    fn cli_parses_fault_injection_flags() {
+        let args: Vec<String> = ["--fault-at", "0.125", "--mtbf", "30", "--ckpt-every", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_fig_cli(&args, 10, 2);
+        assert_eq!(cli.fault_at, Some(0.125));
+        assert_eq!(cli.mtbf, Some(30.0));
+        assert_eq!(cli.ckpt_every, Some(3));
+        assert!(crate::resilience_run::resilient_requested(&cli));
+        let plain = parse_fig_cli(&[], 10, 2);
+        assert!(!crate::resilience_run::resilient_requested(&plain));
     }
 }

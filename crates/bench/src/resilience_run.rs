@@ -1,0 +1,111 @@
+//! `--fault-at` / `--mtbf` support for the figure binaries: run xPic under
+//! a fault plan with automatic checkpoint-restart (§III-C/D) and print a
+//! summary carrying the final energies as exact bit patterns, so
+//! shell-level gates can diff a recovered run against a clean one.
+
+use crate::obs_run::FigCli;
+use hwmodel::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scr::{FailureModel, ScrConfig, ScrManager};
+use simnet::FaultPlan;
+use sionio::ParallelFs;
+use std::fmt::Write as _;
+use xpic::resilience::{run_resilient, RecoveryConfig};
+use xpic::XpicConfig;
+
+/// Whether the CLI asked for the fault-injection mode.
+pub fn resilient_requested(cli: &FigCli) -> bool {
+    cli.fault_at.is_some() || cli.mtbf.is_some() || cli.ckpt_every.is_some()
+}
+
+/// Run the resilient job the CLI describes and render its summary.
+///
+/// The `FINAL` line carries the energies as hex bit patterns: two runs
+/// agree on that line iff they agree on every bit — exactly the recovery
+/// contract the ci.sh smoke stage checks (clean vs faulted, 1 vs 2
+/// threads).
+pub fn run_resilient_cli(cli: &FigCli) -> String {
+    let launcher = crate::prototype_launcher();
+    let boosters = launcher.system().booster_nodes();
+    assert!(
+        cli.nodes >= 1 && cli.nodes <= boosters.len(),
+        "--nodes must be within the prototype's {} Booster nodes",
+        boosters.len()
+    );
+    let nodes = &boosters[..cli.nodes];
+
+    let mut cfg = XpicConfig::paper_bench(cli.steps);
+    cfg.threads = cli.threads;
+
+    let plan = if let Some(at) = cli.fault_at {
+        // Deterministic single fault: kill the last solver rank's node at
+        // the given virtual time.
+        let victim = *nodes.last().unwrap();
+        Some(FaultPlan::from_node_faults([(
+            SimTime::from_secs(at),
+            victim,
+        )]))
+    } else if let Some(mtbf) = cli.mtbf {
+        // Sampled schedule, seeded from the workload config: the same CLI
+        // yields the same faults (seeded StdRng — no host entropy near the
+        // simulation).
+        let model = FailureModel::new(SimTime::from_secs(mtbf));
+        let horizon = SimTime::from_secs(mtbf * 4.0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        Some(model.fault_plan(&mut rng, nodes, horizon))
+    } else {
+        None
+    };
+
+    let specs = nodes
+        .iter()
+        .map(|&n| launcher.system().fabric().node(n).unwrap().clone())
+        .collect();
+    let scr = ScrManager::new(
+        ScrConfig::default(),
+        nodes.to_vec(),
+        specs,
+        ParallelFs::deep_er(),
+    );
+    let recovery = RecoveryConfig {
+        checkpoint_every: cli.ckpt_every.unwrap_or(2),
+        max_recoveries: 32,
+        ..RecoveryConfig::default()
+    };
+    let report = run_resilient(&launcher, cli.nodes, &cfg, &scr, &recovery, plan);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resilient: {} solver nodes, {} steps, checkpoint every {} — makespan {:.9} s",
+        cli.nodes,
+        cli.steps,
+        recovery.checkpoint_every,
+        report.makespan.as_secs()
+    );
+    let _ = writeln!(
+        out,
+        "RECOVERIES n={} failures={}",
+        report.recoveries,
+        report.failures.len()
+    );
+    for (i, (node, at)) in report.failures.iter().enumerate() {
+        let resumed = report.resume_steps.get(i).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  lost node {} at {:.9} s, resumed from step {}",
+            node.0,
+            at.as_secs(),
+            resumed
+        );
+    }
+    let _ = writeln!(
+        out,
+        "FINAL fe={:016x} ke={:016x} steps={}",
+        report.field_energy.to_bits(),
+        report.kinetic_energy.to_bits(),
+        report.steps
+    );
+    out
+}

@@ -81,6 +81,11 @@ fn d001_wall_clock_and_entropy(path: &str, toks: &[Tok], out: &mut Vec<Finding>)
         (&["from_entropy"], "`from_entropy` draws OS entropy"),
         (&["OsRng"], "`OsRng` draws OS entropy"),
         (&["getrandom"], "`getrandom` draws OS entropy"),
+        (
+            &["rand", "::", "random"],
+            "`rand::random` draws OS entropy through the thread-local RNG; \
+             seed a `StdRng` explicitly instead",
+        ),
     ];
     for (pat, why) in PATTERNS {
         let mut from = 0;

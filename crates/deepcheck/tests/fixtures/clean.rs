@@ -43,6 +43,16 @@ fn exchange(rank: &mut Rank) {
     rank.barrier(&rank.world()).unwrap();
 }
 
+fn sanctioned_randomness(seed: u64) -> u64 {
+    // The sanctioned RNG site: an explicitly seeded StdRng. The string
+    // below mentions rand::random and thread_rng, but strings (and this
+    // comment) are opaque to the scanner.
+    let note = "rand::random / thread_rng are banned; seed a StdRng";
+    let _ = note.len();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
 fn managed_parallelism(threads: usize, tasks: Vec<u32>) {
     // The sanctioned path: par::run_tasks handles the workers. The string
     // below mentions "std::thread::spawn" and available_parallelism but

@@ -19,3 +19,7 @@ fn entropy() -> u64 {
 fn host_env() -> String {
     std::env::var("SEED").unwrap_or_default() // line 20: D001
 }
+
+fn implicit_entropy() -> f64 {
+    rand::random::<f64>() // line 24: D001
+}

@@ -30,6 +30,7 @@ fn d001_fires_on_every_clock_and_entropy_source() {
             ("D001".to_string(), 10), // SystemTime
             ("D001".to_string(), 15), // thread_rng
             ("D001".to_string(), 20), // env::var
+            ("D001".to_string(), 24), // rand::random
         ]
     );
 }

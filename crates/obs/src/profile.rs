@@ -36,7 +36,7 @@ impl Bucket {
             Category::Send | Category::Collective | Category::Offload => self.comm += t,
             Category::Recv | Category::Wait => self.wait += t,
             Category::Io | Category::Checkpoint => self.io += t,
-            Category::Phase => self.other += t,
+            Category::Phase | Category::Failure | Category::Recovery => self.other += t,
         }
     }
 

@@ -29,6 +29,11 @@ pub enum Category {
     /// Application phase marker (field-solve, mover, …); phases group the
     /// leaf spans nested inside them into per-module breakdowns.
     Phase,
+    /// A node failure observed by the failing rank itself (fault injection).
+    Failure,
+    /// Checkpoint-restart recovery: restart, repair and respawn machinery,
+    /// so `Trace::profile()` can attribute lost+replayed time.
+    Recovery,
 }
 
 impl Category {
@@ -44,6 +49,8 @@ impl Category {
             Category::Checkpoint => "checkpoint",
             Category::Offload => "offload",
             Category::Phase => "phase",
+            Category::Failure => "failure",
+            Category::Recovery => "recovery",
         }
     }
 }

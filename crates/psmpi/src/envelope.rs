@@ -12,6 +12,15 @@ pub const ANY_SOURCE: Option<usize> = None;
 /// Wildcard tag for receives (MPI_ANY_TAG).
 pub const ANY_TAG: Option<Tag> = None;
 
+/// Reserved tag of *revoke markers*: control envelopes deposited by a rank
+/// that aborts after observing a node failure, telling every peer still
+/// blocked on it that no further application message will come. Markers are
+/// peeked — never consumed — by the abortable receive path, so one marker
+/// unblocks every subsequent receive from that sender. Application code
+/// must not send on this tag, and wildcard-tag receives should not be mixed
+/// with fault injection (a marker would match `ANY_TAG`).
+pub const TAG_REVOKED: Tag = -99;
+
 /// Identifies one endpoint (a rank thread) in the universe, across all
 /// worlds. Communicators translate communicator-relative ranks to this.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -62,7 +62,12 @@ pub mod universe;
 
 pub use comm::{CommId, Communicator, Intercomm};
 pub use datatype::{FixedWidth, MpiDatatype, Raw, ReduceOp};
-pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG};
+pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG, TAG_REVOKED};
 pub use pool::BufferPool;
 pub use rank::{PsmpiError, Rank, Request};
+pub use router::{RecvAbort, RetryPolicy};
+
+/// MPI-flavoured alias for [`PsmpiError`]: the typed error surface a dead
+/// node, downed link or exhausted retry budget shows up as.
+pub use rank::PsmpiError as MpiError;
 pub use universe::{JobReport, Universe, UniverseBuilder};

@@ -3,9 +3,9 @@
 
 use crate::comm::{CommId, Communicator, Intercomm};
 use crate::datatype::{CodecError, MpiDatatype};
-use crate::envelope::{EndpointId, Envelope, Status, Tag};
-use crate::router::{Mailbox, Router};
-use bytes::Bytes;
+use crate::envelope::{EndpointId, Envelope, Status, Tag, TAG_REVOKED};
+use crate::router::{Mailbox, RecvAbort, Router};
+use bytes::{BufMut, Bytes, BytesMut};
 use hwmodel::{CostModel, NodeId, NodeSpec, SimTime, WorkSpec};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -21,6 +21,23 @@ pub enum PsmpiError {
     NotInCommunicator,
     /// Spawn failed (e.g. no nodes given).
     Spawn(String),
+    /// The peer's node died (at the given virtual time) before the
+    /// operation could complete. Recoverable: restart the lost ranks from
+    /// a checkpoint (see `xpic::resilience`).
+    NodeFailed { node: NodeId, at: SimTime },
+    /// The link to the peer stayed down through every retry.
+    LinkDown {
+        src: NodeId,
+        dst: NodeId,
+        at: SimTime,
+    },
+    /// Retry/backoff on a transient link fault exceeded the give-up bound.
+    Timeout { waited: SimTime },
+    /// An endpoint id with no registered mailbox/node (stale handle, or a
+    /// message addressed into a torn-down world).
+    UnknownEndpoint(u64),
+    /// No fabric route between two nodes (unregistered in the topology).
+    NoRoute { src: NodeId, dst: NodeId },
 }
 
 impl std::fmt::Display for PsmpiError {
@@ -35,6 +52,19 @@ impl std::fmt::Display for PsmpiError {
             }
             PsmpiError::NotInCommunicator => write!(f, "caller not in communicator"),
             PsmpiError::Spawn(s) => write!(f, "spawn failed: {s}"),
+            PsmpiError::NodeFailed { node, at } => {
+                write!(f, "node {} failed at t={}", node.0, at)
+            }
+            PsmpiError::LinkDown { src, dst, at } => {
+                write!(f, "link {}<->{} down at t={}", src.0, dst.0, at)
+            }
+            PsmpiError::Timeout { waited } => {
+                write!(f, "operation timed out after waiting {waited}")
+            }
+            PsmpiError::UnknownEndpoint(ep) => write!(f, "endpoint {ep} not registered"),
+            PsmpiError::NoRoute { src, dst } => {
+                write!(f, "no fabric route between nodes {} and {}", src.0, dst.0)
+            }
         }
     }
 }
@@ -65,6 +95,9 @@ enum RequestKind {
         comm: CommId,
         src: Option<usize>,
         tag: Option<Tag>,
+        /// Awaited sender's endpoint (resolved at post time); lets the
+        /// receive abort if that endpoint's node dies.
+        src_ep: Option<EndpointId>,
     },
 }
 
@@ -75,8 +108,13 @@ impl<T: MpiDatatype> Request<T> {
     pub fn wait(self, rank: &mut Rank) -> Result<(Option<T>, Option<Status>), PsmpiError> {
         match self.kind {
             RequestKind::Send => Ok((None, None)),
-            RequestKind::Recv { comm, src, tag } => {
-                let (v, st) = rank.recv_raw(comm, src, tag)?;
+            RequestKind::Recv {
+                comm,
+                src,
+                tag,
+                src_ep,
+            } => {
+                let (v, st) = rank.recv_raw(comm, src, tag, src_ep)?;
                 let val = T::from_bytes(v.clone())?;
                 rank.router.buffer_pool().recycle(v);
                 Ok((Some(val), Some(st)))
@@ -94,7 +132,7 @@ impl<T: MpiDatatype> Request<T> {
     ) -> Result<Result<(Option<T>, Option<Status>), Request<T>>, PsmpiError> {
         match &self.kind {
             RequestKind::Send => Ok(Ok((None, None))),
-            RequestKind::Recv { comm, src, tag } => {
+            RequestKind::Recv { comm, src, tag, .. } => {
                 if rank.mailbox.probe_match(*comm, *src, *tag).is_some() {
                     Ok(Ok(self.wait(rank)?))
                 } else {
@@ -103,6 +141,27 @@ impl<T: MpiDatatype> Request<T> {
             }
         }
     }
+}
+
+/// Wire form of a revoke-marker payload: failed node id (u32 LE) + virtual
+/// death time in seconds (f64 LE).
+fn encode_revoke_marker(node: NodeId, at: SimTime) -> Bytes {
+    let mut b = BytesMut::with_capacity(12);
+    b.put_u32_le(node.0);
+    b.put_f64_le(at.as_secs());
+    b.freeze()
+}
+
+fn decode_revoke_marker(b: &Bytes) -> Option<(NodeId, SimTime)> {
+    if b.len() != 12 {
+        return None;
+    }
+    let node = u32::from_le_bytes(b[0..4].try_into().ok()?);
+    let secs = f64::from_le_bytes(b[4..12].try_into().ok()?);
+    if !secs.is_finite() || secs < 0.0 {
+        return None;
+    }
+    Some((NodeId(node), SimTime::from_secs(secs)))
 }
 
 /// The handle each rank thread owns.
@@ -150,7 +209,9 @@ impl Rank {
         cores: u32,
         obs_origin: Option<obs::TrackKey>,
     ) -> Self {
-        let mailbox = router.mailbox(endpoint);
+        let mailbox = router
+            .mailbox(endpoint)
+            .expect("rank endpoint is registered at construction");
         let obs = router.obs_recorder().map(|rec| {
             rec.register(
                 obs::TrackKey {
@@ -327,8 +388,7 @@ impl Rank {
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
-        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, None);
-        Ok(())
+        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, None)
     }
 
     /// Like [`Rank::send_comm`] but charging `virtual_bytes` on the wire
@@ -354,8 +414,7 @@ impl Rank {
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
-        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes));
-        Ok(())
+        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes))
     }
 
     /// Blocking receive from `src` (or any source) with `tag` (or any tag)
@@ -374,7 +433,8 @@ impl Rank {
                 });
             }
         }
-        let (bytes, st) = self.recv_raw(comm.id, src, tag)?;
+        let src_ep = src.map(|s| comm.group.endpoints[s]);
+        let (bytes, st) = self.recv_raw(comm.id, src, tag, src_ep)?;
         let value = T::from_bytes(bytes.clone())?;
         // Return the payload allocation to the pool — a no-op whenever the
         // decode (e.g. `Raw`) or another rank still holds a reference.
@@ -409,6 +469,7 @@ impl Rank {
                 comm: comm.id,
                 src,
                 tag,
+                src_ep: src.and_then(|s| comm.group.endpoints.get(s).copied()),
             },
             _t: PhantomData,
         }
@@ -477,8 +538,7 @@ impl Rank {
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
-        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, None);
-        Ok(())
+        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, None)
     }
 
     /// Like [`Rank::send_inter`] but charging `virtual_bytes` on the wire.
@@ -502,8 +562,7 @@ impl Rank {
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
-        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes));
-        Ok(())
+        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes))
     }
 
     /// Receive from rank `src` of the remote group (or any).
@@ -513,7 +572,8 @@ impl Rank {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Result<(T, Status), PsmpiError> {
-        let (bytes, st) = self.recv_raw(ic.id, src, tag)?;
+        let src_ep = src.and_then(|s| ic.remote.endpoints.get(s).copied());
+        let (bytes, st) = self.recv_raw(ic.id, src, tag, src_ep)?;
         let value = T::from_bytes(bytes.clone())?;
         self.router.buffer_pool().recycle(bytes);
         Ok((value, st))
@@ -548,6 +608,7 @@ impl Rank {
                 comm: ic.id,
                 src,
                 tag,
+                src_ep: src.and_then(|s| ic.remote.endpoints.get(s).copied()),
             },
             _t: PhantomData,
         }
@@ -594,7 +655,11 @@ impl Rank {
         if src_ep == self.endpoint {
             SimTime::ZERO
         } else {
-            self.router.transfer_time(src_ep, self.endpoint, bytes)
+            // A probe of a message from a torn-down endpoint cannot time the
+            // transfer; report zero rather than failing the status query.
+            self.router
+                .transfer_time(src_ep, self.endpoint, bytes)
+                .unwrap_or(SimTime::ZERO)
         }
     }
 
@@ -650,8 +715,7 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = comm.group.endpoints[dst];
-        self.send_raw(comm.id, dst_ep, src_rank, tag, payload, virtual_size);
-        Ok(())
+        self.send_raw(comm.id, dst_ep, src_rank, tag, payload, virtual_size)
     }
 
     /// Zero-copy receive on `comm`: the returned [`Bytes`] is the sender's
@@ -670,7 +734,8 @@ impl Rank {
                 });
             }
         }
-        self.recv_raw(comm.id, src, tag)
+        let src_ep = src.map(|s| comm.group.endpoints[s]);
+        self.recv_raw(comm.id, src, tag, src_ep)
     }
 
     /// Zero-copy inter-communicator send to rank `dst` of the remote group.
@@ -716,8 +781,7 @@ impl Rank {
             .rank_of(self.endpoint)
             .ok_or(PsmpiError::NotInCommunicator)?;
         let dst_ep = ic.remote.endpoints[dst];
-        self.send_raw(ic.id, dst_ep, src_rank, tag, payload, virtual_size);
-        Ok(())
+        self.send_raw(ic.id, dst_ep, src_rank, tag, payload, virtual_size)
     }
 
     /// Zero-copy inter-communicator receive.
@@ -727,7 +791,8 @@ impl Rank {
         src: Option<usize>,
         tag: Option<Tag>,
     ) -> Result<(Bytes, Status), PsmpiError> {
-        self.recv_raw(ic.id, src, tag)
+        let src_ep = src.and_then(|s| ic.remote.endpoints.get(s).copied());
+        self.recv_raw(ic.id, src, tag, src_ep)
     }
 
     // ---- raw internals ----
@@ -740,8 +805,17 @@ impl Rank {
         tag: Tag,
         payload: Bytes,
         virtual_size: Option<usize>,
-    ) {
+    ) -> Result<(), PsmpiError> {
         let pre = self.clock;
+        if dst_ep != self.endpoint {
+            if let Err(e) = self.check_destination(dst_ep) {
+                // The encode buffer never reached an envelope; reclaim it
+                // (a no-op if anyone else still holds a reference).
+                self.router.buffer_pool().recycle(payload);
+                self.comm_time += self.clock - pre;
+                return Err(e);
+            }
+        }
         let size = virtual_size.unwrap_or(payload.len());
         let env = Envelope {
             comm,
@@ -767,9 +841,62 @@ impl Rank {
         if dst_ep == self.endpoint {
             // Self-send: straight into our own mailbox, no router lookup.
             self.mailbox.push(env);
+            Ok(())
         } else {
-            self.router.deliver(dst_ep, env);
+            self.router.deliver(dst_ep, env)
         }
+    }
+
+    /// Sender-side fault checks, consulted before a remote injection.
+    ///
+    /// Determinism: the node check reads only the *static* fault plan (plus
+    /// the repairs map, quiescent while ranks run) against the sender's own
+    /// virtual clock — never the dynamic dead set, whose update timing
+    /// depends on host scheduling. The link check advances the virtual
+    /// clock through the retry/backoff loop, which is equally a pure
+    /// function of the plan and the clock.
+    fn check_destination(&mut self, dst_ep: EndpointId) -> Result<(), PsmpiError> {
+        let Some(plan) = self.router.fabric().fault_plan() else {
+            return Ok(());
+        };
+        let dst_node = self.router.node_of(dst_ep)?;
+        if let Some(at) = self.router.planned_dead(dst_node, self.clock) {
+            return Err(PsmpiError::NodeFailed { node: dst_node, at });
+        }
+        if plan
+            .link_fault_at(self.node_id, dst_node, self.clock)
+            .is_some()
+        {
+            let policy = self.router.retry_policy();
+            let start = self.clock;
+            let mut backoff = policy.base_backoff;
+            let mut tries = 0u32;
+            while plan
+                .link_fault_at(self.node_id, dst_node, self.clock)
+                .is_some()
+            {
+                if self.clock - start >= policy.give_up_after {
+                    return Err(PsmpiError::Timeout {
+                        waited: self.clock - start,
+                    });
+                }
+                if tries >= policy.max_retries {
+                    return Err(PsmpiError::LinkDown {
+                        src: self.node_id,
+                        dst: dst_node,
+                        at: self.clock,
+                    });
+                }
+                self.clock += backoff;
+                backoff = backoff * 2.0;
+                tries += 1;
+            }
+            // The destination may have died while we were backing off.
+            if let Some(at) = self.router.planned_dead(dst_node, self.clock) {
+                return Err(PsmpiError::NodeFailed { node: dst_node, at });
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn recv_raw(
@@ -777,9 +904,34 @@ impl Rank {
         comm: CommId,
         src: Option<usize>,
         tag: Option<Tag>,
+        src_ep: Option<EndpointId>,
     ) -> Result<(Bytes, Status), PsmpiError> {
         let pre = self.clock;
-        let env = self.mailbox.recv_match(comm, src, tag);
+        let router = self.router.clone();
+        let env = match self.mailbox.recv_match_abortable(comm, src, tag, || {
+            src_ep.and_then(|ep| router.dead_node_of(ep))
+        }) {
+            Ok(env) => env,
+            Err(abort) => {
+                let (node, at) = match abort {
+                    RecvAbort::Dead(node, at) => (node, at),
+                    RecvAbort::Revoked(marker) => {
+                        decode_revoke_marker(&marker).ok_or_else(|| {
+                            PsmpiError::Codec(CodecError("malformed revoke marker".into()))
+                        })?
+                    }
+                };
+                // The receiver learns of the death no earlier than it
+                // happened; aligning the clock keeps recovery timing a
+                // function of the plan alone.
+                self.clock = self.clock.max(at);
+                self.comm_time += self.clock - pre;
+                if let Some(track) = &self.obs {
+                    track.span(obs::Category::Recv, "recv-aborted", pre, self.clock);
+                }
+                return Err(PsmpiError::NodeFailed { node, at });
+            }
+        };
         if env.src_endpoint == self.endpoint {
             // Self-receive: the message never touched the fabric — no
             // loopback transfer time, no incast queueing, no trace entry,
@@ -790,7 +942,7 @@ impl Rank {
         } else {
             let transfer =
                 self.router
-                    .transfer_time(env.src_endpoint, self.endpoint, env.wire_size());
+                    .transfer_time(env.src_endpoint, self.endpoint, env.wire_size())?;
             let arrival = self.router.incast_adjust(
                 self.endpoint,
                 env.send_stamp + transfer,
@@ -826,6 +978,89 @@ impl Rank {
             arrival: self.clock,
         };
         Ok((env.payload, st))
+    }
+
+    // ---- fault protocol ----
+
+    /// Whether the static fault plan kills this rank's node in the window
+    /// `(after, upto]`. This is the victim's own step-granularity check:
+    /// call it with the step's start/end clocks, then [`Rank::fail_here`]
+    /// and return from the rank function.
+    pub fn planned_fault_in(&self, after: SimTime, upto: SimTime) -> Option<SimTime> {
+        self.router
+            .fabric()
+            .fault_plan()?
+            .node_fault_in(self.node_id, after, upto)
+    }
+
+    /// Die: declare this rank's node down as of virtual time `at` and wake
+    /// every blocked receiver. Call *after* the last send this rank will
+    /// ever make — the deposit-before-declare order on this thread is what
+    /// makes every peer's match-vs-abort decision deterministic. The rank
+    /// function should return immediately afterwards.
+    pub fn fail_here(&mut self, at: SimTime) {
+        self.clock = self.clock.max(at);
+        if let Some(track) = &self.obs {
+            track.span(obs::Category::Failure, "node-failure", at, self.clock);
+        }
+        self.router.declare_down(self.node_id, at);
+    }
+
+    /// Repair `node` at virtual time `at` (supervisor-side, between child
+    /// worlds): clears the death declaration and marks planned faults up to
+    /// `at` as spent so the respawned world can talk to the node again.
+    pub fn repair_node(&self, node: NodeId, at: SimTime) {
+        self.router.repair(node, at);
+    }
+
+    /// Deposit a revoke marker for `(node, at)` to every other member of
+    /// `comm`: after observing a failure, an aborting rank calls this so
+    /// peers blocked on *it* (not on the victim) unblock too — the abort
+    /// chain resolves transitively. Markers ride the ordinary mailbox
+    /// channel, so each peer sees this rank's real messages before the
+    /// marker, and are peeked rather than consumed, so one marker serves
+    /// every later receive. Delivery to already-dead endpoints is a no-op.
+    pub fn revoke_comm(&mut self, comm: &Communicator, node: NodeId, at: SimTime) {
+        let Some(me) = comm.group.rank_of(self.endpoint) else {
+            return;
+        };
+        for (r, &ep) in comm.group.endpoints.iter().enumerate() {
+            if r == me {
+                continue;
+            }
+            let env = Envelope {
+                comm: comm.id,
+                src_rank: me,
+                tag: TAG_REVOKED,
+                payload: encode_revoke_marker(node, at),
+                send_stamp: self.clock,
+                src_endpoint: self.endpoint,
+                seq: self.seq,
+                virtual_size: None,
+            };
+            let _ = self.router.deliver(ep, env);
+        }
+    }
+
+    /// [`Rank::revoke_comm`] toward the remote group of an
+    /// inter-communicator (e.g. a child world notifying its parent).
+    pub fn revoke_inter(&mut self, ic: &Intercomm, node: NodeId, at: SimTime) {
+        let Some(me) = ic.local.rank_of(self.endpoint) else {
+            return;
+        };
+        for &ep in ic.remote.endpoints.iter() {
+            let env = Envelope {
+                comm: ic.id,
+                src_rank: me,
+                tag: TAG_REVOKED,
+                payload: encode_revoke_marker(node, at),
+                send_stamp: self.clock,
+                src_endpoint: self.endpoint,
+                seq: self.seq,
+                virtual_size: None,
+            };
+            let _ = self.router.deliver(ep, env);
+        }
     }
 
     /// Finalize: build the outcome record. Called by the runtime when the

@@ -8,10 +8,12 @@
 use crate::comm::CommId;
 use crate::envelope::{EndpointId, Envelope, Tag};
 use crate::pool::BufferPool;
+use crate::rank::PsmpiError;
+use bytes::Bytes;
 use hwmodel::{NodeId, SimTime};
 use parking_lot::{Condvar, Mutex, RwLock};
 use simnet::Fabric;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -93,6 +95,20 @@ impl MailboxState {
     }
 }
 
+/// Why an abortable receive gave up instead of returning an envelope.
+#[derive(Debug)]
+pub enum RecvAbort {
+    /// A revoke marker from the awaited sender was queued: the sender
+    /// aborted after observing a node failure and will never send the
+    /// awaited message. Carries the marker payload (failed node + time).
+    Revoked(Bytes),
+    /// The awaited sender's node itself was declared down (at the given
+    /// virtual time). The victim deposits all its sends *before* declaring
+    /// down on its own thread, so "no match and the node is down" means
+    /// the message will never come — the abort is deterministic.
+    Dead(NodeId, SimTime),
+}
+
 /// One endpoint's incoming-message queue.
 #[derive(Default)]
 pub struct Mailbox {
@@ -126,6 +142,55 @@ impl Mailbox {
             }
             self.cv.wait(&mut s);
         }
+    }
+
+    /// Like [`Mailbox::recv_match`], but abortable: gives up when the
+    /// awaited sender is known to never deliver.
+    ///
+    /// Priority on every wake-up, under one lock hold:
+    /// 1. a matching envelope — *always* consumed first, so a sender's real
+    ///    messages win over its own revoke marker (the sender deposits them
+    ///    earlier on its own thread, hence they are visible whenever the
+    ///    marker is);
+    /// 2. a revoke marker ([`crate::envelope::TAG_REVOKED`]) from the
+    ///    awaited source — peeked, never consumed, so it unblocks every
+    ///    later receive from that sender too;
+    /// 3. `dead()` reporting the awaited source's node as declared down.
+    ///
+    /// Both abort sources are deterministic: markers and real messages ride
+    /// the same mailbox in the sender's program order, and a victim node
+    /// deposits all sends before declaring down. With a wildcard source
+    /// there is no specific sender to wait out, so only path 1 applies and
+    /// the call degenerates to [`Mailbox::recv_match`].
+    pub fn recv_match_abortable(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        dead: impl Fn() -> Option<(NodeId, SimTime)>,
+    ) -> Result<Envelope, RecvAbort> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(arrival) = s.find(comm, src, tag) {
+                return Ok(s.take(arrival));
+            }
+            if let Some(sr) = src {
+                if let Some(arrival) = s.find(comm, Some(sr), Some(crate::envelope::TAG_REVOKED)) {
+                    return Err(RecvAbort::Revoked(s.peek(arrival).payload.clone()));
+                }
+                if let Some((node, at)) = dead() {
+                    return Err(RecvAbort::Dead(node, at));
+                }
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Wake every blocked receiver so it re-evaluates its abort conditions
+    /// (called when a node is declared down).
+    pub fn interrupt(&self) {
+        let _guard = self.state.lock();
+        self.cv.notify_all();
     }
 
     /// Like [`Mailbox::recv_match`] but non-blocking: peek metadata without
@@ -231,11 +296,49 @@ pub struct RankOutcome {
     pub energy_joules: f64,
 }
 
+/// Retry/backoff policy applied by senders to transient link faults: the
+/// sender's virtual clock advances by a doubling backoff until the link
+/// heals, the retry budget is spent ([`PsmpiError::LinkDown`]) or the total
+/// wait exceeds the give-up bound ([`PsmpiError::Timeout`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries before reporting the link dead.
+    pub max_retries: u32,
+    /// First backoff; doubles on each retry.
+    pub base_backoff: SimTime,
+    /// Total virtual wait after which the sender times out.
+    pub give_up_after: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_backoff: SimTime::from_micros(100.0),
+            give_up_after: SimTime::from_secs(1.0),
+        }
+    }
+}
+
 /// Shared state of a running universe.
 pub struct Router {
     fabric: Fabric,
-    mailboxes: RwLock<HashMap<EndpointId, Arc<Mailbox>>>,
+    /// BTreeMap (not HashMap): `declare_down` iterates it to interrupt
+    /// blocked receivers, and iteration in a virtual-time crate must be in
+    /// a deterministic order (deepcheck D002).
+    mailboxes: RwLock<BTreeMap<EndpointId, Arc<Mailbox>>>,
     endpoint_nodes: RwLock<HashMap<EndpointId, NodeId>>,
+    /// Nodes declared down at run time, with their virtual death times.
+    /// Written by the victim's own thread *after* it deposited all its
+    /// sends; read by the abortable receive path.
+    dead_nodes: Mutex<BTreeMap<NodeId, SimTime>>,
+    /// Last repair time per node. Consulted together with the static fault
+    /// plan by senders: a planned death no later than the last repair is
+    /// spent. Only ever written between child worlds (by the supervisor,
+    /// before respawning), so reads are race-free by program structure.
+    repairs: Mutex<BTreeMap<NodeId, SimTime>>,
+    /// Sender-side retry/backoff configuration for transient link faults.
+    retry: RwLock<RetryPolicy>,
     /// Per-endpoint NIC drain state for the opt-in incast model: the
     /// virtual time until which the receive pipe is busy.
     nic_free: Mutex<HashMap<EndpointId, SimTime>>,
@@ -263,8 +366,11 @@ impl Router {
     pub fn new(fabric: Fabric) -> Arc<Self> {
         Arc::new(Router {
             fabric,
-            mailboxes: RwLock::new(HashMap::new()),
+            mailboxes: RwLock::new(BTreeMap::new()),
             endpoint_nodes: RwLock::new(HashMap::new()),
+            dead_nodes: Mutex::new(BTreeMap::new()),
+            repairs: Mutex::new(BTreeMap::new()),
+            retry: RwLock::new(RetryPolicy::default()),
             nic_free: Mutex::new(HashMap::new()),
             trace: Mutex::new(None),
             obs: Mutex::new(None),
@@ -302,36 +408,98 @@ impl Router {
         CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Mailbox of an endpoint.
-    pub fn mailbox(&self, ep: EndpointId) -> Arc<Mailbox> {
+    /// Mailbox of an endpoint. A stale/unknown endpoint is an error, not a
+    /// panic: after a node failure, handles into a dead world surface as
+    /// [`PsmpiError::UnknownEndpoint`] so the caller can recover.
+    pub fn mailbox(&self, ep: EndpointId) -> Result<Arc<Mailbox>, PsmpiError> {
         self.mailboxes
             .read()
             .get(&ep)
             .cloned()
-            .expect("endpoint not registered")
+            .ok_or(PsmpiError::UnknownEndpoint(ep.0))
     }
 
     /// Node an endpoint runs on.
-    pub fn node_of(&self, ep: EndpointId) -> NodeId {
-        *self
-            .endpoint_nodes
+    pub fn node_of(&self, ep: EndpointId) -> Result<NodeId, PsmpiError> {
+        self.endpoint_nodes
             .read()
             .get(&ep)
-            .expect("endpoint not registered")
+            .copied()
+            .ok_or(PsmpiError::UnknownEndpoint(ep.0))
     }
 
     /// Deliver an envelope to `dst`.
-    pub fn deliver(&self, dst: EndpointId, env: Envelope) {
-        self.mailbox(dst).push(env);
+    pub fn deliver(&self, dst: EndpointId, env: Envelope) -> Result<(), PsmpiError> {
+        self.mailbox(dst)?.push(env);
+        Ok(())
     }
 
     /// Fabric transfer time between the nodes of two endpoints.
-    pub fn transfer_time(&self, src: EndpointId, dst: EndpointId, bytes: usize) -> SimTime {
-        let sn = self.node_of(src);
-        let dn = self.node_of(dst);
+    pub fn transfer_time(
+        &self,
+        src: EndpointId,
+        dst: EndpointId,
+        bytes: usize,
+    ) -> Result<SimTime, PsmpiError> {
+        let sn = self.node_of(src)?;
+        let dn = self.node_of(dst)?;
         self.fabric
             .p2p_time(sn, dn, bytes)
-            .expect("endpoints on registered nodes")
+            .map_err(|_| PsmpiError::NoRoute { src: sn, dst: dn })
+    }
+
+    // ---- fault state ----
+
+    /// The sender-side retry/backoff policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// Replace the retry/backoff policy (call before launching ranks).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// Declare `node` dead as of virtual time `at` and wake every blocked
+    /// receiver so abortable receives re-check. Called by the victim's own
+    /// rank thread *after* it deposited all its sends — that ordering is
+    /// what makes match-vs-abort deterministic.
+    pub fn declare_down(&self, node: NodeId, at: SimTime) {
+        self.dead_nodes.lock().entry(node).or_insert(at);
+        for mb in self.mailboxes.read().values() {
+            mb.interrupt();
+        }
+    }
+
+    /// Clear a death declaration (node repaired at `at`). Subsequent sends
+    /// treat planned faults at or before `at` as spent.
+    pub fn repair(&self, node: NodeId, at: SimTime) {
+        self.dead_nodes.lock().remove(&node);
+        let mut reps = self.repairs.lock();
+        let r = reps.entry(node).or_insert(at);
+        *r = (*r).max(at);
+    }
+
+    /// Death time of the node hosting `ep`, if that node is currently
+    /// declared down. Feeds the abortable receive's `dead` closure.
+    pub fn dead_node_of(&self, ep: EndpointId) -> Option<(NodeId, SimTime)> {
+        let node = self.node_of(ep).ok()?;
+        self.dead_nodes.lock().get(&node).map(|&at| (node, at))
+    }
+
+    /// Whether the static fault plan says `node` is dead as of virtual time
+    /// `t` (and not repaired since). This is the *sender's* check: it reads
+    /// only the immutable plan plus the repairs map (quiescent while ranks
+    /// run), never the dynamic dead set, so the verdict depends only on the
+    /// sender's virtual clock — deterministic across thread counts.
+    pub fn planned_dead(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
+        let plan = self.fabric.fault_plan()?;
+        let tf = plan.node_fault_at(node, t)?;
+        let repaired = self.repairs.lock().get(&node).copied();
+        match repaired {
+            Some(r) if tf <= r => None,
+            _ => Some(tf),
+        }
     }
 
     /// Record a finished rank.
@@ -357,8 +525,9 @@ impl Router {
 
     /// Node kind of an endpoint's node (labels obs tracks).
     pub fn kind_of(&self, ep: EndpointId) -> hwmodel::NodeKind {
-        self.fabric
-            .node(self.node_of(ep))
+        self.node_of(ep)
+            .ok()
+            .and_then(|n| self.fabric.node(n).ok())
             .map(|n| n.kind)
             .unwrap_or(hwmodel::NodeKind::Cluster)
     }
@@ -376,8 +545,9 @@ impl Router {
         let Some(collector) = guard.as_ref() else {
             return;
         };
-        let src_node = self.node_of(src);
-        let dst_node = self.node_of(dst);
+        let (Ok(src_node), Ok(dst_node)) = (self.node_of(src), self.node_of(dst)) else {
+            return;
+        };
         let src_kind = self
             .fabric
             .node(src_node)
@@ -448,9 +618,128 @@ mod tests {
         let a = r.register_endpoint(NodeId(0));
         let b = r.register_endpoint(NodeId(1));
         assert_ne!(a, b);
-        assert_eq!(r.node_of(a), NodeId(0));
-        assert_eq!(r.node_of(b), NodeId(1));
-        assert!(r.mailbox(a).is_empty());
+        assert_eq!(r.node_of(a).unwrap(), NodeId(0));
+        assert_eq!(r.node_of(b).unwrap(), NodeId(1));
+        assert!(r.mailbox(a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_endpoint_is_an_error_not_a_panic() {
+        let r = router();
+        let bogus = EndpointId(9999);
+        assert!(matches!(
+            r.mailbox(bogus),
+            Err(PsmpiError::UnknownEndpoint(9999))
+        ));
+        assert!(matches!(
+            r.node_of(bogus),
+            Err(PsmpiError::UnknownEndpoint(9999))
+        ));
+        assert!(matches!(
+            r.deliver(bogus, env(1, 0, 0, 0)),
+            Err(PsmpiError::UnknownEndpoint(9999))
+        ));
+        let a = r.register_endpoint(NodeId(0));
+        assert!(matches!(
+            r.transfer_time(a, bogus, 64),
+            Err(PsmpiError::UnknownEndpoint(9999))
+        ));
+        // Lookups stay usable after the error (no poisoning).
+        assert!(r.mailbox(a).is_ok());
+    }
+
+    #[test]
+    fn declare_down_and_repair_roundtrip() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        assert_eq!(r.dead_node_of(a), None);
+        r.declare_down(NodeId(0), SimTime::from_secs(2.0));
+        assert_eq!(
+            r.dead_node_of(a),
+            Some((NodeId(0), SimTime::from_secs(2.0)))
+        );
+        // First declaration wins: a repeat cannot move the death time.
+        r.declare_down(NodeId(0), SimTime::from_secs(9.0));
+        assert_eq!(
+            r.dead_node_of(a),
+            Some((NodeId(0), SimTime::from_secs(2.0)))
+        );
+        r.repair(NodeId(0), SimTime::from_secs(3.0));
+        assert_eq!(r.dead_node_of(a), None);
+    }
+
+    #[test]
+    fn planned_dead_respects_plan_and_repairs() {
+        let r = router();
+        r.fabric()
+            .set_fault_plan(simnet::FaultPlan::from_node_faults([(
+                SimTime::from_secs(5.0),
+                NodeId(1),
+            )]));
+        assert_eq!(r.planned_dead(NodeId(1), SimTime::from_secs(4.9)), None);
+        assert_eq!(
+            r.planned_dead(NodeId(1), SimTime::from_secs(5.0)),
+            Some(SimTime::from_secs(5.0))
+        );
+        assert_eq!(r.planned_dead(NodeId(0), SimTime::from_secs(9.0)), None);
+        // After a repair at/after the fault time, the fault is spent.
+        r.repair(NodeId(1), SimTime::from_secs(6.0));
+        assert_eq!(r.planned_dead(NodeId(1), SimTime::from_secs(7.0)), None);
+    }
+
+    #[test]
+    fn abortable_recv_prefers_real_message_over_marker() {
+        let m = Mailbox::default();
+        // Sender deposits a real message, then its revoke marker (program
+        // order on the sender's thread).
+        m.push(env(1, 0, 5, 0));
+        let mut marker = env(1, 0, crate::envelope::TAG_REVOKED, 1);
+        marker.payload = Bytes::from_static(b"m");
+        m.push(marker);
+        let got = m
+            .recv_match_abortable(CommId(1), Some(0), Some(5), || None)
+            .expect("real message wins");
+        assert_eq!(got.seq, 0);
+        // Next receive from the same sender aborts on the (peeked) marker…
+        let aborted = m.recv_match_abortable(CommId(1), Some(0), Some(5), || None);
+        assert!(matches!(aborted, Err(RecvAbort::Revoked(_))));
+        // …and the marker is still there for the one after that.
+        let again = m.recv_match_abortable(CommId(1), Some(0), Some(7), || None);
+        assert!(matches!(again, Err(RecvAbort::Revoked(_))));
+    }
+
+    #[test]
+    fn abortable_recv_aborts_on_declared_dead_sender() {
+        let m = Mailbox::default();
+        let dead = || Some((NodeId(3), SimTime::from_secs(1.5)));
+        let aborted = m.recv_match_abortable(CommId(1), Some(0), Some(5), dead);
+        match aborted {
+            Err(RecvAbort::Dead(node, at)) => {
+                assert_eq!(node, NodeId(3));
+                assert_eq!(at, SimTime::from_secs(1.5));
+            }
+            other => panic!("expected dead abort, got {other:?}"),
+        }
+        // A queued matching envelope still wins over the dead flag.
+        m.push(env(1, 0, 5, 0));
+        let got = m.recv_match_abortable(CommId(1), Some(0), Some(5), dead);
+        assert!(got.is_ok());
+    }
+
+    #[test]
+    fn declared_dead_wakes_blocked_receiver() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        let b = r.register_endpoint(NodeId(1));
+        let mb = r.mailbox(a).unwrap();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || {
+            mb.recv_match_abortable(CommId(1), Some(0), Some(5), || r2.dead_node_of(b))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.declare_down(NodeId(1), SimTime::from_secs(1.0));
+        let res = h.join().unwrap();
+        assert!(matches!(res, Err(RecvAbort::Dead(_, _))));
     }
 
     #[test]
@@ -559,6 +848,6 @@ mod tests {
         let r = router();
         let a = r.register_endpoint(NodeId(0));
         let b = r.register_endpoint(NodeId(1));
-        assert!(r.transfer_time(a, b, 1024) > SimTime::ZERO);
+        assert!(r.transfer_time(a, b, 1024).unwrap() > SimTime::ZERO);
     }
 }

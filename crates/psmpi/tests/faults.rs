@@ -1,0 +1,259 @@
+//! Fault-injection tests: planned node deaths and link outages surface as
+//! typed `MpiError`s, buffers are neither leaked nor recycled-while-aliased
+//! on the error path, and the mailbox stays exact (non-overtaking included)
+//! across an aborted receive.
+
+use bytes::Bytes;
+use hwmodel::presets::deep_er_cluster_node;
+use hwmodel::{NodeId, SimTime};
+use psmpi::{MpiError, RetryPolicy, Universe};
+use simnet::{Fabric, FaultPlan, Topology};
+
+/// Universe over `n` cluster nodes with the given fault plan installed.
+fn faulted_universe(n: u32, plan: FaultPlan) -> Universe {
+    let mut t = Topology::new();
+    t.add_nodes(n, &deep_er_cluster_node());
+    let fabric = Fabric::new(t);
+    fabric.set_fault_plan(plan);
+    Universe::new(fabric)
+}
+
+fn s(x: f64) -> SimTime {
+    SimTime::from_secs(x)
+}
+
+#[test]
+fn send_to_planned_dead_node_fails_and_recycles_sole_buffer() {
+    let plan = FaultPlan::from_node_faults([(SimTime::ZERO, NodeId(1))]);
+    let u = faulted_universe(2, plan);
+    u.launch(&[NodeId(0), NodeId(1)], |rank| {
+        if rank.rank() != 0 {
+            return; // the victim's thread exists but does nothing
+        }
+        let before = rank.buffer_pool().pooled();
+        let err = rank.send(1, 7, &vec![1.0f64; 64]).unwrap_err();
+        match err {
+            MpiError::NodeFailed { node, at } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(at, SimTime::ZERO);
+            }
+            other => panic!("expected NodeFailed, got {other}"),
+        }
+        // The encode buffer never reached an envelope and the sender was
+        // its sole owner: it must come back to the pool, not leak.
+        assert_eq!(
+            rank.buffer_pool().pooled(),
+            before + 1,
+            "failed send must return its sole-owned encode buffer"
+        );
+    });
+}
+
+#[test]
+fn failed_send_never_recycles_an_aliased_buffer() {
+    let plan = FaultPlan::from_node_faults([(SimTime::ZERO, NodeId(1))]);
+    let u = faulted_universe(2, plan);
+    u.launch(&[NodeId(0), NodeId(1)], |rank| {
+        if rank.rank() != 0 {
+            return;
+        }
+        let w = rank.world();
+        let payload = Bytes::from(vec![42u8; 4096]);
+        let alias = payload.clone();
+        let before = rank.buffer_pool().pooled();
+        let err = rank.send_bytes_comm(&w, 1, 7, payload).unwrap_err();
+        assert!(matches!(err, MpiError::NodeFailed { .. }));
+        assert_eq!(
+            rank.buffer_pool().pooled(),
+            before,
+            "an aliased payload must not enter the pool"
+        );
+        // Our alias is untouched — nobody scribbled over the allocation.
+        assert!(alias.iter().all(|&b| b == 42));
+    });
+}
+
+#[test]
+fn victim_messages_before_death_arrive_in_order_then_recv_aborts() {
+    // The victim deposits two sends, then dies. The survivor must receive
+    // both in send order (non-overtaking holds across the fault), then get
+    // a typed error — and its mailbox must end up exactly empty, with no
+    // dangling arrival-index entry matching the victim's class.
+    let fault_at = s(0.5);
+    let plan = FaultPlan::from_node_faults([(fault_at, NodeId(1))]);
+    let u = faulted_universe(2, plan);
+    u.launch(&[NodeId(0), NodeId(1)], move |rank| {
+        let w = rank.world();
+        if rank.rank() == 1 {
+            rank.send(0, 7, &1u64).unwrap();
+            rank.send(0, 7, &2u64).unwrap();
+            let at = rank
+                .planned_fault_in(SimTime::ZERO, s(1.0))
+                .expect("plan kills this node");
+            rank.fail_here(at);
+            return;
+        }
+        let (a, _) = rank.recv::<u64>(Some(1), Some(7)).unwrap();
+        let (b, _) = rank.recv::<u64>(Some(1), Some(7)).unwrap();
+        assert_eq!((a, b), (1, 2), "non-overtaking across the fault");
+        let err = rank.recv::<u64>(Some(1), Some(7)).unwrap_err();
+        match err {
+            MpiError::NodeFailed { node, at } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(at, fault_at);
+            }
+            other => panic!("expected NodeFailed, got {other}"),
+        }
+        // Learning of the death cannot predate the death.
+        assert!(rank.now() >= fault_at);
+        // No dangling index entry: probing the drained class finds nothing.
+        assert!(rank.iprobe(&w, Some(1), Some(7)).is_none());
+    });
+}
+
+#[test]
+fn revoke_marker_aborts_transitively_blocked_rank() {
+    // Chain: rank 2 dies; rank 1 aborts on the dead flag and revokes; rank
+    // 0 — blocked on rank 1, which is alive but aborting — unblocks off the
+    // marker with the *victim's* identity and death time.
+    let fault_at = s(0.25);
+    let plan = FaultPlan::from_node_faults([(fault_at, NodeId(2))]);
+    let u = faulted_universe(3, plan);
+    u.launch(&[NodeId(0), NodeId(1), NodeId(2)], move |rank| {
+        let w = rank.world();
+        match rank.rank() {
+            2 => {
+                let at = rank.planned_fault_in(SimTime::ZERO, s(1.0)).unwrap();
+                rank.fail_here(at);
+            }
+            1 => {
+                let err = rank.recv::<u64>(Some(2), Some(3)).unwrap_err();
+                let MpiError::NodeFailed { node, at } = err else {
+                    panic!("expected NodeFailed");
+                };
+                rank.revoke_comm(&w, node, at);
+            }
+            _ => {
+                let err = rank.recv::<u64>(Some(1), Some(4)).unwrap_err();
+                match err {
+                    MpiError::NodeFailed { node, at } => {
+                        assert_eq!(node, NodeId(2), "marker names the victim");
+                        assert_eq!(at, fault_at);
+                    }
+                    other => panic!("expected NodeFailed, got {other}"),
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn transient_link_fault_is_retried_through_backoff() {
+    // Outage over [0, 250µs); default policy backs off 100µs then 200µs,
+    // placing the sender's clock at 300µs — past the outage, so the send
+    // succeeds and the payload arrives.
+    let mut plan = FaultPlan::new();
+    plan.add_link_fault(
+        NodeId(0),
+        NodeId(1),
+        SimTime::ZERO,
+        SimTime::from_micros(250.0),
+    );
+    let u = faulted_universe(2, plan);
+    u.launch(&[NodeId(0), NodeId(1)], |rank| {
+        if rank.rank() == 0 {
+            rank.send(1, 7, &7u64).unwrap();
+            assert!(
+                rank.now() >= SimTime::from_micros(300.0),
+                "backoff must advance the virtual clock"
+            );
+        } else {
+            let (v, _) = rank.recv::<u64>(Some(0), Some(7)).unwrap();
+            assert_eq!(v, 7);
+        }
+    });
+}
+
+#[test]
+fn persistent_link_fault_exhausts_retries_to_link_down() {
+    let mut plan = FaultPlan::new();
+    plan.add_link_fault(NodeId(0), NodeId(1), SimTime::ZERO, s(100.0));
+    let u = faulted_universe(2, plan);
+    u.router().set_retry_policy(RetryPolicy {
+        max_retries: 3,
+        base_backoff: SimTime::from_micros(100.0),
+        give_up_after: s(10.0),
+    });
+    u.launch(&[NodeId(0), NodeId(1)], |rank| {
+        if rank.rank() != 0 {
+            return;
+        }
+        let err = rank.send(1, 7, &7u64).unwrap_err();
+        match err {
+            MpiError::LinkDown { src, dst, .. } => {
+                assert_eq!((src, dst), (NodeId(0), NodeId(1)));
+            }
+            other => panic!("expected LinkDown, got {other}"),
+        }
+    });
+}
+
+#[test]
+fn link_fault_backoff_times_out_past_give_up_bound() {
+    let mut plan = FaultPlan::new();
+    plan.add_link_fault(NodeId(0), NodeId(1), SimTime::ZERO, s(100.0));
+    let u = faulted_universe(2, plan);
+    u.router().set_retry_policy(RetryPolicy {
+        max_retries: 1000,
+        base_backoff: SimTime::from_micros(100.0),
+        give_up_after: SimTime::from_millis(1.0),
+    });
+    u.launch(&[NodeId(0), NodeId(1)], |rank| {
+        if rank.rank() != 0 {
+            return;
+        }
+        let err = rank.send(1, 7, &7u64).unwrap_err();
+        match err {
+            MpiError::Timeout { waited } => {
+                assert!(waited >= SimTime::from_millis(1.0));
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+    });
+}
+
+#[test]
+fn faulted_run_is_identical_across_thread_interleavings() {
+    // The whole point of the static-plan design: the survivor's final clock
+    // and received data are a function of the plan, not of host scheduling.
+    // Run the same faulted job many times and demand identical outcomes.
+    let run = || {
+        let fault_at = s(0.5);
+        let plan = FaultPlan::from_node_faults([(fault_at, NodeId(1))]);
+        let u = faulted_universe(2, plan);
+        let report = u.launch(&[NodeId(0), NodeId(1)], move |rank| {
+            if rank.rank() == 1 {
+                rank.send(0, 7, &11u64).unwrap();
+                let at = rank.planned_fault_in(SimTime::ZERO, s(1.0)).unwrap();
+                rank.fail_here(at);
+                return;
+            }
+            let (v, _) = rank.recv::<u64>(Some(1), Some(7)).unwrap();
+            assert_eq!(v, 11);
+            let err = rank.recv::<u64>(Some(1), Some(7)).unwrap_err();
+            assert!(matches!(err, MpiError::NodeFailed { .. }));
+        });
+        report
+            .outcomes()
+            .iter()
+            .map(|o| (o.rank, o.clock, o.bytes_sent, o.msgs_sent))
+            .collect::<Vec<_>>()
+    };
+    let mut first = run();
+    first.sort_by_key(|a| a.0);
+    for _ in 0..10 {
+        let mut again = run();
+        again.sort_by_key(|a| a.0);
+        assert_eq!(first, again);
+    }
+}

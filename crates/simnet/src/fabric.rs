@@ -1,9 +1,11 @@
 //! The fabric façade: topology + cost model + attached NAM devices.
 
+use crate::faults::FaultPlan;
 use crate::loggp::LogGpModel;
 use crate::nam::NamDevice;
 use crate::topology::{Topology, TopologyError};
 use hwmodel::{NodeId, NodeSpec, SimTime};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// A complete simulated interconnect. Cheap to clone (`Arc` inside) so every
@@ -18,6 +20,10 @@ struct FabricInner {
     topology: Topology,
     model: LogGpModel,
     nams: Vec<NamDevice>,
+    /// Optional fault schedule, shared by every clone. Installed once at
+    /// launch (before rank threads start) and then only read, so the lock
+    /// is uncontended on the message path.
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Fabric {
@@ -34,6 +40,7 @@ impl Fabric {
                 topology,
                 model,
                 nams: Vec::new(),
+                faults: RwLock::new(None),
             }),
         }
     }
@@ -45,8 +52,21 @@ impl Fabric {
                 topology,
                 model,
                 nams,
+                faults: RwLock::new(None),
             }),
         }
+    }
+
+    /// Install the fault schedule for this run. Shared by every clone of
+    /// the fabric; call before launching rank threads so all of them see
+    /// the same plan from their first query.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = Some(Arc::new(plan));
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.faults.read().clone()
     }
 
     /// The underlying topology.
@@ -189,6 +209,22 @@ mod tests {
         // Unknown NAM index: wire time only (graceful).
         let no_nam = f.nam_rdma_time(NodeId(0), 7, 4096).unwrap();
         assert_eq!(no_nam, wire_only);
+    }
+
+    #[test]
+    fn fault_plan_is_shared_across_clones() {
+        let f = fabric();
+        let g = f.clone();
+        assert!(f.fault_plan().is_none());
+        f.set_fault_plan(FaultPlan::from_node_faults([(
+            SimTime::from_secs(2.0),
+            NodeId(3),
+        )]));
+        let plan = g.fault_plan().expect("clone sees the installed plan");
+        assert_eq!(
+            plan.node_fault_at(NodeId(3), SimTime::from_secs(5.0)),
+            Some(SimTime::from_secs(2.0))
+        );
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Deterministic fault plan: which nodes and links die, and when.
+//!
+//! The plan is *static*: it is fully determined before the run starts
+//! (seeded from `scr::FailureModel` or written down explicitly), and every
+//! consumer queries it against a **virtual** clock. That is what makes
+//! fault injection deterministic — the same seed produces the same failure
+//! times regardless of host scheduling or thread count, so a faulted run
+//! can be replayed bit-identically.
+//!
+//! `Fabric` carries an optional shared plan (see [`Fabric::set_fault_plan`])
+//! so every rank thread in `psmpi` consults the same instant-indexed truth.
+
+use hwmodel::{NodeId, SimTime};
+
+/// A node death at a virtual instant. The node is considered dead for all
+/// traffic stamped at or after `at` (until an explicit repair, which is the
+/// recovery layer's business, not the plan's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFault {
+    /// When the node dies.
+    pub at: SimTime,
+    /// Which node dies.
+    pub node: NodeId,
+}
+
+/// A transient link outage between two nodes over a virtual interval
+/// `[from, until)`. Traffic stamped inside the window fails; retrying past
+/// `until` succeeds — this is what the sender's backoff loop exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// One endpoint (unordered — the outage is symmetric).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive): first instant the link works again.
+    pub until: SimTime,
+}
+
+/// The full fault schedule of a run. Cheap to build, queried with linear
+/// scans — real plans carry a handful of events, not millions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    node_faults: Vec<NodeFault>,
+    link_faults: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — queries all return `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plan from explicit `(virtual_time, node)` pairs.
+    pub fn from_node_faults(faults: impl IntoIterator<Item = (SimTime, NodeId)>) -> Self {
+        let mut plan = FaultPlan::new();
+        for (at, node) in faults {
+            plan.add_node_fault(node, at);
+        }
+        plan
+    }
+
+    /// Schedule a node death.
+    pub fn add_node_fault(&mut self, node: NodeId, at: SimTime) {
+        self.node_faults.push(NodeFault { at, node });
+        self.node_faults
+            .sort_by(|x, y| x.at.cmp(&y.at).then(x.node.0.cmp(&y.node.0)));
+    }
+
+    /// Schedule a transient link outage over `[from, until)`.
+    pub fn add_link_fault(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        assert!(until > from, "link outage must have positive length");
+        self.link_faults.push(LinkFault { a, b, from, until });
+    }
+
+    /// All scheduled node faults, sorted by `(at, node)`.
+    pub fn node_faults(&self) -> &[NodeFault] {
+        &self.node_faults
+    }
+
+    /// All scheduled link outages, in insertion order.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.link_faults
+    }
+
+    /// True if the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_faults.is_empty() && self.link_faults.is_empty()
+    }
+
+    /// The *latest* death of `node` at or before `t`, if any. A node that
+    /// has died is dead for everything stamped later, so this is the query
+    /// a sender uses: "is my destination gone as of my clock?"
+    pub fn node_fault_at(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
+        self.node_faults
+            .iter()
+            .filter(|f| f.node == node && f.at <= t)
+            .map(|f| f.at)
+            .next_back()
+    }
+
+    /// The *first* death of `node` in the window `(after, upto]`, if any.
+    /// This is the victim's own query at step granularity: "did I die
+    /// between the end of the last step and now?"
+    pub fn node_fault_in(&self, node: NodeId, after: SimTime, upto: SimTime) -> Option<SimTime> {
+        self.node_faults
+            .iter()
+            .find(|f| f.node == node && f.at > after && f.at <= upto)
+            .map(|f| f.at)
+    }
+
+    /// If the `a`↔`b` link is down at `t`, returns when it heals (the
+    /// earliest `until` among covering outages is irrelevant — the sender
+    /// must outlast *all* of them, so the latest wins).
+    pub fn link_fault_at(&self, a: NodeId, b: NodeId, t: SimTime) -> Option<SimTime> {
+        self.link_faults
+            .iter()
+            .filter(|f| {
+                ((f.a == a && f.b == b) || (f.a == b && f.b == a)) && f.from <= t && t < f.until
+            })
+            .map(|f| f.until)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: f64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn empty_plan_answers_none() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.node_fault_at(NodeId(0), s(1e9)), None);
+        assert_eq!(p.node_fault_in(NodeId(0), SimTime::ZERO, s(1e9)), None);
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(1), s(1.0)), None);
+    }
+
+    #[test]
+    fn node_fault_at_picks_latest_not_after() {
+        let p = FaultPlan::from_node_faults([(s(2.0), NodeId(3)), (s(5.0), NodeId(3))]);
+        assert_eq!(p.node_fault_at(NodeId(3), s(1.0)), None);
+        assert_eq!(p.node_fault_at(NodeId(3), s(2.0)), Some(s(2.0)));
+        assert_eq!(p.node_fault_at(NodeId(3), s(4.9)), Some(s(2.0)));
+        assert_eq!(p.node_fault_at(NodeId(3), s(5.0)), Some(s(5.0)));
+        assert_eq!(p.node_fault_at(NodeId(4), s(9.0)), None);
+    }
+
+    #[test]
+    fn node_fault_in_is_half_open_after_exclusive() {
+        let p = FaultPlan::from_node_faults([(s(2.0), NodeId(1))]);
+        assert_eq!(p.node_fault_in(NodeId(1), SimTime::ZERO, s(1.9)), None);
+        assert_eq!(
+            p.node_fault_in(NodeId(1), SimTime::ZERO, s(2.0)),
+            Some(s(2.0))
+        );
+        // Window opens strictly after the fault: already reported, not again.
+        assert_eq!(p.node_fault_in(NodeId(1), s(2.0), s(9.0)), None);
+        assert_eq!(p.node_fault_in(NodeId(1), s(1.0), s(9.0)), Some(s(2.0)));
+    }
+
+    #[test]
+    fn faults_sorted_by_time_then_node() {
+        let p = FaultPlan::from_node_faults([
+            (s(5.0), NodeId(1)),
+            (s(2.0), NodeId(9)),
+            (s(2.0), NodeId(4)),
+        ]);
+        let order: Vec<_> = p.node_faults().iter().map(|f| (f.at, f.node)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (s(2.0), NodeId(4)),
+                (s(2.0), NodeId(9)),
+                (s(5.0), NodeId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn link_fault_window_is_half_open_and_symmetric() {
+        let mut p = FaultPlan::new();
+        p.add_link_fault(NodeId(0), NodeId(1), s(1.0), s(3.0));
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(1), s(0.5)), None);
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(1), s(1.0)), Some(s(3.0)));
+        assert_eq!(p.link_fault_at(NodeId(1), NodeId(0), s(2.0)), Some(s(3.0)));
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(1), s(3.0)), None);
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(2), s(2.0)), None);
+    }
+
+    #[test]
+    fn overlapping_link_outages_heal_at_the_latest_until() {
+        let mut p = FaultPlan::new();
+        p.add_link_fault(NodeId(0), NodeId(1), s(1.0), s(4.0));
+        p.add_link_fault(NodeId(0), NodeId(1), s(2.0), s(3.0));
+        assert_eq!(p.link_fault_at(NodeId(0), NodeId(1), s(2.5)), Some(s(4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_link_outage_rejected() {
+        let mut p = FaultPlan::new();
+        p.add_link_fault(NodeId(0), NodeId(1), s(2.0), s(2.0));
+    }
+}

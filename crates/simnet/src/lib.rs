@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fabric;
+pub mod faults;
 pub mod loggp;
 pub mod nam;
 pub mod rdma;
@@ -28,6 +29,7 @@ pub mod topology;
 pub mod trace;
 
 pub use fabric::Fabric;
+pub use faults::{FaultPlan, LinkFault, NodeFault};
 pub use loggp::{LogGpModel, Protocol};
 pub use nam::{NamDevice, NamError, NamRegion};
 pub use rdma::RdmaEngine;

@@ -6,52 +6,102 @@
 //! every `checkpoint_every` steps. A run interrupted by a (simulated) node
 //! failure restarts from the newest recoverable checkpoint and must end in
 //! exactly the state of an uninterrupted run — which the tests verify.
+//!
+//! Two drivers are provided:
+//!
+//! * [`run_checkpointed`] — the cooperative variant: the job aborts itself
+//!   at a chosen step and a second launch resumes from SCR;
+//! * [`run_resilient`] — the full recovery loop: a supervisor rank on the
+//!   Cluster spawns the solver world onto the Booster through
+//!   `MPI_Comm_spawn`, a [`FaultPlan`] kills nodes at virtual times, the
+//!   typed `MpiError` surface aborts the step cleanly, and the supervisor
+//!   restarts the lost world from the newest checkpoint. Because the fault
+//!   schedule is static and the physics is a pure function of the
+//!   checkpointed state, a recovered run finishes **bit-identical** to an
+//!   uninterrupted one.
 
 use crate::config::XpicConfig;
 use crate::diagnostics::{field_energy, kinetic_energy};
 use crate::fields::FieldSolver;
 use crate::grid::{Fields, Grid, Moments};
-use crate::moments::deposit;
-use crate::mover::boris_push;
+use crate::moments::{deposit, deposit_threads};
+use crate::mover::{boris_push, boris_push_threads};
 use crate::particles::Species;
-use crate::solver::{halo_add_moments, migrate_particles, MpiFieldComm};
+use crate::solver::{
+    halo_add_moments, migrate_particles, try_halo_add_moments, try_migrate_particles, MpiFieldComm,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cluster_booster::{JobSpec, Launcher, ModuleKind};
-use hwmodel::SimTime;
+use hwmodel::{NodeId, SimTime};
 use parking_lot::Mutex;
-use psmpi::{MpiDatatype, ReduceOp};
+use psmpi::datatype::CodecError;
+use psmpi::universe::RankFn;
+use psmpi::{BufferPool, Communicator, Intercomm, MpiDatatype, PsmpiError, Rank, ReduceOp, Tag};
 use scr::{CheckpointLevel, ScrManager};
+use simnet::FaultPlan;
 use std::sync::Arc;
+
+/// Tag of the completion report a child world sends its supervisor.
+pub const TAG_STATUS: Tag = 120;
 
 fn put_f64s(buf: &mut BytesMut, v: &[f64]) {
     buf.put_u64_le(v.len() as u64);
-    for x in v {
-        buf.put_f64_le(*x);
-    }
+    f64::encode_slice(v, buf);
 }
 
 fn get_f64s(buf: &mut Bytes) -> Vec<f64> {
     let n = buf.get_u64_le() as usize;
-    (0..n).map(|_| buf.get_f64_le()).collect()
+    f64::decode_vec(n, buf).expect("checkpoint blob framing")
 }
 
-/// Serialize one rank's simulation state (all species + fields) to bytes.
-pub fn pack_state(species: &[Species], fields: &Fields) -> Vec<u8> {
-    let mut buf = BytesMut::new();
+/// Exact encoded size of one rank's state blob.
+fn state_size(species: &[Species], fields: &Fields) -> usize {
+    let vec_size = |n: usize| 8 + 8 * n;
+    8 + species
+        .iter()
+        .map(|s| 16 + 5 * vec_size(s.len()))
+        .sum::<usize>()
+        + fields
+            .components()
+            .iter()
+            .map(|c| vec_size(c.len()))
+            .sum::<usize>()
+}
+
+fn encode_state(buf: &mut BytesMut, species: &[Species], fields: &Fields) {
     buf.put_u64_le(species.len() as u64);
     for s in species {
         buf.put_f64_le(s.qom);
         buf.put_f64_le(s.q_per_particle);
-        put_f64s(&mut buf, &s.x);
-        put_f64s(&mut buf, &s.y);
-        put_f64s(&mut buf, &s.vx);
-        put_f64s(&mut buf, &s.vy);
-        put_f64s(&mut buf, &s.vz);
+        put_f64s(buf, &s.x);
+        put_f64s(buf, &s.y);
+        put_f64s(buf, &s.vx);
+        put_f64s(buf, &s.vy);
+        put_f64s(buf, &s.vz);
     }
     for comp in fields.components() {
-        put_f64s(&mut buf, comp);
+        put_f64s(buf, comp);
     }
+}
+
+/// Serialize one rank's simulation state (all species + fields) to bytes.
+pub fn pack_state(species: &[Species], fields: &Fields) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(state_size(species, fields));
+    encode_state(&mut buf, species, fields);
     buf.to_vec()
+}
+
+/// [`pack_state`] staging its encode scratch through the rank's
+/// [`BufferPool`]: the buffer is drawn from and returned to the pool, so
+/// steady-state checkpointing allocates only the output vector. The output
+/// bytes are identical to [`pack_state`]'s.
+pub fn pack_state_pooled(pool: &BufferPool, species: &[Species], fields: &Fields) -> Vec<u8> {
+    let mut buf = pool.get(state_size(species, fields));
+    encode_state(&mut buf, species, fields);
+    let staged = buf.freeze();
+    let out = staged.to_vec();
+    pool.recycle(staged);
+    out
 }
 
 /// Inverse of [`pack_state`].
@@ -244,6 +294,417 @@ pub fn run_checkpointed(
     let mut o = out.lock().clone();
     o.makespan = report.makespan();
     o
+}
+
+// ---------------------------------------------------------------------------
+// Automatic recovery: supervisor + respawned solver worlds
+// ---------------------------------------------------------------------------
+
+/// Knobs of the automatic recovery loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// SCR storage level for the periodic checkpoints.
+    pub level: CheckpointLevel,
+    /// Checkpoint every this many steps (the final step never checkpoints).
+    pub checkpoint_every: u32,
+    /// Restart budget: exceeding it panics, as a real job would abort.
+    pub max_recoveries: u32,
+    /// Fixed respawn overhead charged per recovery (node replacement,
+    /// process manager round-trip) on top of the SCR restore cost.
+    pub recovery_latency: SimTime,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            level: CheckpointLevel::Buddy,
+            checkpoint_every: 2,
+            max_recoveries: 8,
+            recovery_latency: SimTime::from_millis(50.0),
+        }
+    }
+}
+
+/// Outcome of a [`run_resilient`] job.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    /// Final global field energy.
+    pub field_energy: f64,
+    /// Final global kinetic energy.
+    pub kinetic_energy: f64,
+    /// Steps completed (always `config.steps` on success).
+    pub steps: u32,
+    /// Every node death the supervisor observed, as `(node, death time)`.
+    pub failures: Vec<(NodeId, SimTime)>,
+    /// Restarts performed.
+    pub recoveries: u32,
+    /// The step each recovery resumed from (`0` = no recoverable
+    /// checkpoint survived, replayed from scratch).
+    pub resume_steps: Vec<u32>,
+    /// Virtual makespan of the whole job, recoveries included.
+    pub makespan: SimTime,
+}
+
+/// Completion report the child world's rank 0 sends to the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StatusMsg {
+    steps_done: u32,
+    field_energy: f64,
+    kinetic_energy: f64,
+}
+
+impl MpiDatatype for StatusMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.steps_done);
+        buf.put_f64_le(self.field_energy);
+        buf.put_f64_le(self.kinetic_energy);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 20 {
+            return Err(CodecError("short StatusMsg".into()));
+        }
+        Ok(StatusMsg {
+            steps_done: buf.get_u32_le(),
+            field_energy: buf.get_f64_le(),
+            kinetic_energy: buf.get_f64_le(),
+        })
+    }
+}
+
+/// The node a communication error blames, with its death time. Local
+/// errors (which should not occur under a node-fault plan) blame the
+/// reporting rank itself.
+fn failure_identity(rank: &Rank, err: &PsmpiError) -> (NodeId, SimTime) {
+    match err {
+        PsmpiError::NodeFailed { node, at } => (*node, *at),
+        PsmpiError::LinkDown { dst, at, .. } => (*dst, *at),
+        _ => (rank.node_id(), rank.now()),
+    }
+}
+
+/// Run xPic under a fault schedule with automatic checkpoint-restart.
+///
+/// One supervisor rank boots on the Cluster and spawns the solver world
+/// onto `booster_nodes` Booster nodes via `comm_spawn`. The children step
+/// the PIC loop, checkpointing to `scr` every `recovery.checkpoint_every`
+/// steps. When `plan` kills a node, the victim's world aborts through the
+/// typed [`MpiError`](PsmpiError) surface (every survivor revokes its
+/// communicators so no rank stays blocked), the supervisor restores the
+/// newest SCR checkpoint, heals the fabric, and respawns a fresh child
+/// world that resumes from the restored step.
+///
+/// Determinism: the schedule is data (virtual times in an immutable plan),
+/// recovery replays from a bit-exact state snapshot, and the physics is a
+/// pure function of that state — so the recovered run's final energies are
+/// bit-identical to an uninterrupted run's, at any host thread count.
+pub fn run_resilient(
+    launcher: &Launcher,
+    booster_nodes: usize,
+    config: &XpicConfig,
+    scr: &ScrManager,
+    recovery: &RecoveryConfig,
+    plan: Option<FaultPlan>,
+) -> ResilientReport {
+    assert!(recovery.checkpoint_every >= 1);
+    assert_eq!(scr.ranks(), booster_nodes, "one SCR slot per solver rank");
+    if let Some(p) = &plan {
+        // The protocol replaces solver ranks; a death of the lone
+        // supervisor is outside the model.
+        let boosters = launcher.system().booster_nodes();
+        for f in p.node_faults() {
+            assert!(
+                boosters.contains(&f.node),
+                "fault plan may only target Booster nodes, got {:?}",
+                f.node
+            );
+        }
+        launcher.system().fabric().set_fault_plan(p.clone());
+    }
+
+    let config = Arc::new(config.clone());
+    let scr_in = scr.clone();
+    let recovery_in = recovery.clone();
+    let out = Arc::new(Mutex::new(ResilientReport {
+        field_energy: 0.0,
+        kinetic_energy: 0.0,
+        steps: 0,
+        failures: Vec::new(),
+        recoveries: 0,
+        resume_steps: Vec::new(),
+        makespan: SimTime::ZERO,
+    }));
+
+    let out_in = out.clone();
+    let report = launcher
+        .launch(
+            &JobSpec::partitioned("xpic-resilient", 1, booster_nodes).boot_on(ModuleKind::Cluster),
+            move |rank, alloc| {
+                supervise(
+                    rank,
+                    &alloc.booster,
+                    &config,
+                    &scr_in,
+                    &recovery_in,
+                    &out_in,
+                );
+            },
+        )
+        .expect("launch resilient run");
+
+    let mut o = out.lock().clone();
+    o.makespan = report.makespan();
+    o
+}
+
+/// The supervisor loop: spawn the solver world, wait for its report, and
+/// on a failure restore + heal + respawn until the job completes.
+fn supervise(
+    rank: &mut Rank,
+    booster: &[NodeId],
+    config: &Arc<XpicConfig>,
+    scr: &ScrManager,
+    recovery: &RecoveryConfig,
+    out: &Arc<Mutex<ResilientReport>>,
+) {
+    let world = rank.world();
+    let mut start_step = 0u32;
+    let mut restored: Option<Arc<Vec<Vec<u8>>>> = None;
+    let mut failures: Vec<(NodeId, SimTime)> = Vec::new();
+    let mut recoveries = 0u32;
+    let mut resume_steps: Vec<u32> = Vec::new();
+    let mut incarnation = 0u32;
+
+    loop {
+        let cfg = config.clone();
+        let scr_c = scr.clone();
+        let level = recovery.level;
+        let every = recovery.checkpoint_every;
+        let blobs = restored.clone();
+        let s0 = start_step;
+        let fresh = incarnation == 0;
+        let entry: Arc<RankFn> = Arc::new(move |child: &mut Rank| {
+            resilient_child(
+                child,
+                &cfg,
+                &scr_c,
+                level,
+                every,
+                s0,
+                fresh,
+                blobs.as_deref(),
+            );
+        });
+        let ic = rank
+            .spawn(&world, booster, entry)
+            .expect("spawn solver world");
+        incarnation += 1;
+
+        match rank.recv_inter::<StatusMsg>(&ic, Some(0), Some(TAG_STATUS)) {
+            Ok((status, _)) => {
+                let mut o = out.lock();
+                o.field_energy = status.field_energy;
+                o.kinetic_energy = status.kinetic_energy;
+                o.steps = status.steps_done;
+                o.failures = std::mem::take(&mut failures);
+                o.recoveries = recoveries;
+                o.resume_steps = std::mem::take(&mut resume_steps);
+                return;
+            }
+            Err(PsmpiError::NodeFailed { node, at }) => {
+                failures.push((node, at));
+                assert!(
+                    recoveries < recovery.max_recoveries,
+                    "recovery budget exhausted after {recoveries} restarts"
+                );
+                recoveries += 1;
+                let t0 = rank.now();
+                scr.fail_nodes(&[node]);
+                match scr.restart_traced(rank.obs(), rank.now()) {
+                    Ok((id, _level, blobs, cost)) => {
+                        start_step = id as u32;
+                        restored = Some(Arc::new(blobs));
+                        rank.advance(cost);
+                    }
+                    Err(_) => {
+                        // Nothing recoverable survived the death (failure
+                        // before the first checkpoint, or the level could
+                        // not tolerate it): replay from the start.
+                        start_step = 0;
+                        restored = None;
+                    }
+                }
+                resume_steps.push(start_step);
+                scr.heal();
+                rank.repair_node(node, rank.now().max(at));
+                rank.advance(recovery.recovery_latency);
+                if let Some(track) = rank.obs() {
+                    track.span(obs::Category::Recovery, "restore-respawn", t0, rank.now());
+                }
+            }
+            Err(other) => panic!("supervisor lost the solver world: {other}"),
+        }
+    }
+}
+
+/// Child-world entry: step the PIC loop; on a communication failure,
+/// revoke both communicators so every blocked peer (and the supervisor)
+/// unblocks with the victim's identity, then bail out.
+#[allow(clippy::too_many_arguments)]
+fn resilient_child(
+    rank: &mut Rank,
+    config: &XpicConfig,
+    scr: &ScrManager,
+    level: CheckpointLevel,
+    checkpoint_every: u32,
+    start_step: u32,
+    fresh: bool,
+    restored: Option<&Vec<Vec<u8>>>,
+) {
+    let world = rank.world();
+    let parent = rank.parent().expect("resilient child has a supervisor");
+    match resilient_steps(
+        rank,
+        &world,
+        &parent,
+        config,
+        scr,
+        level,
+        checkpoint_every,
+        start_step,
+        fresh,
+        restored,
+    ) {
+        Ok(()) => {}
+        Err(err) => {
+            let (node, at) = failure_identity(rank, &err);
+            rank.revoke_comm(&world, node, at);
+            rank.revoke_inter(&parent, node, at);
+        }
+    }
+}
+
+/// The PIC stepping loop of one child incarnation.
+///
+/// The per-step order differs from [`run_checkpointed`] on purpose:
+/// moments are rebuilt at the *top* of every step, so the `(species,
+/// fields)` pair at a step boundary fully determines the forward
+/// evolution and a checkpoint taken there replays bit-identically.
+#[allow(clippy::too_many_arguments)]
+fn resilient_steps(
+    rank: &mut Rank,
+    world: &Communicator,
+    parent: &Intercomm,
+    config: &XpicConfig,
+    scr: &ScrManager,
+    level: CheckpointLevel,
+    checkpoint_every: u32,
+    start_step: u32,
+    fresh: bool,
+    restored: Option<&Vec<Vec<u8>>>,
+) -> Result<(), PsmpiError> {
+    let n = world.size();
+    let me = rank.rank();
+    let grid = Grid::slab(config.nx, config.ny, me, n);
+    let solver = FieldSolver::new(grid, config);
+
+    let (mut species, mut fields) = match restored {
+        Some(blobs) => unpack_state(&blobs[me], &grid),
+        None => {
+            let specs = config.species_specs();
+            let sp: Vec<Species> = specs
+                .iter()
+                .enumerate()
+                .map(|(is, s)| {
+                    Species::maxwellian_charged(
+                        &grid,
+                        s.ppc,
+                        s.vth,
+                        s.qom,
+                        s.charge_per_cell,
+                        config.seed ^ ((is as u64 + 1) << 56),
+                    )
+                })
+                .collect();
+            (sp, Fields::zeros(&grid))
+        }
+    };
+
+    // Fault window: a first-incarnation world watches the plan from t = 0;
+    // a respawned world only from its own start (the supervisor's clock
+    // passed the death it just repaired, so spent faults are never
+    // re-discovered).
+    let mut win_start = if fresh { SimTime::ZERO } else { rank.now() };
+
+    let mut moments = Moments::zeros(&grid);
+    let mut step = start_step;
+    while step < config.steps {
+        moments.clear();
+        for s in &species {
+            deposit_threads(&grid, s, &mut moments, config.threads);
+        }
+        try_halo_add_moments(rank, world, &grid, &mut moments, config)?;
+        {
+            let mut fc = MpiFieldComm::new(rank, world.clone(), config);
+            solver.calculate_e(&mut fields, &moments, &mut fc);
+            if let Some(err) = fc.take_failure() {
+                return Err(err);
+            }
+        }
+        for s in species.iter_mut() {
+            boris_push_threads(&grid, &fields, s, config.dt, config.threads);
+        }
+        for s in species.iter_mut() {
+            try_migrate_particles(rank, world, &grid, s, config)?;
+        }
+        {
+            let mut fc = MpiFieldComm::new(rank, world.clone(), config);
+            solver.calculate_b(&mut fields, &mut fc);
+            if let Some(err) = fc.take_failure() {
+                return Err(err);
+            }
+        }
+        step += 1;
+
+        // Planned death check at the step boundary, *before* the
+        // checkpoint: the victim's sends for this step are already
+        // deposited (survivors still match them), and the step it was
+        // about to checkpoint is genuinely lost.
+        let now = rank.now();
+        if let Some(at) = rank.planned_fault_in(win_start, now) {
+            rank.fail_here(at);
+            return Ok(());
+        }
+        win_start = now;
+
+        if step.is_multiple_of(checkpoint_every) && step < config.steps {
+            let blob = pack_state_pooled(rank.buffer_pool(), &species, &fields);
+            let gathered = rank.gather(world, 0, &blob)?;
+            if let Some(blobs) = gathered {
+                let cost = scr
+                    .checkpoint_traced(step as u64, level, &blobs, rank.obs(), rank.now())
+                    .expect("checkpoint");
+                rank.advance(cost);
+            }
+            rank.barrier(world)?;
+        }
+    }
+
+    let fe = field_energy(&grid, &fields);
+    let ke: f64 = species.iter().map(kinetic_energy).sum();
+    let sums = rank.allreduce(world, &[fe, ke], ReduceOp::Sum)?;
+    if me == 0 {
+        rank.send_inter(
+            parent,
+            0,
+            TAG_STATUS,
+            &StatusMsg {
+                steps_done: config.steps,
+                field_energy: sums[0],
+                kinetic_energy: sums[1],
+            },
+        )?;
+    }
+    Ok(())
 }
 
 // `gather` needs Vec<u8>: MpiDatatype is implemented for it in psmpi.

@@ -14,7 +14,7 @@ use crate::grid::{Grid, Moments};
 use crate::moments::{add_into_border_row, clear_ghosts, extract_ghost_row};
 use crate::particles::Species;
 use crate::wire;
-use psmpi::{Communicator, Rank, ReduceOp};
+use psmpi::{Communicator, PsmpiError, Rank, ReduceOp};
 
 /// Reserved message tags of the xPic exchanges.
 pub mod tags {
@@ -49,6 +49,12 @@ pub struct MpiFieldComm<'a> {
     pub wire_halo: usize,
     /// Reductions performed so far.
     pub allreduces: u32,
+    /// First communication error observed. Once set, every further
+    /// exchange is a no-op and reductions return `0.0` (driving the CG
+    /// residual to zero so the solve winds down instead of hanging), and
+    /// the caller surfaces the error at step granularity through
+    /// [`MpiFieldComm::take_failure`].
+    failed: Option<PsmpiError>,
 }
 
 impl<'a> MpiFieldComm<'a> {
@@ -59,7 +65,46 @@ impl<'a> MpiFieldComm<'a> {
             comm,
             wire_halo: config.wire_halo(),
             allreduces: 0,
+            failed: None,
         }
+    }
+
+    /// The first communication error this comm absorbed, if any. The
+    /// field data is garbage past the failure point; the caller must
+    /// discard it and run recovery.
+    pub fn take_failure(&mut self) -> Option<PsmpiError> {
+        self.failed.take()
+    }
+
+    fn try_halo_exchange(&mut self, grid: &Grid, arr: &mut [f64]) -> Result<(), PsmpiError> {
+        let n = self.comm.size();
+        let phase = self.rank.obs_open(obs::Category::Phase, "halo");
+        let me = rank_in_comm(self.rank, &self.comm);
+        let prev = (me + n - 1) % n;
+        let next = (me + 1) % n;
+        let nx = grid.nx;
+        let pool = self.rank.buffer_pool();
+        let first = wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, 0)..grid.idx(0, 0) + nx]);
+        let last_j = grid.ny_local as isize - 1;
+        let last =
+            wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx]);
+        self.rank
+            .send_bytes_comm_sized(&self.comm, prev, tags::HALO_UP, first, self.wire_halo)?;
+        self.rank
+            .send_bytes_comm_sized(&self.comm, next, tags::HALO_DOWN, last, self.wire_halo)?;
+        // Our bottom ghost row is the next slab's first row.
+        let (from_next, _) =
+            self.rank
+                .recv_bytes_comm(&self.comm, Some(next), Some(tags::HALO_UP))?;
+        // Our top ghost row is the previous slab's last row.
+        let (from_prev, _) =
+            self.rank
+                .recv_bytes_comm(&self.comm, Some(prev), Some(tags::HALO_DOWN))?;
+        wire::read_f64s_into(&from_prev, &mut arr[grid.idx(0, -1)..grid.idx(0, -1) + nx]);
+        let bot = grid.idx(0, grid.ny_local as isize);
+        wire::read_f64s_into(&from_next, &mut arr[bot..bot + nx]);
+        self.rank.obs_close(phase);
+        Ok(())
     }
 }
 
@@ -73,54 +118,39 @@ pub fn rank_in_comm(rank: &Rank, comm: &Communicator) -> usize {
 
 impl FieldComm for MpiFieldComm<'_> {
     fn halo_exchange(&mut self, grid: &Grid, arr: &mut [f64]) {
-        let n = self.comm.size();
-        if n == 1 {
+        if self.comm.size() == 1 {
             crate::fields::SerialComm.halo_exchange(grid, arr);
             return;
         }
-        let phase = self.rank.obs_open(obs::Category::Phase, "halo");
-        let me = rank_in_comm(self.rank, &self.comm);
-        let prev = (me + n - 1) % n;
-        let next = (me + 1) % n;
-        let nx = grid.nx;
-        let pool = self.rank.buffer_pool();
-        let first = wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, 0)..grid.idx(0, 0) + nx]);
-        let last_j = grid.ny_local as isize - 1;
-        let last =
-            wire::f64s_to_bytes_pooled(pool, &arr[grid.idx(0, last_j)..grid.idx(0, last_j) + nx]);
-        self.rank
-            .send_bytes_comm_sized(&self.comm, prev, tags::HALO_UP, first, self.wire_halo)
-            .expect("halo send up");
-        self.rank
-            .send_bytes_comm_sized(&self.comm, next, tags::HALO_DOWN, last, self.wire_halo)
-            .expect("halo send down");
-        // Our bottom ghost row is the next slab's first row.
-        let (from_next, _) = self
-            .rank
-            .recv_bytes_comm(&self.comm, Some(next), Some(tags::HALO_UP))
-            .expect("halo recv from next");
-        // Our top ghost row is the previous slab's last row.
-        let (from_prev, _) = self
-            .rank
-            .recv_bytes_comm(&self.comm, Some(prev), Some(tags::HALO_DOWN))
-            .expect("halo recv from prev");
-        wire::read_f64s_into(&from_prev, &mut arr[grid.idx(0, -1)..grid.idx(0, -1) + nx]);
-        let bot = grid.idx(0, grid.ny_local as isize);
-        wire::read_f64s_into(&from_next, &mut arr[bot..bot + nx]);
-        self.rank.obs_close(phase);
+        if self.failed.is_some() {
+            return;
+        }
+        if let Err(err) = self.try_halo_exchange(grid, arr) {
+            self.failed = Some(err);
+        }
     }
 
     fn allreduce_sum(&mut self, v: f64) -> f64 {
+        if self.failed.is_some() {
+            return 0.0;
+        }
         self.allreduces += 1;
-        self.rank
-            .allreduce_scalar(&self.comm, v, ReduceOp::Sum)
-            .expect("allreduce")
+        match self.rank.allreduce_scalar(&self.comm, v, ReduceOp::Sum) {
+            Ok(sum) => sum,
+            Err(err) => {
+                self.failed = Some(err);
+                0.0
+            }
+        }
     }
 }
 
 /// Exchange deposited ghost rows with the neighbours and add them into the
 /// border rows (the distributed version of
 /// [`crate::moments::fold_ghosts_periodic`]).
+///
+/// Panics on a communication failure; fault-tolerant callers use
+/// [`try_halo_add_moments`].
 pub fn halo_add_moments(
     rank: &mut Rank,
     comm: &Communicator,
@@ -128,10 +158,23 @@ pub fn halo_add_moments(
     moments: &mut Moments,
     config: &XpicConfig,
 ) {
+    try_halo_add_moments(rank, comm, grid, moments, config).expect("moment halo-add exchange");
+}
+
+/// [`halo_add_moments`] surfacing dead nodes and downed links as typed
+/// errors instead of panicking. On `Err` the border rows are in an
+/// undefined intermediate state; the caller must discard the step.
+pub fn try_halo_add_moments(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    moments: &mut Moments,
+    config: &XpicConfig,
+) -> Result<(), PsmpiError> {
     let n = comm.size();
     if n == 1 {
         crate::moments::fold_ghosts_periodic(grid, moments);
-        return;
+        return Ok(());
     }
     let me = rank_in_comm(rank, comm);
     let prev = (me + n - 1) % n;
@@ -140,26 +183,24 @@ pub fn halo_add_moments(
     let pool = rank.buffer_pool();
     let top = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, true));
     let bottom = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, false));
-    rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size)
-        .expect("mom send up");
-    rank.send_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)
-        .expect("mom send down");
-    let (from_next, _) = rank
-        .recv_bytes_comm(comm, Some(next), Some(tags::MOM_UP))
-        .expect("mom recv next");
-    let (from_prev, _) = rank
-        .recv_bytes_comm(comm, Some(prev), Some(tags::MOM_DOWN))
-        .expect("mom recv prev");
+    rank.send_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size)?;
+    rank.send_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)?;
+    let (from_next, _) = rank.recv_bytes_comm(comm, Some(next), Some(tags::MOM_UP))?;
+    let (from_prev, _) = rank.recv_bytes_comm(comm, Some(prev), Some(tags::MOM_DOWN))?;
     // The next slab's top ghost is spill below our last row; the previous
     // slab's bottom ghost is spill above our first row.
     add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_next), false);
     add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_prev), true);
     clear_ghosts(grid, moments);
+    Ok(())
 }
 
 /// Wrap particle y periodically and migrate leavers to the neighbour
 /// slabs. With the configured time steps particles cross at most one slab
 /// boundary per step. Returns the number of particles sent away.
+///
+/// Panics on a communication failure; fault-tolerant callers use
+/// [`try_migrate_particles`].
 pub fn migrate_particles(
     rank: &mut Rank,
     comm: &Communicator,
@@ -167,13 +208,26 @@ pub fn migrate_particles(
     species: &mut Species,
     config: &XpicConfig,
 ) -> usize {
+    try_migrate_particles(rank, comm, grid, species, config).expect("particle migration exchange")
+}
+
+/// [`migrate_particles`] surfacing dead nodes and downed links as typed
+/// errors instead of panicking. On `Err` the species may have lost its
+/// leavers; the caller must discard the step.
+pub fn try_migrate_particles(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    species: &mut Species,
+    config: &XpicConfig,
+) -> Result<usize, PsmpiError> {
     let ny = grid.ny as f64;
     let n = comm.size();
     if n == 1 {
         for y in species.y.iter_mut() {
             *y = y.rem_euclid(ny);
         }
-        return 0;
+        return Ok(0);
     }
     let me = rank_in_comm(rank, comm);
     let prev = (me + n - 1) % n;
@@ -201,16 +255,10 @@ pub fn migrate_particles(
     let wire_size = config.wire_migration();
     let up_wire = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &up);
     let down_wire = wire::f64s_to_bytes_pooled(rank.buffer_pool(), &down);
-    rank.send_bytes_comm_sized(comm, prev, tags::MIG_UP, up_wire, wire_size)
-        .expect("mig send up");
-    rank.send_bytes_comm_sized(comm, next, tags::MIG_DOWN, down_wire, wire_size)
-        .expect("mig send down");
-    let (from_next, _) = rank
-        .recv_bytes_comm(comm, Some(next), Some(tags::MIG_UP))
-        .expect("mig recv next");
-    let (from_prev, _) = rank
-        .recv_bytes_comm(comm, Some(prev), Some(tags::MIG_DOWN))
-        .expect("mig recv prev");
+    rank.send_bytes_comm_sized(comm, prev, tags::MIG_UP, up_wire, wire_size)?;
+    rank.send_bytes_comm_sized(comm, next, tags::MIG_DOWN, down_wire, wire_size)?;
+    let (from_next, _) = rank.recv_bytes_comm(comm, Some(next), Some(tags::MIG_UP))?;
+    let (from_prev, _) = rank.recv_bytes_comm(comm, Some(prev), Some(tags::MIG_DOWN))?;
     let from_next = wire::bytes_to_f64s(&from_next);
     let from_prev = wire::bytes_to_f64s(&from_prev);
     for chunk in from_next.chunks_exact(5).chain(from_prev.chunks_exact(5)) {
@@ -220,5 +268,5 @@ pub fn migrate_particles(
         );
         species.push_particle(chunk[0], chunk[1], chunk[2], chunk[3], chunk[4]);
     }
-    sent
+    Ok(sent)
 }

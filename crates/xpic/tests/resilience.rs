@@ -8,7 +8,7 @@ use scr::{CheckpointLevel, ScrConfig, ScrManager};
 use sionio::ParallelFs;
 use xpic::grid::{Fields, Grid};
 use xpic::particles::Species;
-use xpic::resilience::{pack_state, run_checkpointed, unpack_state};
+use xpic::resilience::{pack_state, pack_state_pooled, run_checkpointed, unpack_state};
 use xpic::XpicConfig;
 
 fn launcher(n: u32) -> Launcher {
@@ -55,6 +55,54 @@ fn state_pack_unpack_roundtrip() {
     assert_eq!(sp2[0], species[0]);
     assert_eq!(sp2[1], species[1]);
     assert_eq!(f2, fields);
+}
+
+#[test]
+fn pack_state_wire_format_is_unchanged() {
+    // The bulk-codec rewrite must keep the blob format bit-for-bit: this
+    // is the old per-element packer, kept here as the format oracle.
+    fn put_f64s_old(buf: &mut Vec<u8>, v: &[f64]) {
+        buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        for x in v {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    fn pack_old(species: &[Species], fields: &Fields) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(species.len() as u64).to_le_bytes());
+        for s in species {
+            buf.extend_from_slice(&s.qom.to_le_bytes());
+            buf.extend_from_slice(&s.q_per_particle.to_le_bytes());
+            put_f64s_old(&mut buf, &s.x);
+            put_f64s_old(&mut buf, &s.y);
+            put_f64s_old(&mut buf, &s.vx);
+            put_f64s_old(&mut buf, &s.vy);
+            put_f64s_old(&mut buf, &s.vz);
+        }
+        for comp in fields.components() {
+            put_f64s_old(&mut buf, comp);
+        }
+        buf
+    }
+
+    let grid = Grid::slab(8, 8, 1, 2);
+    let species = vec![
+        Species::maxwellian(&grid, 3, 0.1, -1.0, 5),
+        Species::maxwellian_charged(&grid, 2, 0.05, 0.01, 1.0, 6),
+    ];
+    let mut fields = Fields::zeros(&grid);
+    for (i, v) in fields.ex.iter_mut().enumerate() {
+        *v = (i as f64).sin();
+    }
+    let oracle = pack_old(&species, &fields);
+    assert_eq!(pack_state(&species, &fields), oracle);
+
+    // The pooled variant produces the same bytes and returns its staging
+    // buffer to the pool for the next checkpoint.
+    let pool = psmpi::BufferPool::new();
+    let before = pool.pooled();
+    assert_eq!(pack_state_pooled(&pool, &species, &fields), oracle);
+    assert_eq!(pool.pooled(), before + 1, "staging buffer must be recycled");
 }
 
 #[test]
