@@ -31,6 +31,14 @@ echo "== bench smoke (codec regression gate) =="
 # than the stored multiple of the raw-bytes path (see fabric.rs).
 cargo bench -q -p cb-bench --bench fabric -- --smoke
 
+echo "== scale smoke (simulator throughput at 1000 nodes) =="
+# Ring exchange across 1000 simulated nodes through the sharded router and
+# the in-place typed path; fails if host cost per delivered message rises
+# above the stored ceiling or throughput drops under the floor (scale.rs).
+SCALE_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin scale -- --smoke --out "$SCALE_TMP/BENCH_scale.json"
+rm -rf "$SCALE_TMP"
+
 echo "== obs determinism (virtual-time traces are thread-invariant) =="
 # The same workload, instrumented, at two thread counts: both the Chrome
 # trace and the text report must come out byte-for-byte identical.

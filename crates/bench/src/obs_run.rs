@@ -23,12 +23,21 @@ pub struct ObsRun {
 }
 
 /// Run one xPic job with a recorder attached and snapshot the trace.
+/// The system is sized to the requested node count ([`crate::launcher_for`]),
+/// so `--nodes 1000` boots instead of failing allocation on the prototype.
 pub fn run_with_obs(mode: Mode, nodes: usize, steps: u32, threads: usize) -> ObsRun {
-    let launcher = crate::prototype_launcher();
+    let launcher = crate::launcher_for(nodes);
     let rec = Recorder::new();
     launcher.universe().attach_obs(rec.clone());
     let mut cfg = XpicConfig::paper_bench(steps);
     cfg.threads = threads;
+    // Weak-scale the simulation grid with the node count: the slab
+    // decomposition needs at least one row per rank, and holding the
+    // per-rank load constant keeps setup linear in n (the paper grid's 32
+    // rows would otherwise cap the run at 32 ranks per solver).
+    if nodes > cfg.ny {
+        cfg.ny = nodes;
+    }
     let _ = run_mode(&launcher, mode, nodes, &cfg);
     ObsRun {
         mode,

@@ -1,0 +1,156 @@
+//! The `scale` bin's workload: how fast is the *simulator itself* at
+//! 1000+ simulated nodes?
+//!
+//! Every other module here reproduces a figure of the paper in virtual
+//! time; this one measures the host-side throughput of the psmpi runtime
+//! — messages delivered per wall-clock second, nanoseconds of host time
+//! per delivered message, buffer-pool efficacy — on a ring neighbor
+//! exchange big enough to exercise the sharded router (1000+ rank
+//! threads, every delivery crossing only per-endpoint lock domains).
+//!
+//! The workload itself is pure virtual-time simulation and deterministic;
+//! all wall-clock measurement lives in the `scale` binary (which is
+//! allowlisted for deepcheck D001), not here.
+
+use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+use hwmodel::SimTime;
+use psmpi::{PoolStats, Tag, Universe};
+use simnet::{Fabric, Topology};
+
+/// Tag of the ring-exchange messages.
+const TAG_RING: Tag = 7001;
+
+/// One scale run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Simulated nodes (= ranks; one rank per node).
+    pub nodes: usize,
+    /// Ring-exchange rounds; every rank receives one message per round.
+    pub rounds: usize,
+    /// `f64` elements per message (8 bytes each on the wire).
+    pub elems: usize,
+}
+
+impl ScaleConfig {
+    /// The full-size configuration: 1000 nodes, a few steady-state
+    /// rounds, 8 KiB messages.
+    pub fn full() -> ScaleConfig {
+        ScaleConfig {
+            nodes: 1000,
+            rounds: 8,
+            elems: 1024,
+        }
+    }
+}
+
+/// What a scale run did, in simulator terms (no wall-clock here — the
+/// binary wraps the run in its own timer).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleStats {
+    /// Ranks that ran.
+    pub nodes: usize,
+    /// Rounds completed.
+    pub rounds: usize,
+    /// Elements per message.
+    pub elems: usize,
+    /// Cross-rank messages delivered (receives completed).
+    pub delivered_msgs: u64,
+    /// Virtual-time makespan of the job.
+    pub makespan: SimTime,
+    /// Buffer-pool counter deltas over the run.
+    pub pool: PoolStats,
+}
+
+/// Run the ring exchange: rank *r* sends to *r+1* and receives from
+/// *r−1* (mod n) each round, through the in-place typed slice path
+/// (`send_slice`/`recv_into`), so the steady state allocates nothing.
+///
+/// The node population is half Cluster, half Booster, so deliveries cross
+/// both same-kind and cross-kind fabric paths.
+pub fn run_ring(cfg: &ScaleConfig) -> ScaleStats {
+    assert!(cfg.nodes >= 2, "ring needs at least two ranks");
+    let mut topo = Topology::new();
+    let cn = cfg.nodes.div_ceil(2) as u32;
+    let bn = (cfg.nodes / 2) as u32;
+    let mut placements = topo.add_nodes(cn, &deep_er_cluster_node());
+    placements.extend(topo.add_nodes(bn, &deep_er_booster_node()));
+    let universe = Universe::new(Fabric::with_model(topo, Default::default()));
+
+    let pool_before = universe.router().buffer_pool().stats();
+    let rounds = cfg.rounds;
+    let elems = cfg.elems;
+    let report = universe.launch(&placements, move |rank| {
+        let n = rank.world().size();
+        let me = rank.rank();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let payload = vec![me as f64; elems];
+        let mut inbox = vec![0.0f64; elems];
+        for _ in 0..rounds {
+            // Buffered send completes locally, so send-then-recv cannot
+            // deadlock around the ring.
+            rank.send_slice(next, TAG_RING, &payload).unwrap();
+            rank.recv_into(Some(prev), Some(TAG_RING), &mut inbox)
+                .unwrap();
+            assert_eq!(inbox[0], prev as f64, "ring payload integrity");
+        }
+    });
+    let pool_after = universe.router().buffer_pool().stats();
+
+    ScaleStats {
+        nodes: cfg.nodes,
+        rounds: cfg.rounds,
+        elems: cfg.elems,
+        delivered_msgs: (cfg.nodes * cfg.rounds) as u64,
+        makespan: report.makespan(),
+        pool: PoolStats {
+            hits: pool_after.hits - pool_before.hits,
+            misses: pool_after.misses - pool_before.misses,
+            reclaim_failures: pool_after.reclaim_failures - pool_before.reclaim_failures,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_delivers_every_message_and_reuses_buffers() {
+        let cfg = ScaleConfig {
+            nodes: 64,
+            rounds: 4,
+            elems: 128,
+        };
+        let s = run_ring(&cfg);
+        assert_eq!(s.delivered_msgs, 64 * 4);
+        assert!(s.makespan > SimTime::ZERO);
+        // One miss per rank's first send at most; every later round must
+        // draw from the pool (the receiver recycles after decoding).
+        assert!(
+            s.pool.hits + s.pool.misses >= s.delivered_msgs,
+            "every send stages through the pool: {:?}",
+            s.pool
+        );
+        assert!(
+            s.pool.hits > s.delivered_msgs / 2,
+            "steady-state sends must reuse retired buffers: {:?}",
+            s.pool
+        );
+    }
+
+    #[test]
+    fn makespan_is_thread_count_invariant() {
+        // The same exchange, run twice: virtual time must agree exactly
+        // (host scheduling varies between the runs; virtual time cannot).
+        let cfg = ScaleConfig {
+            nodes: 16,
+            rounds: 3,
+            elems: 64,
+        };
+        let a = run_ring(&cfg);
+        let b = run_ring(&cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.delivered_msgs, b.delivered_msgs);
+    }
+}

@@ -1,0 +1,128 @@
+//! Host-side (wall-clock-domain) metrics, kept apart from virtual time.
+//!
+//! Everything else in this crate lives in the virtual-time domain and is
+//! held to the byte-identical determinism contract (see the crate docs).
+//! Some quantities we want to report are *host* facts that legitimately
+//! vary run to run: wall-clock throughput of the simulator itself,
+//! buffer-pool hit rates, messages delivered per host second. Those must
+//! never leak into [`crate::Trace`] artifacts — the ci.sh byte-diffs would
+//! (correctly) fail — so they get their own sink.
+//!
+//! A [`HostMetrics`] is a plain ordered bag of named scalar samples. It
+//! does not read clocks or entropy itself (deepcheck D001 applies here
+//! too): callers measure with whatever wall-clock source their context
+//! permits (the bench binaries are allowlisted) and deposit plain numbers.
+//! The JSON rendering is deterministic *given the samples* — keys sorted,
+//! fixed float formatting — so diffs between runs show metric drift, not
+//! serialization noise.
+//!
+//! None of the `Trace`/report/Chrome exporters read this type; it is
+//! surfaced only through host-metrics channels such as `BENCH_scale.json`.
+
+use std::collections::BTreeMap;
+
+/// An ordered bag of host-domain scalar metrics (see module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostMetrics {
+    values: BTreeMap<String, f64>,
+}
+
+impl HostMetrics {
+    /// New, empty bag.
+    pub fn new() -> HostMetrics {
+        HostMetrics::default()
+    }
+
+    /// Set `name` to `value` (overwrites).
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Add `delta` to `name` (starting from zero).
+    pub fn add(&mut self, name: &str, delta: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Read a metric back.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterate `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Render as a flat JSON object, keys sorted, floats printed with
+    /// enough digits to round-trip and integers without a fraction.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\": ");
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Format a float as JSON: integral values print as integers, everything
+/// else with shortest round-trip formatting; non-finite values (invalid
+/// JSON) are clamped to null.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut m = HostMetrics::new();
+        m.set("zeta", 2.5);
+        m.set("alpha", 3.0);
+        m.add("alpha", 1.0);
+        m.set("count", 1_000_000.0);
+        assert_eq!(
+            m.to_json(),
+            r#"{"alpha": 4, "count": 1000000, "zeta": 2.5}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        let mut m = HostMetrics::new();
+        m.set("bad", f64::NAN);
+        assert_eq!(m.to_json(), r#"{"bad": null}"#);
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let mut m = HostMetrics::new();
+        m.set("a\"b", 1.0);
+        assert_eq!(m.to_json(), "{\"a\\\"b\": 1}");
+    }
+}

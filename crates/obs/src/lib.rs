@@ -40,10 +40,12 @@
 
 pub mod critical;
 pub mod export;
+pub mod host;
 pub mod profile;
 pub mod recorder;
 
 pub use critical::CriticalPath;
+pub use host::HostMetrics;
 pub use profile::{Bucket, Profile, RankProfile};
 pub use recorder::{
     Category, EdgeView, Recorder, Span, SpanGuard, Trace, TrackHandle, TrackKey, TrackView,

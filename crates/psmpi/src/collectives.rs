@@ -56,12 +56,6 @@ fn binomial_tree(rel: usize, n: usize) -> (Option<usize>, Vec<usize>) {
 }
 
 impl Rank {
-    fn comm_rank(&self, comm: &Communicator) -> Result<usize, PsmpiError> {
-        comm.group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)
-    }
-
     /// Run `f` inside an automatic `Collective` span (a no-op when no
     /// recorder is attached). The point-to-point spans of the underlying
     /// algorithm nest inside it.

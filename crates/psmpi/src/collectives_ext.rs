@@ -38,10 +38,7 @@ impl Rank {
         op: ReduceOp,
     ) -> Result<Vec<f64>, PsmpiError> {
         let n = comm.size();
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
         let mut acc = contribution.to_vec();
         if me > 0 {
             let (prev, _) = self.recv_comm::<Vec<f64>>(comm, Some(me - 1), Some(TAG_SCAN))?;
@@ -64,10 +61,7 @@ impl Rank {
         op: ReduceOp,
     ) -> Result<Vec<f64>, PsmpiError> {
         let n = comm.size();
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
         let mut incoming = vec![op.identity(); contribution.len()];
         if me > 0 {
             let (prev, _) = self.recv_comm::<Vec<f64>>(comm, Some(me - 1), Some(TAG_SCAN))?;
@@ -106,10 +100,7 @@ impl Rank {
             });
         }
         let block = contribution.len() / n;
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
         if !n.is_power_of_two() || n < 2 {
             let reduced = self.reduce(comm, 0, contribution, op)?;
             let blocks: Option<Vec<Vec<f64>>> =
@@ -161,10 +152,7 @@ impl Rank {
         value: &[T],
     ) -> Result<Option<Vec<Vec<T>>>, PsmpiError> {
         let n = comm.size();
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
         if me != root {
             self.send_comm(comm, root, TAG_GATHERV, &value.to_vec())?;
             return Ok(None);
@@ -185,10 +173,7 @@ impl Rank {
 
     /// Global minimum *and* its owning rank (MPI_MINLOC over one double).
     pub fn minloc(&mut self, comm: &Communicator, value: f64) -> Result<(f64, usize), PsmpiError> {
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
         // Encode (value, rank) pairs; reduce keeps the smaller value with
         // ties by lower rank.
         let pairs = self.allgather(comm, &(value, me as u64))?;

@@ -63,7 +63,7 @@ pub mod universe;
 pub use comm::{CommId, Communicator, Intercomm};
 pub use datatype::{FixedWidth, MpiDatatype, Raw, ReduceOp};
 pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG, TAG_REVOKED};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};
 pub use rank::{PsmpiError, Rank, Request};
 pub use router::{RecvAbort, RetryPolicy};
 

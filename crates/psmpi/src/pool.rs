@@ -12,6 +12,7 @@
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Retired buffers above this capacity are dropped rather than pooled, so
 /// one pathological message cannot pin a huge allocation forever.
@@ -21,9 +22,43 @@ const MAX_POOLED_CAPACITY: usize = 16 << 20;
 const MAX_POOLED_BUFFERS: usize = 64;
 
 /// A bounded stack of retired [`BytesMut`] allocations (see module docs).
+///
+/// The pool keeps host-side efficacy counters ([`BufferPool::stats`]).
+/// They count *wall-clock-domain* events whose totals depend on host
+/// scheduling (which thread wins a pooled buffer, whether a receiver
+/// drops its reference before the recycle attempt), so they are reported
+/// only through host-metrics channels (`BENCH_scale.json`) and must never
+/// feed virtual-time results or byte-diffed obs artifacts.
 #[derive(Default)]
 pub struct BufferPool {
     bufs: Mutex<Vec<BytesMut>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reclaim_failures: AtomicU64,
+}
+
+/// Point-in-time snapshot of a pool's efficacy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` calls served from a retired allocation.
+    pub hits: u64,
+    /// `get` calls that had to allocate fresh.
+    pub misses: u64,
+    /// `recycle` calls that could not reclaim the buffer (still aliased,
+    /// static, or otherwise not sole-owned).
+    pub reclaim_failures: u64,
+}
+
+impl PoolStats {
+    /// Fraction of `get` calls served from the pool (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl BufferPool {
@@ -38,11 +73,15 @@ impl BufferPool {
         let recycled = self.bufs.lock().pop();
         match recycled {
             Some(mut b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 b.clear();
                 b.reserve(cap);
                 b
             }
-            None => BytesMut::with_capacity(cap),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                BytesMut::with_capacity(cap)
+            }
         }
     }
 
@@ -62,14 +101,27 @@ impl BufferPool {
     /// `bytes` is the sole owner; aliased or static buffers are dropped
     /// untouched, which keeps every zero-copy sharing guarantee intact.
     pub fn recycle(&self, bytes: Bytes) {
-        if let Ok(buf) = bytes.try_into_mut() {
-            self.put(buf);
+        match bytes.try_into_mut() {
+            Ok(buf) => self.put(buf),
+            Err(_still_shared) => {
+                self.reclaim_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// Number of buffers currently pooled (for tests and diagnostics).
     pub fn pooled(&self) -> usize {
         self.bufs.lock().len()
+    }
+
+    /// Snapshot the efficacy counters (see the struct docs for the
+    /// wall-clock-domain caveat).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            reclaim_failures: self.reclaim_failures.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -101,6 +153,25 @@ mod tests {
         pool.recycle(frozen);
         assert_eq!(pool.pooled(), 0, "aliased buffer must not be pooled");
         assert_eq!(&alias[..], &[9; 8]);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_failed_reclaims() {
+        let pool = BufferPool::new();
+        let mut b = pool.get(32); // miss: pool starts empty
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        pool.recycle(b.freeze()); // sole owner: reclaimed into the pool
+        let _hit = pool.get(8); // hit
+        let mut c = pool.get(8); // miss: pool drained again
+        c.extend_from_slice(&[5]);
+        let frozen = c.freeze();
+        let _alias = frozen.clone();
+        pool.recycle(frozen); // aliased: reclaim failure
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.reclaim_failures, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! charging. One [`Rank`] is owned by each rank thread.
 
 use crate::comm::{CommId, Communicator, Intercomm};
-use crate::datatype::{CodecError, MpiDatatype};
+use crate::datatype::{
+    pod_to_bytes_pooled, read_pod_into_exact, CodecError, FixedWidth, MpiDatatype,
+};
 use crate::envelope::{EndpointId, Envelope, Status, Tag, TAG_REVOKED};
-use crate::router::{Mailbox, RecvAbort, Router};
+use crate::router::{EndpointEntry, Mailbox, RecvAbort, Router};
 use bytes::{BufMut, Bytes, BytesMut};
 use hwmodel::{CostModel, NodeId, NodeSpec, SimTime, WorkSpec};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -172,6 +175,23 @@ pub struct Rank {
     /// receive lands here, and a self-addressed send is pushed straight in
     /// without consulting the router's endpoint table at all.
     mailbox: Arc<Mailbox>,
+    /// This rank's own routing record (incast bookkeeping target).
+    self_entry: Arc<EndpointEntry>,
+    /// Lazily-built cache of peer routing records. Entries are immutable
+    /// and never removed from the router, so a cached `Arc` stays valid for
+    /// the life of the universe; after the first message to/from a peer,
+    /// the hot paths never touch the router's sharded table again.
+    entries: BTreeMap<EndpointId, Arc<EndpointEntry>>,
+    /// This rank's index per communicator context, so repeated sends on
+    /// the same communicator skip [`crate::Group::rank_of`]'s O(n)
+    /// endpoint scan (quadratic per exchange step at 1000 ranks). The
+    /// world is answered from `my_rank` without touching the map.
+    comm_ranks: BTreeMap<CommId, usize>,
+    /// The fault schedule, resolved once at construction (plans are
+    /// installed before rank threads launch and immutable afterwards —
+    /// see [`simnet::Fabric::set_fault_plan`]). `None` makes every
+    /// sender-side fault check a single branch.
+    fault_plan: Option<Arc<simnet::FaultPlan>>,
     node_id: NodeId,
     node: Arc<NodeSpec>,
     world: Communicator,
@@ -209,9 +229,11 @@ impl Rank {
         cores: u32,
         obs_origin: Option<obs::TrackKey>,
     ) -> Self {
-        let mailbox = router
-            .mailbox(endpoint)
+        let self_entry = router
+            .entry(endpoint)
             .expect("rank endpoint is registered at construction");
+        let mailbox = self_entry.mailbox().clone();
+        let fault_plan = router.fabric().fault_plan();
         let obs = router.obs_recorder().map(|rec| {
             rec.register(
                 obs::TrackKey {
@@ -228,6 +250,10 @@ impl Rank {
             router,
             endpoint,
             mailbox,
+            self_entry,
+            entries: BTreeMap::new(),
+            comm_ranks: BTreeMap::new(),
+            fault_plan,
             node_id,
             node,
             world,
@@ -333,14 +359,53 @@ impl Rank {
         self.router.buffer_pool()
     }
 
-    /// This rank's endpoint id.
-    pub(crate) fn endpoint(&self) -> EndpointId {
-        self.endpoint
-    }
-
     /// This rank's mailbox (collectives dispatch on queued tags).
     pub(crate) fn mailbox(&self) -> &Arc<Mailbox> {
         &self.mailbox
+    }
+
+    /// Routing record of a peer endpoint, from this rank's private cache
+    /// (filled on first use; see the `entries` field).
+    fn entry_of(&mut self, ep: EndpointId) -> Result<Arc<EndpointEntry>, PsmpiError> {
+        if let Some(e) = self.entries.get(&ep) {
+            return Ok(e.clone());
+        }
+        let e = self.router.entry(ep)?;
+        self.entries.insert(ep, e.clone());
+        Ok(e)
+    }
+
+    /// This rank's index within `comm`, cached per communicator context.
+    /// The world answers from `my_rank` directly; other communicators pay
+    /// [`crate::Group::rank_of`]'s linear scan exactly once.
+    pub(crate) fn comm_rank(&mut self, comm: &Communicator) -> Result<usize, PsmpiError> {
+        if comm.id == self.world.id {
+            return Ok(self.my_rank);
+        }
+        if let Some(&r) = self.comm_ranks.get(&comm.id) {
+            return Ok(r);
+        }
+        let r = comm
+            .group
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        self.comm_ranks.insert(comm.id, r);
+        Ok(r)
+    }
+
+    /// This rank's index within the local group of `ic`, cached by context
+    /// id (an endpoint belongs to exactly one side of an inter-comm, so the
+    /// shared [`CommId`] keyspace with intra-comms is unambiguous).
+    pub(crate) fn inter_local_rank(&mut self, ic: &Intercomm) -> Result<usize, PsmpiError> {
+        if let Some(&r) = self.comm_ranks.get(&ic.id) {
+            return Ok(r);
+        }
+        let r = ic
+            .local
+            .rank_of(self.endpoint)
+            .ok_or(PsmpiError::NotInCommunicator)?;
+        self.comm_ranks.insert(ic.id, r);
+        Ok(r)
     }
 
     /// Advance the virtual clock unconditionally (used for modelled waits,
@@ -382,10 +447,7 @@ impl Rank {
                 size: comm.size(),
             });
         }
-        let src_rank = comm
-            .group
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.comm_rank(comm)?;
         let dst_ep = comm.group.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
         self.send_raw(comm.id, dst_ep, src_rank, tag, wire, None)
@@ -408,10 +470,7 @@ impl Rank {
                 size: comm.size(),
             });
         }
-        let src_rank = comm
-            .group
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.comm_rank(comm)?;
         let dst_ep = comm.group.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
         self.send_raw(comm.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes))
@@ -532,10 +591,7 @@ impl Rank {
                 size: ic.remote_size(),
             });
         }
-        let src_rank = ic
-            .local
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.inter_local_rank(ic)?;
         let dst_ep = ic.remote.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
         self.send_raw(ic.id, dst_ep, src_rank, tag, wire, None)
@@ -556,10 +612,7 @@ impl Rank {
                 size: ic.remote_size(),
             });
         }
-        let src_rank = ic
-            .local
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.inter_local_rank(ic)?;
         let dst_ep = ic.remote.endpoints[dst];
         let wire = value.to_wire(self.router.buffer_pool());
         self.send_raw(ic.id, dst_ep, src_rank, tag, wire, Some(virtual_bytes))
@@ -710,10 +763,7 @@ impl Rank {
                 size: comm.size(),
             });
         }
-        let src_rank = comm
-            .group
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.comm_rank(comm)?;
         let dst_ep = comm.group.endpoints[dst];
         self.send_raw(comm.id, dst_ep, src_rank, tag, payload, virtual_size)
     }
@@ -776,10 +826,7 @@ impl Rank {
                 size: ic.remote_size(),
             });
         }
-        let src_rank = ic
-            .local
-            .rank_of(self.endpoint)
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let src_rank = self.inter_local_rank(ic)?;
         let dst_ep = ic.remote.endpoints[dst];
         self.send_raw(ic.id, dst_ep, src_rank, tag, payload, virtual_size)
     }
@@ -795,6 +842,170 @@ impl Rank {
         self.recv_raw(ic.id, src, tag, src_ep)
     }
 
+    // ---- in-place typed point-to-point (POD slices) ----
+    //
+    // The framed `MpiDatatype` codec allocates a fresh `Vec` on every
+    // decode and carries a length header; these calls instead bulk-encode
+    // a POD slice straight into a pooled buffer on send
+    // (`pod_to_bytes_pooled`) and decode into a caller-owned slice on
+    // receive (`read_pod_into_exact`), so steady-state `&[f64]` p2p does
+    // no per-message heap allocation. The wire format is the unframed POD
+    // layout of `pod_to_bytes` (the xpic wire convention): the element
+    // count is implied by the byte length, so both sides must agree on it.
+
+    /// Typed send of a POD slice to `dst` in `comm`: bulk-encoded into a
+    /// pooled buffer, no intermediate `Vec`.
+    pub fn send_slice_comm<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<(), PsmpiError> {
+        self.send_slice_comm_opt(comm, dst, tag, data, None)
+    }
+
+    /// Like [`Rank::send_slice_comm`] but charging `virtual_bytes` on the
+    /// wire (model-scale exchanges over reduced-scale data).
+    pub fn send_slice_comm_sized<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        self.send_slice_comm_opt(comm, dst, tag, data, Some(virtual_bytes))
+    }
+
+    fn send_slice_comm_opt<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_size: Option<usize>,
+    ) -> Result<(), PsmpiError> {
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
+        }
+        let src_rank = self.comm_rank(comm)?;
+        let dst_ep = comm.group.endpoints[dst];
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.send_raw(comm.id, dst_ep, src_rank, tag, wire, virtual_size)
+    }
+
+    /// [`Rank::send_slice_comm`] on the world communicator.
+    pub fn send_slice<T: FixedWidth>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<(), PsmpiError> {
+        let w = self.world.clone();
+        self.send_slice_comm(&w, dst, tag, data)
+    }
+
+    /// Typed slice send to rank `dst` of an inter-communicator's remote
+    /// group (see [`Rank::send_slice_comm`]).
+    pub fn send_slice_inter<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<(), PsmpiError> {
+        self.send_slice_inter_opt(ic, dst, tag, data, None)
+    }
+
+    /// Like [`Rank::send_slice_inter`] but charging `virtual_bytes` on the
+    /// wire.
+    pub fn send_slice_inter_sized<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_bytes: usize,
+    ) -> Result<(), PsmpiError> {
+        self.send_slice_inter_opt(ic, dst, tag, data, Some(virtual_bytes))
+    }
+
+    fn send_slice_inter_opt<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_size: Option<usize>,
+    ) -> Result<(), PsmpiError> {
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
+        }
+        let src_rank = self.inter_local_rank(ic)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.send_raw(ic.id, dst_ep, src_rank, tag, wire, virtual_size)
+    }
+
+    /// Typed in-place receive on `comm`: decodes the payload directly into
+    /// `out` (whose length must match the message's element count exactly)
+    /// and recycles the wire buffer. No allocation on the steady-state
+    /// path.
+    pub fn recv_into_comm<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &mut [T],
+    ) -> Result<Status, PsmpiError> {
+        if let Some(s) = src {
+            if s >= comm.size() {
+                return Err(PsmpiError::InvalidRank {
+                    rank: s,
+                    size: comm.size(),
+                });
+            }
+        }
+        let src_ep = src.map(|s| comm.group.endpoints[s]);
+        let (bytes, st) = self.recv_raw(comm.id, src, tag, src_ep)?;
+        read_pod_into_exact(&bytes, out)?;
+        self.router.buffer_pool().recycle(bytes);
+        Ok(st)
+    }
+
+    /// [`Rank::recv_into_comm`] on the world communicator.
+    pub fn recv_into<T: FixedWidth>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &mut [T],
+    ) -> Result<Status, PsmpiError> {
+        let w = self.world.clone();
+        self.recv_into_comm(&w, src, tag, out)
+    }
+
+    /// Typed in-place receive from an inter-communicator's remote group.
+    pub fn recv_into_inter<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &mut [T],
+    ) -> Result<Status, PsmpiError> {
+        let src_ep = src.and_then(|s| ic.remote.endpoints.get(s).copied());
+        let (bytes, st) = self.recv_raw(ic.id, src, tag, src_ep)?;
+        read_pod_into_exact(&bytes, out)?;
+        self.router.buffer_pool().recycle(bytes);
+        Ok(st)
+    }
+
     // ---- raw internals ----
 
     fn send_raw(
@@ -807,15 +1018,28 @@ impl Rank {
         virtual_size: Option<usize>,
     ) -> Result<(), PsmpiError> {
         let pre = self.clock;
-        if dst_ep != self.endpoint {
-            if let Err(e) = self.check_destination(dst_ep) {
+        // Resolve the destination's routing record once, from this rank's
+        // private cache — the only shared lookup a steady-state send makes
+        // is the first-contact shard read.
+        let dst_entry = if dst_ep == self.endpoint {
+            None
+        } else {
+            let entry = match self.entry_of(dst_ep) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.router.buffer_pool().recycle(payload);
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.check_destination(entry.node()) {
                 // The encode buffer never reached an envelope; reclaim it
                 // (a no-op if anyone else still holds a reference).
                 self.router.buffer_pool().recycle(payload);
                 self.comm_time += self.clock - pre;
                 return Err(e);
             }
-        }
+            Some(entry)
+        };
         let size = virtual_size.unwrap_or(payload.len());
         let env = Envelope {
             comm,
@@ -838,13 +1062,12 @@ impl Rank {
             track.add("bytes_sent", size as u64);
             track.add("msgs_sent", 1);
         }
-        if dst_ep == self.endpoint {
+        match dst_entry {
             // Self-send: straight into our own mailbox, no router lookup.
-            self.mailbox.push(env);
-            Ok(())
-        } else {
-            self.router.deliver(dst_ep, env)
+            None => self.mailbox.push(env),
+            Some(entry) => entry.mailbox().push(env),
         }
+        Ok(())
     }
 
     /// Sender-side fault checks, consulted before a remote injection.
@@ -855,11 +1078,10 @@ impl Rank {
     /// depends on host scheduling. The link check advances the virtual
     /// clock through the retry/backoff loop, which is equally a pure
     /// function of the plan and the clock.
-    fn check_destination(&mut self, dst_ep: EndpointId) -> Result<(), PsmpiError> {
-        let Some(plan) = self.router.fabric().fault_plan() else {
+    fn check_destination(&mut self, dst_node: NodeId) -> Result<(), PsmpiError> {
+        let Some(plan) = self.fault_plan.clone() else {
             return Ok(());
         };
-        let dst_node = self.router.node_of(dst_ep)?;
         if let Some(at) = self.router.planned_dead(dst_node, self.clock) {
             return Err(PsmpiError::NodeFailed { node: dst_node, at });
         }
@@ -907,9 +1129,14 @@ impl Rank {
         src_ep: Option<EndpointId>,
     ) -> Result<(Bytes, Status), PsmpiError> {
         let pre = self.clock;
-        let router = self.router.clone();
+        // Resolve the watched sender's node up front so the abort closure
+        // only consults the lock-free `any_dead` screen, never the endpoint
+        // table. An unknown endpoint maps to "nothing to watch", matching
+        // the old `dead_node_of` behaviour.
+        let src_node = src_ep.and_then(|ep| self.entry_of(ep).ok().map(|e| e.node()));
+        let router = &self.router;
         let env = match self.mailbox.recv_match_abortable(comm, src, tag, || {
-            src_ep.and_then(|ep| router.dead_node_of(ep))
+            src_node.and_then(|n| router.dead_time_of(n).map(|at| (n, at)))
         }) {
             Ok(env) => env,
             Err(abort) => {
@@ -940,18 +1167,19 @@ impl Rank {
             // with the send.
             self.clock = self.clock.max(env.send_stamp);
         } else {
+            let src_node = self.entry_of(env.src_endpoint)?.node();
             let transfer =
                 self.router
-                    .transfer_time(env.src_endpoint, self.endpoint, env.wire_size())?;
+                    .transfer_time_nodes(src_node, self.node_id, env.wire_size())?;
             let arrival = self.router.incast_adjust(
-                self.endpoint,
+                &self.self_entry,
                 env.send_stamp + transfer,
                 env.wire_size(),
             );
             self.clock = self.clock.max(arrival);
             self.router.trace_delivery(
-                env.src_endpoint,
-                self.endpoint,
+                src_node,
+                self.node_id,
                 env.wire_size(),
                 env.send_stamp,
                 arrival,

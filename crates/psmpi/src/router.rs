@@ -14,7 +14,7 @@ use hwmodel::{NodeId, SimTime};
 use parking_lot::{Condvar, Mutex, RwLock};
 use simnet::Fabric;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -320,30 +320,81 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Number of lock domains the endpoint table is split into. Power of two
+/// so the shard of an endpoint is a mask of its id. 64 shards keep the
+/// chance of two concurrently-active endpoints sharing a lock small even
+/// at a few thousand ranks, while `declare_down`'s full sweep stays cheap.
+const ENDPOINT_SHARDS: usize = 64;
+
+/// Shard index of an endpoint (pure function of the id — no global state).
+fn shard_of(ep: EndpointId) -> usize {
+    (ep.0 as usize) & (ENDPOINT_SHARDS - 1)
+}
+
+/// One endpoint's routing record: its mailbox, host node, and private NIC
+/// drain state. Everything except `nic_free` is immutable after
+/// registration, so holders of an `Arc<EndpointEntry>` (each [`crate::Rank`]
+/// caches the entries of its frequent peers) read it without any lock, and
+/// NIC-timestamp bookkeeping contends only with senders targeting the *same*
+/// endpoint — never with the other 999 ranks.
+pub struct EndpointEntry {
+    mailbox: Arc<Mailbox>,
+    node: NodeId,
+    /// Virtual time until which this endpoint's receive pipe is busy
+    /// (opt-in incast model). Per-endpoint lock domain.
+    nic_free: Mutex<SimTime>,
+}
+
+impl EndpointEntry {
+    /// The endpoint's mailbox.
+    pub fn mailbox(&self) -> &Arc<Mailbox> {
+        &self.mailbox
+    }
+
+    /// The node the endpoint runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
 /// Shared state of a running universe.
+///
+/// Hot-path message delivery never takes a router-wide lock: the endpoint
+/// table is sharded into [`ENDPOINT_SHARDS`] read-mostly lock domains,
+/// NIC-drain bookkeeping lives on each [`EndpointEntry`], the dynamic dead
+/// set is screened by a lock-free flag that is false for the whole run in
+/// the fault-free case, and trace recording is screened the same way.
 pub struct Router {
     fabric: Fabric,
-    /// BTreeMap (not HashMap): `declare_down` iterates it to interrupt
-    /// blocked receivers, and iteration in a virtual-time crate must be in
-    /// a deterministic order (deepcheck D002).
-    mailboxes: RwLock<BTreeMap<EndpointId, Arc<Mailbox>>>,
-    endpoint_nodes: RwLock<HashMap<EndpointId, NodeId>>,
+    /// The endpoint table, sharded by endpoint id. Each shard is a
+    /// BTreeMap (not HashMap): `declare_down` iterates the shards in index
+    /// order and each map in key order to interrupt blocked receivers, and
+    /// iteration in a virtual-time crate must be in a deterministic order
+    /// (deepcheck D002). Entries are never removed, so cached
+    /// `Arc<EndpointEntry>` handles can outlive the lookup.
+    endpoints: [RwLock<BTreeMap<EndpointId, Arc<EndpointEntry>>>; ENDPOINT_SHARDS],
     /// Nodes declared down at run time, with their virtual death times.
     /// Written by the victim's own thread *after* it deposited all its
     /// sends; read by the abortable receive path.
     dead_nodes: Mutex<BTreeMap<NodeId, SimTime>>,
+    /// Lock-free screen for `dead_nodes`: false means the set is empty and
+    /// the per-receive dead check returns `None` without locking. Updated
+    /// under the `dead_nodes` lock; the release store paired with the
+    /// mailbox-interrupt handshake makes a blocked receiver re-check under
+    /// a visible flag (see [`Router::declare_down`]).
+    any_dead: AtomicBool,
     /// Last repair time per node. Consulted together with the static fault
     /// plan by senders: a planned death no later than the last repair is
     /// spent. Only ever written between child worlds (by the supervisor,
-    /// before respawning), so reads are race-free by program structure.
-    repairs: Mutex<BTreeMap<NodeId, SimTime>>,
+    /// before respawning), so the read lock senders take is uncontended.
+    repairs: RwLock<BTreeMap<NodeId, SimTime>>,
     /// Sender-side retry/backoff configuration for transient link faults.
     retry: RwLock<RetryPolicy>,
-    /// Per-endpoint NIC drain state for the opt-in incast model: the
-    /// virtual time until which the receive pipe is busy.
-    nic_free: Mutex<HashMap<EndpointId, SimTime>>,
     /// Optional message-trace sink (performance-analysis hook).
     trace: Mutex<Option<simnet::TraceCollector>>,
+    /// Lock-free screen for `trace`: deliveries skip the trace lock
+    /// entirely unless a collector was attached.
+    trace_attached: AtomicBool,
     /// Optional span/counter recorder: when attached, every rank of every
     /// subsequent job registers an `obs` track and the runtime emits
     /// compute/send/recv/collective spans automatically.
@@ -358,28 +409,39 @@ pub struct Router {
     /// boot, connection setup).
     pub spawn_latency: SimTime,
     /// Shared pool of retired encode buffers (see [`BufferPool`]).
-    pool: BufferPool,
+    ///
+    /// Behind an `Arc` so an embedding can keep one pool alive across
+    /// router lifetimes ([`Router::with_pool`]): a long-running host that
+    /// builds a universe per job would otherwise restart every job with a
+    /// cold pool and re-fault megabyte-class staging buffers in.
+    pool: Arc<BufferPool>,
 }
 
 impl Router {
-    /// New router over a fabric.
+    /// New router over a fabric, with a private buffer pool.
     pub fn new(fabric: Fabric) -> Arc<Self> {
+        Self::with_pool(fabric, Arc::new(BufferPool::new()))
+    }
+
+    /// New router over a fabric, drawing encode buffers from `pool` (which
+    /// may be shared with other routers or outlive this one).
+    pub fn with_pool(fabric: Fabric, pool: Arc<BufferPool>) -> Arc<Self> {
         Arc::new(Router {
             fabric,
-            mailboxes: RwLock::new(BTreeMap::new()),
-            endpoint_nodes: RwLock::new(HashMap::new()),
+            endpoints: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
             dead_nodes: Mutex::new(BTreeMap::new()),
-            repairs: Mutex::new(BTreeMap::new()),
+            any_dead: AtomicBool::new(false),
+            repairs: RwLock::new(BTreeMap::new()),
             retry: RwLock::new(RetryPolicy::default()),
-            nic_free: Mutex::new(HashMap::new()),
             trace: Mutex::new(None),
+            trace_attached: AtomicBool::new(false),
             obs: Mutex::new(None),
             next_endpoint: AtomicU64::new(0),
             next_comm: AtomicU64::new(0),
             child_handles: Mutex::new(Vec::new()),
             outcomes: Mutex::new(Vec::new()),
             spawn_latency: SimTime::from_millis(50.0),
-            pool: BufferPool::new(),
+            pool,
         })
     }
 
@@ -396,10 +458,12 @@ impl Router {
     /// Allocate a fresh endpoint bound to `node`.
     pub fn register_endpoint(&self, node: NodeId) -> EndpointId {
         let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed));
-        self.mailboxes
-            .write()
-            .insert(id, Arc::new(Mailbox::default()));
-        self.endpoint_nodes.write().insert(id, node);
+        let entry = Arc::new(EndpointEntry {
+            mailbox: Arc::new(Mailbox::default()),
+            node,
+            nic_free: Mutex::new(SimTime::ZERO),
+        });
+        self.endpoints[shard_of(id)].write().insert(id, entry);
         id
     }
 
@@ -408,29 +472,32 @@ impl Router {
         CommId(self.next_comm.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Mailbox of an endpoint. A stale/unknown endpoint is an error, not a
-    /// panic: after a node failure, handles into a dead world surface as
-    /// [`PsmpiError::UnknownEndpoint`] so the caller can recover.
-    pub fn mailbox(&self, ep: EndpointId) -> Result<Arc<Mailbox>, PsmpiError> {
-        self.mailboxes
+    /// Routing record of an endpoint. A stale/unknown endpoint is an
+    /// error, not a panic: after a node failure, handles into a dead world
+    /// surface as [`PsmpiError::UnknownEndpoint`] so the caller can
+    /// recover. Entries are immutable and never removed — callers on hot
+    /// paths should cache the `Arc` instead of looking up per message.
+    pub fn entry(&self, ep: EndpointId) -> Result<Arc<EndpointEntry>, PsmpiError> {
+        self.endpoints[shard_of(ep)]
             .read()
             .get(&ep)
             .cloned()
             .ok_or(PsmpiError::UnknownEndpoint(ep.0))
     }
 
+    /// Mailbox of an endpoint (see [`Router::entry`]).
+    pub fn mailbox(&self, ep: EndpointId) -> Result<Arc<Mailbox>, PsmpiError> {
+        Ok(self.entry(ep)?.mailbox.clone())
+    }
+
     /// Node an endpoint runs on.
     pub fn node_of(&self, ep: EndpointId) -> Result<NodeId, PsmpiError> {
-        self.endpoint_nodes
-            .read()
-            .get(&ep)
-            .copied()
-            .ok_or(PsmpiError::UnknownEndpoint(ep.0))
+        Ok(self.entry(ep)?.node)
     }
 
     /// Deliver an envelope to `dst`.
     pub fn deliver(&self, dst: EndpointId, env: Envelope) -> Result<(), PsmpiError> {
-        self.mailbox(dst)?.push(env);
+        self.entry(dst)?.mailbox.push(env);
         Ok(())
     }
 
@@ -443,6 +510,17 @@ impl Router {
     ) -> Result<SimTime, PsmpiError> {
         let sn = self.node_of(src)?;
         let dn = self.node_of(dst)?;
+        self.transfer_time_nodes(sn, dn, bytes)
+    }
+
+    /// [`Router::transfer_time`] with the nodes already resolved (the hot
+    /// receive path caches endpoint entries and skips the table lookups).
+    pub fn transfer_time_nodes(
+        &self,
+        sn: NodeId,
+        dn: NodeId,
+        bytes: usize,
+    ) -> Result<SimTime, PsmpiError> {
         self.fabric
             .p2p_time(sn, dn, bytes)
             .map_err(|_| PsmpiError::NoRoute { src: sn, dst: dn })
@@ -464,27 +542,52 @@ impl Router {
     /// receiver so abortable receives re-check. Called by the victim's own
     /// rank thread *after* it deposited all its sends — that ordering is
     /// what makes match-vs-abort deterministic.
+    ///
+    /// The `any_dead` release store happens before any mailbox interrupt: a
+    /// receiver woken by the interrupt acquires its mailbox lock after the
+    /// interrupter released it, so it observes the flag (and therefore the
+    /// death) when it re-evaluates its abort condition.
     pub fn declare_down(&self, node: NodeId, at: SimTime) {
-        self.dead_nodes.lock().entry(node).or_insert(at);
-        for mb in self.mailboxes.read().values() {
-            mb.interrupt();
+        {
+            let mut dead = self.dead_nodes.lock();
+            dead.entry(node).or_insert(at);
+            self.any_dead.store(true, Ordering::Release);
+        }
+        for shard in &self.endpoints {
+            for entry in shard.read().values() {
+                entry.mailbox.interrupt();
+            }
         }
     }
 
     /// Clear a death declaration (node repaired at `at`). Subsequent sends
     /// treat planned faults at or before `at` as spent.
     pub fn repair(&self, node: NodeId, at: SimTime) {
-        self.dead_nodes.lock().remove(&node);
-        let mut reps = self.repairs.lock();
+        {
+            let mut dead = self.dead_nodes.lock();
+            dead.remove(&node);
+            self.any_dead.store(!dead.is_empty(), Ordering::Release);
+        }
+        let mut reps = self.repairs.write();
         let r = reps.entry(node).or_insert(at);
         *r = (*r).max(at);
+    }
+
+    /// Death time of `node`, if it is currently declared down. Lock-free
+    /// `None` while no node in the universe is dead — the common case on
+    /// every blocking receive.
+    pub fn dead_time_of(&self, node: NodeId) -> Option<SimTime> {
+        if !self.any_dead.load(Ordering::Acquire) {
+            return None;
+        }
+        self.dead_nodes.lock().get(&node).copied()
     }
 
     /// Death time of the node hosting `ep`, if that node is currently
     /// declared down. Feeds the abortable receive's `dead` closure.
     pub fn dead_node_of(&self, ep: EndpointId) -> Option<(NodeId, SimTime)> {
         let node = self.node_of(ep).ok()?;
-        self.dead_nodes.lock().get(&node).map(|&at| (node, at))
+        self.dead_time_of(node).map(|at| (node, at))
     }
 
     /// Whether the static fault plan says `node` is dead as of virtual time
@@ -495,7 +598,7 @@ impl Router {
     pub fn planned_dead(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
         let plan = self.fabric.fault_plan()?;
         let tf = plan.node_fault_at(node, t)?;
-        let repaired = self.repairs.lock().get(&node).copied();
+        let repaired = self.repairs.read().get(&node).copied();
         match repaired {
             Some(r) if tf <= r => None,
             _ => Some(tf),
@@ -510,6 +613,7 @@ impl Router {
     /// Attach a trace collector; every subsequent delivery is recorded.
     pub fn attach_trace(&self, collector: simnet::TraceCollector) {
         *self.trace.lock() = Some(collector);
+        self.trace_attached.store(true, Ordering::Release);
     }
 
     /// Attach an observability recorder; ranks created afterwards get a
@@ -532,20 +636,22 @@ impl Router {
             .unwrap_or(hwmodel::NodeKind::Cluster)
     }
 
-    /// Record a delivery into the attached trace, if any.
+    /// Record a delivery into the attached trace, if any. The nodes come
+    /// pre-resolved from the receive path's cached endpoint entries; when
+    /// no collector was ever attached this is a single relaxed-atomic read.
     pub fn trace_delivery(
         &self,
-        src: EndpointId,
-        dst: EndpointId,
+        src_node: NodeId,
+        dst_node: NodeId,
         bytes: usize,
         depart: SimTime,
         arrive: SimTime,
     ) {
+        if !self.trace_attached.load(Ordering::Acquire) {
+            return;
+        }
         let guard = self.trace.lock();
         let Some(collector) = guard.as_ref() else {
-            return;
-        };
-        let (Ok(src_node), Ok(dst_node)) = (self.node_of(src), self.node_of(dst)) else {
             return;
         };
         let src_kind = self
@@ -572,14 +678,15 @@ impl Router {
     /// Apply the (opt-in) incast model to a message delivered to `dst` with
     /// network arrival time `arrival`: the receiver's NIC drains one
     /// payload at a time, so simultaneous arrivals serialize. Returns the
-    /// adjusted completion time.
-    pub fn incast_adjust(&self, dst: EndpointId, arrival: SimTime, bytes: usize) -> SimTime {
+    /// adjusted completion time. The drain timestamp lives on the
+    /// endpoint's own entry, so ranks never contend on a router-wide lock
+    /// here — only concurrent senders into the *same* endpoint serialize.
+    pub fn incast_adjust(&self, dst: &EndpointEntry, arrival: SimTime, bytes: usize) -> SimTime {
         if !self.fabric.model().model_incast {
             return arrival;
         }
         let drain = SimTime::from_secs(bytes as f64 / self.fabric.model().payload_bw);
-        let mut nf = self.nic_free.lock();
-        let free = nf.entry(dst).or_insert(SimTime::ZERO);
+        let mut free = dst.nic_free.lock();
         let completion = arrival.max(*free + drain);
         *free = completion;
         completion
@@ -849,5 +956,76 @@ mod tests {
         let a = r.register_endpoint(NodeId(0));
         let b = r.register_endpoint(NodeId(1));
         assert!(r.transfer_time(a, b, 1024).unwrap() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn entry_handles_are_stable_and_cacheable() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        let e1 = r.entry(a).unwrap();
+        let e2 = r.entry(a).unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2), "repeated lookups hit the same entry");
+        assert_eq!(e1.node(), NodeId(0));
+        assert!(e1.mailbox().is_empty());
+        assert!(matches!(
+            r.entry(EndpointId(424242)),
+            Err(PsmpiError::UnknownEndpoint(424242))
+        ));
+    }
+
+    #[test]
+    fn endpoints_spread_across_shards_and_stay_reachable() {
+        // More endpoints than shards: every one must keep resolving, and
+        // declare_down must reach (interrupt) all of them without panicking.
+        let mut t = Topology::new();
+        t.add_nodes(4, &deep_er_cluster_node());
+        let r = Router::new(Fabric::new(t));
+        let eps: Vec<EndpointId> = (0..(ENDPOINT_SHARDS as u32 * 3))
+            .map(|i| r.register_endpoint(NodeId(i % 4)))
+            .collect();
+        for &ep in &eps {
+            assert!(r.entry(ep).is_ok());
+        }
+        r.declare_down(NodeId(2), SimTime::from_secs(1.0));
+        for &ep in &eps {
+            let entry = r.entry(ep).unwrap();
+            let dead = r.dead_time_of(entry.node());
+            assert_eq!(dead.is_some(), entry.node() == NodeId(2));
+        }
+    }
+
+    #[test]
+    fn dead_check_is_lock_free_when_nothing_is_dead() {
+        let r = router();
+        // No declaration yet: the fast flag short-circuits.
+        assert_eq!(r.dead_time_of(NodeId(0)), None);
+        r.declare_down(NodeId(0), SimTime::from_secs(1.0));
+        assert_eq!(r.dead_time_of(NodeId(0)), Some(SimTime::from_secs(1.0)));
+        r.repair(NodeId(0), SimTime::from_secs(2.0));
+        // Repairing the only dead node re-arms the fast path.
+        assert_eq!(r.dead_time_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn incast_drain_serializes_per_endpoint() {
+        let mut t = Topology::new();
+        t.add_nodes(2, &deep_er_cluster_node());
+        let model = simnet::LogGpModel {
+            model_incast: true,
+            ..Default::default()
+        };
+        let r = Router::new(Fabric::with_model(t, model));
+        let a = r.register_endpoint(NodeId(0));
+        let b = r.register_endpoint(NodeId(1));
+        let ea = r.entry(a).unwrap();
+        let eb = r.entry(b).unwrap();
+        let t0 = SimTime::from_secs(1.0);
+        let first = r.incast_adjust(&ea, t0, 1 << 20);
+        let second = r.incast_adjust(&ea, t0, 1 << 20);
+        assert!(first >= t0);
+        assert!(second > first, "same endpoint serializes");
+        // A different endpoint has its own drain state.
+        let other = r.incast_adjust(&eb, t0, 1 << 20);
+        assert_eq!(other, first);
     }
 }

@@ -87,10 +87,7 @@ impl Rank {
         placements: &[NodeId],
         entry: Arc<RankFn>,
     ) -> Result<Intercomm, PsmpiError> {
-        let me = comm
-            .group
-            .rank_of(self.endpoint())
-            .ok_or(PsmpiError::NotInCommunicator)?;
+        let me = self.comm_rank(comm)?;
 
         // The whole spawn — launch latency, thread start, SpawnInfo
         // broadcast — is offload machinery.

@@ -32,6 +32,15 @@ impl Universe {
         }
     }
 
+    /// Create a universe over a fabric, drawing typed-send staging buffers
+    /// from `pool`. Sharing one pool across successive universes keeps the
+    /// staging allocations warm between jobs (see [`Router::with_pool`]).
+    pub fn with_buffer_pool(fabric: Fabric, pool: Arc<crate::BufferPool>) -> Self {
+        Universe {
+            router: Router::with_pool(fabric, pool),
+        }
+    }
+
     /// The underlying fabric.
     pub fn fabric(&self) -> &Fabric {
         self.router.fabric()
@@ -188,6 +197,7 @@ pub struct UniverseBuilder {
     model: Option<LogGpModel>,
     placements: Vec<NodeId>,
     ranks_per_node: u32,
+    pool: Option<Arc<crate::BufferPool>>,
 }
 
 impl UniverseBuilder {
@@ -198,6 +208,7 @@ impl UniverseBuilder {
             model: None,
             placements: Vec::new(),
             ranks_per_node: 1,
+            pool: None,
         }
     }
 
@@ -221,13 +232,23 @@ impl UniverseBuilder {
         self
     }
 
+    /// Draw typed-send staging buffers from an external, long-lived pool
+    /// instead of a fresh per-universe one (see [`Universe::with_buffer_pool`]).
+    pub fn buffer_pool(mut self, pool: Arc<crate::BufferPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Build the universe and run `entry` on every placed rank.
     pub fn run<F>(self, entry: F) -> JobReport
     where
         F: Fn(&mut Rank) + Send + Sync + 'static,
     {
         let fabric = Fabric::with_model(self.topology, self.model.unwrap_or_default());
-        let universe = Universe::new(fabric);
+        let universe = match self.pool {
+            Some(pool) => Universe::with_buffer_pool(fabric, pool),
+            None => Universe::new(fabric),
+        };
         let mut placements = Vec::new();
         for &n in &self.placements {
             for _ in 0..self.ranks_per_node {

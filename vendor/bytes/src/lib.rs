@@ -269,6 +269,11 @@ impl BytesMut {
         self.buf.extend_from_slice(s);
     }
 
+    /// Resize in place, filling any new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
     /// Convert into an immutable [`Bytes`] (moves the storage, no copy).
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -279,6 +284,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
