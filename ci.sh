@@ -18,10 +18,18 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== deepcheck (determinism contract + MPI usage) =="
-# Fails on any finding not covered by allowlist.toml; writes
-# DEEPCHECK_REPORT.json with every finding, verdict, and the allowlist hash.
-cargo run -q --release -p deepcheck -- --root . --report DEEPCHECK_REPORT.json
+echo "== deepcheck (determinism contract + lock discipline + MPI protocol) =="
+# Fails on any finding (D001-D008, M001-M002) not covered by allowlist.toml
+# or ranked in lockorder.toml; writes DEEPCHECK_REPORT.json with every
+# finding, verdict, scan stats, and the allowlist hash.
+cargo run -q --release -p deepcheck -- --root . --report DEEPCHECK_REPORT.json --stats
+
+echo "== lock witness (runtime lock-order graph stays acyclic) =="
+# The dynamic half of D006: psmpi's instrumented lock sites record every
+# cross-lock acquisition edge actually exercised; the stress and fault
+# tests assert the union is cycle-free (catches cross-function orders the
+# static pass cannot see).
+cargo test -q -p psmpi --features lockcheck
 
 echo "== bench compile check =="
 cargo bench --workspace --no-run

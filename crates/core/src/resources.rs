@@ -110,7 +110,7 @@ pub enum AllocationPolicy {
 /// The resource manager of one system.
 #[derive(Clone)]
 pub struct ResourceManager {
-    pools: Arc<Mutex<Pools>>,
+    pools: Arc<Mutex<Pools>>, // lock-order: 10
     policy: AllocationPolicy,
     total_cluster: usize,
     total_booster: usize,

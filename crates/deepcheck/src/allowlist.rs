@@ -22,6 +22,11 @@ pub struct AllowEntry {
     pub path: String,
     /// Why the site is intentional.
     pub reason: String,
+    /// Optional site pin: when set, the entry only covers findings whose
+    /// trimmed source line equals this text — or whose FNV-1a hash equals
+    /// it, for `fnv1a64:…` values. Matching on the line's *content* rather
+    /// than its number keeps waivers valid when refactors shift the file.
+    pub snippet: Option<String>,
 }
 
 /// The parsed allowlist.
@@ -44,8 +49,15 @@ impl std::fmt::Display for AllowlistError {
 
 impl std::error::Error for AllowlistError {}
 
-/// An `[[allow]]` table still being parsed: (lint, path, reason, start line).
-type PartialEntry = (Option<String>, Option<String>, Option<String>, usize);
+/// An `[[allow]]` table still being parsed.
+#[derive(Default)]
+struct PartialEntry {
+    lint: Option<String>,
+    path: Option<String>,
+    reason: Option<String>,
+    snippet: Option<String>,
+    line: usize,
+}
 
 impl Allowlist {
     /// Parse the TOML subset: `[[allow]]` tables of `key = "value"` pairs.
@@ -57,21 +69,30 @@ impl Allowlist {
             entry: Option<PartialEntry>,
             entries: &mut Vec<AllowEntry>,
         ) -> Result<(), AllowlistError> {
-            let Some((lint, path, reason, line)) = entry else {
+            let Some(e) = entry else {
                 return Ok(());
             };
-            let lint =
-                lint.ok_or_else(|| AllowlistError(format!("entry at line {line} missing `lint`")))?;
-            let path =
-                path.ok_or_else(|| AllowlistError(format!("entry at line {line} missing `path`")))?;
-            let reason = reason
+            let line = e.line;
+            let lint = e
+                .lint
+                .ok_or_else(|| AllowlistError(format!("entry at line {line} missing `lint`")))?;
+            let path = e
+                .path
+                .ok_or_else(|| AllowlistError(format!("entry at line {line} missing `path`")))?;
+            let reason = e
+                .reason
                 .filter(|r| !r.trim().is_empty())
                 .ok_or_else(|| {
                     AllowlistError(format!(
                         "entry at line {line} ({lint} {path}) has no reason — every exception must be justified"
                     ))
                 })?;
-            entries.push(AllowEntry { lint, path, reason });
+            entries.push(AllowEntry {
+                lint,
+                path,
+                reason,
+                snippet: e.snippet,
+            });
             Ok(())
         }
 
@@ -83,7 +104,10 @@ impl Allowlist {
             }
             if line == "[[allow]]" {
                 finish(current.take(), &mut entries)?;
-                current = Some((None, None, None, line_no));
+                current = Some(PartialEntry {
+                    line: line_no,
+                    ..PartialEntry::default()
+                });
                 continue;
             }
             if line.starts_with("[[") {
@@ -112,9 +136,10 @@ impl Allowlist {
                 )));
             };
             let slot = match key {
-                "lint" => &mut cur.0,
-                "path" => &mut cur.1,
-                "reason" => &mut cur.2,
+                "lint" => &mut cur.lint,
+                "path" => &mut cur.path,
+                "reason" => &mut cur.reason,
+                "snippet" => &mut cur.snippet,
                 other => {
                     return Err(AllowlistError(format!(
                         "line {line_no}: unknown key `{other}`"
@@ -132,11 +157,13 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// The entry covering a finding, if any (lint + exact path match).
+    /// The entry covering a finding, if any: lint + exact path match,
+    /// plus — when the entry pins a `snippet` — a content match against
+    /// the finding's source line (verbatim or by `fnv1a64:` hash). Line
+    /// numbers never participate, so refactors that shift a file do not
+    /// orphan its waivers.
     pub fn lookup(&self, f: &Finding) -> Option<&AllowEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.lint == f.lint && e.path == f.path)
+        self.entries.iter().find(|e| entry_covers(e, f))
     }
 
     /// Entries that matched no finding in `findings` — stale exceptions
@@ -144,12 +171,19 @@ impl Allowlist {
     pub fn unused<'a>(&'a self, findings: &[Finding]) -> Vec<&'a AllowEntry> {
         self.entries
             .iter()
-            .filter(|e| {
-                !findings
-                    .iter()
-                    .any(|f| f.lint == e.lint && f.path == e.path)
-            })
+            .filter(|e| !findings.iter().any(|f| entry_covers(e, f)))
             .collect()
+    }
+}
+
+fn entry_covers(e: &AllowEntry, f: &Finding) -> bool {
+    if e.lint != f.lint || e.path != f.path {
+        return false;
+    }
+    match &e.snippet {
+        None => true,
+        Some(s) if s.starts_with("fnv1a64:") => fnv1a64_hex(f.snippet.trim().as_bytes()) == *s,
+        Some(s) => f.snippet.trim() == s.trim(),
     }
 }
 
@@ -212,5 +246,40 @@ reason = "artifact path discovery"
     fn fnv_is_stable() {
         assert_eq!(fnv1a64_hex(b""), "fnv1a64:cbf29ce484222325");
         assert_ne!(fnv1a64_hex(b"a"), fnv1a64_hex(b"b"));
+    }
+
+    fn finding(line: u32, snippet: &str) -> Finding {
+        Finding {
+            lint: "D001",
+            path: "a.rs".to_string(),
+            line,
+            message: "msg".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn snippet_pins_narrow_the_waiver_to_one_site() {
+        let a = Allowlist::parse(
+            "[[allow]]\nlint = \"D001\"\npath = \"a.rs\"\nreason = \"r\"\nsnippet = \"let t = now();\"\n",
+        )
+        .unwrap();
+        assert!(a.lookup(&finding(10, "let t = now();")).is_some());
+        // Same line content after a refactor moved it: still covered.
+        assert!(a.lookup(&finding(99, "  let t = now();  ")).is_some());
+        // A different site in the same file is NOT covered.
+        assert!(a.lookup(&finding(11, "let u = now();")).is_none());
+        assert_eq!(a.unused(&[finding(11, "let u = now();")]).len(), 1);
+    }
+
+    #[test]
+    fn snippet_pins_accept_fnv_hashes() {
+        let hash = fnv1a64_hex(b"let t = now();");
+        let src = format!(
+            "[[allow]]\nlint = \"D001\"\npath = \"a.rs\"\nreason = \"r\"\nsnippet = \"{hash}\"\n"
+        );
+        let a = Allowlist::parse(&src).unwrap();
+        assert!(a.lookup(&finding(3, "let t = now();")).is_some());
+        assert!(a.lookup(&finding(3, "let u = now();")).is_none());
     }
 }

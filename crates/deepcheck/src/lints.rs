@@ -1,5 +1,7 @@
-//! The lint families enforcing the determinism contract (D001–D005) and
-//! psmpi usage correctness (M001).
+//! The per-file lint families enforcing the determinism contract
+//! (D001–D005, D007) and psmpi usage correctness (M001). The crate-level
+//! passes live next door: lock discipline (D006/D008) in [`crate::locks`],
+//! the protocol matcher (M002) in [`crate::protocol`].
 //!
 //! All lints are token-pattern heuristics over the stream produced by
 //! [`crate::lexer`] — deliberately simple, deliberately conservative, and
@@ -14,7 +16,7 @@ use std::collections::BTreeSet;
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint code (`D001` … `D004`, `M001`).
+    /// Lint code (`D001` … `D008`, `M001`, `M002`).
     pub lint: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -22,6 +24,10 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Trimmed source text of the offending line. Allowlist entries may
+    /// pin themselves to it (verbatim or as an `fnv1a64:` hash), which
+    /// keeps waivers valid across line-shifting refactors.
+    pub snippet: String,
 }
 
 /// Crates whose state feeds virtual time or CG iteration counts. D002 and
@@ -50,6 +56,9 @@ pub fn run_all(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
         d005_obs_wall_clock(path, toks, &mut out);
     }
     d005_span_guard_discarded(path, toks, &mut out);
+    if VIRTUAL_TIME_CRATES.contains(&crate_name) {
+        d007_relaxed_atomics(path, toks, &mut out);
+    }
     m001_collective_under_rank_conditional(path, toks, &mut out);
     m001_tag_literal_mismatch(path, toks, &mut out);
     m001_use_after_disconnect(path, toks, &mut out);
@@ -57,12 +66,13 @@ pub fn run_all(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
     out
 }
 
-fn push(out: &mut Vec<Finding>, lint: &'static str, path: &str, line: u32, msg: String) {
+pub(crate) fn push(out: &mut Vec<Finding>, lint: &'static str, path: &str, line: u32, msg: String) {
     out.push(Finding {
         lint,
         path: path.to_string(),
         line,
         message: msg,
+        snippet: String::new(),
     });
 }
 
@@ -418,6 +428,144 @@ fn d005_span_guard_discarded(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------- D007 --
+
+/// D007: `Ordering::Relaxed` on an atomic that *gates* cross-thread data
+/// — a name with both `load` and `store` sites in the file (the shape of
+/// a flag like `any_dead` or `trace_attached` published by one thread and
+/// polled by another). A relaxed load can observe the flag without the
+/// writes it advertises; the pair must form a release/acquire edge.
+/// Pure counters (`fetch_add` + load-only stats) never have a `store`
+/// site and are exempt by construction.
+fn d007_relaxed_atomics(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let names = atomic_names(toks);
+    if names.is_empty() {
+        return;
+    }
+    // (name, is_store, ordering ident, line) over `.load(…)`/`.store(…)`.
+    let mut ops: Vec<(&str, bool, Option<&str>, u32)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_punct(".") || i == 0 {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        let is_store = m.is_ident("store");
+        if !is_store && !m.is_ident("load") {
+            continue;
+        }
+        if !toks.get(i + 2).is_some_and(|p| p.is_punct("(")) {
+            continue;
+        }
+        let recv = &toks[i - 1];
+        if recv.kind != TokKind::Ident || !names.contains(recv.text.as_str()) {
+            continue;
+        }
+        // The ordering is the last Ordering-variant ident inside the call.
+        let mut depth = 0i32;
+        let mut k = i + 2;
+        let mut ordering = None;
+        while k < toks.len() {
+            let a = &toks[k];
+            if a.is_punct("(") {
+                depth += 1;
+            } else if a.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokKind::Ident
+                && matches!(
+                    a.text.as_str(),
+                    "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+                )
+            {
+                ordering = Some(a.text.as_str());
+            }
+            k += 1;
+        }
+        ops.push((recv.text.as_str(), is_store, ordering, m.line));
+    }
+    let gated: BTreeSet<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| {
+            ops.iter().any(|&(o, s, _, _)| o == *n && s)
+                && ops.iter().any(|&(o, s, _, _)| o == *n && !s)
+        })
+        .collect();
+    for &(name, is_store, ordering, line) in &ops {
+        if gated.contains(name) && ordering == Some("Relaxed") {
+            let (op, need) = if is_store {
+                ("store", "Release")
+            } else {
+                ("load", "Acquire")
+            };
+            push(
+                out,
+                "D007",
+                path,
+                line,
+                format!(
+                    "relaxed `{op}` on `{name}`, an atomic with both load and store sites — \
+                     the flag gates cross-thread data and needs `Ordering::{need}` to form a \
+                     release/acquire edge"
+                ),
+            );
+        }
+    }
+}
+
+/// Names declared with an atomic integer/bool type: explicit
+/// `: Atomic…` annotations (fields, params, statics) and
+/// `let [mut] x = Atomic…::new(…)` initializers.
+fn atomic_names(toks: &[Tok]) -> BTreeSet<&str> {
+    const ATOMICS: &[&str] = &[
+        "AtomicBool",
+        "AtomicU8",
+        "AtomicU16",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicUsize",
+        "AtomicI8",
+        "AtomicI16",
+        "AtomicI32",
+        "AtomicI64",
+        "AtomicIsize",
+    ];
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            for t in toks.iter().skip(i + 2).take(10) {
+                if t.is_punct(",") || t.is_punct(";") || t.is_punct("=") || t.is_punct(")") {
+                    break;
+                }
+                if t.kind == TokKind::Ident && ATOMICS.contains(&t.text.as_str()) {
+                    names.insert(toks[i].text.as_str());
+                    break;
+                }
+            }
+        }
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.kind) == Some(TokKind::Ident)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("="))
+                && toks
+                    .get(j + 2)
+                    .is_some_and(|t| t.kind == TokKind::Ident && ATOMICS.contains(&t.text.as_str()))
+            {
+                names.insert(toks[j].text.as_str());
+            }
+        }
+    }
+    names
+}
+
 // ---------------------------------------------------------------- M001 --
 
 const COLLECTIVES: &[&str] = &[
@@ -600,15 +748,21 @@ fn m001_tag_literal_mismatch(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
     }
 }
 
-enum TagArg {
+/// How a tag argument classifies for the matching checks (shared with
+/// the M002 protocol matcher in [`crate::protocol`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TagArg {
+    /// `7` or `Some(7)`.
     Literal(u64),
+    /// `None` — matches anything.
     Wildcard,
+    /// Computed — the check cannot reason about it.
     Dynamic,
 }
 
 /// Index of the first token of argument `slot` (0-based) of the call whose
 /// opening paren is at `open`. Arguments split on depth-1 commas.
-fn call_arg(toks: &[Tok], open: usize, slot: usize) -> Option<usize> {
+pub(crate) fn call_arg(toks: &[Tok], open: usize, slot: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut arg = 0usize;
     let mut k = open;
@@ -635,7 +789,7 @@ fn call_arg(toks: &[Tok], open: usize, slot: usize) -> Option<usize> {
     None
 }
 
-fn classify_tag_arg(toks: &[Tok], at: usize) -> TagArg {
+pub(crate) fn classify_tag_arg(toks: &[Tok], at: usize) -> TagArg {
     let t = match toks.get(at) {
         Some(t) => t,
         None => return TagArg::Dynamic,

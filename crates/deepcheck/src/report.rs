@@ -22,8 +22,14 @@ pub struct Report {
     pub judged: Vec<Judged>,
     /// Stale allowlist entries (matched nothing).
     pub unused_allow: Vec<AllowEntry>,
+    /// Stale `lockorder.toml` entries (`crate.name` that matched no lock).
+    pub stale_lockorder: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Scan wall time in milliseconds (host-side tool metric; set by the
+    /// CLI after the run so analyzer-runtime regressions are visible in
+    /// the report artifact).
+    pub scan_ms: u64,
     /// Fingerprint of the allowlist the run was judged against.
     pub allowlist_hash: String,
 }
@@ -48,7 +54,9 @@ impl Report {
         Report {
             judged,
             unused_allow,
+            stale_lockorder: Vec::new(),
             files_scanned,
+            scan_ms: 0,
             allowlist_hash,
         }
     }
@@ -56,6 +64,40 @@ impl Report {
     /// Findings not covered by the allowlist — these fail CI.
     pub fn violations(&self) -> impl Iterator<Item = &Judged> {
         self.judged.iter().filter(|j| j.reason.is_none())
+    }
+
+    /// Fired findings per lint code, in lint order.
+    pub fn per_lint(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for j in &self.judged {
+            *m.entry(j.finding.lint).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Number of findings covered by a waiver.
+    pub fn waivers_used(&self) -> usize {
+        self.judged.iter().filter(|j| j.reason.is_some()).count()
+    }
+
+    /// The `--stats` table: scan scope, per-lint fire counts, waiver use,
+    /// and wall time — the same numbers stamped into the JSON report.
+    pub fn render_stats(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "deepcheck stats:");
+        let _ = writeln!(out, "  files scanned   {}", self.files_scanned);
+        let _ = writeln!(out, "  scan wall-time  {} ms", self.scan_ms);
+        let _ = writeln!(out, "  findings        {}", self.judged.len());
+        for (lint, n) in self.per_lint() {
+            let _ = writeln!(out, "    {lint}          {n}");
+        }
+        let _ = writeln!(out, "  waivers used    {}", self.waivers_used());
+        let _ = writeln!(
+            out,
+            "  stale waivers   {}",
+            self.unused_allow.len() + self.stale_lockorder.len()
+        );
+        out
     }
 
     /// rustc-style text output.
@@ -79,6 +121,12 @@ impl Report {
                 out,
                 "warning: stale allowlist entry {} {} matched nothing — prune it",
                 e.lint, e.path
+            );
+        }
+        for e in &self.stale_lockorder {
+            let _ = writeln!(
+                out,
+                "warning: stale lockorder.toml entry {e} matched no lock — prune it"
             );
         }
         let violations = self.violations().count();
@@ -106,7 +154,7 @@ impl Report {
             let comma = if i + 1 < self.judged.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"allowed\": {}, \"reason\": {}, \"message\": \"{}\"}}{comma}",
+                "    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"allowed\": {}, \"reason\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}{comma}",
                 f.lint,
                 escape(&f.path),
                 f.line,
@@ -115,6 +163,7 @@ impl Report {
                     Some(r) => format!("\"{}\"", escape(r)),
                     None => "null".to_string(),
                 },
+                escape(&f.snippet),
                 escape(&f.message),
             );
         }
@@ -134,13 +183,36 @@ impl Report {
             );
         }
         out.push_str("  ],\n");
+        out.push_str("  \"stale_lockorder_entries\": [\n");
+        for (i, e) in self.stale_lockorder.iter().enumerate() {
+            let comma = if i + 1 < self.stale_lockorder.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    \"{}\"{comma}", escape(e));
+        }
+        out.push_str("  ],\n");
         let violations = self.violations().count();
         let _ = writeln!(
             out,
-            "  \"counts\": {{\"total\": {}, \"violations\": {}, \"allowed\": {}}}",
+            "  \"counts\": {{\"total\": {}, \"violations\": {}, \"allowed\": {}}},",
             self.judged.len(),
             violations,
             self.judged.len() - violations
+        );
+        let lints = self
+            .per_lint()
+            .into_iter()
+            .map(|(l, n)| format!("\"{l}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  \"stats\": {{\"files_scanned\": {}, \"scan_ms\": {}, \"waivers_used\": {}, \"lints\": {{{lints}}}}}",
+            self.files_scanned,
+            self.scan_ms,
+            self.waivers_used(),
         );
         out.push_str("}\n");
         out
@@ -168,6 +240,7 @@ mod tests {
             path: path.to_string(),
             line,
             message: "msg".to_string(),
+            snippet: String::new(),
         }
     }
 
@@ -188,6 +261,31 @@ mod tests {
         assert!(text.contains("allowed[D003]"), "{text}");
         let json = r.render_json();
         assert!(json.contains("\"violations\": 1"), "{json}");
+    }
+
+    #[test]
+    fn stats_are_stamped_into_text_and_json() {
+        let mut r = Report::new(
+            vec![finding("D006", "a.rs", 1), finding("D006", "a.rs", 2)],
+            &Allowlist::default(),
+            3,
+            "fnv1a64:0".to_string(),
+        );
+        r.scan_ms = 12;
+        r.stale_lockorder = vec!["psmpi.ghost".to_string()];
+        let stats = r.render_stats();
+        assert!(stats.contains("files scanned   3"), "{stats}");
+        assert!(stats.contains("D006"), "{stats}");
+        let json = r.render_json();
+        assert!(json.contains("\"scan_ms\": 12"), "{json}");
+        assert!(json.contains("\"D006\": 2"), "{json}");
+        assert!(json.contains("psmpi.ghost"), "{json}");
+        assert!(
+            r.render_text()
+                .contains("stale lockorder.toml entry psmpi.ghost"),
+            "{}",
+            r.render_text()
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! D006 fixture: lock-order ranks and inversions.
+use parking_lot::{Mutex, RwLock};
+
+pub struct S {
+    state: Mutex<u32>,  // lock-order: 10
+    table: RwLock<u32>, // lock-order: 20
+    orphan: Mutex<u32>,
+}
+
+impl S {
+    pub fn inverted(&self) {
+        let t = self.table.write();
+        let s = self.state.lock();
+        drop(s);
+        drop(t);
+    }
+
+    pub fn reentrant(&self) {
+        let a = self.table.read();
+        let b = self.table.read();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn ascending_is_fine(&self) {
+        let s = self.state.lock();
+        let t = self.table.read();
+        drop(t);
+        drop(s);
+    }
+}

@@ -1,0 +1,25 @@
+//! D007 fixture: relaxed orderings on a gating atomic.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Gates {
+    ready: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Gates {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    pub fn bump(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,22 @@
+//! D008 fixture: blocking receive while a lock guard is live.
+use parking_lot::Mutex;
+
+pub struct Shard {
+    nic_free: Mutex<u64>, // lock-order: 60
+}
+
+impl Shard {
+    pub fn bad(&self, mb: &Mailbox) {
+        let free = self.nic_free.lock();
+        let env = mb.recv_match(1, None, None);
+        drop(env);
+        drop(free);
+    }
+
+    pub fn good(&self, mb: &Mailbox) {
+        let free = self.nic_free.lock();
+        drop(free);
+        let env = mb.recv_match(1, None, None);
+        drop(env);
+    }
+}

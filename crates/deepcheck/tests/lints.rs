@@ -73,6 +73,8 @@ fn d004_fires_on_unmanaged_parallelism() {
         vec![
             ("D004".to_string(), 5),  // thread::scope
             ("D004".to_string(), 17), // AtomicU64 + from_bits
+            ("D007".to_string(), 17), // Relaxed load on the gating atomic
+            ("D007".to_string(), 18), // Relaxed store on the gating atomic
         ]
     );
 }
@@ -141,6 +143,104 @@ fn m001_fires_on_use_after_disconnect() {
         lints_of("psmpi", "m001_disconnect_bad.rs"),
         vec![("M001".to_string(), 9)] // ic2 used after ic2.disconnect()
     );
+}
+
+#[test]
+fn d006_fires_on_missing_ranks_and_inversions() {
+    assert_eq!(
+        lints_of("psmpi", "d006_bad.rs"),
+        vec![
+            ("D006".to_string(), 7),  // `orphan` has no rank
+            ("D006".to_string(), 13), // state (10) taken under table (20)
+            ("D006".to_string(), 20), // table re-acquired while held
+        ]
+    );
+}
+
+#[test]
+fn d006_is_scoped_to_virtual_time_crates() {
+    // deepcheck itself (a host tool) carries no lock hierarchy.
+    let findings = analyze_source(
+        "deepcheck",
+        "crates/deepcheck/src/x.rs",
+        &fixture("d006_bad.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d007_fires_on_relaxed_gates_not_counters() {
+    assert_eq!(
+        lints_of("psmpi", "d007_bad.rs"),
+        vec![
+            ("D007".to_string(), 11), // Relaxed store on `ready`
+            ("D007".to_string(), 15), // Relaxed load on `ready`
+                                      // `count` (fetch_add counter + load-only stats) stays silent.
+        ]
+    );
+}
+
+#[test]
+fn d008_fires_on_blocking_call_under_live_guard() {
+    assert_eq!(
+        lints_of("psmpi", "d008_bad.rs"),
+        vec![
+            ("D008".to_string(), 11), // recv_match while nic_free is held
+                                      // `good` drops the guard first and stays silent.
+        ]
+    );
+}
+
+#[test]
+fn m002_fires_on_cross_comm_framing_and_width_mismatches() {
+    assert_eq!(
+        lints_of("psmpi", "m002_bad.rs"),
+        vec![
+            ("M002".to_string(), 3), // tag 7 sent on `a`, received on `b`
+            ("M002".to_string(), 4), // …and the recv side of the same flow
+            ("M002".to_string(), 6), // u64 sent, u32 received (tag 9)
+            ("M002".to_string(), 8), // bytes sent, typed recv (tag 11)
+                                     // tag 21 flows on one comm and stays silent.
+        ]
+    );
+}
+
+#[test]
+fn snippet_waivers_survive_line_shifts() {
+    let path = "crates/psmpi/src/d008_bad.rs";
+    let src = fixture("d008_bad.rs");
+    let allow = Allowlist::parse(&format!(
+        "[[allow]]\nlint = \"D008\"\npath = \"{path}\"\nreason = \"fixture: receive intentionally overlaps the guard\"\nsnippet = \"let env = mb.recv_match(1, None, None);\"\n"
+    ))
+    .unwrap();
+    let report = Report::new(analyze_source("psmpi", path, &src), &allow, 1, "h".into());
+    assert_eq!(
+        report.violations().count(),
+        0,
+        "snippet pin covers the site"
+    );
+
+    // Two lines inserted above: the finding moves but its content does not,
+    // so the waiver still covers it (the old line-number scheme went stale).
+    let shifted = format!("// shifted\n// shifted\n{src}");
+    let findings = analyze_source("psmpi", path, &shifted);
+    assert_eq!(findings.iter().find(|f| f.lint == "D008").unwrap().line, 13);
+    let report = Report::new(findings, &allow, 1, "h".into());
+    assert_eq!(report.violations().count(), 0, "waiver survives the shift");
+    assert!(report.unused_allow.is_empty());
+}
+
+#[test]
+fn fnv_snippet_waivers_cover_the_hashed_site() {
+    let path = "crates/psmpi/src/d008_bad.rs";
+    let src = fixture("d008_bad.rs");
+    let hash = deepcheck::fnv1a64_hex("let env = mb.recv_match(1, None, None);".as_bytes());
+    let allow = Allowlist::parse(&format!(
+        "[[allow]]\nlint = \"D008\"\npath = \"{path}\"\nreason = \"fixture: hashed pin\"\nsnippet = \"{hash}\"\n"
+    ))
+    .unwrap();
+    let report = Report::new(analyze_source("psmpi", path, &src), &allow, 1, "h".into());
+    assert_eq!(report.violations().count(), 0);
 }
 
 #[test]

@@ -162,7 +162,7 @@ impl TrackBuf {
 /// sites that discard the guard outright).
 #[must_use = "span guards must be closed with the closing virtual time"]
 pub struct SpanGuard {
-    buf: Arc<Mutex<TrackBuf>>,
+    buf: Arc<Mutex<TrackBuf>>, // lock-order: 30
     level: usize,
     armed: bool,
 }
@@ -194,7 +194,7 @@ impl Drop for SpanGuard {
 #[derive(Clone)]
 pub struct TrackHandle {
     key: TrackKey,
-    buf: Arc<Mutex<TrackBuf>>,
+    buf: Arc<Mutex<TrackBuf>>, // lock-order: 30
 }
 
 impl TrackHandle {
@@ -268,9 +268,9 @@ impl TrackHandle {
 
 #[derive(Default)]
 struct Inner {
-    tracks: Mutex<BTreeMap<TrackKey, Arc<Mutex<TrackBuf>>>>,
+    tracks: Mutex<BTreeMap<TrackKey, Arc<Mutex<TrackBuf>>>>, // lock-order: 20
     /// Endpoint id → track, for resolving message edges at snapshot time.
-    endpoints: Mutex<BTreeMap<u64, TrackKey>>,
+    endpoints: Mutex<BTreeMap<u64, TrackKey>>, // lock-order: 10
 }
 
 /// The shared recorder: attach one to a `psmpi` universe and every rank of
@@ -298,6 +298,7 @@ impl Recorder {
         start: SimTime,
         origin: Option<TrackKey>,
     ) -> TrackHandle {
+        // lock-order: 30
         let buf = Arc::new(Mutex::new(TrackBuf {
             kind,
             start,

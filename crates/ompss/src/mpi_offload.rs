@@ -58,9 +58,9 @@ pub fn run_offloaded(
     graph: TaskGraph,
     store: DataStore,
 ) -> Result<(OffloadReport, DataStore), cluster_booster::launch::LaunchError> {
-    let graph = Arc::new(Mutex::new(graph));
-    let store = Arc::new(Mutex::new(store));
-    let stats = Arc::new(Mutex::new((0usize, 0u64))); // (offloaded, elements)
+    let graph = Arc::new(Mutex::new(graph)); // lock-order: 20
+    let store = Arc::new(Mutex::new(store)); // lock-order: 10
+    let stats = Arc::new(Mutex::new((0usize, 0u64))); // (offloaded, elements) lock-order: 30
 
     let graph_in = graph.clone();
     let store_in = store.clone();

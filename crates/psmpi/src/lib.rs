@@ -53,6 +53,7 @@ pub mod collectives_ext;
 pub mod comm;
 pub mod datatype;
 pub mod envelope;
+pub mod lockcheck;
 pub mod pingpong;
 pub mod pool;
 pub mod rank;

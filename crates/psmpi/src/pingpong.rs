@@ -32,7 +32,7 @@ pub fn fig3_sizes() -> Vec<usize> {
 pub fn measure(a: &NodeSpec, b: &NodeSpec, sizes: &[usize], reps: usize) -> Vec<PingPongPoint> {
     assert!(reps >= 1);
     let sizes = sizes.to_vec();
-    let results: Arc<Mutex<Vec<PingPongPoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let results: Arc<Mutex<Vec<PingPongPoint>>> = Arc::new(Mutex::new(Vec::new())); // lock-order: 70
     let results_in = results.clone();
 
     UniverseBuilder::new()
@@ -51,7 +51,9 @@ pub fn measure(a: &NodeSpec, b: &NodeSpec, sizes: &[usize], reps: usize) -> Vec<
                     }
                     let rtt = (rank.now() - t0) / reps as f64;
                     let latency = rtt / 2.0;
-                    results_in.lock().push(PingPongPoint {
+                    let mut results = results_in.lock();
+                    crate::lock_witness!("psmpi.results");
+                    results.push(PingPongPoint {
                         size,
                         latency,
                         bandwidth_mbs: size as f64 / latency.as_secs() / 1e6,

@@ -31,7 +31,7 @@ const MAX_POOLED_BUFFERS: usize = 64;
 /// feed virtual-time results or byte-diffed obs artifacts.
 #[derive(Default)]
 pub struct BufferPool {
-    bufs: Mutex<Vec<BytesMut>>,
+    bufs: Mutex<Vec<BytesMut>>, // lock-order: 50
     hits: AtomicU64,
     misses: AtomicU64,
     reclaim_failures: AtomicU64,
@@ -70,7 +70,11 @@ impl BufferPool {
     /// An empty buffer with at least `cap` bytes reserved, reusing a
     /// retired allocation when one is available.
     pub fn get(&self, cap: usize) -> BytesMut {
-        let recycled = self.bufs.lock().pop();
+        let recycled = {
+            let mut bufs = self.bufs.lock();
+            crate::lock_witness!("psmpi.bufs");
+            bufs.pop()
+        };
         match recycled {
             Some(mut b) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -92,6 +96,7 @@ impl BufferPool {
             return;
         }
         let mut bufs = self.bufs.lock();
+        crate::lock_witness!("psmpi.bufs");
         if bufs.len() < MAX_POOLED_BUFFERS {
             bufs.push(buf);
         }
@@ -111,7 +116,9 @@ impl BufferPool {
 
     /// Number of buffers currently pooled (for tests and diagnostics).
     pub fn pooled(&self) -> usize {
-        self.bufs.lock().len()
+        let bufs = self.bufs.lock();
+        crate::lock_witness!("psmpi.bufs");
+        bufs.len()
     }
 
     /// Snapshot the efficacy counters (see the struct docs for the

@@ -112,7 +112,7 @@ pub enum RecvAbort {
 /// One endpoint's incoming-message queue.
 #[derive(Default)]
 pub struct Mailbox {
-    state: Mutex<MailboxState>,
+    state: Mutex<MailboxState>, // lock-order: 10
     cv: Condvar,
 }
 
@@ -120,6 +120,7 @@ impl Mailbox {
     /// Deposit an envelope and wake any blocked receiver.
     pub fn push(&self, env: Envelope) {
         let mut s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         let arrival = s.base + s.slots.len() as u64;
         s.index
             .entry((env.comm, env.src_rank, env.tag))
@@ -136,6 +137,7 @@ impl Mailbox {
     /// queue are in arrival order, and one sender's arrivals are ordered.
     pub fn recv_match(&self, comm: CommId, src: Option<usize>, tag: Option<Tag>) -> Envelope {
         let mut s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         loop {
             if let Some(arrival) = s.find(comm, src, tag) {
                 return s.take(arrival);
@@ -170,6 +172,7 @@ impl Mailbox {
         dead: impl Fn() -> Option<(NodeId, SimTime)>,
     ) -> Result<Envelope, RecvAbort> {
         let mut s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         loop {
             if let Some(arrival) = s.find(comm, src, tag) {
                 return Ok(s.take(arrival));
@@ -190,6 +193,7 @@ impl Mailbox {
     /// (called when a node is declared down).
     pub fn interrupt(&self) {
         let _guard = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         self.cv.notify_all();
     }
 
@@ -202,6 +206,7 @@ impl Mailbox {
         tag: Option<Tag>,
     ) -> Option<(usize, Tag, usize, SimTime, EndpointId)> {
         let s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         s.find(comm, src, tag).map(|arrival| {
             let e = s.peek(arrival);
             (
@@ -223,6 +228,7 @@ impl Mailbox {
         tag: Option<Tag>,
     ) -> (usize, Tag, usize, SimTime, EndpointId) {
         let mut s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         loop {
             if let Some(arrival) = s.find(comm, src, tag) {
                 let e = s.peek(arrival);
@@ -245,6 +251,7 @@ impl Mailbox {
     /// polling.
     pub fn probe_blocking_either(&self, comm: CommId, src: usize, tag_a: Tag, tag_b: Tag) -> Tag {
         let mut s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
         loop {
             // Earliest arrival wins so one sender's protocol messages are
             // dispatched in send order.
@@ -262,7 +269,9 @@ impl Mailbox {
 
     /// Number of queued envelopes (diagnostics).
     pub fn len(&self) -> usize {
-        self.state.lock().live
+        let s = self.state.lock();
+        crate::lock_witness!("psmpi.state");
+        s.live
     }
 
     /// Whether the mailbox is empty.
@@ -342,7 +351,7 @@ pub struct EndpointEntry {
     node: NodeId,
     /// Virtual time until which this endpoint's receive pipe is busy
     /// (opt-in incast model). Per-endpoint lock domain.
-    nic_free: Mutex<SimTime>,
+    nic_free: Mutex<SimTime>, // lock-order: 60
 }
 
 impl EndpointEntry {
@@ -372,11 +381,11 @@ pub struct Router {
     /// iteration in a virtual-time crate must be in a deterministic order
     /// (deepcheck D002). Entries are never removed, so cached
     /// `Arc<EndpointEntry>` handles can outlive the lookup.
-    endpoints: [RwLock<BTreeMap<EndpointId, Arc<EndpointEntry>>>; ENDPOINT_SHARDS],
+    endpoints: [RwLock<BTreeMap<EndpointId, Arc<EndpointEntry>>>; ENDPOINT_SHARDS], // lock-order: 20
     /// Nodes declared down at run time, with their virtual death times.
     /// Written by the victim's own thread *after* it deposited all its
     /// sends; read by the abortable receive path.
-    dead_nodes: Mutex<BTreeMap<NodeId, SimTime>>,
+    dead_nodes: Mutex<BTreeMap<NodeId, SimTime>>, // lock-order: 30
     /// Lock-free screen for `dead_nodes`: false means the set is empty and
     /// the per-receive dead check returns `None` without locking. Updated
     /// under the `dead_nodes` lock; the release store paired with the
@@ -387,24 +396,24 @@ pub struct Router {
     /// plan by senders: a planned death no later than the last repair is
     /// spent. Only ever written between child worlds (by the supervisor,
     /// before respawning), so the read lock senders take is uncontended.
-    repairs: RwLock<BTreeMap<NodeId, SimTime>>,
+    repairs: RwLock<BTreeMap<NodeId, SimTime>>, // lock-order: 32
     /// Sender-side retry/backoff configuration for transient link faults.
-    retry: RwLock<RetryPolicy>,
+    retry: RwLock<RetryPolicy>, // lock-order: 34
     /// Optional message-trace sink (performance-analysis hook).
-    trace: Mutex<Option<simnet::TraceCollector>>,
+    trace: Mutex<Option<simnet::TraceCollector>>, // lock-order: 40
     /// Lock-free screen for `trace`: deliveries skip the trace lock
     /// entirely unless a collector was attached.
     trace_attached: AtomicBool,
     /// Optional span/counter recorder: when attached, every rank of every
     /// subsequent job registers an `obs` track and the runtime emits
     /// compute/send/recv/collective spans automatically.
-    obs: Mutex<Option<obs::Recorder>>,
+    obs: Mutex<Option<obs::Recorder>>, // lock-order: 42
     next_endpoint: AtomicU64,
     next_comm: AtomicU64,
     /// Threads spawned dynamically (via `Rank::spawn`); joined at job end.
-    pub(crate) child_handles: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) child_handles: Mutex<Vec<JoinHandle<()>>>, // lock-order: 44
     /// Outcomes of completed ranks.
-    pub(crate) outcomes: Mutex<Vec<RankOutcome>>,
+    pub(crate) outcomes: Mutex<Vec<RankOutcome>>, // lock-order: 46
     /// Fixed virtual cost of a `spawn` operation (process launch, remote
     /// boot, connection setup).
     pub spawn_latency: SimTime,
@@ -463,7 +472,9 @@ impl Router {
             node,
             nic_free: Mutex::new(SimTime::ZERO),
         });
-        self.endpoints[shard_of(id)].write().insert(id, entry);
+        let mut shard = self.endpoints[shard_of(id)].write();
+        crate::lock_witness!("psmpi.endpoints");
+        shard.insert(id, entry);
         id
     }
 
@@ -478,8 +489,9 @@ impl Router {
     /// recover. Entries are immutable and never removed — callers on hot
     /// paths should cache the `Arc` instead of looking up per message.
     pub fn entry(&self, ep: EndpointId) -> Result<Arc<EndpointEntry>, PsmpiError> {
-        self.endpoints[shard_of(ep)]
-            .read()
+        let shard = self.endpoints[shard_of(ep)].read();
+        crate::lock_witness!("psmpi.endpoints");
+        shard
             .get(&ep)
             .cloned()
             .ok_or(PsmpiError::UnknownEndpoint(ep.0))
@@ -530,12 +542,16 @@ impl Router {
 
     /// The sender-side retry/backoff policy.
     pub fn retry_policy(&self) -> RetryPolicy {
-        *self.retry.read()
+        let retry = self.retry.read();
+        crate::lock_witness!("psmpi.retry");
+        *retry
     }
 
     /// Replace the retry/backoff policy (call before launching ranks).
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        *self.retry.write() = policy;
+        let mut retry = self.retry.write();
+        crate::lock_witness!("psmpi.retry");
+        *retry = policy;
     }
 
     /// Declare `node` dead as of virtual time `at` and wake every blocked
@@ -550,12 +566,24 @@ impl Router {
     pub fn declare_down(&self, node: NodeId, at: SimTime) {
         {
             let mut dead = self.dead_nodes.lock();
+            crate::lock_witness!("psmpi.dead_nodes");
             dead.entry(node).or_insert(at);
             self.any_dead.store(true, Ordering::Release);
         }
+        // Snapshot each shard's mailboxes before interrupting: `interrupt`
+        // takes a mailbox `state` lock (rank 10), which must not happen
+        // under a shard guard (rank 20). Worse than the rank inversion, a
+        // blocked receiver holds its `state` while its dead-check takes a
+        // shard read — and parking_lot's writer-priority RwLock turns the
+        // two read sides plus one queued writer into a deadlock.
         for shard in &self.endpoints {
-            for entry in shard.read().values() {
-                entry.mailbox.interrupt();
+            let mailboxes: Vec<Arc<Mailbox>> = {
+                let guard = shard.read();
+                crate::lock_witness!("psmpi.endpoints");
+                guard.values().map(|entry| entry.mailbox.clone()).collect()
+            };
+            for mailbox in mailboxes {
+                mailbox.interrupt();
             }
         }
     }
@@ -565,10 +593,12 @@ impl Router {
     pub fn repair(&self, node: NodeId, at: SimTime) {
         {
             let mut dead = self.dead_nodes.lock();
+            crate::lock_witness!("psmpi.dead_nodes");
             dead.remove(&node);
             self.any_dead.store(!dead.is_empty(), Ordering::Release);
         }
         let mut reps = self.repairs.write();
+        crate::lock_witness!("psmpi.repairs");
         let r = reps.entry(node).or_insert(at);
         *r = (*r).max(at);
     }
@@ -580,7 +610,9 @@ impl Router {
         if !self.any_dead.load(Ordering::Acquire) {
             return None;
         }
-        self.dead_nodes.lock().get(&node).copied()
+        let dead = self.dead_nodes.lock();
+        crate::lock_witness!("psmpi.dead_nodes");
+        dead.get(&node).copied()
     }
 
     /// Death time of the node hosting `ep`, if that node is currently
@@ -598,7 +630,11 @@ impl Router {
     pub fn planned_dead(&self, node: NodeId, t: SimTime) -> Option<SimTime> {
         let plan = self.fabric.fault_plan()?;
         let tf = plan.node_fault_at(node, t)?;
-        let repaired = self.repairs.read().get(&node).copied();
+        let repaired = {
+            let reps = self.repairs.read();
+            crate::lock_witness!("psmpi.repairs");
+            reps.get(&node).copied()
+        };
         match repaired {
             Some(r) if tf <= r => None,
             _ => Some(tf),
@@ -607,24 +643,32 @@ impl Router {
 
     /// Record a finished rank.
     pub fn record_outcome(&self, outcome: RankOutcome) {
-        self.outcomes.lock().push(outcome);
+        let mut outcomes = self.outcomes.lock();
+        crate::lock_witness!("psmpi.outcomes");
+        outcomes.push(outcome);
     }
 
     /// Attach a trace collector; every subsequent delivery is recorded.
     pub fn attach_trace(&self, collector: simnet::TraceCollector) {
-        *self.trace.lock() = Some(collector);
+        let mut trace = self.trace.lock();
+        crate::lock_witness!("psmpi.trace");
+        *trace = Some(collector);
         self.trace_attached.store(true, Ordering::Release);
     }
 
     /// Attach an observability recorder; ranks created afterwards get a
     /// track each and emit runtime spans automatically.
     pub fn attach_obs(&self, recorder: obs::Recorder) {
-        *self.obs.lock() = Some(recorder);
+        let mut obs = self.obs.lock();
+        crate::lock_witness!("psmpi.obs");
+        *obs = Some(recorder);
     }
 
     /// The attached recorder, if any.
     pub fn obs_recorder(&self) -> Option<obs::Recorder> {
-        self.obs.lock().clone()
+        let obs = self.obs.lock();
+        crate::lock_witness!("psmpi.obs");
+        obs.clone()
     }
 
     /// Node kind of an endpoint's node (labels obs tracks).
@@ -651,6 +695,7 @@ impl Router {
             return;
         }
         let guard = self.trace.lock();
+        crate::lock_witness!("psmpi.trace");
         let Some(collector) = guard.as_ref() else {
             return;
         };
@@ -687,6 +732,7 @@ impl Router {
         }
         let drain = SimTime::from_secs(bytes as f64 / self.fabric.model().payload_bw);
         let mut free = dst.nic_free.lock();
+        crate::lock_witness!("psmpi.nic_free");
         let completion = arrival.max(*free + drain);
         *free = completion;
         completion
@@ -847,6 +893,37 @@ mod tests {
         r.declare_down(NodeId(1), SimTime::from_secs(1.0));
         let res = h.join().unwrap();
         assert!(matches!(res, Err(RecvAbort::Dead(_, _))));
+    }
+
+    /// The runtime witness sees the cross-function order the static pass
+    /// cannot: a blocked receiver holds its mailbox `state` while its
+    /// dead-check takes an `endpoints` shard read. The reverse edge —
+    /// `declare_down` interrupting mailboxes *under* a shard guard — was
+    /// the deadlock this PR fixed; its absence keeps the graph acyclic.
+    #[cfg(feature = "lockcheck")]
+    #[test]
+    fn witness_records_receiver_side_order_and_stays_acyclic() {
+        let r = router();
+        let a = r.register_endpoint(NodeId(0));
+        let b = r.register_endpoint(NodeId(1));
+        let mb = r.mailbox(a).unwrap();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || {
+            mb.recv_match_abortable(CommId(1), Some(0), Some(5), || r2.dead_node_of(b))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.declare_down(NodeId(1), SimTime::from_secs(1.0));
+        h.join().unwrap().expect_err("receiver aborts dead");
+        let edges = crate::lockcheck::recorded_edges();
+        assert!(
+            edges.contains(&("psmpi.state", "psmpi.endpoints")),
+            "receiver-side edge missing: {edges:?}"
+        );
+        assert!(
+            !edges.contains(&("psmpi.endpoints", "psmpi.state")),
+            "declare_down re-grew the interrupt-under-shard-guard edge: {edges:?}"
+        );
+        crate::lockcheck::assert_acyclic();
     }
 
     #[test]

@@ -147,7 +147,9 @@ impl Rank {
                     entry.clone(),
                 ));
             }
-            router.child_handles.lock().extend(handles);
+            let mut child_handles = router.child_handles.lock();
+            crate::lock_witness!("psmpi.child_handles");
+            child_handles.extend(handles);
 
             let info = SpawnInfo {
                 child_world: child_world_id.0,

@@ -109,8 +109,11 @@ impl Universe {
         // Join dynamically spawned worlds (children may spawn grandchildren,
         // so loop until the registry drains).
         loop {
-            let drained: Vec<JoinHandle<()>> =
-                std::mem::take(&mut *self.router.child_handles.lock());
+            let drained: Vec<JoinHandle<()>> = {
+                let mut child_handles = self.router.child_handles.lock();
+                crate::lock_witness!("psmpi.child_handles");
+                std::mem::take(&mut *child_handles)
+            };
             if drained.is_empty() {
                 break;
             }
@@ -118,7 +121,11 @@ impl Universe {
                 h.join().expect("spawned rank thread panicked");
             }
         }
-        let outcomes = std::mem::take(&mut *self.router.outcomes.lock());
+        let outcomes = {
+            let mut outcomes_guard = self.router.outcomes.lock();
+            crate::lock_witness!("psmpi.outcomes");
+            std::mem::take(&mut *outcomes_guard)
+        };
         JobReport { outcomes }
     }
 }

@@ -47,6 +47,7 @@ fn send_to_planned_dead_node_fails_and_recycles_sole_buffer() {
             "failed send must return its sole-owned encode buffer"
         );
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -71,6 +72,7 @@ fn failed_send_never_recycles_an_aliased_buffer() {
         // Our alias is untouched — nobody scribbled over the allocation.
         assert!(alias.iter().all(|&b| b == 42));
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -109,6 +111,7 @@ fn victim_messages_before_death_arrive_in_order_then_recv_aborts() {
         // No dangling index entry: probing the drained class finds nothing.
         assert!(rank.iprobe(&w, Some(1), Some(7)).is_none());
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -145,6 +148,7 @@ fn revoke_marker_aborts_transitively_blocked_rank() {
             }
         }
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -172,6 +176,7 @@ fn transient_link_fault_is_retried_through_backoff() {
             assert_eq!(v, 7);
         }
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -196,6 +201,7 @@ fn persistent_link_fault_exhausts_retries_to_link_down() {
             other => panic!("expected LinkDown, got {other}"),
         }
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -220,6 +226,7 @@ fn link_fault_backoff_times_out_past_give_up_bound() {
             other => panic!("expected Timeout, got {other}"),
         }
     });
+    psmpi::lockcheck::assert_acyclic();
 }
 
 #[test]
@@ -256,4 +263,5 @@ fn faulted_run_is_identical_across_thread_interleavings() {
         again.sort_by_key(|a| a.0);
         assert_eq!(first, again);
     }
+    psmpi::lockcheck::assert_acyclic();
 }

@@ -95,6 +95,7 @@ fn thousand_senders_preserve_per_sender_order_under_wildcard_drain() {
     let next = receiver.join().unwrap();
     assert!(next.iter().all(|&n| n == PER_SENDER));
     assert!(mbox.is_empty(), "wildcard drain consumed everything");
+    psmpi::lockcheck::assert_acyclic();
 }
 
 /// Same fan-in, drained through the exact-match index: a fully-specified
@@ -131,6 +132,7 @@ fn thousand_senders_preserve_order_through_exact_match_index() {
         }
     }
     assert!(mbox.is_empty());
+    psmpi::lockcheck::assert_acyclic();
 }
 
 const TAG_A: Tag = 10;
@@ -152,6 +154,7 @@ fn probe_blocking_either_reports_earliest_arrival_without_dequeue() {
     mbox.push(env(0, TAG_B, 1));
     assert_eq!(mbox.probe_blocking_either(COMM, 0, TAG_A, TAG_B), TAG_A);
     assert_eq!(mbox.len(), 2);
+    psmpi::lockcheck::assert_acyclic();
 }
 
 /// Race `probe_blocking_either` against a concurrent sender: the prober
@@ -181,4 +184,5 @@ fn probe_blocking_either_race_with_concurrent_sender() {
         let e = mbox.recv_match(COMM, Some(7), Some(TAG_B));
         assert_eq!(decode(&e.payload), (7, 0));
     }
+    psmpi::lockcheck::assert_acyclic();
 }

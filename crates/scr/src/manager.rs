@@ -104,7 +104,7 @@ pub struct ScrManager {
     /// Node specs of each rank (for buddy-transfer cost).
     specs: Vec<Arc<hwmodel::NodeSpec>>,
     pfs: ParallelFs,
-    state: Arc<Mutex<ScrState>>,
+    state: Arc<Mutex<ScrState>>, // lock-order: 10
 }
 
 impl ScrManager {

@@ -23,7 +23,7 @@ struct FabricInner {
     /// Optional fault schedule, shared by every clone. Installed once at
     /// launch (before rank threads start) and then only read, so the lock
     /// is uncontended on the message path.
-    faults: RwLock<Option<Arc<FaultPlan>>>,
+    faults: RwLock<Option<Arc<FaultPlan>>>, // lock-order: 50
 }
 
 impl Fabric {

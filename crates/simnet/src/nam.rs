@@ -80,7 +80,7 @@ pub struct NamDevice {
     access_latency: SimTime,
     /// HMC bandwidth through the FPGA, bytes/s.
     bandwidth: f64,
-    state: Arc<Mutex<NamState>>,
+    state: Arc<Mutex<NamState>>, // lock-order: 40
 }
 
 impl NamDevice {

@@ -61,15 +61,15 @@ impl From<TopologyError> for RdmaError {
 
 struct Window {
     owner: NodeId,
-    data: RwLock<Vec<u8>>,
+    data: RwLock<Vec<u8>>, // lock-order: 30
 }
 
 /// The RDMA engine of a fabric. Clone-shared across rank threads.
 #[derive(Clone)]
 pub struct RdmaEngine {
     fabric: Fabric,
-    windows: Arc<RwLock<HashMap<WindowId, Arc<Window>>>>,
-    next_id: Arc<parking_lot::Mutex<u64>>,
+    windows: Arc<RwLock<HashMap<WindowId, Arc<Window>>>>, // lock-order: 20
+    next_id: Arc<parking_lot::Mutex<u64>>,                // lock-order: 10
 }
 
 impl RdmaEngine {

@@ -110,7 +110,7 @@ struct TraceState {
 /// A shared, clonable, bounded message-trace sink.
 #[derive(Debug, Clone)]
 pub struct TraceCollector {
-    state: Arc<Mutex<TraceState>>,
+    state: Arc<Mutex<TraceState>>, // lock-order: 40
     cap: usize,
 }
 

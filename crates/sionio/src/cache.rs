@@ -58,7 +58,7 @@ pub struct CacheDomain {
     mode: CacheMode,
     /// Per-node staging capacity in bytes (the NVMe device size by default).
     capacity: u64,
-    state: Arc<Mutex<CacheState>>,
+    state: Arc<Mutex<CacheState>>, // lock-order: 10
 }
 
 impl CacheDomain {

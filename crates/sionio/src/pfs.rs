@@ -97,7 +97,7 @@ struct FsState {
 #[derive(Debug, Clone)]
 pub struct ParallelFs {
     config: PfsConfig,
-    state: Arc<Mutex<FsState>>,
+    state: Arc<Mutex<FsState>>, // lock-order: 10
 }
 
 impl ParallelFs {

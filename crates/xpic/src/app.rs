@@ -253,6 +253,7 @@ fn aux_phase(rank: &mut Rank, config: &XpicConfig, elems: u64) {
 
 /// The combined main loop of Listing 1, one module (Cluster-only or
 /// Booster-only mode).
+// lock-order: 10
 fn run_combined(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>) {
     let world = rank.world();
     let n = world.size();
@@ -330,7 +331,7 @@ fn finalize_combined(
     loop_time: SimTime,
     cg_total: u64,
     history: &[f64],
-    acc: &Arc<Mutex<Acc>>,
+    acc: &Arc<Mutex<Acc>>, // lock-order: 10
 ) {
     let global_history = rank
         .allreduce(world, history, ReduceOp::Sum)
@@ -370,7 +371,7 @@ fn run_booster_side(
     rank: &mut Rank,
     config: &XpicConfig,
     cluster_nodes: &[hwmodel::NodeId],
-    acc: &Arc<Mutex<Acc>>,
+    acc: &Arc<Mutex<Acc>>, // lock-order: 10
 ) {
     let world = rank.world();
     let n = world.size();
@@ -482,6 +483,7 @@ fn run_booster_side(
 }
 
 /// The Cluster main loop of Listing 2 (field solver side of C+B).
+// lock-order: 10
 fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>) {
     let world = rank.world();
     let me = rank.rank();
@@ -590,7 +592,7 @@ pub fn run_mode(
     nodes_per_solver: usize,
     config: &XpicConfig,
 ) -> XpicReport {
-    let acc = Arc::new(Mutex::new(Acc::default()));
+    let acc = Arc::new(Mutex::new(Acc::default())); // lock-order: 10
     let config = Arc::new(config.clone());
 
     let spec = match mode {

@@ -168,6 +168,7 @@ pub fn run_checkpointed(
     assert_eq!(scr.ranks(), nodes, "one SCR slot per rank");
     let config = Arc::new(config.clone());
     let scr = scr.clone();
+    // lock-order: 10
     let out = Arc::new(Mutex::new(ResilientOutcome {
         steps_done: 0,
         interrupted: false,
@@ -424,6 +425,7 @@ pub fn run_resilient(
     let config = Arc::new(config.clone());
     let scr_in = scr.clone();
     let recovery_in = recovery.clone();
+    // lock-order: 10
     let out = Arc::new(Mutex::new(ResilientReport {
         field_energy: 0.0,
         kinetic_energy: 0.0,
@@ -464,7 +466,7 @@ fn supervise(
     config: &Arc<XpicConfig>,
     scr: &ScrManager,
     recovery: &RecoveryConfig,
-    out: &Arc<Mutex<ResilientReport>>,
+    out: &Arc<Mutex<ResilientReport>>, // lock-order: 10
 ) {
     let world = rank.world();
     let mut start_step = 0u32;
