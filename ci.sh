@@ -59,6 +59,20 @@ cmp "$OBS_TMP/a.json" "$OBS_TMP/b.json"
 cmp "$OBS_TMP/a.json.report.txt" "$OBS_TMP/b.json.report.txt"
 rm -rf "$OBS_TMP"
 
+echo "== overlap gate (nonblocking transfers: bit-exact and faster) =="
+# The C+B job overlapped vs. blocking at the strong-scaling smoke shape
+# (overlap_run.rs): FINAL bits must match, the makespan must shrink, and
+# interface+halo wait_s must drop by the stored minimum. The whole report
+# must also come out byte-identical across host thread counts.
+OV_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --overlap --steps 3 --nodes 2 --threads 1 > "$OV_TMP/t1.txt"
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --overlap --steps 3 --nodes 2 --threads 2 > "$OV_TMP/t2.txt"
+grep -q '^OVERLAP_GATE ok=1' "$OV_TMP/t1.txt"
+cmp "$OV_TMP/t1.txt" "$OV_TMP/t2.txt"
+rm -rf "$OV_TMP"
+
 echo "== fault injection (recovery is bit-exact and thread-invariant) =="
 # Kill a Booster node mid-run: the job must restart from the newest SCR
 # checkpoint and print a FINAL energy line bit-identical to a clean run's,

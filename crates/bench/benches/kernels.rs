@@ -18,6 +18,11 @@
 //!   self-send fast path, all drawing from one long-lived `BufferPool`;
 //!   the JSON stamps the typed/bytes p2p cost ratio the smoke gate in
 //!   `fabric.rs` ratchets on, plus the typed/alias ratio for context.
+//!   A `typed_nonblocking` variant runs the same exchange through the
+//!   request engine (post + immediate wait) to price the handles.
+//! * **overlap** — virtual-time makespan and per-module wait_s of the C+B
+//!   smoke job with nonblocking transfers on vs. off, plus the
+//!   bit-exactness flag (the numbers `fig8 --overlap` gates on).
 //! * **virtual time** — the same xPic run at every thread count must
 //!   report the *same* virtual runtime; the JSON records the values and
 //!   an `invariant` flag.
@@ -30,7 +35,7 @@
 use bytes::Bytes;
 use criterion::{black_box, Criterion, Measurement};
 use hwmodel::presets::deep_er_cluster_node;
-use psmpi::{MpiDatatype, UniverseBuilder};
+use psmpi::{MpiDatatype, MpiRequest, UniverseBuilder};
 use std::fmt::Write as _;
 use xpic::moments::{deposit, deposit_threads};
 use xpic::mover::{boris_push, boris_push_threads};
@@ -141,6 +146,33 @@ fn bench_router(c: &mut Criterion) {
                         } else {
                             let (v, _) = rank.recv_bytes_comm(&w, Some(0), Some(0)).unwrap();
                             inbox[..v.len()].copy_from_slice(&v);
+                            black_box(&mut inbox);
+                        }
+                    }
+                })
+        });
+    });
+    // The same typed exchange through the request engine: post, then wait
+    // immediately. The delta against "typed" is the pure host-side cost of
+    // a post→wait round trip (handle construction, deferred-charge
+    // bookkeeping), with zero virtual-time overlap to profit from — the
+    // worst case for the nonblocking surface.
+    g.bench_function("typed_nonblocking", |b| {
+        let pool = pool.clone();
+        b.iter(move || {
+            UniverseBuilder::new()
+                .add_nodes(2, &deep_er_cluster_node())
+                .buffer_pool(pool.clone())
+                .run(|rank| {
+                    let payload = vec![0.0f64; MSG / 8];
+                    let mut inbox = vec![0.0f64; MSG / 8];
+                    for _ in 0..ROUNDS {
+                        if rank.rank() == 0 {
+                            let req = rank.isend_slice(1, 0, &payload).unwrap();
+                            req.wait(rank).unwrap();
+                        } else {
+                            let req = rank.irecv_into(Some(0), Some(0), &mut inbox).unwrap();
+                            req.wait(rank).unwrap();
                             black_box(&mut inbox);
                         }
                     }
@@ -303,6 +335,36 @@ fn obs_profile_block() -> String {
     out
 }
 
+/// Virtual-time overlap comparison at the smoke shape (see
+/// `overlap_run::smoke_config`): the same C+B job with nonblocking
+/// transfers on and off. Records makespans, the per-module wait_s the
+/// overlap removes from the interface and halo profile buckets, and the
+/// bit-exactness flag — all from the obs recorder, so the block is
+/// byte-stable across hosts and thread counts.
+fn overlap_block() -> String {
+    let cmp = cb_bench::overlap_run::OverlapComparison::run(2, 3, 1);
+    let mut out = String::from("  \"overlap\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"makespan_s\": {{\"on\": {:.9}, \"off\": {:.9}, \"speedup\": {:.4}}},",
+        cmp.on.makespan.as_secs(),
+        cmp.off.makespan.as_secs(),
+        cmp.off.makespan.as_secs() / cmp.on.makespan.as_secs()
+    );
+    let _ = writeln!(
+        out,
+        "    \"wait_s\": {{\"interface_on\": {:.9}, \"interface_off\": {:.9}, \"halo_on\": {:.9}, \"halo_off\": {:.9}}},",
+        cmp.on.wait_interface.as_secs(),
+        cmp.off.wait_interface.as_secs(),
+        cmp.on.wait_halo.as_secs(),
+        cmp.off.wait_halo.as_secs()
+    );
+    let _ = writeln!(out, "    \"wait_reduction\": {:.4},", cmp.wait_reduction());
+    let _ = writeln!(out, "    \"bit_exact\": {}", cmp.bit_exact());
+    out.push_str("  },\n");
+    out
+}
+
 fn write_json(measurements: &[Measurement]) {
     // The workspace root is two levels above this crate's manifest —
     // resolved at compile time, so the artifact lands in a stable place
@@ -406,7 +468,17 @@ fn write_json(measurements: &[Measurement]) {
         out,
         "  \"router_p2p_typed_alias_ratio\": {typed_alias_ratio:.2},"
     );
+    // Host-side post→wait cost of the request engine relative to the
+    // blocking typed path on the same workload (~1.0 means the handles
+    // are free; the virtual-time overlap win is measured in the
+    // "overlap" block below, not here).
+    let nonblocking_ratio = ratio_of("router/p2p_1MiB/typed_nonblocking", "router/p2p_1MiB/typed");
+    let _ = writeln!(
+        out,
+        "  \"router_p2p_nonblocking_typed_ratio\": {nonblocking_ratio:.2},"
+    );
 
+    out.push_str(&overlap_block());
     out.push_str(&obs_profile_block());
     out.push_str("  \"virtual_time_ns_by_threads\": {");
     for (i, (t, ns)) in vts.iter().enumerate() {

@@ -8,10 +8,18 @@
 //! the fault-injection mode: xPic under a fault plan with automatic
 //! SCR checkpoint-restart, printing a `FINAL` line whose energy bit
 //! patterns must match a clean run's.
+//!
+//! With `--overlap` it runs the compute/communication-overlap comparison:
+//! the same C+B job with the nonblocking request engine on and off,
+//! printing the `FINAL` bit patterns and an `OVERLAP_GATE` verdict.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = cb_bench::obs_run::parse_fig_cli(&args, 10, 4);
     if cb_bench::obs_run::maybe_run_obs(&cli) {
+        return;
+    }
+    if cli.overlap {
+        print!("{}", cb_bench::overlap_run::run_overlap_cli(&cli));
         return;
     }
     if cb_bench::resilience_run::resilient_requested(&cli) {

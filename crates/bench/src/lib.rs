@@ -22,6 +22,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod obs_run;
+pub mod overlap_run;
 pub mod resilience_run;
 pub mod scale;
 pub mod sensitivity;

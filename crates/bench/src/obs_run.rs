@@ -147,6 +147,9 @@ pub struct FigCli {
     /// `--ckpt-every <n>`: checkpoint interval in steps for the resilient
     /// run (also selects the resilient mode on its own, with no faults).
     pub ckpt_every: Option<u32>,
+    /// `--overlap`: run the overlap-on/off comparison and print the
+    /// `OVERLAP_GATE` verdict (see [`crate::overlap_run`]).
+    pub overlap: bool,
 }
 
 /// Parse the figure binaries' argv (everything after the program name).
@@ -159,6 +162,7 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
         fault_at: None,
         mtbf: None,
         ckpt_every: None,
+        overlap: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -203,6 +207,9 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
                         .and_then(|s| s.parse().ok())
                         .expect("--mtbf <secs>"),
                 );
+            }
+            "--overlap" => {
+                cli.overlap = true;
             }
             "--ckpt-every" => {
                 i += 1;

@@ -16,6 +16,7 @@ use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
 use hwmodel::SimTime;
 use psmpi::{PoolStats, Tag, Universe};
 use simnet::{Fabric, Topology};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// Tag of the ring-exchange messages.
 const TAG_RING: Tag = 7001;
@@ -29,6 +30,13 @@ pub struct ScaleConfig {
     pub rounds: usize,
     /// `f64` elements per message (8 bytes each on the wire).
     pub elems: usize,
+    /// Quiesce every rank at a host-side double barrier between rounds
+    /// and sample exact per-round pool-counter deltas
+    /// ([`ScaleStats::per_round_pool`]). The barrier turns each round
+    /// into a synchronized burst (BSP-style) and its wakeups cost host
+    /// time, so the throughput gate runs with this off and the counter
+    /// pass runs it on — virtual time is identical either way.
+    pub per_round: bool,
 }
 
 impl ScaleConfig {
@@ -39,13 +47,14 @@ impl ScaleConfig {
             nodes: 1000,
             rounds: 8,
             elems: 1024,
+            per_round: false,
         }
     }
 }
 
 /// What a scale run did, in simulator terms (no wall-clock here — the
 /// binary wraps the run in its own timer).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ScaleStats {
     /// Ranks that ran.
     pub nodes: usize,
@@ -59,6 +68,25 @@ pub struct ScaleStats {
     pub makespan: SimTime,
     /// Buffer-pool counter deltas over the run.
     pub pool: PoolStats,
+    /// Pool counter deltas per ring round, sampled while every rank sits
+    /// at a host-side round barrier (the pool is quiescent at the sample
+    /// point, so each round's delta is exact). The split within a round
+    /// is host-scheduling dependent — a get misses only while every
+    /// buffer allocated so far is simultaneously in flight — so early
+    /// rounds allocate the pool up to the peak concurrency and later
+    /// rounds trend to pure hits. Host-only bookkeeping: the barrier
+    /// never touches a virtual clock, so the makespan is identical with
+    /// or without the sampling.
+    pub per_round_pool: Vec<PoolStats>,
+}
+
+/// `a - b`, counter-wise.
+fn pool_delta(a: PoolStats, b: PoolStats) -> PoolStats {
+    PoolStats {
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        reclaim_failures: a.reclaim_failures - b.reclaim_failures,
+    }
 }
 
 /// Run the ring exchange: rank *r* sends to *r+1* and receives from
@@ -79,6 +107,13 @@ pub fn run_ring(cfg: &ScaleConfig) -> ScaleStats {
     let pool_before = universe.router().buffer_pool().stats();
     let rounds = cfg.rounds;
     let elems = cfg.elems;
+    // Round boundary instrumentation (opt-in): a double barrier quiesces
+    // every rank between rounds so one leader can snapshot the cumulative
+    // pool counters with no send or recycle in flight. Host-side only —
+    // no virtual clock is read or advanced at the barrier.
+    let barrier = cfg.per_round.then(|| Arc::new(Barrier::new(cfg.nodes)));
+    let samples: Arc<Mutex<Vec<PoolStats>>> = Arc::new(Mutex::new(Vec::with_capacity(rounds)));
+    let samples_in = samples.clone();
     let report = universe.launch(&placements, move |rank| {
         let n = rank.world().size();
         let me = rank.rank();
@@ -93,9 +128,31 @@ pub fn run_ring(cfg: &ScaleConfig) -> ScaleStats {
             rank.recv_into(Some(prev), Some(TAG_RING), &mut inbox)
                 .unwrap();
             assert_eq!(inbox[0], prev as f64, "ring payload integrity");
+            if let Some(barrier) = &barrier {
+                // First barrier: everyone's round is done, the pool is
+                // quiescent; exactly one rank samples it.
+                if barrier.wait().is_leader() {
+                    samples_in.lock().unwrap().push(rank.buffer_pool().stats());
+                }
+                // Second barrier: hold the next round's sends until the
+                // sample is taken.
+                barrier.wait();
+            }
         }
     });
     let pool_after = universe.router().buffer_pool().stats();
+    let per_round_pool = {
+        let cumulative = samples.lock().unwrap();
+        let mut prev = pool_before;
+        cumulative
+            .iter()
+            .map(|&s| {
+                let d = pool_delta(s, prev);
+                prev = s;
+                d
+            })
+            .collect()
+    };
 
     ScaleStats {
         nodes: cfg.nodes,
@@ -103,11 +160,8 @@ pub fn run_ring(cfg: &ScaleConfig) -> ScaleStats {
         elems: cfg.elems,
         delivered_msgs: (cfg.nodes * cfg.rounds) as u64,
         makespan: report.makespan(),
-        pool: PoolStats {
-            hits: pool_after.hits - pool_before.hits,
-            misses: pool_after.misses - pool_before.misses,
-            reclaim_failures: pool_after.reclaim_failures - pool_before.reclaim_failures,
-        },
+        pool: pool_delta(pool_after, pool_before),
+        per_round_pool,
     }
 }
 
@@ -121,9 +175,11 @@ mod tests {
             nodes: 64,
             rounds: 4,
             elems: 128,
+            per_round: false,
         };
         let s = run_ring(&cfg);
         assert_eq!(s.delivered_msgs, 64 * 4);
+        assert!(s.per_round_pool.is_empty(), "sampling is opt-in");
         assert!(s.makespan > SimTime::ZERO);
         // One miss per rank's first send at most; every later round must
         // draw from the pool (the receiver recycles after decoding).
@@ -140,6 +196,55 @@ mod tests {
     }
 
     #[test]
+    fn warm_rounds_draw_entirely_from_the_pool() {
+        let cfg = ScaleConfig {
+            nodes: 32,
+            rounds: 5,
+            elems: 128,
+            per_round: true,
+        };
+        let s = run_ring(&cfg);
+        assert_eq!(s.per_round_pool.len(), cfg.rounds);
+        // The round barrier makes each delta exact: every round stages
+        // exactly one send per rank through the pool, nothing else.
+        for (i, p) in s.per_round_pool.iter().enumerate() {
+            assert_eq!(
+                p.hits + p.misses,
+                cfg.nodes as u64,
+                "round {i} gets must equal the rank count: {p:?}"
+            );
+        }
+        let total_gets: u64 = s.per_round_pool.iter().map(|p| p.hits + p.misses).sum();
+        assert_eq!(
+            total_gets,
+            s.pool.hits + s.pool.misses,
+            "round deltas must sum to the run totals"
+        );
+        // A get misses only while every buffer allocated so far is in
+        // flight, and each rank has at most one outstanding send — so the
+        // pool never allocates more than one buffer per rank, ever.
+        assert!(
+            s.pool.misses <= cfg.nodes as u64,
+            "allocations exceed peak concurrency: {:?}",
+            s.pool
+        );
+        // Which bounds the warm-round hit rate from below: the warm
+        // rounds perform (rounds-1)·nodes gets against at most `nodes`
+        // misses over the whole run.
+        let warm_hits: u64 = s.per_round_pool[1..].iter().map(|p| p.hits).sum();
+        let warm_gets: u64 = s.per_round_pool[1..]
+            .iter()
+            .map(|p| p.hits + p.misses)
+            .sum();
+        let floor = (warm_gets - cfg.nodes as u64) as f64 / warm_gets as f64;
+        assert!(
+            warm_hits as f64 / warm_gets as f64 >= floor,
+            "warm rounds must reuse retired buffers: {:?}",
+            s.per_round_pool
+        );
+    }
+
+    #[test]
     fn makespan_is_thread_count_invariant() {
         // The same exchange, run twice: virtual time must agree exactly
         // (host scheduling varies between the runs; virtual time cannot).
@@ -147,10 +252,18 @@ mod tests {
             nodes: 16,
             rounds: 3,
             elems: 64,
+            per_round: false,
         };
         let a = run_ring(&cfg);
         let b = run_ring(&cfg);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.delivered_msgs, b.delivered_msgs);
+        // The sampling barrier is host-side only: instrumenting the rounds
+        // must leave the virtual makespan untouched.
+        let c = run_ring(&ScaleConfig {
+            per_round: true,
+            ..cfg
+        });
+        assert_eq!(a.makespan, c.makespan);
     }
 }

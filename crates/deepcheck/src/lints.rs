@@ -1,7 +1,7 @@
 //! The per-file lint families enforcing the determinism contract
-//! (D001–D005, D007) and psmpi usage correctness (M001). The crate-level
-//! passes live next door: lock discipline (D006/D008) in [`crate::locks`],
-//! the protocol matcher (M002) in [`crate::protocol`].
+//! (D001–D005, D007) and psmpi usage correctness (M001, M003). The
+//! crate-level passes live next door: lock discipline (D006/D008) in
+//! [`crate::locks`], the protocol matcher (M002) in [`crate::protocol`].
 //!
 //! All lints are token-pattern heuristics over the stream produced by
 //! [`crate::lexer`] — deliberately simple, deliberately conservative, and
@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint code (`D001` … `D008`, `M001`, `M002`).
+    /// Lint code (`D001` … `D008`, `M001` … `M003`).
     pub lint: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -56,6 +56,7 @@ pub fn run_all(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
         d005_obs_wall_clock(path, toks, &mut out);
     }
     d005_span_guard_discarded(path, toks, &mut out);
+    m003_request_discarded(path, toks, &mut out);
     if VIRTUAL_TIME_CRATES.contains(&crate_name) {
         d007_relaxed_atomics(path, toks, &mut out);
     }
@@ -421,6 +422,142 @@ fn d005_span_guard_discarded(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                         "span opened via `{method}` without keeping the guard — the \
                          `SpanGuard` drops immediately, the span closes at its own open \
                          time and is counted as unclosed; bind it and `close()` it"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- M003 --
+
+/// Every request-returning nonblocking method of `Rank` (the engine's
+/// `isend_*`/`irecv_*` surface plus the legacy typed `isend`/`irecv`
+/// family). A dropped return value from any of these is a lost request.
+const REQUEST_METHODS: &[&str] = &[
+    "isend",
+    "isend_comm",
+    "isend_inter",
+    "isend_bytes",
+    "isend_bytes_comm",
+    "isend_bytes_comm_sized",
+    "isend_bytes_inter",
+    "isend_bytes_inter_sized",
+    "isend_slice",
+    "isend_slice_comm",
+    "isend_slice_comm_sized",
+    "isend_slice_inter",
+    "isend_slice_inter_sized",
+    "irecv",
+    "irecv_comm",
+    "irecv_inter",
+    "irecv_bytes",
+    "irecv_bytes_comm",
+    "irecv_bytes_inter",
+    "irecv_into",
+    "irecv_into_comm",
+    "irecv_into_inter",
+];
+
+/// M003: a nonblocking request dropped without `wait`/`test` — an
+/// `isend_*`/`irecv_*` call whose whole statement is the call itself
+/// (statement-level discard, the D005 span-guard shape). Dropping a
+/// `SendRequest` silently forfeits the deferred NIC charge and any parked
+/// fault; dropping a receive request leaves the matched message criteria
+/// dead. Unwrapping suffixes count as discards too: `….unwrap();`,
+/// `….expect("…");` and `…?;` all peel the `Result` and drop the request
+/// inside. Binding (`let`), assigning, returning, or chaining the request
+/// onward (`.wait(…)` in the same statement) does not fire.
+fn m003_request_discarded(path: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for method in REQUEST_METHODS {
+        let mut from = 0;
+        while let Some(i) = find_seq(toks, from, &[".", method, "("]) {
+            from = i + 3;
+            // The call's matching close paren.
+            let mut depth = 0i32;
+            let mut k = i + 2;
+            let mut close = None;
+            while k < toks.len() {
+                if toks[k].is_punct("(") {
+                    depth += 1;
+                } else if toks[k].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let Some(close) = close else { continue };
+            // Skip Result-peeling suffixes: `?`, `.unwrap()`, `.expect(…)`.
+            // Whatever remains must be the statement terminator for this to
+            // be a discard; a further `.wait(…)`/`.test(…)` chain, or any
+            // other continuation, consumes the request.
+            let mut end = close + 1;
+            loop {
+                if toks.get(end).is_some_and(|t| t.is_punct("?")) {
+                    end += 1;
+                    continue;
+                }
+                if toks.get(end).is_some_and(|t| t.is_punct("."))
+                    && toks
+                        .get(end + 1)
+                        .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+                    && toks.get(end + 2).is_some_and(|t| t.is_punct("("))
+                {
+                    let mut d = 0i32;
+                    let mut c = end + 2;
+                    let mut closed = None;
+                    while c < toks.len() {
+                        if toks[c].is_punct("(") {
+                            d += 1;
+                        } else if toks[c].is_punct(")") {
+                            d -= 1;
+                            if d == 0 {
+                                closed = Some(c);
+                                break;
+                            }
+                        }
+                        c += 1;
+                    }
+                    match closed {
+                        Some(c) => {
+                            end = c + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                break;
+            }
+            if !toks.get(end).is_some_and(|t| t.is_punct(";")) {
+                continue;
+            }
+            // Statement prefix: anything binding or forwarding the request?
+            let mut bound = false;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                let t = &toks[j];
+                if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+                    break;
+                }
+                if t.is_ident("let") || t.is_punct("=") || t.is_ident("return") {
+                    bound = true;
+                    break;
+                }
+            }
+            if !bound {
+                push(
+                    out,
+                    "M003",
+                    path,
+                    toks[i + 1].line,
+                    format!(
+                        "nonblocking request from `{method}` dropped without `wait`/`test` \
+                         — the deferred completion charge (and any parked fault) is \
+                         silently forfeited; bind the request and complete it"
                     ),
                 );
             }

@@ -47,11 +47,21 @@ const SENDS: &[(&str, Option<usize>, usize, Kind)] = &[
     ("send_slice_comm_sized", Some(0), 2, Kind::Typed),
     ("send_slice_inter", Some(0), 2, Kind::Typed),
     ("send_slice_inter_sized", Some(0), 2, Kind::Typed),
+    ("isend_slice", None, 1, Kind::Typed),
+    ("isend_slice_comm", Some(0), 2, Kind::Typed),
+    ("isend_slice_comm_sized", Some(0), 2, Kind::Typed),
+    ("isend_slice_inter", Some(0), 2, Kind::Typed),
+    ("isend_slice_inter_sized", Some(0), 2, Kind::Typed),
     ("send_bytes", None, 1, Kind::Bytes),
     ("send_bytes_comm", Some(0), 2, Kind::Bytes),
     ("send_bytes_comm_sized", Some(0), 2, Kind::Bytes),
     ("send_bytes_inter", Some(0), 2, Kind::Bytes),
     ("send_bytes_inter_sized", Some(0), 2, Kind::Bytes),
+    ("isend_bytes", None, 1, Kind::Bytes),
+    ("isend_bytes_comm", Some(0), 2, Kind::Bytes),
+    ("isend_bytes_comm_sized", Some(0), 2, Kind::Bytes),
+    ("isend_bytes_inter", Some(0), 2, Kind::Bytes),
+    ("isend_bytes_inter_sized", Some(0), 2, Kind::Bytes),
 ];
 
 const RECVS: &[(&str, Option<usize>, usize, Kind)] = &[
@@ -64,9 +74,15 @@ const RECVS: &[(&str, Option<usize>, usize, Kind)] = &[
     ("recv_into", None, 1, Kind::Typed),
     ("recv_into_comm", Some(0), 2, Kind::Typed),
     ("recv_into_inter", Some(0), 2, Kind::Typed),
+    ("irecv_into", None, 1, Kind::Typed),
+    ("irecv_into_comm", Some(0), 2, Kind::Typed),
+    ("irecv_into_inter", Some(0), 2, Kind::Typed),
     ("recv_bytes", None, 1, Kind::Bytes),
     ("recv_bytes_comm", Some(0), 2, Kind::Bytes),
     ("recv_bytes_inter", Some(0), 2, Kind::Bytes),
+    ("irecv_bytes", None, 1, Kind::Bytes),
+    ("irecv_bytes_comm", Some(0), 2, Kind::Bytes),
+    ("irecv_bytes_inter", Some(0), 2, Kind::Bytes),
 ];
 
 /// One indexed call site.

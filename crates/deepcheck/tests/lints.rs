@@ -206,6 +206,20 @@ fn m002_fires_on_cross_comm_framing_and_width_mismatches() {
 }
 
 #[test]
+fn m003_fires_on_discarded_requests_and_spares_consumed_ones() {
+    assert_eq!(
+        lints_of("psmpi", "m003_bad.rs"),
+        vec![
+            ("M003".to_string(), 5),  // isend_bytes(...).unwrap();
+            ("M003".to_string(), 9),  // irecv_bytes(...).expect(...);
+            ("M003".to_string(), 13), // isend_slice(...)?;
+            ("M003".to_string(), 18), // isend_bytes_comm(...).unwrap();
+                                      // bound, chained and returned requests stay silent.
+        ]
+    );
+}
+
+#[test]
 fn snippet_waivers_survive_line_shifts() {
     let path = "crates/psmpi/src/d008_bad.rs";
     let src = fixture("d008_bad.rs");

@@ -257,18 +257,22 @@ impl Rank {
         let me = self.comm_rank(comm)?;
         let rel = (me + n - root) % n;
         let mut acc = contribution.to_vec();
+        // Every rank contributes the same element count, so the partner
+        // exchanges ride the in-place typed path: one scratch buffer per
+        // call instead of a decoded Vec per round.
+        let mut scratch = vec![0.0f64; acc.len()];
         let mut mask = 1usize;
         while mask < n {
             if rel & mask != 0 {
                 let dst = (me + n - mask) % n;
-                self.send_comm(comm, dst, TAG_REDUCE, &acc)?;
+                self.send_slice_comm(comm, dst, TAG_REDUCE, &acc)?;
                 return Ok(None);
             }
             let src_rel = rel | mask;
             if src_rel < n {
                 let src = (src_rel + root) % n;
-                let (v, _) = self.recv_comm::<Vec<f64>>(comm, Some(src), Some(TAG_REDUCE))?;
-                op.apply_slice(&mut acc, &v);
+                self.recv_into_comm(comm, Some(src), Some(TAG_REDUCE), &mut scratch)?;
+                op.apply_slice(&mut acc, &scratch);
             }
             mask <<= 1;
         }
@@ -310,19 +314,21 @@ impl Rank {
         }
         let me = self.comm_rank(comm)?;
         let mut acc = contribution.to_vec();
+        // In-place typed exchanges: the partner's block lands in one
+        // reused scratch buffer (the combine order below is unchanged, so
+        // the balanced association tree — and the bits — are unchanged).
+        let mut scratch = vec![0.0f64; acc.len()];
         let mut mask = 1usize;
         while mask < n {
             let partner = me ^ mask;
-            self.send_comm(comm, partner, TAG_ALLREDUCE, &acc)?;
-            let (theirs, _) =
-                self.recv_comm::<Vec<f64>>(comm, Some(partner), Some(TAG_ALLREDUCE))?;
+            self.send_slice_comm(comm, partner, TAG_ALLREDUCE, &acc)?;
+            self.recv_into_comm(comm, Some(partner), Some(TAG_ALLREDUCE), &mut scratch)?;
             if partner > me {
                 // Our block is the lower half of this round's pair.
-                op.apply_slice(&mut acc, &theirs);
+                op.apply_slice(&mut acc, &scratch);
             } else {
-                let mut merged = theirs;
-                op.apply_slice(&mut merged, &acc);
-                acc = merged;
+                op.apply_slice(&mut scratch, &acc);
+                std::mem::swap(&mut acc, &mut scratch);
             }
             mask <<= 1;
         }

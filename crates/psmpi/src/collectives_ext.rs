@@ -41,13 +41,14 @@ impl Rank {
         let me = self.comm_rank(comm)?;
         let mut acc = contribution.to_vec();
         if me > 0 {
-            let (prev, _) = self.recv_comm::<Vec<f64>>(comm, Some(me - 1), Some(TAG_SCAN))?;
-            let mut merged = prev;
-            op.apply_slice(&mut merged, &acc);
-            acc = merged;
+            // Fixed-width chain hop: receive the running prefix in place.
+            let mut prev = vec![0.0f64; acc.len()];
+            self.recv_into_comm(comm, Some(me - 1), Some(TAG_SCAN), &mut prev)?;
+            op.apply_slice(&mut prev, &acc);
+            acc = prev;
         }
         if me + 1 < n {
-            self.send_comm(comm, me + 1, TAG_SCAN, &acc)?;
+            self.send_slice_comm(comm, me + 1, TAG_SCAN, &acc)?;
         }
         Ok(acc)
     }
@@ -64,13 +65,12 @@ impl Rank {
         let me = self.comm_rank(comm)?;
         let mut incoming = vec![op.identity(); contribution.len()];
         if me > 0 {
-            let (prev, _) = self.recv_comm::<Vec<f64>>(comm, Some(me - 1), Some(TAG_SCAN))?;
-            incoming = prev;
+            self.recv_into_comm(comm, Some(me - 1), Some(TAG_SCAN), &mut incoming)?;
         }
         if me + 1 < n {
             let mut outgoing = incoming.clone();
             op.apply_slice(&mut outgoing, contribution);
-            self.send_comm(comm, me + 1, TAG_SCAN, &outgoing)?;
+            self.send_slice_comm(comm, me + 1, TAG_SCAN, &outgoing)?;
         }
         Ok(incoming)
     }
@@ -124,17 +124,16 @@ impl Rank {
             } else {
                 (lo + half, lo)
             };
-            let outgoing = work[send_lo * block..(send_lo + half) * block].to_vec();
-            self.send_comm(comm, partner, TAG_REDUCE_SCATTER, &outgoing)?;
-            let (theirs, _) =
-                self.recv_comm::<Vec<f64>>(comm, Some(partner), Some(TAG_REDUCE_SCATTER))?;
+            let outgoing = &work[send_lo * block..(send_lo + half) * block];
+            self.send_slice_comm(comm, partner, TAG_REDUCE_SCATTER, outgoing)?;
+            let mut theirs = vec![0.0f64; half * block];
+            self.recv_into_comm(comm, Some(partner), Some(TAG_REDUCE_SCATTER), &mut theirs)?;
             let keep = &mut work[keep_lo * block..(keep_lo + half) * block];
             if partner > me {
                 op.apply_slice(keep, &theirs);
             } else {
-                let mut merged = theirs;
-                op.apply_slice(&mut merged, keep);
-                keep.copy_from_slice(&merged);
+                op.apply_slice(&mut theirs, keep);
+                keep.copy_from_slice(&theirs);
             }
             lo = keep_lo;
             count = half;

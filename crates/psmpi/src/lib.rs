@@ -65,7 +65,7 @@ pub use comm::{CommId, Communicator, Intercomm};
 pub use datatype::{FixedWidth, MpiDatatype, Raw, ReduceOp};
 pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG, TAG_REVOKED};
 pub use pool::{BufferPool, PoolStats};
-pub use rank::{PsmpiError, Rank, Request};
+pub use rank::{MpiRequest, PsmpiError, Rank, RecvIntoRequest, RecvRequest, Request, SendRequest};
 pub use router::{RecvAbort, RetryPolicy};
 
 /// MPI-flavoured alias for [`PsmpiError`]: the typed error surface a dead

@@ -13,8 +13,10 @@ use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Errors surfaced by the messaging API.
-#[derive(Debug)]
+/// Errors surfaced by the messaging API. `Clone` because a deferred
+/// fault can be parked inside a request handle at post time and surfaced
+/// (or inspected) at wait time.
+#[derive(Debug, Clone)]
 pub enum PsmpiError {
     /// Payload failed to decode as the requested type.
     Codec(CodecError),
@@ -80,20 +82,165 @@ impl From<CodecError> for PsmpiError {
     }
 }
 
-/// A completed or in-flight nonblocking operation.
+/// How a posted send resolved. Everything here is computed at post time
+/// from the sender's virtual state — what is *deferred* is the charge:
+/// the poster's clock does not move until `wait`/`test`.
+#[derive(Debug, Clone)]
+enum SendOutcome {
+    /// The injection cleared the fault checks; NIC serialization (plus
+    /// any link-retry backoff walked through first) finishes at
+    /// `completion`.
+    Done { completion: SimTime },
+    /// A fault path fired while posting. Surfaced at wait time, with the
+    /// clock advanced to where the blocking path would have given up.
+    Failed { err: PsmpiError, at: SimTime },
+}
+
+/// Span labels `recv_raw_as` stamps: (category, matched name, aborted
+/// name). Blocking receives keep the historical `Recv`/"recv" labels;
+/// request completions show up as request-scoped `Wait` spans so overlap
+/// wins are legible in the per-module profile.
+type RecvSpans = (obs::Category, &'static str, &'static str);
+const BLOCKING_SPANS: RecvSpans = (obs::Category::Recv, "recv", "recv-aborted");
+const WAIT_SPANS: RecvSpans = (obs::Category::Wait, "wait-recv", "wait-aborted");
+
+/// Common completion surface of the typed request handles
+/// ([`SendRequest`], [`RecvRequest`], [`RecvIntoRequest`]). `wait`
+/// completes the operation on the calling rank and advances its clock to
+/// the completion timestamp; `test` completes only if that can happen
+/// without blocking. [`Rank::waitall`] drains a homogeneous batch in
+/// posted order.
+pub trait MpiRequest {
+    /// What completion yields: `()` for sends, payload + status for
+    /// receives.
+    type Output;
+    /// Block until the operation completes. Advances the caller's clock
+    /// only to the request's completion timestamp and surfaces any
+    /// deferred fault error ([`PsmpiError::NodeFailed`],
+    /// [`PsmpiError::LinkDown`], [`PsmpiError::Timeout`]).
+    fn wait(self, rank: &mut Rank) -> Result<Self::Output, PsmpiError>;
+    /// Complete the operation if it is ready now, otherwise hand the
+    /// request back untouched (a miss never moves the clock).
+    fn test(self, rank: &mut Rank) -> Result<Result<Self::Output, Self>, PsmpiError>
+    where
+        Self: Sized;
+}
+
+/// A posted nonblocking send (`isend_bytes_*` / `isend_slice_*`).
 ///
-/// `isend` completes immediately (buffered semantics); `irecv` records the
+/// The envelope was deposited with the receiver at post time (buffered
+/// semantics: the message is matchable immediately, stamped exactly as
+/// the blocking path would have stamped it), but the sender-side costs
+/// were not charged — NIC serialization and link-retry backoff accrue to
+/// this handle and land on the poster's clock at [`MpiRequest::wait`].
+/// Dropping the handle without `wait`/`test` silently loses that charge;
+/// deepcheck lint M003 flags statement-level discards.
+#[must_use = "a dropped send request never charges its NIC time (deepcheck M003)"]
+pub struct SendRequest {
+    outcome: SendOutcome,
+}
+
+impl MpiRequest for SendRequest {
+    type Output = ();
+
+    fn wait(self, rank: &mut Rank) -> Result<(), PsmpiError> {
+        rank.complete_send(self.outcome)
+    }
+
+    fn test(self, rank: &mut Rank) -> Result<Result<(), Self>, PsmpiError> {
+        // A buffered send is complete the moment its deferred charge is
+        // applied — test never hands the request back.
+        Ok(Ok(self.wait(rank)?))
+    }
+}
+
+/// A posted nonblocking raw-payload receive (`irecv_bytes_*`).
+///
+/// Posting records the matching criteria only — in virtual time a post
+/// is free, and the payoff comes from waiting late: completion sets the
+/// clock to `max(clock at wait, arrival)`, so compute done between post
+/// and wait hides the transfer. Completion emits a request-scoped `Wait`
+/// span and surfaces sender death as [`PsmpiError::NodeFailed`].
+#[must_use = "an irecv only matches at wait/test (deepcheck M003)"]
+pub struct RecvRequest {
+    comm: CommId,
+    src: Option<usize>,
+    tag: Option<Tag>,
+    /// Awaited sender's endpoint (resolved at post time); lets the
+    /// receive abort if that endpoint's node dies.
+    src_ep: Option<EndpointId>,
+}
+
+impl MpiRequest for RecvRequest {
+    type Output = (Bytes, Status);
+
+    fn wait(self, rank: &mut Rank) -> Result<(Bytes, Status), PsmpiError> {
+        rank.recv_raw_as(self.comm, self.src, self.tag, self.src_ep, WAIT_SPANS)
+    }
+
+    fn test(self, rank: &mut Rank) -> Result<Result<(Bytes, Status), Self>, PsmpiError> {
+        if rank
+            .mailbox
+            .probe_match(self.comm, self.src, self.tag)
+            .is_some()
+        {
+            Ok(Ok(self.wait(rank)?))
+        } else {
+            Ok(Err(self))
+        }
+    }
+}
+
+/// A posted in-place typed receive (`irecv_into_*`): borrows the
+/// caller's output slice for the request's lifetime and bulk-decodes
+/// straight into it at [`MpiRequest::wait`] (the message's element count
+/// must match the slice length exactly, as with
+/// [`Rank::recv_into_comm`]).
+#[must_use = "an irecv only matches at wait/test (deepcheck M003)"]
+pub struct RecvIntoRequest<'a, T: FixedWidth> {
+    inner: RecvRequest,
+    out: &'a mut [T],
+}
+
+impl<T: FixedWidth> MpiRequest for RecvIntoRequest<'_, T> {
+    type Output = Status;
+
+    fn wait(self, rank: &mut Rank) -> Result<Status, PsmpiError> {
+        let (bytes, st) = self.inner.wait(rank)?;
+        read_pod_into_exact(&bytes, self.out)?;
+        rank.router.buffer_pool().recycle(bytes);
+        Ok(st)
+    }
+
+    fn test(self, rank: &mut Rank) -> Result<Result<Status, Self>, PsmpiError> {
+        if rank
+            .mailbox
+            .probe_match(self.inner.comm, self.inner.src, self.inner.tag)
+            .is_some()
+        {
+            Ok(Ok(self.wait(rank)?))
+        } else {
+            Ok(Err(self))
+        }
+    }
+}
+
+/// A completed or in-flight nonblocking operation of the legacy typed
+/// surface (`isend`/`irecv` over [`MpiDatatype`]).
+///
+/// `isend` deposits at post time and defers its sender-side charge to
+/// the handle (same accounting as [`SendRequest`]); `irecv` records the
 /// matching criteria and performs the receive at [`Request::wait`]. The
-/// virtual-time effect is exactly MPI's: compute performed between posting
-/// and waiting overlaps the transfer, because the receive clock is
-/// `max(local clock, message arrival)`.
+/// virtual-time effect is exactly MPI's: compute performed between
+/// posting and waiting overlaps the transfer, because the receive clock
+/// is `max(local clock, message arrival)`.
 pub struct Request<T: MpiDatatype = ()> {
     kind: RequestKind,
     _t: PhantomData<T>,
 }
 
 enum RequestKind {
-    Send,
+    Send(SendOutcome),
     Recv {
         comm: CommId,
         src: Option<usize>,
@@ -105,19 +252,23 @@ enum RequestKind {
 }
 
 impl<T: MpiDatatype> Request<T> {
-    /// Complete the operation on the calling rank. For sends this is a
-    /// no-op; for receives it blocks until the message is delivered and
-    /// returns it.
+    /// Complete the operation on the calling rank. For sends this applies
+    /// the deferred NIC/backoff charge (and surfaces deferred faults);
+    /// for receives it blocks until the message is delivered and returns
+    /// it.
     pub fn wait(self, rank: &mut Rank) -> Result<(Option<T>, Option<Status>), PsmpiError> {
         match self.kind {
-            RequestKind::Send => Ok((None, None)),
+            RequestKind::Send(outcome) => {
+                rank.complete_send(outcome)?;
+                Ok((None, None))
+            }
             RequestKind::Recv {
                 comm,
                 src,
                 tag,
                 src_ep,
             } => {
-                let (v, st) = rank.recv_raw(comm, src, tag, src_ep)?;
+                let (v, st) = rank.recv_raw_as(comm, src, tag, src_ep, WAIT_SPANS)?;
                 let val = T::from_bytes(v.clone())?;
                 rank.router.buffer_pool().recycle(v);
                 Ok((Some(val), Some(st)))
@@ -134,7 +285,7 @@ impl<T: MpiDatatype> Request<T> {
         rank: &mut Rank,
     ) -> Result<Result<(Option<T>, Option<Status>), Request<T>>, PsmpiError> {
         match &self.kind {
-            RequestKind::Send => Ok(Ok((None, None))),
+            RequestKind::Send(_) => Ok(Ok(self.wait(rank)?)),
             RequestKind::Recv { comm, src, tag, .. } => {
                 if rank.mailbox.probe_match(*comm, *src, *tag).is_some() {
                     Ok(Ok(self.wait(rank)?))
@@ -501,7 +652,8 @@ impl Rank {
         Ok((value, st))
     }
 
-    /// Nonblocking send on `comm` (completes immediately, buffered).
+    /// Nonblocking send on `comm` (buffered: deposited immediately, the
+    /// sender-side charge deferred to the request).
     pub fn isend_comm<T: MpiDatatype>(
         &mut self,
         comm: &Communicator,
@@ -509,9 +661,18 @@ impl Rank {
         tag: Tag,
         value: &T,
     ) -> Result<Request, PsmpiError> {
-        self.send_comm(comm, dst, tag, value)?;
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
+        }
+        let src_rank = self.comm_rank(comm)?;
+        let dst_ep = comm.group.endpoints[dst];
+        let wire = value.to_wire(self.router.buffer_pool());
+        let outcome = self.isend_raw(comm.id, dst_ep, src_rank, tag, wire, None);
         Ok(Request {
-            kind: RequestKind::Send,
+            kind: RequestKind::Send(outcome),
             _t: PhantomData,
         })
     }
@@ -633,7 +794,8 @@ impl Rank {
     }
 
     /// Nonblocking inter-communicator send (buffered; the `MPI_Issend` of
-    /// the paper's Listing 4 modulo synchronous-mode pedantry).
+    /// the paper's Listing 4 modulo synchronous-mode pedantry). The
+    /// sender-side charge is deferred to the request.
     pub fn isend_inter<T: MpiDatatype>(
         &mut self,
         ic: &Intercomm,
@@ -641,9 +803,18 @@ impl Rank {
         tag: Tag,
         value: &T,
     ) -> Result<Request, PsmpiError> {
-        self.send_inter(ic, dst, tag, value)?;
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
+        }
+        let src_rank = self.inter_local_rank(ic)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        let wire = value.to_wire(self.router.buffer_pool());
+        let outcome = self.isend_raw(ic.id, dst_ep, src_rank, tag, wire, None);
         Ok(Request {
-            kind: RequestKind::Send,
+            kind: RequestKind::Send(outcome),
             _t: PhantomData,
         })
     }
@@ -1006,6 +1177,387 @@ impl Rank {
         Ok(st)
     }
 
+    // ---- nonblocking request engine ----
+    //
+    // `isend_*` deposits the envelope at post time (buffered semantics:
+    // the message is matchable immediately, stamped exactly as a blocking
+    // send issued at the same clock) but charges nothing to the caller —
+    // NIC serialization and link-retry backoff accrue to the returned
+    // [`SendRequest`] and land on the clock at `wait`. `irecv_*` records
+    // matching criteria; the receive happens at `wait`, advancing the
+    // clock only to `max(clock, arrival)`. Both give MPI's overlap payoff
+    // in virtual time while keeping every timestamp a pure function of
+    // virtual state, so thread-count invariance holds; the PR-5 fault
+    // paths surface at wait time as `NodeFailed`/`LinkDown`/`Timeout`.
+
+    /// Nonblocking zero-copy send on `comm`; complete with
+    /// [`MpiRequest::wait`].
+    pub fn isend_bytes_comm(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<SendRequest, PsmpiError> {
+        self.isend_bytes_comm_opt(comm, dst, tag, payload, None)
+    }
+
+    /// Like [`Rank::isend_bytes_comm`] but charging `virtual_bytes` on
+    /// the wire.
+    pub fn isend_bytes_comm_sized(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_bytes: usize,
+    ) -> Result<SendRequest, PsmpiError> {
+        self.isend_bytes_comm_opt(comm, dst, tag, payload, Some(virtual_bytes))
+    }
+
+    fn isend_bytes_comm_opt(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) -> Result<SendRequest, PsmpiError> {
+        if dst >= comm.size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: comm.size(),
+            });
+        }
+        let src_rank = self.comm_rank(comm)?;
+        let dst_ep = comm.group.endpoints[dst];
+        Ok(SendRequest {
+            outcome: self.isend_raw(comm.id, dst_ep, src_rank, tag, payload, virtual_size),
+        })
+    }
+
+    /// [`Rank::isend_bytes_comm`] on the world communicator.
+    pub fn isend_bytes(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<SendRequest, PsmpiError> {
+        let w = self.world.clone();
+        self.isend_bytes_comm(&w, dst, tag, payload)
+    }
+
+    /// Nonblocking zero-copy send to rank `dst` of an inter-communicator's
+    /// remote group.
+    pub fn isend_bytes_inter(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<SendRequest, PsmpiError> {
+        self.isend_bytes_inter_opt(ic, dst, tag, payload, None)
+    }
+
+    /// Like [`Rank::isend_bytes_inter`] but charging `virtual_bytes` on
+    /// the wire.
+    pub fn isend_bytes_inter_sized(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_bytes: usize,
+    ) -> Result<SendRequest, PsmpiError> {
+        self.isend_bytes_inter_opt(ic, dst, tag, payload, Some(virtual_bytes))
+    }
+
+    fn isend_bytes_inter_opt(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) -> Result<SendRequest, PsmpiError> {
+        if dst >= ic.remote_size() {
+            return Err(PsmpiError::InvalidRank {
+                rank: dst,
+                size: ic.remote_size(),
+            });
+        }
+        let src_rank = self.inter_local_rank(ic)?;
+        let dst_ep = ic.remote.endpoints[dst];
+        Ok(SendRequest {
+            outcome: self.isend_raw(ic.id, dst_ep, src_rank, tag, payload, virtual_size),
+        })
+    }
+
+    /// Nonblocking typed POD-slice send on `comm` (the `isend` face of
+    /// [`Rank::send_slice_comm`]).
+    pub fn isend_slice_comm<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<SendRequest, PsmpiError> {
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.isend_bytes_comm_opt(comm, dst, tag, wire, None)
+    }
+
+    /// Like [`Rank::isend_slice_comm`] but charging `virtual_bytes` on
+    /// the wire.
+    pub fn isend_slice_comm_sized<T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_bytes: usize,
+    ) -> Result<SendRequest, PsmpiError> {
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.isend_bytes_comm_opt(comm, dst, tag, wire, Some(virtual_bytes))
+    }
+
+    /// [`Rank::isend_slice_comm`] on the world communicator.
+    pub fn isend_slice<T: FixedWidth>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<SendRequest, PsmpiError> {
+        let w = self.world.clone();
+        self.isend_slice_comm(&w, dst, tag, data)
+    }
+
+    /// Nonblocking typed POD-slice send to the remote group of an
+    /// inter-communicator.
+    pub fn isend_slice_inter<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) -> Result<SendRequest, PsmpiError> {
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.isend_bytes_inter_opt(ic, dst, tag, wire, None)
+    }
+
+    /// Like [`Rank::isend_slice_inter`] but charging `virtual_bytes` on
+    /// the wire.
+    pub fn isend_slice_inter_sized<T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+        virtual_bytes: usize,
+    ) -> Result<SendRequest, PsmpiError> {
+        let wire = pod_to_bytes_pooled(self.router.buffer_pool(), data);
+        self.isend_bytes_inter_opt(ic, dst, tag, wire, Some(virtual_bytes))
+    }
+
+    /// Post a nonblocking zero-copy receive on `comm`; complete with
+    /// [`MpiRequest::wait`]. Posting is free in virtual time — the win
+    /// comes from computing between post and wait.
+    pub fn irecv_bytes_comm(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<RecvRequest, PsmpiError> {
+        if let Some(s) = src {
+            if s >= comm.size() {
+                return Err(PsmpiError::InvalidRank {
+                    rank: s,
+                    size: comm.size(),
+                });
+            }
+        }
+        Ok(RecvRequest {
+            comm: comm.id,
+            src,
+            tag,
+            src_ep: src.map(|s| comm.group.endpoints[s]),
+        })
+    }
+
+    /// [`Rank::irecv_bytes_comm`] on the world communicator.
+    pub fn irecv_bytes(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<RecvRequest, PsmpiError> {
+        let w = self.world.clone();
+        self.irecv_bytes_comm(&w, src, tag)
+    }
+
+    /// Post a nonblocking zero-copy receive from the remote group of an
+    /// inter-communicator.
+    pub fn irecv_bytes_inter(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<RecvRequest, PsmpiError> {
+        Ok(RecvRequest {
+            comm: ic.id,
+            src,
+            tag,
+            src_ep: src.and_then(|s| ic.remote.endpoints.get(s).copied()),
+        })
+    }
+
+    /// Post a nonblocking in-place typed receive on `comm`: `out` is
+    /// borrowed until the request is waited and filled at completion (its
+    /// length must match the message's element count exactly).
+    pub fn irecv_into_comm<'a, T: FixedWidth>(
+        &mut self,
+        comm: &Communicator,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &'a mut [T],
+    ) -> Result<RecvIntoRequest<'a, T>, PsmpiError> {
+        Ok(RecvIntoRequest {
+            inner: self.irecv_bytes_comm(comm, src, tag)?,
+            out,
+        })
+    }
+
+    /// [`Rank::irecv_into_comm`] on the world communicator.
+    pub fn irecv_into<'a, T: FixedWidth>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &'a mut [T],
+    ) -> Result<RecvIntoRequest<'a, T>, PsmpiError> {
+        let w = self.world.clone();
+        self.irecv_into_comm(&w, src, tag, out)
+    }
+
+    /// Post a nonblocking in-place typed receive from the remote group of
+    /// an inter-communicator.
+    pub fn irecv_into_inter<'a, T: FixedWidth>(
+        &mut self,
+        ic: &Intercomm,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        out: &'a mut [T],
+    ) -> Result<RecvIntoRequest<'a, T>, PsmpiError> {
+        Ok(RecvIntoRequest {
+            inner: self.irecv_bytes_inter(ic, src, tag)?,
+            out,
+        })
+    }
+
+    /// Complete a batch of requests in *posted order* and collect their
+    /// outputs.
+    ///
+    /// Determinism of the completion order: each `wait` is a pure
+    /// function of the rank's virtual state (clock, mailbox contents
+    /// ordered by per-sender FIFO, static fault plan), so completing the
+    /// vector front-to-back yields the same clocks and payloads on every
+    /// host schedule. Posted order is also the order MPI guarantees
+    /// non-overtaking for, so `waitall(v)` is equivalent to waiting each
+    /// element in sequence — there is no reordering a "first completed"
+    /// policy could exploit that would not break reproducibility.
+    ///
+    /// On the first error the remaining requests are dropped: unmatched
+    /// receives are only matching criteria (nothing leaks), and a dropped
+    /// send request only abandons its deferred charge, which the failed
+    /// run no longer accounts anyway.
+    pub fn waitall<R: MpiRequest>(&mut self, reqs: Vec<R>) -> Result<Vec<R::Output>, PsmpiError> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            out.push(r.wait(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Apply a posted send's deferred charge: advance the clock to the
+    /// completion timestamp (never backwards) and surface any deferred
+    /// fault. The advance, if any, is recorded as a request-scoped `Wait`
+    /// span.
+    fn complete_send(&mut self, outcome: SendOutcome) -> Result<(), PsmpiError> {
+        let pre = self.clock;
+        let (upto, res) = match outcome {
+            SendOutcome::Done { completion } => (completion, Ok(())),
+            SendOutcome::Failed { err, at } => (at, Err(err)),
+        };
+        self.clock = self.clock.max(upto);
+        self.comm_time += self.clock - pre;
+        if let Some(track) = &self.obs {
+            if self.clock > pre {
+                track.span(obs::Category::Wait, "wait-send", pre, self.clock);
+            }
+        }
+        res
+    }
+
+    /// Post-time half of a nonblocking send: resolve routing, run the
+    /// fault clearance from the current clock *without* applying it,
+    /// deposit the envelope (stamped exactly as the blocking path would
+    /// stamp it), and hand back the deferred charge.
+    fn isend_raw(
+        &mut self,
+        comm: CommId,
+        dst_ep: EndpointId,
+        src_rank: usize,
+        tag: Tag,
+        payload: Bytes,
+        virtual_size: Option<usize>,
+    ) -> SendOutcome {
+        let post = self.clock;
+        let dst_entry = if dst_ep == self.endpoint {
+            None
+        } else {
+            match self.entry_of(dst_ep) {
+                Ok(e) => Some(e),
+                Err(e) => {
+                    self.router.buffer_pool().recycle(payload);
+                    return SendOutcome::Failed { err: e, at: post };
+                }
+            }
+        };
+        let cleared = match &dst_entry {
+            None => post,
+            Some(entry) => {
+                let (t, err) = self.destination_clearance(entry.node(), post);
+                if let Some(err) = err {
+                    self.router.buffer_pool().recycle(payload);
+                    return SendOutcome::Failed { err, at: t };
+                }
+                t
+            }
+        };
+        let size = virtual_size.unwrap_or(payload.len());
+        let env = Envelope {
+            comm,
+            src_rank,
+            tag,
+            payload,
+            send_stamp: cleared,
+            src_endpoint: self.endpoint,
+            seq: self.seq,
+            virtual_size,
+        };
+        self.seq += 1;
+        self.bytes_sent += size as u64;
+        self.msgs_sent += 1;
+        if let Some(track) = &self.obs {
+            track.add("bytes_sent", size as u64);
+            track.add("msgs_sent", 1);
+        }
+        match dst_entry {
+            None => self.mailbox.push(env),
+            Some(entry) => entry.mailbox().push(env),
+        }
+        SendOutcome::Done {
+            completion: cleared + self.node.nic_send_overhead,
+        }
+    }
+
     // ---- raw internals ----
 
     fn send_raw(
@@ -1079,46 +1631,66 @@ impl Rank {
     /// clock through the retry/backoff loop, which is equally a pure
     /// function of the plan and the clock.
     fn check_destination(&mut self, dst_node: NodeId) -> Result<(), PsmpiError> {
-        let Some(plan) = self.fault_plan.clone() else {
-            return Ok(());
-        };
-        if let Some(at) = self.router.planned_dead(dst_node, self.clock) {
-            return Err(PsmpiError::NodeFailed { node: dst_node, at });
+        let (clock, err) = self.destination_clearance(dst_node, self.clock);
+        self.clock = clock;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        if plan
-            .link_fault_at(self.node_id, dst_node, self.clock)
-            .is_some()
-        {
+    }
+
+    /// The fault checks as a pure clock transform: starting at `start`,
+    /// walk the retry/backoff schedule against the static plan and return
+    /// the virtual time at which the fabric accepts the injection —
+    /// or the error plus the time at which the sender gives up. Blocking
+    /// sends apply the result to the caller's clock immediately
+    /// ([`Rank::check_destination`]); posted sends charge it to the
+    /// request instead.
+    fn destination_clearance(
+        &self,
+        dst_node: NodeId,
+        start: SimTime,
+    ) -> (SimTime, Option<PsmpiError>) {
+        let Some(plan) = self.fault_plan.as_deref() else {
+            return (start, None);
+        };
+        let mut clock = start;
+        if let Some(at) = self.router.planned_dead(dst_node, clock) {
+            return (clock, Some(PsmpiError::NodeFailed { node: dst_node, at }));
+        }
+        if plan.link_fault_at(self.node_id, dst_node, clock).is_some() {
             let policy = self.router.retry_policy();
-            let start = self.clock;
             let mut backoff = policy.base_backoff;
             let mut tries = 0u32;
-            while plan
-                .link_fault_at(self.node_id, dst_node, self.clock)
-                .is_some()
-            {
-                if self.clock - start >= policy.give_up_after {
-                    return Err(PsmpiError::Timeout {
-                        waited: self.clock - start,
-                    });
+            while plan.link_fault_at(self.node_id, dst_node, clock).is_some() {
+                if clock - start >= policy.give_up_after {
+                    return (
+                        clock,
+                        Some(PsmpiError::Timeout {
+                            waited: clock - start,
+                        }),
+                    );
                 }
                 if tries >= policy.max_retries {
-                    return Err(PsmpiError::LinkDown {
-                        src: self.node_id,
-                        dst: dst_node,
-                        at: self.clock,
-                    });
+                    return (
+                        clock,
+                        Some(PsmpiError::LinkDown {
+                            src: self.node_id,
+                            dst: dst_node,
+                            at: clock,
+                        }),
+                    );
                 }
-                self.clock += backoff;
+                clock += backoff;
                 backoff = backoff * 2.0;
                 tries += 1;
             }
             // The destination may have died while we were backing off.
-            if let Some(at) = self.router.planned_dead(dst_node, self.clock) {
-                return Err(PsmpiError::NodeFailed { node: dst_node, at });
+            if let Some(at) = self.router.planned_dead(dst_node, clock) {
+                return (clock, Some(PsmpiError::NodeFailed { node: dst_node, at }));
             }
         }
-        Ok(())
+        (clock, None)
     }
 
     pub(crate) fn recv_raw(
@@ -1128,6 +1700,23 @@ impl Rank {
         tag: Option<Tag>,
         src_ep: Option<EndpointId>,
     ) -> Result<(Bytes, Status), PsmpiError> {
+        self.recv_raw_as(comm, src, tag, src_ep, BLOCKING_SPANS)
+    }
+
+    /// [`Rank::recv_raw`] with caller-chosen span labels: blocking
+    /// receives stamp `Recv`/"recv", request completions stamp
+    /// `Wait`/"wait-recv" *instead* (not around it — a `Wait` span
+    /// wrapping a `Recv` span would get zero exclusive time under the
+    /// profile's innermost-cover attribution).
+    fn recv_raw_as(
+        &mut self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        src_ep: Option<EndpointId>,
+        spans: RecvSpans,
+    ) -> Result<(Bytes, Status), PsmpiError> {
+        let (cat, name, abort_name) = spans;
         let pre = self.clock;
         // Resolve the watched sender's node up front so the abort closure
         // only consults the lock-free `any_dead` screen, never the endpoint
@@ -1154,7 +1743,7 @@ impl Rank {
                 self.clock = self.clock.max(at);
                 self.comm_time += self.clock - pre;
                 if let Some(track) = &self.obs {
-                    track.span(obs::Category::Recv, "recv-aborted", pre, self.clock);
+                    track.span(cat, abort_name, pre, self.clock);
                 }
                 return Err(PsmpiError::NodeFailed { node, at });
             }
@@ -1197,7 +1786,7 @@ impl Rank {
         }
         self.comm_time += self.clock - pre;
         if let Some(track) = &self.obs {
-            track.span(obs::Category::Recv, "recv", pre, self.clock);
+            track.span(cat, name, pre, self.clock);
         }
         let st = Status {
             source: env.src_rank,

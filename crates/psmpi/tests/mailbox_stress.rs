@@ -135,6 +135,61 @@ fn thousand_senders_preserve_order_through_exact_match_index() {
     psmpi::lockcheck::assert_acyclic();
 }
 
+/// The request engine on top of the same fan-in: the receiver posts one
+/// `irecv` per sender up front, drains the whole batch with `waitall`,
+/// and 1000 concurrent senders race the posts. Completion order must be
+/// posted order (not host arrival order), every payload must land with
+/// its own request, and the receiver's final virtual state must be
+/// identical run over run — `waitall` is a pure function of the virtual
+/// state, so host scheduling cannot leak into it.
+#[test]
+fn waitall_over_thousand_concurrent_senders_is_deterministic() {
+    use hwmodel::presets::deep_er_cluster_node;
+    use psmpi::UniverseBuilder;
+
+    const SENDERS: usize = 1000;
+
+    let run = || {
+        let outcome = Arc::new(parking_lot::Mutex::new((SimTime::ZERO, 0u64)));
+        let o2 = outcome.clone();
+        UniverseBuilder::new()
+            .add_nodes(SENDERS as u32 + 1, &deep_er_cluster_node())
+            .run(move |rank| {
+                if rank.rank() > 0 {
+                    let me = rank.rank() as u64;
+                    rank.send_slice(0, TAG, &[me as f64, me as f64 * 0.5])
+                        .unwrap();
+                    return;
+                }
+                // Post fully-specified receives in reverse sender order so
+                // posted order visibly differs from rank order, then drain.
+                let reqs: Vec<_> = (1..=SENDERS)
+                    .rev()
+                    .map(|s| rank.irecv_bytes(Some(s), Some(TAG)).unwrap())
+                    .collect();
+                let got = rank.waitall(reqs).unwrap();
+                let mut sum = 0u64;
+                for (i, (payload, st)) in got.iter().enumerate() {
+                    let expect = SENDERS - i; // posted order, not arrival
+                    assert_eq!(st.source, expect, "completion follows posted order");
+                    let v = f64::from_le_bytes(payload[0..8].try_into().unwrap());
+                    assert_eq!(v, expect as f64, "payload stayed with its request");
+                    sum = sum.wrapping_mul(31).wrapping_add(v.to_bits());
+                }
+                *o2.lock() = (rank.now(), sum);
+            });
+        let o = *outcome.lock();
+        o
+    };
+
+    let first = run();
+    assert!(first.0 > SimTime::ZERO);
+    for _ in 0..3 {
+        assert_eq!(run(), first, "virtual outcome independent of host schedule");
+    }
+    psmpi::lockcheck::assert_acyclic();
+}
+
 const TAG_A: Tag = 10;
 const TAG_B: Tag = 20;
 

@@ -20,12 +20,15 @@ use crate::grid::{Fields, Grid, Moments};
 use crate::moments::deposit_threads;
 use crate::mover::boris_push_threads;
 use crate::particles::Species;
-use crate::solver::{halo_add_moments, migrate_particles, tags, MpiFieldComm};
+use crate::solver::{
+    complete_halo_add, halo_add_moments, migrate_particles, post_halo_add_recvs,
+    send_halo_add_ghosts, tags, MpiFieldComm,
+};
 use crate::wire;
 use cluster_booster::{JobSpec, Launcher};
 use hwmodel::SimTime;
 use parking_lot::Mutex;
-use psmpi::{Communicator, Intercomm, Rank, Raw, ReduceOp};
+use psmpi::{Communicator, Intercomm, MpiRequest, Rank, RecvRequest, ReduceOp};
 use std::sync::Arc;
 
 /// Execution mode (paper §IV-C, Figs. 7–8).
@@ -211,6 +214,15 @@ fn field_solve_e(
 fn particle_phase(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st: &mut SlabState) {
     rank.compute(&config.work_cpy()); // cpyFromArr_F
     st.moments.clear();
+    // Overlapped halo-add: the neighbour ghost-row receives are posted
+    // before the interior mover/deposit sweep even starts and completed
+    // only after the sweep's trailing copy, so the exchange rides under
+    // the step's compute (fold order is unchanged — bit-exact moments).
+    let halo_recvs = if config.overlap {
+        post_halo_add_recvs(rank, comm).expect("post moment halo recvs")
+    } else {
+        None
+    };
     // for (auto is=0; is<nspec; is++) { ParticlesMove(); ParticleMoments(); }
     for is in 0..st.species.len() {
         let phase = rank.obs_open(obs::Category::Phase, "mover");
@@ -228,10 +240,29 @@ fn particle_phase(rank: &mut Rank, comm: &Communicator, config: &XpicConfig, st:
         rank.compute(&config.work_moments().scaled(st.ppc_share[is]));
         rank.obs_close(phase);
     }
-    let phase = rank.obs_open(obs::Category::Phase, "halo");
-    halo_add_moments(rank, comm, &st.grid, &mut st.moments, config);
-    rank.obs_close(phase);
-    rank.compute(&config.work_cpy()); // cpyToArr_M
+    if config.overlap {
+        let phase = rank.obs_open(obs::Category::Phase, "halo");
+        let halo_sends = send_halo_add_ghosts(rank, comm, &st.grid, &st.moments, config)
+            .expect("send moment ghost rows");
+        rank.obs_close(phase);
+        rank.compute(&config.work_cpy()); // cpyToArr_M, under the exchange
+        let phase = rank.obs_open(obs::Category::Phase, "halo");
+        complete_halo_add(
+            rank,
+            comm,
+            &st.grid,
+            &mut st.moments,
+            halo_recvs,
+            halo_sends,
+        )
+        .expect("moment halo-add exchange");
+        rank.obs_close(phase);
+    } else {
+        let phase = rank.obs_open(obs::Category::Phase, "halo");
+        halo_add_moments(rank, comm, &st.grid, &mut st.moments, config);
+        rank.obs_close(phase);
+        rank.compute(&config.work_cpy()); // cpyToArr_M
+    }
 }
 
 /// Migrate every species (wraps y periodically on one rank).
@@ -407,13 +438,23 @@ fn run_booster_side(
 
     let mut particle_time = SimTime::ZERO;
     let mut steady_mark = SimTime::ZERO;
+    // Overlap: the next step's E,B receive is posted as soon as this
+    // step's moments are away, so the wait at the loop top only covers
+    // whatever transfer time the aux + migration below did not hide.
+    let mut next_eb: Option<RecvRequest> = None;
     for step in 0..config.steps {
         // ClusterToBooster(); ClusterWait(); — receive E,B.
         let phase = rank.obs_open(obs::Category::Phase, "interface");
-        let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::EB));
-        let (eb, _) = req.wait(rank).expect("receive E,B");
-        st.fields
-            .unpack_owned(&st.grid, &wire::bytes_to_f64s(&eb.expect("payload").0));
+        let eb = match next_eb.take() {
+            Some(req) => req.wait(rank).expect("receive E,B").0,
+            None => {
+                rank.recv_bytes_inter(&ic, Some(me), Some(tags::EB))
+                    .expect("receive E,B")
+                    .0
+            }
+        };
+        st.fields.unpack_owned(&st.grid, &wire::bytes_to_f64s(&eb));
+        rank.buffer_pool().recycle(eb);
         // The interface buffer carries owned rows only; refresh the ghost
         // rows within the Booster world so edge particles gather the same
         // fields as in the combined mode.
@@ -430,18 +471,30 @@ fn run_booster_side(
         let t0 = rank.now();
         particle_phase(rank, &world, config, &mut st);
         if config.overlap {
-            // BoosterToCluster(); — send ρ,J first (nonblocking), then do
-            // the I/O, auxiliary computations and the particle migration
-            // while the Cluster solves the fields (Listing 3's structure).
+            // BoosterToCluster(); — post ρ,J (nonblocking) and the next
+            // E,B receive, then do the I/O, auxiliary computations and
+            // the particle migration while the Cluster solves the fields
+            // (Listing 3's structure). The deferred send charge is
+            // collected after the migration.
             let phase = rank.obs_open(obs::Category::Phase, "interface");
             let rhoj =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.moments.pack_owned(&st.grid));
-            rank.send_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
+            let rhoj_send = rank
+                .isend_bytes_inter_sized(&ic, me, tags::RHOJ, rhoj, config.wire_moments())
                 .expect("send moments");
+            if step + 1 < config.steps {
+                next_eb = Some(
+                    rank.irecv_bytes_inter(&ic, Some(me), Some(tags::EB))
+                        .expect("post E,B recv"),
+                );
+            }
             rank.obs_close(phase);
             particle_time += rank.now() - t0;
             aux_phase(rank, config, config.model.particles_per_node() / 100);
             migrate_all(rank, &world, config, &mut st);
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
+            rhoj_send.wait(rank).expect("complete moment send");
+            rank.obs_close(phase);
         } else {
             // Ablation: everything before the send → fully serialized.
             aux_phase(rank, config, config.model.particles_per_node() / 100);
@@ -509,19 +562,53 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
         cg_total += field_solve_e(rank, &world, config, &mut st) as u64;
         rank.compute(&config.work_cpy());
         if config.overlap {
-            // ClusterToBooster(); — send E,B, then auxiliary computations
-            // (the field-energy diagnostic) overlap the Booster's particle
-            // phase (Listing 2's structure).
+            // ClusterToBooster(); — post E,B (nonblocking) and the ρ,J
+            // receive right away, then let the auxiliary computations AND
+            // calculateB run under both transfers: the moments are
+            // consumed only by the next step's calculateE, so the wait
+            // can sit after the whole back half of the step (Listing 2's
+            // structure, pushed as far as the data flow allows).
             let phase = rank.obs_open(obs::Category::Phase, "interface");
             let eb =
                 wire::f64s_to_bytes_pooled(rank.buffer_pool(), &st.fields.pack_owned(&st.grid));
-            rank.send_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
+            let eb_send = rank
+                .isend_bytes_inter_sized(&ic, me, tags::EB, eb, config.wire_fields())
                 .expect("send E,B");
+            let rhoj_req = rank
+                .irecv_bytes_inter(&ic, Some(me), Some(tags::RHOJ))
+                .expect("post moments recv");
             rank.obs_close(phase);
             field_time += rank.now() - t0;
             aux_phase(rank, config, config.model.cells_per_node);
+
+            // calculateB(); cpyFromArr_M(); — reads fields only, so it
+            // legally overlaps the in-flight ρ,J.
+            let t2 = rank.now();
+            let phase = rank.obs_open(obs::Category::Phase, "field-solve");
+            {
+                let mut fc = MpiFieldComm::new(rank, world.clone(), config);
+                st.solver.calculate_b(&mut st.fields, &mut fc);
+            }
+            rank.compute(&config.work_curl());
+            rank.compute(&config.work_cpy());
+            rank.obs_close(phase);
+            field_time += rank.now() - t2;
+            // Record the per-step field-energy diagnostic (after
+            // calculateB, the same point in the step as the combined
+            // main loop).
+            history.push(field_energy(&st.grid, &st.fields));
+
+            // BoosterWait(); — collect the deferred send charge and the
+            // moments, just in time for the next calculateE.
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
+            eb_send.wait(rank).expect("complete E,B send");
+            let (mj, _) = rhoj_req.wait(rank).expect("receive moments");
+            st.moments.unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj));
+            rank.buffer_pool().recycle(mj);
+            rank.obs_close(phase);
         } else {
-            // Ablation: auxiliary work delays the send.
+            // Ablation: auxiliary work delays the send, and every
+            // transfer is waited where it is issued.
             aux_phase(rank, config, config.model.cells_per_node);
             let phase = rank.obs_open(obs::Category::Phase, "interface");
             let eb =
@@ -530,30 +617,32 @@ fn run_cluster_side(rank: &mut Rank, config: &XpicConfig, acc: &Arc<Mutex<Acc>>)
                 .expect("send E,B");
             rank.obs_close(phase);
             field_time += rank.now() - t0;
-        }
 
-        // BoosterToCluster(); BoosterWait(); — receive ρ,J.
-        let phase = rank.obs_open(obs::Category::Phase, "interface");
-        let req = rank.irecv_inter::<Raw>(&ic, Some(me), Some(tags::RHOJ));
-        let (mj, _) = req.wait(rank).expect("receive moments");
-        st.moments
-            .unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj.expect("payload").0));
-        rank.obs_close(phase);
+            // BoosterToCluster(); BoosterWait(); — receive ρ,J.
+            let phase = rank.obs_open(obs::Category::Phase, "interface");
+            let (mj, _) = rank
+                .recv_bytes_inter(&ic, Some(me), Some(tags::RHOJ))
+                .expect("receive moments");
+            st.moments.unpack_owned(&st.grid, &wire::bytes_to_f64s(&mj));
+            rank.buffer_pool().recycle(mj);
+            rank.obs_close(phase);
 
-        // calculateB(); cpyFromArr_M();
-        let t2 = rank.now();
-        let phase = rank.obs_open(obs::Category::Phase, "field-solve");
-        {
-            let mut fc = MpiFieldComm::new(rank, world.clone(), config);
-            st.solver.calculate_b(&mut st.fields, &mut fc);
+            // calculateB(); cpyFromArr_M();
+            let t2 = rank.now();
+            let phase = rank.obs_open(obs::Category::Phase, "field-solve");
+            {
+                let mut fc = MpiFieldComm::new(rank, world.clone(), config);
+                st.solver.calculate_b(&mut st.fields, &mut fc);
+            }
+            rank.compute(&config.work_curl());
+            rank.compute(&config.work_cpy());
+            rank.obs_close(phase);
+            field_time += rank.now() - t2;
+            // Record the per-step field-energy diagnostic (after
+            // calculateB, the same point in the step as the combined
+            // main loop).
+            history.push(field_energy(&st.grid, &st.fields));
         }
-        rank.compute(&config.work_curl());
-        rank.compute(&config.work_cpy());
-        rank.obs_close(phase);
-        field_time += rank.now() - t2;
-        // Record the per-step field-energy diagnostic (after calculateB,
-        // the same point in the step as the combined main loop).
-        history.push(field_energy(&st.grid, &st.fields));
         if step == 0 {
             steady_mark = rank.now();
         }

@@ -14,7 +14,7 @@ use crate::grid::{Grid, Moments};
 use crate::moments::{add_into_border_row, clear_ghosts, extract_ghost_row};
 use crate::particles::Species;
 use crate::wire;
-use psmpi::{Communicator, PsmpiError, Rank, ReduceOp};
+use psmpi::{Communicator, MpiRequest, PsmpiError, Rank, RecvRequest, ReduceOp, SendRequest};
 
 /// Reserved message tags of the xPic exchanges.
 pub mod tags {
@@ -189,6 +189,90 @@ pub fn try_halo_add_moments(
     let (from_prev, _) = rank.recv_bytes_comm(comm, Some(prev), Some(tags::MOM_DOWN))?;
     // The next slab's top ghost is spill below our last row; the previous
     // slab's bottom ghost is spill above our first row.
+    add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_next), false);
+    add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_prev), true);
+    clear_ghosts(grid, moments);
+    Ok(())
+}
+
+/// In-flight moment halo-add: the neighbour ghost-row receives posted by
+/// [`post_halo_add_recvs`] ahead of the mover/deposit sweep, completed by
+/// [`complete_halo_add`] after the sweep's trailing compute.
+pub struct HaloAddRecvs {
+    from_next: RecvRequest,
+    from_prev: RecvRequest,
+}
+
+/// Overlap step 1 (post): record the matching criteria for the two
+/// neighbour ghost-row messages *before* the interior mover/deposit sweep
+/// runs. Posting is free in virtual time — the payoff is that the
+/// matching receives are waited as late as possible. Returns `None` on a
+/// single-slab world (nothing travels).
+pub fn post_halo_add_recvs(
+    rank: &mut Rank,
+    comm: &Communicator,
+) -> Result<Option<HaloAddRecvs>, PsmpiError> {
+    let n = comm.size();
+    if n == 1 {
+        return Ok(None);
+    }
+    let me = rank_in_comm(rank, comm);
+    let prev = (me + n - 1) % n;
+    let next = (me + 1) % n;
+    Ok(Some(HaloAddRecvs {
+        from_next: rank.irecv_bytes_comm(comm, Some(next), Some(tags::MOM_UP))?,
+        from_prev: rank.irecv_bytes_comm(comm, Some(prev), Some(tags::MOM_DOWN))?,
+    }))
+}
+
+/// Overlap step 2 (send): after the deposit sweep, ship the extracted
+/// ghost rows as nonblocking sends — NIC serialization is charged to the
+/// returned requests, which [`complete_halo_add`] waits together with the
+/// receives. No-op (empty batch) on a single-slab world.
+pub fn send_halo_add_ghosts(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    moments: &Moments,
+    config: &XpicConfig,
+) -> Result<Vec<SendRequest>, PsmpiError> {
+    let n = comm.size();
+    if n == 1 {
+        return Ok(Vec::new());
+    }
+    let me = rank_in_comm(rank, comm);
+    let prev = (me + n - 1) % n;
+    let next = (me + 1) % n;
+    let wire_size = config.wire_halo();
+    let pool = rank.buffer_pool();
+    let top = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, true));
+    let bottom = wire::f64s_to_bytes_pooled(pool, &extract_ghost_row(grid, moments, false));
+    let up = rank.isend_bytes_comm_sized(comm, prev, tags::MOM_UP, top, wire_size)?;
+    let down = rank.isend_bytes_comm_sized(comm, next, tags::MOM_DOWN, bottom, wire_size)?;
+    Ok(vec![up, down])
+}
+
+/// Overlap step 3 (complete): wait the posted sends and receives, fold
+/// the neighbour rows in the exact order of the blocking path (next slab
+/// first, then previous — addition order is part of the bit-exactness
+/// contract) and clear the ghosts. A single-slab world folds
+/// periodically, same as [`try_halo_add_moments`].
+pub fn complete_halo_add(
+    rank: &mut Rank,
+    comm: &Communicator,
+    grid: &Grid,
+    moments: &mut Moments,
+    recvs: Option<HaloAddRecvs>,
+    sends: Vec<SendRequest>,
+) -> Result<(), PsmpiError> {
+    debug_assert_eq!(recvs.is_some(), comm.size() > 1, "post/complete mismatch");
+    let Some(recvs) = recvs else {
+        crate::moments::fold_ghosts_periodic(grid, moments);
+        return Ok(());
+    };
+    rank.waitall(sends)?;
+    let (from_next, _) = recvs.from_next.wait(rank)?;
+    let (from_prev, _) = recvs.from_prev.wait(rank)?;
     add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_next), false);
     add_into_border_row(grid, moments, &wire::bytes_to_f64s(&from_prev), true);
     clear_ghosts(grid, moments);

@@ -1,0 +1,81 @@
+//! The overlap contract in C+B mode: enabling nonblocking transfers
+//! changes *when* virtual time is charged, never *what* is computed. The
+//! overlapped run must reproduce the blocking run's physics bit for bit —
+//! at every host thread count — while finishing strictly sooner.
+
+use cluster_booster::{Launcher, SystemBuilder};
+use xpic::{run_mode, Mode, XpicConfig};
+
+fn launcher(cn: u32, bn: u32) -> Launcher {
+    Launcher::new(
+        SystemBuilder::new("test")
+            .cluster_nodes(cn)
+            .booster_nodes(bn)
+            .build(),
+    )
+}
+
+fn config(overlap: bool, threads: usize) -> XpicConfig {
+    XpicConfig {
+        ny: 8,
+        nx: 8,
+        steps: 3,
+        overlap,
+        threads,
+        ..XpicConfig::test_small()
+    }
+}
+
+/// The bit pattern of everything physics-bearing in a report.
+fn physics_bits(r: &xpic::XpicReport) -> (u64, u64, f64, Vec<u64>) {
+    (
+        r.field_energy.to_bits(),
+        r.kinetic_energy.to_bits(),
+        r.total_charge,
+        r.energy_history.iter().map(|e| e.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn overlapped_run_is_bit_exact_at_every_thread_count() {
+    let l = launcher(2, 2);
+    let blocking = run_mode(&l, Mode::ClusterBooster, 2, &config(false, 1));
+    let baseline = physics_bits(&blocking);
+
+    for threads in [1usize, 2, 4] {
+        let on = run_mode(&l, Mode::ClusterBooster, 2, &config(true, threads));
+        assert_eq!(
+            physics_bits(&on),
+            baseline,
+            "overlap at {threads} threads must reproduce blocking bits"
+        );
+        let off = run_mode(&l, Mode::ClusterBooster, 2, &config(false, threads));
+        assert_eq!(
+            physics_bits(&off),
+            baseline,
+            "blocking at {threads} threads must be thread-count invariant"
+        );
+        // Virtual time is part of the determinism contract too: the same
+        // config gives the same makespan on every host thread count.
+        assert_eq!(
+            on.total,
+            run_mode(&l, Mode::ClusterBooster, 2, &config(true, 1)).total
+        );
+    }
+}
+
+#[test]
+fn overlap_strictly_shrinks_the_makespan() {
+    let l = launcher(2, 2);
+    let on = run_mode(&l, Mode::ClusterBooster, 2, &config(true, 1));
+    let off = run_mode(&l, Mode::ClusterBooster, 2, &config(false, 1));
+    assert!(
+        on.total < off.total,
+        "overlapped makespan {} must beat blocking {}",
+        on.total,
+        off.total
+    );
+    // The ablation serializes every transfer onto the critical path, so
+    // the coupling-communication account can only grow.
+    assert!(on.coupling_comm <= off.coupling_comm);
+}
