@@ -47,6 +47,21 @@ SCALE_TMP=$(mktemp -d)
 cargo run -q --release -p cb-bench --bin scale -- --smoke --out "$SCALE_TMP/BENCH_scale.json"
 rm -rf "$SCALE_TMP"
 
+echo "== sched smoke (1200-job trace through the workload engine) =="
+# The bursty production trace through the scheduler service, independent
+# vs node-locked reservation: must schedule every job with backfill,
+# malleability, and at least one fault-driven requeue, keep p99 queue
+# wait under the stored ceiling, and beat the node-locked makespan
+# (sched.rs). The BENCH_sched.json body must come out byte-identical
+# across host thread counts.
+SCHED_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin sched -- \
+    --smoke --threads 1 --out "$SCHED_TMP/t1.json" > /dev/null
+cargo run -q --release -p cb-bench --bin sched -- \
+    --smoke --threads 2 --out "$SCHED_TMP/t2.json" > /dev/null
+cmp "$SCHED_TMP/t1.json" "$SCHED_TMP/t2.json"
+rm -rf "$SCHED_TMP"
+
 echo "== obs determinism (virtual-time traces are thread-invariant) =="
 # The same workload, instrumented, at two thread counts: both the Chrome
 # trace and the text report must come out byte-for-byte identical.

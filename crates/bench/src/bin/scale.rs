@@ -51,6 +51,10 @@ fn main() {
                 i += 1;
                 cfg.elems = args[i].parse().expect("--elems <n>");
             }
+            "--pool-buffers" => {
+                i += 1;
+                cfg.pool_buffers = Some(args[i].parse().expect("--pool-buffers <n>"));
+            }
             "--out" => {
                 i += 1;
                 out_path = args[i].clone();
@@ -58,6 +62,13 @@ fn main() {
             _ => {}
         }
         i += 1;
+    }
+    // Env fallback for sweep scripts: CB_POOL_BUFFERS sizes the pool when
+    // no explicit flag is given (host-side knob; virtual time unaffected).
+    if cfg.pool_buffers.is_none() {
+        if let Ok(v) = std::env::var("CB_POOL_BUFFERS") {
+            cfg.pool_buffers = Some(v.parse().expect("CB_POOL_BUFFERS must be an integer"));
+        }
     }
     // The full default shape finishes in well under a second, so --smoke
     // runs it unchanged: the gate keeps the whole 1000-node fan-out and a
@@ -88,6 +99,13 @@ fn main() {
     m.set("msgs_per_sec", msgs_per_sec);
     m.set("ns_per_msg", ns_per_msg);
     m.set("virtual_makespan_s", stats.makespan.as_secs());
+    // The retention bound in force for this run — the knob PR 8 identified
+    // as the binding constraint under synchronized bursts.
+    m.set(
+        "pool_capacity",
+        cfg.pool_buffers
+            .unwrap_or(psmpi::DEFAULT_MAX_POOLED_BUFFERS) as f64,
+    );
     m.set("pool_hits", stats.pool.hits as f64);
     m.set("pool_misses", stats.pool.misses as f64);
     m.set("pool_reclaim_failures", stats.pool.reclaim_failures as f64);

@@ -37,6 +37,11 @@ pub struct ScaleConfig {
     /// time, so the throughput gate runs with this off and the counter
     /// pass runs it on — virtual time is identical either way.
     pub per_round: bool,
+    /// Buffer-pool retention bound (`None` = psmpi's default of
+    /// [`psmpi::DEFAULT_MAX_POOLED_BUFFERS`]). PR 8 showed the default is
+    /// the binding constraint under synchronized bursts at 1000 ranks;
+    /// raising it to the rank count turns burst misses into hits.
+    pub pool_buffers: Option<usize>,
 }
 
 impl ScaleConfig {
@@ -48,6 +53,7 @@ impl ScaleConfig {
             rounds: 8,
             elems: 1024,
             per_round: false,
+            pool_buffers: None,
         }
     }
 }
@@ -102,7 +108,13 @@ pub fn run_ring(cfg: &ScaleConfig) -> ScaleStats {
     let bn = (cfg.nodes / 2) as u32;
     let mut placements = topo.add_nodes(cn, &deep_er_cluster_node());
     placements.extend(topo.add_nodes(bn, &deep_er_booster_node()));
-    let universe = Universe::new(Fabric::with_model(topo, Default::default()));
+    let fabric = Fabric::with_model(topo, Default::default());
+    let universe = match cfg.pool_buffers {
+        Some(cap) => {
+            Universe::with_buffer_pool(fabric, Arc::new(psmpi::BufferPool::with_capacity(cap)))
+        }
+        None => Universe::new(fabric),
+    };
 
     let pool_before = universe.router().buffer_pool().stats();
     let rounds = cfg.rounds;
@@ -176,6 +188,7 @@ mod tests {
             rounds: 4,
             elems: 128,
             per_round: false,
+            pool_buffers: None,
         };
         let s = run_ring(&cfg);
         assert_eq!(s.delivered_msgs, 64 * 4);
@@ -202,6 +215,7 @@ mod tests {
             rounds: 5,
             elems: 128,
             per_round: true,
+            pool_buffers: None,
         };
         let s = run_ring(&cfg);
         assert_eq!(s.per_round_pool.len(), cfg.rounds);
@@ -245,6 +259,43 @@ mod tests {
     }
 
     #[test]
+    fn pool_capacity_knob_bounds_reallocation() {
+        // The two deterministic extremes of the retention bound (the
+        // in-between is host-scheduling dependent): a zero-capacity pool
+        // retains nothing, so *every* get allocates; a rank-count pool
+        // allocates at most once per rank (each rank has at most one
+        // outstanding send, so peak concurrency ≤ nodes).
+        let base = ScaleConfig {
+            nodes: 96,
+            rounds: 4,
+            elems: 64,
+            per_round: false,
+            pool_buffers: Some(0),
+        };
+        let starved = run_ring(&base);
+        let total_gets = (base.nodes * base.rounds) as u64;
+        assert_eq!(starved.pool.hits, 0, "nothing retained, nothing reused");
+        assert_eq!(starved.pool.misses, total_gets);
+        let sized = run_ring(&ScaleConfig {
+            pool_buffers: Some(96),
+            ..base
+        });
+        assert!(
+            sized.pool.misses <= base.nodes as u64,
+            "rank-count pool allocates at most peak concurrency: {:?}",
+            sized.pool
+        );
+        assert!(sized.pool.misses < starved.pool.misses);
+        assert_eq!(
+            sized.pool.hits + sized.pool.misses,
+            total_gets,
+            "every send stages through the pool regardless of capacity"
+        );
+        // Virtual time is identical either way: the pool is host-side only.
+        assert_eq!(sized.makespan, starved.makespan);
+    }
+
+    #[test]
     fn makespan_is_thread_count_invariant() {
         // The same exchange, run twice: virtual time must agree exactly
         // (host scheduling varies between the runs; virtual time cannot).
@@ -253,6 +304,7 @@ mod tests {
             rounds: 3,
             elems: 64,
             per_round: false,
+            pool_buffers: None,
         };
         let a = run_ring(&cfg);
         let b = run_ring(&cfg);

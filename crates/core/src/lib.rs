@@ -35,7 +35,10 @@ pub mod system;
 pub use launch::{JobSpec, Launcher};
 pub use malleable::{MalleableJob, MalleableScheduler, MalleableStats};
 pub use resources::{Allocation, AllocationError, ResourceManager};
-pub use scheduler::{BatchJob, BatchScheduler, JobState, SchedulerStats};
+pub use scheduler::{
+    fits_beside_head, shadow_start, BatchJob, BatchScheduler, Discipline, JobState, RunningView,
+    SchedulerStats,
+};
 pub use system::{Module, ModuleKind, System, SystemBuilder};
 
 /// Presets for the systems built in the DEEP projects.

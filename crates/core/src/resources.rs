@@ -88,6 +88,16 @@ struct Pools {
     free_cluster: BTreeSet<NodeId>,
     free_booster: BTreeSet<NodeId>,
     free_dam: BTreeSet<NodeId>,
+    /// Nodes marked down by a fault ([`ResourceManager::mark_down`]),
+    /// per module: removed from the free pools, never handed out until
+    /// repaired with [`ResourceManager::mark_up`].
+    down_cluster: BTreeSet<NodeId>,
+    down_booster: BTreeSet<NodeId>,
+    down_dam: BTreeSet<NodeId>,
+    /// Downed nodes that were allocated at fault time: they route to the
+    /// down sets (not back to the free pools) when their allocation is
+    /// released.
+    pending_down: BTreeSet<NodeId>,
     live: BTreeSet<u64>,
     next_id: u64,
 }
@@ -136,6 +146,10 @@ impl ResourceManager {
                 free_cluster: cluster,
                 free_booster: booster,
                 free_dam: dam,
+                down_cluster: BTreeSet::new(),
+                down_booster: BTreeSet::new(),
+                down_dam: BTreeSet::new(),
+                pending_down: BTreeSet::new(),
                 live: BTreeSet::new(),
                 next_id: 0,
             })),
@@ -179,6 +193,15 @@ impl ResourceManager {
         let (need_cn, need_bn) = self.effective_request(cn, bn);
         let p = self.pools.lock();
         p.free_cluster.len() >= need_cn && p.free_booster.len() >= need_bn
+    }
+
+    /// The `(cn, bn)` a request really consumes under the active policy:
+    /// identity for [`AllocationPolicy::Independent`]; host/accelerator
+    /// coupling for [`AllocationPolicy::NodeLocked`]. Exposed so
+    /// reservation math (backfill shadow times, utilization denominators)
+    /// can account in the same units the pools charge.
+    pub fn effective(&self, cn: usize, bn: usize) -> (usize, usize) {
+        self.effective_request(cn, bn)
     }
 
     fn effective_request(&self, cn: usize, bn: usize) -> (usize, usize) {
@@ -254,16 +277,96 @@ impl ResourceManager {
         })
     }
 
-    /// Return an allocation's nodes to the pools.
+    /// Return an allocation's nodes to the pools. Nodes that were marked
+    /// down while allocated go to the down sets instead of the free pools
+    /// (the batch system's "drain on fault" behaviour).
     pub fn release(&self, alloc: &Allocation) -> Result<(), AllocationError> {
         let mut p = self.pools.lock();
         if !p.live.remove(&alloc.id) {
             return Err(AllocationError::StaleAllocation);
         }
-        p.free_cluster.extend(alloc.cluster.iter().copied());
-        p.free_booster.extend(alloc.booster.iter().copied());
-        p.free_dam.extend(alloc.dam.iter().copied());
+        for &n in &alloc.cluster {
+            if p.pending_down.remove(&n) {
+                p.down_cluster.insert(n);
+            } else {
+                p.free_cluster.insert(n);
+            }
+        }
+        for &n in &alloc.booster {
+            if p.pending_down.remove(&n) {
+                p.down_booster.insert(n);
+            } else {
+                p.free_booster.insert(n);
+            }
+        }
+        for &n in &alloc.dam {
+            if p.pending_down.remove(&n) {
+                p.down_dam.insert(n);
+            } else {
+                p.free_dam.insert(n);
+            }
+        }
         Ok(())
+    }
+
+    /// Take `node` out of service (a fault). If it is free it is
+    /// quarantined immediately; if it is currently allocated the
+    /// quarantine is deferred to the allocation's release. Returns `true`
+    /// when the node was free (idle fault), `false` when it was in use —
+    /// the caller then decides what to do with the victim job.
+    pub fn mark_down(&self, node: NodeId) -> bool {
+        let mut p = self.pools.lock();
+        if p.free_cluster.remove(&node) {
+            p.down_cluster.insert(node);
+            true
+        } else if p.free_booster.remove(&node) {
+            p.down_booster.insert(node);
+            true
+        } else if p.free_dam.remove(&node) {
+            p.down_dam.insert(node);
+            true
+        } else {
+            p.pending_down.insert(node);
+            false
+        }
+    }
+
+    /// Return a repaired node to service. Idempotent; returns `true` when
+    /// the node was actually down (or pending down).
+    pub fn mark_up(&self, node: NodeId) -> bool {
+        let mut p = self.pools.lock();
+        // Cancel any deferred quarantine unconditionally: a node that
+        // faulted again while already down must not carry a stale
+        // pending flag past its repair.
+        let was_pending = p.pending_down.remove(&node);
+        if p.down_cluster.remove(&node) {
+            p.free_cluster.insert(node);
+            true
+        } else if p.down_booster.remove(&node) {
+            p.free_booster.insert(node);
+            true
+        } else if p.down_dam.remove(&node) {
+            p.free_dam.insert(node);
+            true
+        } else {
+            // Repaired while still allocated: the node returns to its
+            // free pool at release.
+            was_pending
+        }
+    }
+
+    /// Nodes currently quarantined per module (Cluster, Booster, DAM).
+    /// Faulted nodes still inside live allocations are not yet assigned a
+    /// module here — count those via
+    /// [`ResourceManager::pending_down_count`].
+    pub fn down_counts(&self) -> (usize, usize, usize) {
+        let p = self.pools.lock();
+        (p.down_cluster.len(), p.down_booster.len(), p.down_dam.len())
+    }
+
+    /// Faulted nodes still held by live allocations (quarantine deferred).
+    pub fn pending_down_count(&self) -> usize {
+        self.pools.lock().pending_down.len()
     }
 }
 
@@ -372,6 +475,83 @@ mod tests {
         rm.allocate(16, 0).unwrap();
         assert!(!rm.can_allocate(1, 0));
         assert!(rm.can_allocate(0, 8));
+    }
+
+    #[test]
+    fn mark_down_quarantines_free_nodes_immediately() {
+        let rm = rm();
+        // Learn a node id, then return it so it is free when the fault hits.
+        let probe = rm.allocate(1, 0).unwrap();
+        let node = probe.cluster[0];
+        rm.release(&probe).unwrap();
+        assert!(rm.mark_down(node), "free node quarantined at once");
+        assert_eq!(rm.free_cluster(), 15);
+        assert_eq!(rm.down_counts(), (1, 0, 0));
+        assert!(rm.mark_up(node));
+        assert_eq!(rm.free_cluster(), 16);
+        assert_eq!(rm.down_counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn mark_down_of_allocated_node_defers_to_release() {
+        let rm = rm();
+        let a = rm.allocate(2, 1).unwrap();
+        let victim = a.booster[0];
+        assert!(!rm.mark_down(victim), "allocated node: deferred");
+        assert_eq!(rm.pending_down_count(), 1);
+        assert_eq!(rm.down_counts(), (0, 0, 0));
+        rm.release(&a).unwrap();
+        // The faulted node went to the down set, the others came back.
+        assert_eq!(rm.pending_down_count(), 0);
+        assert_eq!(rm.down_counts(), (0, 1, 0));
+        assert_eq!(rm.free_booster(), 7);
+        assert_eq!(rm.free_cluster(), 16);
+        // Repair returns it.
+        assert!(rm.mark_up(victim));
+        assert_eq!(rm.free_booster(), 8);
+    }
+
+    #[test]
+    fn repair_before_release_cancels_quarantine() {
+        let rm = rm();
+        let a = rm.allocate(1, 0).unwrap();
+        let n = a.cluster[0];
+        assert!(!rm.mark_down(n));
+        assert!(rm.mark_up(n), "pending quarantine cancelled");
+        rm.release(&a).unwrap();
+        assert_eq!(rm.free_cluster(), 16);
+        assert_eq!(rm.down_counts(), (0, 0, 0));
+        assert!(!rm.mark_up(n), "idempotent: already up");
+    }
+
+    #[test]
+    fn down_nodes_are_never_allocated() {
+        let sys = crate::system::SystemBuilder::new("tiny")
+            .cluster_nodes(2)
+            .booster_nodes(1)
+            .build();
+        let rm = ResourceManager::new(&sys);
+        let probe = rm.allocate(2, 0).unwrap();
+        let downed = probe.cluster[0];
+        rm.release(&probe).unwrap();
+        rm.mark_down(downed);
+        assert!(rm.can_allocate(1, 0));
+        assert!(!rm.can_allocate(2, 0), "only one CN serviceable");
+        let a = rm.allocate(1, 0).unwrap();
+        assert_ne!(a.cluster[0], downed);
+    }
+
+    #[test]
+    fn effective_exposes_policy_coupling() {
+        let rm = rm();
+        assert_eq!(rm.effective(3, 5), (3, 5), "independent: identity");
+        let sys = crate::system::SystemBuilder::new("acc")
+            .cluster_nodes(8)
+            .booster_nodes(16)
+            .build();
+        let locked = ResourceManager::with_policy(&sys, AllocationPolicy::NodeLocked { ratio: 2 });
+        assert_eq!(locked.effective(0, 5), (3, 6), "ceil(5/2)=3 hosts");
+        assert_eq!(locked.effective(4, 0), (4, 8), "hosts drag accelerators");
     }
 
     #[test]

@@ -14,6 +14,82 @@ use crate::resources::{Allocation, ResourceManager};
 use hwmodel::SimTime;
 use std::collections::BTreeMap;
 
+/// A running job's footprint as the backfill policy sees it: how many
+/// nodes it holds per module and when they come back. The long-lived
+/// workload engine (`crates/sched`) feeds *worst-case* end bounds through
+/// the same functions, so the EASY guarantee survives runtimes that
+/// stretch under fabric contention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningView {
+    /// Cluster nodes held.
+    pub cn: usize,
+    /// Booster nodes held.
+    pub bn: usize,
+    /// When the nodes return (an upper bound is acceptable).
+    pub end: SimTime,
+}
+
+/// Earliest time a `(need_cn, need_bn)` request could be satisfied given
+/// `free_*` nodes now and the running set's end times: walk completions
+/// in end order, accumulating released nodes, until the request fits.
+/// Returns effectively-unbounded time when even draining everything is
+/// not enough (the caller decides whether that is a hard error).
+pub fn shadow_start(
+    free_cn: usize,
+    free_bn: usize,
+    need_cn: usize,
+    need_bn: usize,
+    running: &[RunningView],
+    now: SimTime,
+) -> SimTime {
+    let mut free_cn = free_cn;
+    let mut free_bn = free_bn;
+    if free_cn >= need_cn && free_bn >= need_bn {
+        return now;
+    }
+    let mut ends: Vec<&RunningView> = running.iter().collect();
+    ends.sort_by_key(|r| r.end);
+    for r in ends {
+        free_cn += r.cn;
+        free_bn += r.bn;
+        if free_cn >= need_cn && free_bn >= need_bn {
+            return r.end.max(now);
+        }
+    }
+    // Cannot start with current information; effectively unbounded.
+    SimTime::from_secs(f64::MAX / 4.0)
+}
+
+/// Whether starting a `(cand_cn, cand_bn)` job ending at `cand_end` still
+/// leaves the head job its reservation at `shadow` (conservative
+/// node-count check): nodes released at or before the shadow time, minus
+/// whatever the candidate still holds then, must cover the head.
+#[allow(clippy::too_many_arguments)]
+pub fn fits_beside_head(
+    free_cn: usize,
+    free_bn: usize,
+    cand_cn: usize,
+    cand_bn: usize,
+    cand_end: SimTime,
+    head_cn: usize,
+    head_bn: usize,
+    running: &[RunningView],
+    shadow: SimTime,
+) -> bool {
+    let mut free_cn = free_cn;
+    let mut free_bn = free_bn;
+    for r in running {
+        if r.end <= shadow {
+            free_cn += r.cn;
+            free_bn += r.bn;
+        }
+    }
+    let releases = cand_end <= shadow;
+    let held_cn = if releases { 0 } else { cand_cn };
+    let held_bn = if releases { 0 } else { cand_bn };
+    free_cn >= head_cn + held_cn && free_bn >= head_bn + held_bn
+}
+
 /// One batch job: a heterogeneous node request plus a (known) runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
@@ -120,6 +196,13 @@ impl BatchScheduler {
     }
 
     /// Submit a job; returns its id.
+    ///
+    /// **Tie-breaking contract**: the queue is ordered by
+    /// `(submit, id)` — jobs submitted at the same virtual instant start
+    /// in ascending job-id order, regardless of the order `submit` /
+    /// [`BatchScheduler::submit_job`] calls interleaved. Workload
+    /// generators rely on this: a trace replayed into the scheduler in
+    /// any permutation produces bit-identical schedules.
     pub fn submit(
         &mut self,
         name: impl Into<String>,
@@ -130,8 +213,7 @@ impl BatchScheduler {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.submits.insert(id, submit);
-        self.queue.push(BatchJob {
+        self.submit_job(BatchJob {
             id,
             name: name.into(),
             cn,
@@ -140,6 +222,17 @@ impl BatchScheduler {
             submit,
         });
         id
+    }
+
+    /// Submit a fully-formed job with an explicit id (for trace replay,
+    /// where ids come from the workload generator). The caller owns id
+    /// uniqueness; auto-assigned ids from [`BatchScheduler::submit`]
+    /// continue above the largest explicit id seen so far. The same
+    /// `(submit, id)` tie-break applies — see [`BatchScheduler::submit`].
+    pub fn submit_job(&mut self, job: BatchJob) {
+        self.next_id = self.next_id.max(job.id + 1);
+        self.submits.insert(job.id, job.submit);
+        self.queue.push(job);
     }
 
     /// Number of queued jobs.
@@ -279,24 +372,28 @@ impl BatchScheduler {
         }
     }
 
+    /// The running set as the backfill policy sees it.
+    fn running_view(running: &[Running]) -> Vec<RunningView> {
+        running
+            .iter()
+            .map(|r| RunningView {
+                cn: r.job.cn,
+                bn: r.job.bn,
+                end: r.end,
+            })
+            .collect()
+    }
+
     /// Earliest time the head job could start given the current running set.
     fn head_shadow_start(&self, head: &BatchJob, running: &[Running], now: SimTime) -> SimTime {
-        let mut free_cn = self.rm.free_cluster();
-        let mut free_bn = self.rm.free_booster();
-        if free_cn >= head.cn && free_bn >= head.bn {
-            return now;
-        }
-        let mut ends: Vec<&Running> = running.iter().collect();
-        ends.sort_by_key(|a| a.end);
-        for r in ends {
-            free_cn += r.job.cn;
-            free_bn += r.job.bn;
-            if free_cn >= head.cn && free_bn >= head.bn {
-                return r.end;
-            }
-        }
-        // Head cannot start with current information; effectively unbounded.
-        SimTime::from_secs(f64::MAX / 4.0)
+        shadow_start(
+            self.rm.free_cluster(),
+            self.rm.free_booster(),
+            head.cn,
+            head.bn,
+            &Self::running_view(running),
+            now,
+        )
     }
 
     /// Whether starting `j` now still leaves the head its reservation at the
@@ -308,19 +405,19 @@ impl BatchScheduler {
         running: &[Running],
         now: SimTime,
     ) -> bool {
+        let view = Self::running_view(running);
         let shadow = self.head_shadow_start(head, running, now);
-        let mut free_cn = self.rm.free_cluster();
-        let mut free_bn = self.rm.free_booster();
-        for r in running {
-            if r.end <= shadow {
-                free_cn += r.job.cn;
-                free_bn += r.job.bn;
-            }
-        }
-        let j_releases = now + j.duration <= shadow;
-        let held_cn = if j_releases { 0 } else { j.cn };
-        let held_bn = if j_releases { 0 } else { j.bn };
-        free_cn >= head.cn + held_cn && free_bn >= head.bn + held_bn
+        fits_beside_head(
+            self.rm.free_cluster(),
+            self.rm.free_booster(),
+            j.cn,
+            j.bn,
+            now + j.duration,
+            head.cn,
+            head.bn,
+            &view,
+            shadow,
+        )
     }
 }
 
@@ -452,6 +549,93 @@ mod tests {
         let mut sc = sched(Discipline::Fifo);
         sc.submit("too-big", 17, 0, s(5.0), s(0.0));
         sc.simulate();
+    }
+
+    #[test]
+    fn equal_submit_ties_start_in_id_order_regardless_of_insertion() {
+        // Three whole-machine jobs, all submitted at t=0, inserted out of
+        // id order via submit_job. The tie-break contract pins the start
+        // order to ascending id: 1, 5, 9 — not insertion order 9, 1, 5.
+        let job = |id: u64| BatchJob {
+            id,
+            name: format!("j{id}"),
+            cn: 16,
+            bn: 8,
+            duration: s(10.0),
+            submit: s(0.0),
+        };
+        let mut sc = sched(Discipline::Fifo);
+        sc.submit_job(job(9));
+        sc.submit_job(job(1));
+        sc.submit_job(job(5));
+        let stats = sc.simulate();
+        assert_eq!(stats.span(1).0, s(0.0));
+        assert_eq!(stats.span(5).0, s(10.0));
+        assert_eq!(stats.span(9).0, s(20.0));
+        // Auto ids continue above the largest explicit id.
+        let mut sc2 = sched(Discipline::Fifo);
+        sc2.submit_job(job(9));
+        let auto = sc2.submit("auto", 1, 0, s(1.0), s(0.0));
+        assert_eq!(auto, 10);
+    }
+
+    #[test]
+    fn shadow_start_walks_completions_in_end_order() {
+        let running = [
+            RunningView {
+                cn: 8,
+                bn: 0,
+                end: s(30.0),
+            },
+            RunningView {
+                cn: 8,
+                bn: 4,
+                end: s(10.0),
+            },
+        ];
+        // Fits now: 4 CN free, need 4.
+        assert_eq!(shadow_start(4, 0, 4, 0, &running, s(1.0)), s(1.0));
+        // Needs the t=10 release only.
+        assert_eq!(shadow_start(0, 0, 8, 2, &running, s(1.0)), s(10.0));
+        // Needs both releases.
+        assert_eq!(shadow_start(0, 0, 16, 0, &running, s(1.0)), s(30.0));
+        // Never fits: effectively unbounded.
+        assert!(shadow_start(0, 0, 99, 0, &running, s(1.0)) > s(1e9));
+    }
+
+    #[test]
+    fn fits_beside_head_accounts_for_held_nodes_at_shadow() {
+        let running = [RunningView {
+            cn: 12,
+            bn: 0,
+            end: s(50.0),
+        }];
+        let shadow = s(50.0);
+        // Candidate ends before the shadow: holds nothing then → fits.
+        assert!(fits_beside_head(
+            4,
+            8,
+            4,
+            0,
+            s(20.0),
+            16,
+            0,
+            &running,
+            shadow
+        ));
+        // Candidate outlives the shadow and would hold 4 of the CN the
+        // head needs → rejected.
+        assert!(!fits_beside_head(
+            4,
+            8,
+            4,
+            0,
+            s(80.0),
+            16,
+            0,
+            &running,
+            shadow
+        ));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub struct Finding {
 /// D004 only fire inside these: the bench and the analyzer itself run on
 /// the host, outside the simulated clock.
 pub const VIRTUAL_TIME_CRATES: &[&str] = &[
-    "hwmodel", "simnet", "psmpi", "core", "ompss", "sionio", "scr", "xpic", "obs",
+    "hwmodel", "simnet", "psmpi", "core", "ompss", "sionio", "scr", "xpic", "obs", "sched",
 ];
 
 /// Crates making up the observability subsystem. D005's wall-clock rule is

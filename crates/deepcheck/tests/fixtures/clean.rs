@@ -63,3 +63,11 @@ fn managed_parallelism(threads: usize, tasks: Vec<u32>) {
         let _ = t;
     });
 }
+
+fn sanctioned_workload_stream(seed: u64, job: u64) -> u64 {
+    // The workload-generator pattern: per-job streams derived from the
+    // master seed by mixing in the job id — fully deterministic, no host
+    // entropy. (from_entropy / OsRng are the banned spellings.)
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ job.wrapping_mul(0x9e3779b97f4a7c15));
+    rng.next_u64()
+}

@@ -23,3 +23,13 @@ fn host_env() -> String {
 fn implicit_entropy() -> f64 {
     rand::random::<f64>() // line 24: D001
 }
+
+fn reseeded() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy(); // line 28: D001
+    rng.next_u64()
+}
+
+fn os_entropy() -> u64 {
+    let mut rng = rand::rngs::OsRng; // line 33: D001
+    rng.next_u64()
+}

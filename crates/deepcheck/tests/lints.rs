@@ -31,6 +31,8 @@ fn d001_fires_on_every_clock_and_entropy_source() {
             ("D001".to_string(), 15), // thread_rng
             ("D001".to_string(), 20), // env::var
             ("D001".to_string(), 24), // rand::random
+            ("D001".to_string(), 28), // StdRng::from_entropy
+            ("D001".to_string(), 33), // OsRng
         ]
     );
 }

@@ -84,6 +84,26 @@ pub fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element such that at least `q` of the distribution is at or below it
+/// (`q` in `[0, 1]`; `q = 0.5` is the median, `q = 0.99` the p99).
+/// Nearest-rank never interpolates, so the result is always an observed
+/// sample and the computation is exactly reproducible — no float-sum
+/// ordering to worry about. Panics on an empty slice or a `q` outside
+/// `[0, 1]`; debug-asserts the slice is sorted.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be ascending-sorted"
+    );
+    // Nearest rank: ceil(q * n), 1-based; q = 0 maps to the minimum.
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -117,6 +137,26 @@ mod tests {
         let mut m = HostMetrics::new();
         m.set("bad", f64::NAN);
         assert_eq!(m.to_json(), r#"{"bad": null}"#);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(percentile(&v, 0.95), 10.0);
+        assert_eq!(percentile(&v, 0.99), 10.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+        // A returned value is always an observed sample.
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[1.0, 100.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 100.0], 0.51), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod profile;
 pub mod recorder;
 
 pub use critical::CriticalPath;
-pub use host::HostMetrics;
+pub use host::{percentile, HostMetrics};
 pub use profile::{Bucket, Profile, RankProfile};
 pub use recorder::{
     Category, EdgeView, Recorder, Span, SpanGuard, Trace, TrackHandle, TrackKey, TrackView,

@@ -64,7 +64,7 @@ pub mod universe;
 pub use comm::{CommId, Communicator, Intercomm};
 pub use datatype::{FixedWidth, MpiDatatype, Raw, ReduceOp};
 pub use envelope::{Envelope, Status, Tag, ANY_SOURCE, ANY_TAG, TAG_REVOKED};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, PoolStats, DEFAULT_MAX_POOLED_BUFFERS};
 pub use rank::{MpiRequest, PsmpiError, Rank, RecvIntoRequest, RecvRequest, Request, SendRequest};
 pub use router::{RecvAbort, RetryPolicy};
 

@@ -18,8 +18,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// one pathological message cannot pin a huge allocation forever.
 const MAX_POOLED_CAPACITY: usize = 16 << 20;
 
-/// Bound on pooled buffers; beyond it, retired buffers are simply freed.
-const MAX_POOLED_BUFFERS: usize = 64;
+/// Default bound on pooled buffers; beyond it, retired buffers are simply
+/// freed. Tunable per pool via [`BufferPool::with_capacity`] — the scale
+/// bench showed this default is the binding constraint under synchronized
+/// BSP bursts at 1000 ranks (~0.66 hit rate when every rank races for a
+/// staging buffer at the same host instant).
+pub const DEFAULT_MAX_POOLED_BUFFERS: usize = 64;
 
 /// A bounded stack of retired [`BytesMut`] allocations (see module docs).
 ///
@@ -29,12 +33,18 @@ const MAX_POOLED_BUFFERS: usize = 64;
 /// drops its reference before the recycle attempt), so they are reported
 /// only through host-metrics channels (`BENCH_scale.json`) and must never
 /// feed virtual-time results or byte-diffed obs artifacts.
-#[derive(Default)]
 pub struct BufferPool {
     bufs: Mutex<Vec<BytesMut>>, // lock-order: 50
+    max_buffers: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     reclaim_failures: AtomicU64,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::with_capacity(DEFAULT_MAX_POOLED_BUFFERS)
+    }
 }
 
 /// Point-in-time snapshot of a pool's efficacy counters.
@@ -62,9 +72,30 @@ impl PoolStats {
 }
 
 impl BufferPool {
-    /// New, empty pool.
+    /// New, empty pool with the default buffer bound
+    /// ([`DEFAULT_MAX_POOLED_BUFFERS`]).
     pub fn new() -> BufferPool {
         BufferPool::default()
+    }
+
+    /// New, empty pool retaining at most `max_buffers` retired buffers.
+    /// Sized to the peak number of concurrently in-flight sends the host
+    /// drives: under synchronized bursts every rank races for a staging
+    /// buffer at once, so a bound below the rank count forces fresh
+    /// allocations (visible as `misses` in [`BufferPool::stats`]).
+    pub fn with_capacity(max_buffers: usize) -> BufferPool {
+        BufferPool {
+            bufs: Mutex::new(Vec::new()),
+            max_buffers,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            reclaim_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured bound on retained buffers.
+    pub fn capacity(&self) -> usize {
+        self.max_buffers
     }
 
     /// An empty buffer with at least `cap` bytes reserved, reusing a
@@ -97,7 +128,7 @@ impl BufferPool {
         }
         let mut bufs = self.bufs.lock();
         crate::lock_witness!("psmpi.bufs");
-        if bufs.len() < MAX_POOLED_BUFFERS {
+        if bufs.len() < self.max_buffers {
             bufs.push(buf);
         }
     }
@@ -184,9 +215,26 @@ mod tests {
     #[test]
     fn pool_is_bounded() {
         let pool = BufferPool::new();
+        assert_eq!(pool.capacity(), DEFAULT_MAX_POOLED_BUFFERS);
         for _ in 0..200 {
             pool.put(BytesMut::with_capacity(8));
         }
-        assert!(pool.pooled() <= 64);
+        assert!(pool.pooled() <= DEFAULT_MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn capacity_is_configurable() {
+        let pool = BufferPool::with_capacity(128);
+        assert_eq!(pool.capacity(), 128);
+        for _ in 0..200 {
+            pool.put(BytesMut::with_capacity(8));
+        }
+        assert_eq!(pool.pooled(), 128, "configured bound governs retention");
+
+        let tiny = BufferPool::with_capacity(2);
+        for _ in 0..10 {
+            tiny.put(BytesMut::with_capacity(8));
+        }
+        assert_eq!(tiny.pooled(), 2);
     }
 }

@@ -1,0 +1,42 @@
+//! # sched — the multi-tenant workload engine
+//!
+//! The paper's throughput argument (§II-A) is a *system-wide* claim: a
+//! Cluster-Booster machine whose modules are reserved independently can
+//! co-schedule complementary applications and keep both modules busy,
+//! where an accelerated cluster must drag host nodes along with every
+//! accelerator. The per-mix `BatchScheduler` benches check that claim on
+//! a handful of jobs; this crate checks it at *production trace scale*:
+//!
+//! * [`workload`] — a seeded, deterministic workload generator: thousands
+//!   of heterogeneous jobs (Cluster-heavy, Booster-heavy, combined C+B)
+//!   arriving by Poisson or bursty "heavy traffic" processes, or by exact
+//!   trace replay;
+//! * [`engine`] — a long-lived scheduler service in virtual time: EASY
+//!   backfill with worst-case reservations, malleable Booster jobs that
+//!   grow into idle BN and yield them back when the queue head needs
+//!   room, combined jobs contending for fabric bandwidth (max-min fair,
+//!   [`simnet::max_min_shares`]), and fault-driven rescheduling — a
+//!   [`simnet::FaultPlan`] node loss kills the victim job and requeues it,
+//!   resuming from its last checkpoint (Young/Daly interval, multi-level
+//!   schedule per `scr`);
+//! * [`report`] — flattens an [`EngineReport`] into `obs::HostMetrics`
+//!   (makespan, queue-wait percentiles, module utilizations, backfill
+//!   efficiency) for `BENCH_sched.json`.
+//!
+//! Everything runs under the repo's determinism contract: virtual time
+//! only, seeded `StdRng` only, ordered containers only, and the one
+//! parallel site (advancing job progress between events) goes through
+//! `xpic::par` with element-wise disjoint writes — so a trace schedules
+//! bit-identically on any host at any thread count.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod report;
+pub mod workload;
+
+pub use engine::{
+    CheckpointPolicy, Engine, EngineConfig, EngineEvent, EngineReport, HeadReservation,
+};
+pub use report::report_metrics;
+pub use workload::{generate, ArrivalModel, JobClass, MixWeights, TraceJob, WorkloadConfig};

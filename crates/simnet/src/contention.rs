@@ -1,0 +1,115 @@
+//! Fabric bandwidth contention: max-min fair sharing.
+//!
+//! When several co-scheduled applications push bulk traffic through the
+//! same EXTOLL fabric (the Cluster-Booster interconnect is one uniform
+//! network, paper §II-B), each flow gets its max-min fair share of the
+//! aggregate bandwidth: progressive filling raises every flow's share
+//! uniformly; a flow whose demand is met freezes, and the leftover
+//! capacity is recycled among the still-hungry flows. The workload
+//! engine (`crates/sched`) uses these shares to stretch the runtime of
+//! combined Cluster+Booster jobs whose communication phases overlap.
+//!
+//! Pure function of its inputs — no clocks, no randomness, no iteration
+//! over unordered containers — so the schedules built on top stay
+//! bit-identical across hosts and thread counts.
+
+/// Max-min fair allocation of `capacity` among `demands` (progressive
+/// filling). Returns one share per demand, in input order:
+///
+/// * `shares[i] <= demands[i]` (no flow gets more than it asked for);
+/// * `sum(shares) <= capacity` (never oversubscribed);
+/// * if `sum(demands) <= capacity` every demand is met exactly;
+/// * otherwise the capacity is exhausted and unmet flows all sit at the
+///   same water level (the fairness property).
+///
+/// Zero and negative demands get a zero share. Units are arbitrary
+/// (the sched engine passes GB/s).
+pub fn max_min_shares(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let mut shares = vec![0.0; demands.len()];
+    if capacity <= 0.0 {
+        return shares;
+    }
+    // Sort demand indices ascending: once the smallest unmet demand fits
+    // under the current equal split, it is met exactly and drops out.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[a]
+            .partial_cmp(&demands[b])
+            .expect("demands must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let mut remaining = capacity;
+    let mut active = order.iter().filter(|&&i| demands[i] > 0.0).count();
+    for &i in &order {
+        if demands[i] <= 0.0 {
+            continue;
+        }
+        let level = remaining / active as f64;
+        let s = demands[i].min(level);
+        shares[i] = s;
+        remaining -= s;
+        active -= 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undersubscribed_demands_are_met_exactly() {
+        let shares = max_min_shares(&[10.0, 20.0, 5.0], 100.0);
+        assert_eq!(shares, vec![10.0, 20.0, 5.0]);
+    }
+
+    #[test]
+    fn oversubscribed_flows_share_the_water_level() {
+        // Capacity 90 among demands 10/40/50: the small flow is met (10),
+        // the rest split the leftover 80 equally at level 40.
+        let shares = max_min_shares(&[10.0, 40.0, 50.0], 90.0);
+        assert_eq!(shares[0], 10.0);
+        assert_eq!(shares[1], 40.0);
+        assert_eq!(shares[2], 40.0);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_demands_split_equally() {
+        let shares = max_min_shares(&[30.0, 30.0, 30.0], 60.0);
+        for s in &shares {
+            assert!((s - 20.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_demands_and_zero_capacity() {
+        assert_eq!(max_min_shares(&[0.0, 5.0], 10.0), vec![0.0, 5.0]);
+        assert_eq!(max_min_shares(&[5.0, 5.0], 0.0), vec![0.0, 0.0]);
+        assert_eq!(max_min_shares(&[], 10.0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn shares_never_exceed_demand_or_capacity() {
+        let demands = [3.0, 7.0, 11.0, 2.0, 19.0];
+        for cap in [1.0, 10.0, 25.0, 100.0] {
+            let shares = max_min_shares(&demands, cap);
+            let total: f64 = shares.iter().sum();
+            assert!(total <= cap + 1e-12, "cap {cap}: total {total}");
+            for (s, d) in shares.iter().zip(&demands) {
+                assert!(s <= d, "share {s} over demand {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_of_demands_does_not_change_each_flows_share() {
+        // Shares are positional: permuting the input permutes the output.
+        let a = max_min_shares(&[10.0, 40.0, 50.0], 90.0);
+        let b = max_min_shares(&[50.0, 10.0, 40.0], 90.0);
+        assert_eq!(a[0], b[1]);
+        assert_eq!(a[1], b[2]);
+        assert_eq!(a[2], b[0]);
+    }
+}

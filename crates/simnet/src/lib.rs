@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod contention;
 pub mod fabric;
 pub mod faults;
 pub mod loggp;
@@ -28,6 +29,7 @@ pub mod rdma;
 pub mod topology;
 pub mod trace;
 
+pub use contention::max_min_shares;
 pub use fabric::Fabric;
 pub use faults::{FaultPlan, LinkFault, NodeFault};
 pub use loggp::{LogGpModel, Protocol};
