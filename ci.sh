@@ -111,4 +111,29 @@ cmp "$FI_TMP/clean.final" "$FI_TMP/f1.final"
 cmp "$FI_TMP/f1.final" "$FI_TMP/f2.final"
 rm -rf "$FI_TMP"
 
+echo "== async checkpoint gate (drain overlaps, bits invariant) =="
+# The sync/async/async+delta comparison at equal protection, clean and
+# under an MTBF-sampled fault schedule: async blocking must sit strictly
+# below sync (ASYNC_CKPT_GATE), every mode's FINAL physics line must be
+# bit-identical within a run, and the whole faulted report must come out
+# byte-identical across host thread counts.
+AC_TMP=$(mktemp -d)
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --async-ckpt --smoke --threads 1 > "$AC_TMP/clean.txt"
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --async-ckpt --mtbf 0.5 --smoke --threads 1 > "$AC_TMP/f1.txt"
+cargo run -q --release -p cb-bench --bin fig8 -- \
+    --async-ckpt --mtbf 0.5 --smoke --threads 2 > "$AC_TMP/f2.txt"
+grep -q '^ASYNC_CKPT_GATE ok=1' "$AC_TMP/clean.txt"
+grep -q '^ASYNC_CKPT_GATE ok=1' "$AC_TMP/f1.txt"
+# All three modes agree on the physics bits, clean and faulted alike:
+# one unique FINAL line per report, the same one in both.
+test "$(grep '^FINAL' "$AC_TMP/clean.txt" | sort -u | wc -l)" -eq 1
+test "$(grep '^FINAL' "$AC_TMP/f1.txt" | sort -u | wc -l)" -eq 1
+grep '^FINAL' "$AC_TMP/clean.txt" | sort -u > "$AC_TMP/clean.final"
+grep '^FINAL' "$AC_TMP/f1.txt" | sort -u > "$AC_TMP/f1.final"
+cmp "$AC_TMP/clean.final" "$AC_TMP/f1.final"
+cmp "$AC_TMP/f1.txt" "$AC_TMP/f2.txt"
+rm -rf "$AC_TMP"
+
 echo "CI green."

@@ -23,6 +23,9 @@
 //! * **overlap** — virtual-time makespan and per-module wait_s of the C+B
 //!   smoke job with nonblocking transfers on vs. off, plus the
 //!   bit-exactness flag (the numbers `fig8 --overlap` gates on).
+//! * **async_ckpt** — the checkpoint-mode trade-off curve: expected
+//!   overhead of sync vs async vs async+delta checkpointing across MTBFs
+//!   under the SCR cost model (the numbers behind `fig8 --async-ckpt`).
 //! * **virtual time** — the same xPic run at every thread count must
 //!   report the *same* virtual runtime; the JSON records the values and
 //!   an `invariant` flag.
@@ -365,6 +368,129 @@ fn overlap_block() -> String {
     out
 }
 
+/// The checkpoint-mode trade-off curve (ISSUE 10): expected overhead of
+/// sync vs async vs async+delta checkpointing across MTBFs, priced by the
+/// SCR cost model on the prototype's node specs (the same
+/// `checkpoint_cost`/`local_write_time` split the live `CkptEngine` pays)
+/// and walked through `simulate_run` / `simulate_run_async` over seeded
+/// failure traces. The delta bytes ratio comes from `scr::delta` on
+/// synthetic sparse-change data — the regime where dirty-range deltas
+/// actually compress (on fully-changing PIC state the codec falls back to
+/// keyframes, which is why `fig8 --async-ckpt` shows delta ≈ async there).
+fn async_ckpt_block() -> String {
+    use hwmodel::{NodeId, SimTime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scr::{
+        simulate_run, simulate_run_async, CheckpointLevel, FailureModel, ScrConfig, ScrManager,
+    };
+
+    const RANKS: usize = 8;
+    const BYTES_PER_RANK: u64 = 1 << 20; // 1 MiB of solver state per rank
+    const KEYFRAME_EVERY: u32 = 4; // xpic::resilience::KEYFRAME_EVERY_DEFAULT
+
+    // Price one Buddy-level checkpoint of RANKS × 1 MiB on the prototype.
+    let specs = (0..RANKS)
+        .map(|_| std::sync::Arc::new(deep_er_cluster_node()))
+        .collect();
+    let scr = ScrManager::new(
+        ScrConfig::default(),
+        (0..RANKS as u32).map(NodeId).collect(),
+        specs,
+        sionio::ParallelFs::deep_er(),
+    );
+    let sync_cost = scr.checkpoint_cost(CheckpointLevel::Buddy, BYTES_PER_RANK);
+    let local_cost = scr.local_write_time(BYTES_PER_RANK);
+    let drain_cost = sync_cost.saturating_sub(local_cost);
+
+    // Delta compression on sparse-change data: flip ~2% of the bytes in a
+    // handful of dirty runs, the pattern a field-solver halo region
+    // produces between close checkpoints.
+    let blob = BYTES_PER_RANK as usize;
+    let base: Vec<u8> = (0..blob).map(|i| (i * 131) as u8).collect();
+    let mut cur = base.clone();
+    for run in 0..32 {
+        let off = run * (blob / 32);
+        for b in &mut cur[off..off + blob / 1600] {
+            *b = b.wrapping_add(1);
+        }
+    }
+    let delta_ratio = scr::delta::encode_delta(&base, &cur, 1).len() as f64
+        / scr::delta::encode_full(&cur).len() as f64;
+    // Average wire bytes per checkpoint with one keyframe every
+    // KEYFRAME_EVERY: (1 full + (k-1) deltas) / k.
+    let avg_ratio = (1.0 + (KEYFRAME_EVERY as f64 - 1.0) * delta_ratio) / KEYFRAME_EVERY as f64;
+    let delta_bytes = (BYTES_PER_RANK as f64 * avg_ratio) as u64;
+    let delta_sync_cost = scr.checkpoint_cost(CheckpointLevel::Buddy, delta_bytes);
+    let delta_local_cost = scr.local_write_time(delta_bytes);
+    let delta_drain_cost = delta_sync_cost.saturating_sub(delta_local_cost);
+
+    let mut out = String::from("  \"async_ckpt\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"bytes_per_rank\": {BYTES_PER_RANK}, \"ranks\": {RANKS}, \"keyframe_every\": {KEYFRAME_EVERY},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"cost_s\": {{\"sync\": {:.9}, \"local\": {:.9}, \"drain\": {:.9}}},",
+        sync_cost.as_secs(),
+        local_cost.as_secs(),
+        drain_cost.as_secs()
+    );
+    let _ = writeln!(
+        out,
+        "    \"delta\": {{\"sparse_ratio\": {:.4}, \"avg_wire_ratio\": {:.4}, \"local_s\": {:.9}, \"drain_s\": {:.9}}},",
+        delta_ratio,
+        avg_ratio,
+        delta_local_cost.as_secs(),
+        delta_drain_cost.as_secs()
+    );
+
+    // Overhead vs MTBF: a fixed job walked through the cost-model
+    // simulators over one shared seeded failure trace per MTBF, interval
+    // set by Young–Daly for the sync cost so every mode enjoys the same
+    // (near-optimal) cadence and differs only in what a checkpoint blocks.
+    let work = SimTime::from_secs(3600.0);
+    let nodes: Vec<NodeId> = (0..RANKS as u32).map(NodeId).collect();
+    let mtbfs_s = [300.0f64, 1000.0, 3000.0, 10000.0];
+    out.push_str("    \"overhead_vs_mtbf\": {\n");
+    for (i, &mtbf_s) in mtbfs_s.iter().enumerate() {
+        let node_mtbf = SimTime::from_secs(mtbf_s);
+        let model = FailureModel::new(node_mtbf);
+        // System MTBF shrinks with the node count; Young–Daly prices the
+        // interval against the whole machine's failure rate.
+        let system_mtbf = SimTime::from_secs(mtbf_s / RANKS as f64);
+        let interval = scr::young_daly_interval(sync_cost, system_mtbf).min(work);
+        let mut rng = StdRng::seed_from_u64(0xA51C + i as u64);
+        let trace = model.sample_trace(&mut rng, &nodes, work * 4.0);
+        let restart = SimTime::from_secs(1.0);
+
+        let sync = simulate_run(work, interval, sync_cost, restart, &trace);
+        let asn = simulate_run_async(work, interval, local_cost, drain_cost, restart, &trace);
+        let delta = simulate_run_async(
+            work,
+            interval,
+            delta_local_cost,
+            delta_drain_cost,
+            restart,
+            &trace,
+        );
+        let comma = if i + 1 < mtbfs_s.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      \"{mtbf_s}\": {{\"interval_s\": {:.3}, \"failures_hit\": {}, \"sync\": {:.6}, \"async\": {:.6}, \"async_delta\": {:.6}}}{comma}",
+            interval.as_secs(),
+            sync.failures_hit,
+            sync.overhead(work),
+            asn.overhead(work),
+            delta.overhead(work)
+        );
+    }
+    out.push_str("    }\n");
+    out.push_str("  },\n");
+    out
+}
+
 fn write_json(measurements: &[Measurement]) {
     // The workspace root is two levels above this crate's manifest —
     // resolved at compile time, so the artifact lands in a stable place
@@ -479,6 +605,7 @@ fn write_json(measurements: &[Measurement]) {
     );
 
     out.push_str(&overlap_block());
+    out.push_str(&async_ckpt_block());
     out.push_str(&obs_profile_block());
     out.push_str("  \"virtual_time_ns_by_threads\": {");
     for (i, (t, ns)) in vts.iter().enumerate() {

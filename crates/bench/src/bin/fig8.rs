@@ -12,6 +12,12 @@
 //! With `--overlap` it runs the compute/communication-overlap comparison:
 //! the same C+B job with the nonblocking request engine on and off,
 //! printing the `FINAL` bit patterns and an `OVERLAP_GATE` verdict.
+//!
+//! With `--async-ckpt` it runs the checkpoint-mode comparison —
+//! sync vs async vs async+delta at equal protection (optionally under a
+//! `--mtbf` fault schedule; `--smoke` shrinks it to CI size) — printing
+//! per-mode `CKPT` blocking lines, matching `FINAL` bit patterns, and the
+//! `ASYNC_CKPT_GATE` verdict.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = cb_bench::obs_run::parse_fig_cli(&args, 10, 4);
@@ -20,6 +26,10 @@ fn main() {
     }
     if cli.overlap {
         print!("{}", cb_bench::overlap_run::run_overlap_cli(&cli));
+        return;
+    }
+    if cli.async_ckpt {
+        print!("{}", cb_bench::resilience_run::run_async_ckpt_cli(&cli));
         return;
     }
     if cb_bench::resilience_run::resilient_requested(&cli) {

@@ -150,6 +150,13 @@ pub struct FigCli {
     /// `--overlap`: run the overlap-on/off comparison and print the
     /// `OVERLAP_GATE` verdict (see [`crate::overlap_run`]).
     pub overlap: bool,
+    /// `--async-ckpt`: run the sync/async/async+delta checkpoint-mode
+    /// comparison and print the `ASYNC_CKPT_GATE` verdict
+    /// (see [`crate::resilience_run::run_async_ckpt_cli`]).
+    pub async_ckpt: bool,
+    /// `--smoke`: shrink the workload to a CI-sized shape (fewer steps)
+    /// without changing any gate semantics.
+    pub smoke: bool,
 }
 
 /// Parse the figure binaries' argv (everything after the program name).
@@ -163,6 +170,8 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
         mtbf: None,
         ckpt_every: None,
         overlap: false,
+        async_ckpt: false,
+        smoke: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -210,6 +219,12 @@ pub fn parse_fig_cli(args: &[String], default_steps: u32, default_nodes: usize) 
             }
             "--overlap" => {
                 cli.overlap = true;
+            }
+            "--async-ckpt" => {
+                cli.async_ckpt = true;
+            }
+            "--smoke" => {
+                cli.smoke = true;
             }
             "--ckpt-every" => {
                 i += 1;
@@ -284,6 +299,19 @@ mod tests {
         assert_eq!(cli.steps, 10);
         assert!(cli.obs_path.is_none());
         assert!(cli.fault_at.is_none() && cli.mtbf.is_none() && cli.ckpt_every.is_none());
+        assert!(!cli.async_ckpt && !cli.smoke);
+    }
+
+    #[test]
+    fn cli_parses_async_ckpt_flags() {
+        let args: Vec<String> = ["--async-ckpt", "--smoke", "--mtbf", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_fig_cli(&args, 10, 2);
+        assert!(cli.async_ckpt);
+        assert!(cli.smoke);
+        assert_eq!(cli.mtbf, Some(0.5));
     }
 
     #[test]

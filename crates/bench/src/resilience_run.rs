@@ -11,21 +11,37 @@ use scr::{FailureModel, ScrConfig, ScrManager};
 use simnet::FaultPlan;
 use sionio::ParallelFs;
 use std::fmt::Write as _;
-use xpic::resilience::{run_resilient, RecoveryConfig};
-use xpic::XpicConfig;
+use xpic::resilience::{run_resilient, RecoveryConfig, ResilientReport};
+use xpic::{CkptMode, XpicConfig};
 
 /// Whether the CLI asked for the fault-injection mode.
 pub fn resilient_requested(cli: &FigCli) -> bool {
     cli.fault_at.is_some() || cli.mtbf.is_some() || cli.ckpt_every.is_some()
 }
 
-/// Run the resilient job the CLI describes and render its summary.
-///
-/// The `FINAL` line carries the energies as hex bit patterns: two runs
-/// agree on that line iff they agree on every bit — exactly the recovery
-/// contract the ci.sh smoke stage checks (clean vs faulted, 1 vs 2
-/// threads).
-pub fn run_resilient_cli(cli: &FigCli) -> String {
+/// Build the fault plan the CLI describes for the given solver nodes.
+/// Deterministic: `--fault-at` is a planned death, `--mtbf` a seeded
+/// exponential schedule (same CLI, same faults — no host entropy).
+fn fault_plan(cli: &FigCli, cfg: &XpicConfig, nodes: &[hwmodel::NodeId]) -> Option<FaultPlan> {
+    if let Some(at) = cli.fault_at {
+        let victim = *nodes.last().unwrap();
+        Some(FaultPlan::from_node_faults([(
+            SimTime::from_secs(at),
+            victim,
+        )]))
+    } else if let Some(mtbf) = cli.mtbf {
+        let model = FailureModel::new(SimTime::from_secs(mtbf));
+        let horizon = SimTime::from_secs(mtbf * 4.0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        Some(model.fault_plan(&mut rng, nodes, horizon))
+    } else {
+        None
+    }
+}
+
+/// Run one resilient job under the given checkpoint mode on a fresh
+/// launcher and SCR manager (checkpoint state is per-run).
+fn run_one(cli: &FigCli, steps: u32, mode: CkptMode) -> ResilientReport {
     let launcher = crate::prototype_launcher();
     let boosters = launcher.system().booster_nodes();
     assert!(
@@ -35,28 +51,9 @@ pub fn run_resilient_cli(cli: &FigCli) -> String {
     );
     let nodes = &boosters[..cli.nodes];
 
-    let mut cfg = XpicConfig::paper_bench(cli.steps);
+    let mut cfg = XpicConfig::paper_bench(steps);
     cfg.threads = cli.threads;
-
-    let plan = if let Some(at) = cli.fault_at {
-        // Deterministic single fault: kill the last solver rank's node at
-        // the given virtual time.
-        let victim = *nodes.last().unwrap();
-        Some(FaultPlan::from_node_faults([(
-            SimTime::from_secs(at),
-            victim,
-        )]))
-    } else if let Some(mtbf) = cli.mtbf {
-        // Sampled schedule, seeded from the workload config: the same CLI
-        // yields the same faults (seeded StdRng — no host entropy near the
-        // simulation).
-        let model = FailureModel::new(SimTime::from_secs(mtbf));
-        let horizon = SimTime::from_secs(mtbf * 4.0);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        Some(model.fault_plan(&mut rng, nodes, horizon))
-    } else {
-        None
-    };
+    let plan = fault_plan(cli, &cfg, nodes);
 
     let specs = nodes
         .iter()
@@ -71,9 +68,95 @@ pub fn run_resilient_cli(cli: &FigCli) -> String {
     let recovery = RecoveryConfig {
         checkpoint_every: cli.ckpt_every.unwrap_or(2),
         max_recoveries: 32,
+        ckpt_mode: mode,
         ..RecoveryConfig::default()
     };
-    let report = run_resilient(&launcher, cli.nodes, &cfg, &scr, &recovery, plan);
+    run_resilient(&launcher, cli.nodes, &cfg, &scr, &recovery, plan)
+}
+
+/// Run the sync/async/async+delta checkpoint-mode comparison the
+/// `--async-ckpt` flag asks for, at equal protection (same interval, same
+/// fault plan), and render the trade-off summary.
+///
+/// Every mode prints the same-format `FINAL` line — the recovery contract
+/// is that all three agree bit-for-bit, clean or faulted, at any thread
+/// count. The `ASYNC_CKPT_GATE` verdict holds iff the async drain blocked
+/// strictly less than the sync stage *and* the bits agreed.
+pub fn run_async_ckpt_cli(cli: &FigCli) -> String {
+    // `--smoke` shrinks to a CI-sized shape without touching semantics.
+    let steps = if cli.smoke {
+        cli.steps.min(6)
+    } else {
+        cli.steps
+    };
+    let every = cli.ckpt_every.unwrap_or(2);
+
+    let modes = [
+        ("sync", CkptMode::Sync),
+        ("async", CkptMode::Async),
+        ("async+delta", CkptMode::AsyncDelta),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "async-ckpt: {} solver nodes, {} steps, checkpoint every {}{}",
+        cli.nodes,
+        steps,
+        every,
+        if cli.mtbf.is_some() || cli.fault_at.is_some() {
+            " (faulted)"
+        } else {
+            " (clean)"
+        }
+    );
+
+    let mut reports = Vec::new();
+    for (label, mode) in modes {
+        let report = run_one(cli, steps, mode);
+        let _ = writeln!(
+            out,
+            "CKPT mode={} block_s={:.9} ckpts={} recoveries={} makespan_s={:.9}",
+            label,
+            report.ckpt_block.as_secs(),
+            report.ckpts_taken,
+            report.recoveries,
+            report.makespan.as_secs()
+        );
+        let _ = writeln!(
+            out,
+            "FINAL fe={:016x} ke={:016x} steps={}",
+            report.field_energy.to_bits(),
+            report.kinetic_energy.to_bits(),
+            report.steps
+        );
+        reports.push(report);
+    }
+
+    let sync = &reports[0];
+    let bits_ok = reports.iter().all(|r| {
+        r.field_energy.to_bits() == sync.field_energy.to_bits()
+            && r.kinetic_energy.to_bits() == sync.kinetic_energy.to_bits()
+            && r.steps == sync.steps
+    });
+    let block_ok = reports[1].ckpt_block < sync.ckpt_block;
+    let _ = writeln!(
+        out,
+        "ASYNC_CKPT_GATE ok={} bits_equal={} async_block_lt_sync={}",
+        u8::from(bits_ok && block_ok),
+        u8::from(bits_ok),
+        u8::from(block_ok)
+    );
+    out
+}
+
+/// Run the resilient job the CLI describes and render its summary.
+///
+/// The `FINAL` line carries the energies as hex bit patterns: two runs
+/// agree on that line iff they agree on every bit — exactly the recovery
+/// contract the ci.sh smoke stage checks (clean vs faulted, 1 vs 2
+/// threads).
+pub fn run_resilient_cli(cli: &FigCli) -> String {
+    let report = run_one(cli, cli.steps, CkptMode::Sync);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -81,7 +164,7 @@ pub fn run_resilient_cli(cli: &FigCli) -> String {
         "resilient: {} solver nodes, {} steps, checkpoint every {} — makespan {:.9} s",
         cli.nodes,
         cli.steps,
-        recovery.checkpoint_every,
+        cli.ckpt_every.unwrap_or(2),
         report.makespan.as_secs()
     );
     let _ = writeln!(

@@ -35,7 +35,9 @@ impl Bucket {
             Category::Compute => self.compute += t,
             Category::Send | Category::Collective | Category::Offload => self.comm += t,
             Category::Recv | Category::Wait => self.wait += t,
-            Category::Io | Category::Checkpoint => self.io += t,
+            Category::Io | Category::Checkpoint | Category::CkptLocal | Category::CkptDrain => {
+                self.io += t
+            }
             Category::Phase | Category::Failure | Category::Recovery => self.other += t,
         }
     }

@@ -24,6 +24,12 @@ pub enum Category {
     Io,
     /// Checkpoint/restart activity (SCR levels).
     Checkpoint,
+    /// The blocking local-NVMe stage of an asynchronous checkpoint — the
+    /// only part of the checkpoint on the application's critical path.
+    CkptLocal,
+    /// Waits on an asynchronous checkpoint's buddy/global drain; time
+    /// here is drain that the intervening compute failed to hide.
+    CkptDrain,
     /// Offload machinery: `MPI_Comm_spawn`, OmpSs task shipping.
     Offload,
     /// Application phase marker (field-solve, mover, …); phases group the
@@ -47,6 +53,8 @@ impl Category {
             Category::Collective => "collective",
             Category::Io => "io",
             Category::Checkpoint => "checkpoint",
+            Category::CkptLocal => "ckpt_local",
+            Category::CkptDrain => "ckpt_drain",
             Category::Offload => "offload",
             Category::Phase => "phase",
             Category::Failure => "failure",

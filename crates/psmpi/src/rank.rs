@@ -43,6 +43,9 @@ pub enum PsmpiError {
     UnknownEndpoint(u64),
     /// No fabric route between two nodes (unregistered in the topology).
     NoRoute { src: NodeId, dst: NodeId },
+    /// A NAM RDMA operation was rejected by the device (out of capacity,
+    /// out-of-bounds access, or stale region handle).
+    Nam(simnet::nam::NamError),
 }
 
 impl std::fmt::Display for PsmpiError {
@@ -70,6 +73,7 @@ impl std::fmt::Display for PsmpiError {
             PsmpiError::NoRoute { src, dst } => {
                 write!(f, "no fabric route between nodes {} and {}", src.0, dst.0)
             }
+            PsmpiError::Nam(e) => write!(f, "NAM rdma: {e}"),
         }
     }
 }
@@ -1448,6 +1452,69 @@ impl Rank {
         Ok(RecvIntoRequest {
             inner: self.irecv_bytes_inter(ic, src, tag)?,
             out,
+        })
+    }
+
+    /// Post a one-sided RDMA put of `data` into `region` on the fabric's
+    /// NAM device `nam_index`, at byte `offset` within the region.
+    ///
+    /// The storage effect is immediate — the NAM has no active remote
+    /// component (paper §II-B), so nothing on the far side has to
+    /// schedule the write — but the initiator-side charge (NIC
+    /// injection, the slower of the wire and HMC streams, the FPGA
+    /// pipeline latency; see [`simnet::Fabric::nam_rdma_time`]) accrues
+    /// to the returned request and lands on the poster's clock at
+    /// [`MpiRequest::wait`], exactly like `isend_bytes_*`: compute done
+    /// between post and wait hides the transfer in virtual time.
+    ///
+    /// The device has no host node, so no node-death clearance applies;
+    /// an unknown `nam_index` surfaces as [`PsmpiError::Nam`] with a
+    /// stale-region error.
+    pub fn inam_put(
+        &mut self,
+        nam_index: usize,
+        region: simnet::nam::NamRegion,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SendRequest, PsmpiError> {
+        self.inam_put_sized(nam_index, region, offset, data, None)
+    }
+
+    /// [`Rank::inam_put`] with an explicit modelled wire size (the
+    /// `_sized` idiom): e.g. a delta checkpoint frame serializes only
+    /// the frame bytes while the region holds the reconstructed blob.
+    pub fn inam_put_sized(
+        &mut self,
+        nam_index: usize,
+        region: simnet::nam::NamRegion,
+        offset: u64,
+        data: &[u8],
+        virtual_size: Option<usize>,
+    ) -> Result<SendRequest, PsmpiError> {
+        let post = self.clock;
+        let fabric = self.router.fabric().clone();
+        let nam = fabric
+            .nams()
+            .get(nam_index)
+            .ok_or(PsmpiError::Nam(simnet::nam::NamError::StaleRegion))?
+            .clone();
+        nam.put(region, offset, data).map_err(PsmpiError::Nam)?;
+        let size = virtual_size.unwrap_or(data.len());
+        let completion = fabric
+            .nam_rdma_time(self.node_id, nam_index, size)
+            .map(|t| post + t)
+            .map_err(|_| PsmpiError::NoRoute {
+                src: self.node_id,
+                dst: self.node_id,
+            })?;
+        self.bytes_sent += size as u64;
+        self.msgs_sent += 1;
+        if let Some(track) = &self.obs {
+            track.add("bytes_sent", size as u64);
+            track.add("msgs_sent", 1);
+        }
+        Ok(SendRequest {
+            outcome: SendOutcome::Done { completion },
         })
     }
 

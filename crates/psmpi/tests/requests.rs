@@ -264,3 +264,89 @@ fn waitall_surfaces_the_first_deferred_fault() {
     });
     psmpi::lockcheck::assert_acyclic();
 }
+
+#[test]
+fn inam_put_post_is_free_and_wait_charges_rdma_time() {
+    // One NAM device on the fabric: the put's storage effect is immediate
+    // (nothing active on the far side), the initiator pays the full RDMA
+    // time only at wait — and compute posted in between hides it.
+    let mut t = Topology::new();
+    t.add_nodes(2, &deep_er_cluster_node());
+    let nam = simnet::nam::NamDevice::deep_er();
+    let fabric = Fabric::with_nams(t, simnet::LogGpModel::default(), vec![nam.clone()]);
+    let expect = fabric.nam_rdma_time(NodeId(0), 0, 4096).unwrap();
+    let region = nam.alloc(4096).unwrap();
+    let nam_probe = nam.clone();
+    let u = Universe::new(fabric);
+    u.launch(&[NodeId(0)], move |rank| {
+        let data = vec![0xABu8; 4096];
+        let t0 = rank.now();
+        let req = rank.inam_put(0, region, 0, &data).unwrap();
+        assert_eq!(rank.now(), t0, "posting a NAM put must not move the clock");
+        assert_eq!(
+            nam_probe.get(region, 0, 4096).unwrap(),
+            data,
+            "storage effect is immediate at post time"
+        );
+        req.wait(rank).unwrap();
+        assert_eq!(
+            rank.now(),
+            t0 + expect,
+            "wait charges exactly the modelled NAM RDMA time"
+        );
+        // A second put fully hidden behind compute costs nothing at wait.
+        let req = rank.inam_put(0, region, 0, &data).unwrap();
+        rank.advance(expect * 2.0);
+        let t1 = rank.now();
+        req.wait(rank).unwrap();
+        assert_eq!(rank.now(), t1, "fully-hidden NAM put adds zero wait");
+    });
+    psmpi::lockcheck::assert_acyclic();
+}
+
+#[test]
+fn inam_put_sized_charges_the_wire_size_not_the_blob() {
+    // The `_sized` idiom: a delta frame stands in for the blob it
+    // reconstructs — the region holds the full bytes, the clock pays for
+    // the frame.
+    let mut t = Topology::new();
+    t.add_nodes(1, &deep_er_cluster_node());
+    let nam = simnet::nam::NamDevice::deep_er();
+    let fabric = Fabric::with_nams(t, simnet::LogGpModel::default(), vec![nam.clone()]);
+    let full = fabric.nam_rdma_time(NodeId(0), 0, 1 << 20).unwrap();
+    let frame = fabric.nam_rdma_time(NodeId(0), 0, 2048).unwrap();
+    let region = nam.alloc(1 << 20).unwrap();
+    let u = Universe::new(fabric);
+    u.launch(&[NodeId(0)], move |rank| {
+        let data = vec![7u8; 1 << 20];
+        let t0 = rank.now();
+        let req = rank
+            .inam_put_sized(0, region, 0, &data, Some(2048))
+            .unwrap();
+        req.wait(rank).unwrap();
+        assert_eq!(rank.now(), t0 + frame);
+        assert!(frame < full);
+    });
+    psmpi::lockcheck::assert_acyclic();
+}
+
+#[test]
+fn inam_put_rejects_unknown_device_and_bad_region() {
+    let mut t = Topology::new();
+    t.add_nodes(1, &deep_er_cluster_node());
+    let nam = simnet::nam::NamDevice::deep_er();
+    let fabric = Fabric::with_nams(t, simnet::LogGpModel::default(), vec![nam.clone()]);
+    let region = nam.alloc(16).unwrap();
+    let u = Universe::new(fabric);
+    u.launch(&[NodeId(0)], move |rank| {
+        assert!(matches!(
+            rank.inam_put(7, region, 0, &[0u8; 4]),
+            Err(MpiError::Nam(_))
+        ));
+        assert!(matches!(
+            rank.inam_put(0, region, 12, &[0u8; 8]),
+            Err(MpiError::Nam(simnet::nam::NamError::OutOfBounds { .. }))
+        ));
+    });
+    psmpi::lockcheck::assert_acyclic();
+}

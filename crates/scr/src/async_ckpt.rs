@@ -13,10 +13,25 @@
 //! [`simulate_run_async`] is the virtual-time run simulator for this mode,
 //! mirroring [`crate::simulate_run`].
 
+use crate::delta;
 use crate::failure::FailureEvent;
 use crate::manager::{CheckpointLevel, ScrError, ScrManager};
 use crate::sim::RunOutcome;
 use hwmodel::SimTime;
+
+/// How the live resilient run takes its checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptMode {
+    /// Blocking `checkpoint` at the full level every interval.
+    #[default]
+    Sync,
+    /// Block for the local NVMe stage only; the buddy/global copy drains
+    /// through the fabric while the next steps compute.
+    Async,
+    /// [`CkptMode::Async`] with dirty-range delta frames between periodic
+    /// full keyframes, shrinking the drained bytes.
+    AsyncDelta,
+}
 
 /// A checkpoint whose local stage is complete and whose higher-level drain
 /// is still in flight.
@@ -28,6 +43,9 @@ pub struct PendingDrain {
     pub level: CheckpointLevel,
     /// Remaining drain time from the moment `checkpoint_async` returned.
     pub drain: SimTime,
+    /// Modelled wire bytes per rank of the drain (the encoded frame size
+    /// under delta mode, the full blob size otherwise).
+    pub wire_bytes: u64,
 }
 
 impl ScrManager {
@@ -44,32 +62,121 @@ impl ScrManager {
         rank_data: &[Vec<u8>],
     ) -> Result<(PendingDrain, SimTime), ScrError> {
         let local_cost = self.checkpoint(id, CheckpointLevel::Local, rank_data)?;
-        let full_cost = {
-            let bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
-            self.checkpoint_cost(level, bytes)
-        };
-        let drain = full_cost.saturating_sub(local_cost);
+        let bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
+        let drain = self
+            .checkpoint_cost(level, bytes)
+            .saturating_sub(local_cost);
         // Stash the payloads so the drain can materialize the higher level.
         self.stash_pending(id, rank_data);
-        Ok((PendingDrain { id, level, drain }, local_cost))
+        Ok((
+            PendingDrain {
+                id,
+                level,
+                drain,
+                wire_bytes: bytes,
+            },
+            local_cost,
+        ))
+    }
+
+    /// [`ScrManager::checkpoint_async`] over *encoded frames* (see
+    /// [`crate::delta`]): each rank supplies a full keyframe or a
+    /// dirty-range delta against an earlier checkpoint it still holds
+    /// locally. The local stage writes the frame (so it blocks for the
+    /// encoded bytes, not the full state) and the drain pushes the
+    /// encoded bytes; the manager reconstructs and stores the *full*
+    /// blob, so restart is identical to the non-delta path.
+    pub fn checkpoint_async_encoded(
+        &self,
+        id: u64,
+        level: CheckpointLevel,
+        frames: &[Vec<u8>],
+    ) -> Result<(PendingDrain, SimTime), ScrError> {
+        if frames.len() != self.ranks() {
+            return Err(ScrError::WrongRankCount {
+                got: frames.len(),
+                want: self.ranks(),
+            });
+        }
+        let mut blobs = Vec::with_capacity(frames.len());
+        for (r, f) in frames.iter().enumerate() {
+            let base_id =
+                delta::frame_base(f).map_err(|_| ScrError::DeltaBaseMissing { base: 0 })?;
+            let base = match base_id {
+                Some(b) => Some(
+                    self.local_blob(b, r)
+                        .ok_or(ScrError::DeltaBaseMissing { base: b })?,
+                ),
+                None => None,
+            };
+            let blob = delta::decode(f, base.as_deref()).map_err(|e| match e {
+                delta::DeltaError::BadBase { base } => ScrError::DeltaBaseMissing { base },
+                delta::DeltaError::Malformed => ScrError::DeltaBaseMissing { base: 0 },
+            })?;
+            blobs.push(blob);
+        }
+        let enc_bytes = frames.iter().map(|f| f.len() as u64).max().unwrap_or(0);
+        // Local stage: the NVMe absorbs the frame; the reconstructed full
+        // blobs become the Local-level copies (restart never decodes).
+        let local_cost = self.checkpoint_charged(id, &blobs, enc_bytes)?;
+        let drain = self
+            .checkpoint_cost(level, enc_bytes)
+            .saturating_sub(self.local_write_time(enc_bytes));
+        self.stash_pending(id, &blobs);
+        Ok((
+            PendingDrain {
+                id,
+                level,
+                drain,
+                wire_bytes: enc_bytes,
+            },
+            local_cost,
+        ))
     }
 
     /// Complete a pending drain after the application has spent
     /// `overlapped` virtual time elsewhere. Returns the *extra* blocking
     /// time (zero if the drain fully hid behind the overlap). After this,
     /// the checkpoint holds at its full level.
+    ///
+    /// Idempotent: completing an already-promoted drain is a free no-op.
+    /// If the drain was aborted — explicitly via
+    /// [`ScrManager::abort_drain`], or because a node died mid-drain
+    /// ([`ScrManager::fail_nodes`] evicts every in-flight stash) — this
+    /// refuses the promotion with [`ScrError::DrainAborted`], and the
+    /// checkpoint stays at `Local` level: restart falls back to the
+    /// newest *fully drained* checkpoint, exactly as
+    /// [`simulate_run_async`] models.
     pub fn complete_drain(
         &self,
         pending: PendingDrain,
         overlapped: SimTime,
     ) -> Result<SimTime, ScrError> {
+        if self.is_drained(pending.id) {
+            return Ok(SimTime::ZERO);
+        }
         let data = self
             .take_pending(pending.id)
-            .ok_or(ScrError::NothingToRestart)?;
-        // Promote to the requested level (storage effects only; the cost
-        // was modelled by the drain).
-        self.checkpoint(pending.id, pending.level, &data)?;
+            .ok_or(ScrError::DrainAborted { id: pending.id })?;
+        // Promote to the requested level — storage effects only (no
+        // duplicate local clones, no re-paid local cost, no second
+        // database record); the cost was modelled by the drain.
+        self.promote_pending(pending.id, pending.level, &data)?;
         Ok(pending.drain.saturating_sub(overlapped))
+    }
+
+    /// [`ScrManager::complete_drain`] for callers that realized the drain
+    /// time through actual transfers (the live run waits on fabric
+    /// requests): promote the storage without charging anything.
+    pub fn finish_drain(&self, pending: PendingDrain) -> Result<(), ScrError> {
+        self.complete_drain(pending, pending.drain).map(|_| ())
+    }
+
+    /// Abort an in-flight drain, releasing its stashed payloads. Returns
+    /// whether there was anything to abort (false if already completed or
+    /// already aborted). The checkpoint keeps its `Local` protection.
+    pub fn abort_drain(&self, pending: &PendingDrain) -> bool {
+        !self.is_drained(pending.id) && self.take_pending(pending.id).is_some()
     }
 }
 
@@ -242,6 +349,175 @@ mod tests {
         let (id, level, _, _) = m.restart().unwrap();
         assert_eq!(id, 1);
         assert_eq!(level, CheckpointLevel::Buddy);
+    }
+
+    #[test]
+    fn complete_drain_is_idempotent_and_storage_only() {
+        let m = manager(3);
+        let (pending, _) = m
+            .checkpoint_async(4, CheckpointLevel::Buddy, &blobs(3, 5))
+            .unwrap();
+        assert_eq!(m.record_count(), 1, "local stage records once");
+        assert_eq!(m.level_of(4), Some(CheckpointLevel::Local));
+        let extra = m.complete_drain(pending, pending.drain).unwrap();
+        assert_eq!(extra, SimTime::ZERO);
+        // Promotion updated the record in place: one record, Buddy level,
+        // no duplicate local clones re-inserted.
+        assert_eq!(m.record_count(), 1, "promotion must not append a record");
+        assert_eq!(m.level_of(4), Some(CheckpointLevel::Buddy));
+        // Completing again is a free no-op, not an error.
+        assert_eq!(
+            m.complete_drain(pending, SimTime::ZERO).unwrap(),
+            SimTime::ZERO
+        );
+        assert_eq!(m.record_count(), 1);
+        // The promoted checkpoint protects against a node loss.
+        m.fail_nodes(&[NodeId(1)]);
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (4, CheckpointLevel::Buddy));
+        assert_eq!(data, blobs(3, 5));
+    }
+
+    #[test]
+    fn abort_drain_releases_stash_and_refuses_promotion() {
+        let m = manager(2);
+        let (pending, _) = m
+            .checkpoint_async(1, CheckpointLevel::Global, &blobs(2, 1))
+            .unwrap();
+        assert!(m.abort_drain(&pending), "stash was live");
+        assert!(!m.abort_drain(&pending), "second abort finds nothing");
+        assert_eq!(
+            m.complete_drain(pending, pending.drain),
+            Err(ScrError::DrainAborted { id: 1 })
+        );
+        // The checkpoint keeps its Local protection.
+        assert_eq!(m.level_of(1), Some(CheckpointLevel::Local));
+        assert!(m.recoverable(1));
+        // Aborting a *completed* drain is also a no-op.
+        let (p2, _) = m
+            .checkpoint_async(2, CheckpointLevel::Buddy, &blobs(2, 2))
+            .unwrap();
+        m.finish_drain(p2).unwrap();
+        assert!(!m.abort_drain(&p2));
+        assert_eq!(m.level_of(2), Some(CheckpointLevel::Buddy));
+    }
+
+    #[test]
+    fn node_death_mid_drain_aborts_promotion() {
+        let m = manager(3);
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(3, 1))
+            .unwrap();
+        let (pending, _) = m
+            .checkpoint_async(2, CheckpointLevel::Buddy, &blobs(3, 2))
+            .unwrap();
+        // A node dies while the drain is in flight: the stash is evicted
+        // and promotion must be refused — falling back to the newest
+        // fully drained checkpoint (id 1), exactly as simulate_run_async
+        // models.
+        m.fail_nodes(&[NodeId(0)]);
+        assert_eq!(
+            m.complete_drain(pending, pending.drain),
+            Err(ScrError::DrainAborted { id: 2 })
+        );
+        assert!(!m.recoverable(2), "rank 0's local copy died with its node");
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (1, CheckpointLevel::Buddy));
+        assert_eq!(data, blobs(3, 1));
+    }
+
+    #[test]
+    fn failure_of_foreign_node_leaves_drains_alone() {
+        let m = manager(2);
+        let (pending, _) = m
+            .checkpoint_async(1, CheckpointLevel::Buddy, &blobs(2, 3))
+            .unwrap();
+        // A node outside this job dies: the drain is unaffected.
+        m.fail_nodes(&[NodeId(99)]);
+        m.finish_drain(pending).unwrap();
+        assert_eq!(m.level_of(1), Some(CheckpointLevel::Buddy));
+    }
+
+    #[test]
+    fn recheckpointed_id_supersedes_stale_drained_mark() {
+        let m = manager(2);
+        let (p1, _) = m
+            .checkpoint_async(1, CheckpointLevel::Buddy, &blobs(2, 1))
+            .unwrap();
+        m.finish_drain(p1).unwrap();
+        // A resumed run re-reaches the step and checkpoints id 1 afresh:
+        // the old drained mark must not make the new drain a no-op.
+        let (p1b, _) = m
+            .checkpoint_async(1, CheckpointLevel::Buddy, &blobs(2, 9))
+            .unwrap();
+        assert_eq!(m.level_of(1), Some(CheckpointLevel::Local));
+        m.finish_drain(p1b).unwrap();
+        assert_eq!(m.level_of(1), Some(CheckpointLevel::Buddy));
+        m.fail_nodes(&[NodeId(0)]);
+        let (_, _, data, _) = m.restart().unwrap();
+        assert_eq!(data, blobs(2, 9), "the fresh incarnation restores");
+    }
+
+    #[test]
+    fn encoded_checkpoint_drains_fewer_bytes_and_restores_bit_exact() {
+        use crate::delta;
+        let m = manager(2);
+        let full: Vec<Vec<u8>> = (0..2)
+            .map(|r| (0..16384u32).map(|i| ((i + r) % 251) as u8).collect())
+            .collect();
+        let (p1, _) = m
+            .checkpoint_async_encoded(
+                1,
+                CheckpointLevel::Buddy,
+                &full
+                    .iter()
+                    .map(|b| delta::encode_full(b))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        m.finish_drain(p1).unwrap();
+        // Second checkpoint: touch a handful of bytes per rank.
+        let mut next = full.clone();
+        for b in &mut next {
+            b[100] ^= 0xFF;
+            b[9000] ^= 0x0F;
+        }
+        let frames: Vec<Vec<u8>> = next
+            .iter()
+            .enumerate()
+            .map(|(r, b)| delta::encode_delta(&full[r], b, 1))
+            .collect();
+        let (p2, local2) = m
+            .checkpoint_async_encoded(2, CheckpointLevel::Buddy, &frames)
+            .unwrap();
+        assert!(
+            p2.wire_bytes < p1.wire_bytes / 10,
+            "delta shrinks the drain"
+        );
+        assert!(
+            local2 < m.local_write_time(16384),
+            "local stage writes the frame"
+        );
+        m.finish_drain(p2).unwrap();
+        // Restart returns the reconstructed full state, bit-exact.
+        m.fail_nodes(&[NodeId(0)]);
+        let (id, _, data, _) = m.restart().unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(data, next);
+    }
+
+    #[test]
+    fn encoded_checkpoint_rejects_missing_base() {
+        use crate::delta;
+        let m = manager(1);
+        let base = vec![0u8; 1024];
+        let mut cur = base.clone();
+        cur[5] = 7;
+        // Base id 9 was never checkpointed (or was pruned).
+        let frames = vec![delta::encode_delta(&base, &cur, 9)];
+        assert_eq!(
+            m.checkpoint_async_encoded(1, CheckpointLevel::Buddy, &frames),
+            Err(ScrError::DeltaBaseMissing { base: 9 })
+        );
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Incremental (delta) checkpoint frames on the bulk POD codec.
+//!
+//! Between two checkpoints most of a rank's packed state barely moves: a
+//! small change to an `f64` leaves its sign/exponent/high-mantissa bytes
+//! identical, so the byte streams of consecutive `pack_state` blobs share
+//! long equal runs. A delta frame records only the *dirty byte ranges*
+//! against the previous checkpoint's full blob, shrinking the bytes an
+//! asynchronous drain has to push through the fabric. Periodic full
+//! keyframes bound the reconstruction chain (and a frame silently falls
+//! back to full whenever the delta would not actually be smaller, or the
+//! blob length changed — e.g. particle migration).
+//!
+//! Frame wire format (all integers little-endian):
+//!
+//! ```text
+//! full:  0x00 | payload…
+//! delta: 0x01 | base_id u64 | total_len u64 | nruns u32 |
+//!        (offset u64 | len u64 | bytes…)*
+//! ```
+//!
+//! Decoding is pure byte patching — no floating point — so a
+//! reconstructed blob is bit-identical to the blob it encodes, at any
+//! host thread count.
+
+/// Tag byte of a full (keyframe) frame.
+const TAG_FULL: u8 = 0x00;
+/// Tag byte of a dirty-range delta frame.
+const TAG_DELTA: u8 = 0x01;
+
+/// Two dirty runs closer than this many equal bytes are coalesced into
+/// one — each run costs 16 bytes of header, so tiny clean gaps between
+/// dirty bytes are cheaper to resend than to describe.
+const MIN_GAP: usize = 16;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The frame bytes are truncated or carry an unknown tag.
+    Malformed,
+    /// A delta frame's base blob was not supplied (or had the wrong
+    /// length for the frame's patches).
+    BadBase {
+        /// The base checkpoint id the frame references.
+        base: u64,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Malformed => write!(f, "malformed delta frame"),
+            DeltaError::BadBase { base } => {
+                write!(f, "delta frame base checkpoint {base} unusable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Encode `cur` as a full keyframe.
+pub fn encode_full(cur: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cur.len() + 1);
+    out.push(TAG_FULL);
+    out.extend_from_slice(cur);
+    out
+}
+
+/// Encode `cur` against `base` (the full blob of checkpoint `base_id`):
+/// a dirty-range delta frame if that is strictly smaller than a full
+/// frame, otherwise a full keyframe. Length changes always force full.
+pub fn encode_delta(base: &[u8], cur: &[u8], base_id: u64) -> Vec<u8> {
+    if base.len() != cur.len() {
+        return encode_full(cur);
+    }
+    // Collect dirty runs, coalescing across gaps shorter than MIN_GAP.
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // (offset, len)
+    let mut i = 0usize;
+    while i < cur.len() {
+        if base[i] == cur[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i + 1; // exclusive end of the dirty run
+        let mut clean = 0usize;
+        let mut j = i + 1;
+        while j < cur.len() {
+            if base[j] != cur[j] {
+                end = j + 1;
+                clean = 0;
+            } else {
+                clean += 1;
+                if clean >= MIN_GAP {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        runs.push((start, end - start));
+        i = end;
+    }
+    let body: usize = runs.iter().map(|(_, l)| 16 + l).sum();
+    let delta_len = 1 + 8 + 8 + 4 + body;
+    if delta_len > cur.len() {
+        return encode_full(cur);
+    }
+    let mut out = Vec::with_capacity(delta_len);
+    out.push(TAG_DELTA);
+    out.extend_from_slice(&base_id.to_le_bytes());
+    out.extend_from_slice(&(cur.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+    for &(off, len) in &runs {
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+        out.extend_from_slice(&(len as u64).to_le_bytes());
+        out.extend_from_slice(&cur[off..off + len]);
+    }
+    out
+}
+
+/// The base checkpoint id a frame needs, if it is a delta.
+pub fn frame_base(frame: &[u8]) -> Result<Option<u64>, DeltaError> {
+    match frame.first() {
+        Some(&TAG_FULL) => Ok(None),
+        Some(&TAG_DELTA) if frame.len() >= 21 => {
+            Ok(Some(u64::from_le_bytes(frame[1..9].try_into().unwrap())))
+        }
+        _ => Err(DeltaError::Malformed),
+    }
+}
+
+/// Whether a frame is a delta (vs. a full keyframe).
+pub fn is_delta(frame: &[u8]) -> bool {
+    frame.first() == Some(&TAG_DELTA)
+}
+
+/// Decode a frame into the full blob it represents. `base` must be the
+/// full blob of the checkpoint named by [`frame_base`] (ignored for full
+/// frames).
+pub fn decode(frame: &[u8], base: Option<&[u8]>) -> Result<Vec<u8>, DeltaError> {
+    match frame.first() {
+        Some(&TAG_FULL) => Ok(frame[1..].to_vec()),
+        Some(&TAG_DELTA) => {
+            if frame.len() < 21 {
+                return Err(DeltaError::Malformed);
+            }
+            let base_id = u64::from_le_bytes(frame[1..9].try_into().unwrap());
+            let total = u64::from_le_bytes(frame[9..17].try_into().unwrap()) as usize;
+            let nruns = u32::from_le_bytes(frame[17..21].try_into().unwrap()) as usize;
+            let base = base.ok_or(DeltaError::BadBase { base: base_id })?;
+            if base.len() != total {
+                return Err(DeltaError::BadBase { base: base_id });
+            }
+            let mut out = base.to_vec();
+            let mut p = 21usize;
+            for _ in 0..nruns {
+                if frame.len() < p + 16 {
+                    return Err(DeltaError::Malformed);
+                }
+                let off = u64::from_le_bytes(frame[p..p + 8].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(frame[p + 8..p + 16].try_into().unwrap()) as usize;
+                p += 16;
+                if frame.len() < p + len || off + len > out.len() {
+                    return Err(DeltaError::Malformed);
+                }
+                out[off..off + len].copy_from_slice(&frame[p..p + len]);
+                p += len;
+            }
+            if p != frame.len() {
+                return Err(DeltaError::Malformed);
+            }
+            Ok(out)
+        }
+        _ => Err(DeltaError::Malformed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evolved(base: &[u8], touches: &[(usize, u8)]) -> Vec<u8> {
+        let mut cur = base.to_vec();
+        for &(i, v) in touches {
+            cur[i] = v;
+        }
+        cur
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let blob = vec![7u8; 4096];
+        let f = encode_full(&blob);
+        assert!(!is_delta(&f));
+        assert_eq!(frame_base(&f).unwrap(), None);
+        assert_eq!(decode(&f, None).unwrap(), blob);
+    }
+
+    #[test]
+    fn sparse_change_produces_small_delta() {
+        let base: Vec<u8> = (0..16384u32).map(|i| (i % 251) as u8).collect();
+        let cur = evolved(&base, &[(10, 0xFF), (5000, 0xAA), (16000, 0x01)]);
+        let f = encode_delta(&base, &cur, 42);
+        assert!(is_delta(&f));
+        assert!(f.len() < base.len() / 10, "delta {} bytes", f.len());
+        assert_eq!(frame_base(&f).unwrap(), Some(42));
+        assert_eq!(decode(&f, Some(&base)).unwrap(), cur);
+    }
+
+    #[test]
+    fn nearby_touches_coalesce_into_one_run() {
+        let base = vec![0u8; 1024];
+        // Two dirty bytes 8 apart (< MIN_GAP): one run, one 16-byte header.
+        let cur = evolved(&base, &[(100, 1), (108, 2)]);
+        let f = encode_delta(&base, &cur, 1);
+        assert!(is_delta(&f));
+        // 1 + 20 header + one run: 16 + 9 payload bytes.
+        assert_eq!(f.len(), 1 + 20 + 16 + 9);
+        assert_eq!(decode(&f, Some(&base)).unwrap(), cur);
+    }
+
+    #[test]
+    fn dense_change_falls_back_to_full() {
+        let base = vec![0u8; 1024];
+        let cur = vec![1u8; 1024];
+        let f = encode_delta(&base, &cur, 3);
+        assert!(!is_delta(&f));
+        assert_eq!(decode(&f, None).unwrap(), cur);
+    }
+
+    #[test]
+    fn length_change_falls_back_to_full() {
+        let base = vec![0u8; 1024];
+        let cur = vec![0u8; 1040];
+        let f = encode_delta(&base, &cur, 3);
+        assert!(!is_delta(&f));
+    }
+
+    #[test]
+    fn missing_or_wrong_base_rejected() {
+        let base = vec![0u8; 1024];
+        let cur = evolved(&base, &[(5, 9)]);
+        let f = encode_delta(&base, &cur, 7);
+        assert_eq!(decode(&f, None), Err(DeltaError::BadBase { base: 7 }));
+        let short = vec![0u8; 100];
+        assert_eq!(
+            decode(&f, Some(&short)),
+            Err(DeltaError::BadBase { base: 7 })
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(decode(&[], None), Err(DeltaError::Malformed));
+        assert_eq!(decode(&[9, 9, 9], None), Err(DeltaError::Malformed));
+        assert_eq!(frame_base(&[1, 2]), Err(DeltaError::Malformed));
+    }
+
+    #[test]
+    fn identical_blobs_encode_to_empty_delta() {
+        let base: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 256) as u8).collect();
+        let f = encode_delta(&base, &base, 5);
+        assert!(is_delta(&f));
+        assert_eq!(f.len(), 21, "no runs, header only");
+        assert_eq!(decode(&f, Some(&base)).unwrap(), base);
+    }
+}

@@ -19,17 +19,24 @@
 //! * [`sim`] — a virtual-time run simulator: given compute length, a
 //!   checkpoint schedule and a failure trace, compute the wall time with
 //!   rework and restarts. Drives the checkpoint-interval sweep bench.
+//! * [`async_ckpt`] — asynchronous checkpoints: block for the local NVMe
+//!   stage only, drain the buddy/global copy in the background, promote on
+//!   completion (failure-aware: a death mid-drain falls back to the newest
+//!   fully drained checkpoint), plus the async run simulator.
+//! * [`delta`] — dirty-range delta frames against the previous full blob,
+//!   with periodic keyframes, shrinking the bytes a drain pushes.
 
 #![forbid(unsafe_code)]
 
 pub mod async_ckpt;
+pub mod delta;
 pub mod failure;
 pub mod interval;
 pub mod manager;
 pub mod sim;
 
-pub use async_ckpt::{simulate_run_async, PendingDrain};
+pub use async_ckpt::{simulate_run_async, CkptMode, PendingDrain};
 pub use failure::FailureModel;
 pub use interval::{young_daly_interval, MultiLevelSchedule};
-pub use manager::{CheckpointLevel, ScrConfig, ScrError, ScrManager};
+pub use manager::{CheckpointLevel, NamBuddy, ScrConfig, ScrError, ScrManager};
 pub use sim::{simulate_run, RunOutcome};

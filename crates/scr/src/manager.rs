@@ -2,6 +2,7 @@
 
 use hwmodel::{MemoryLevel, NodeId, SimTime};
 use parking_lot::Mutex;
+use simnet::nam::{NamDevice, NamError, NamRegion};
 use simnet::LogGpModel;
 use sionio::{ParallelFs, SionContainer};
 use std::collections::{BTreeMap, BTreeSet};
@@ -32,6 +33,22 @@ pub enum ScrError {
     },
     /// No restartable checkpoint available.
     NothingToRestart,
+    /// An asynchronous drain was aborted (explicitly, or by a node death
+    /// mid-drain) before it could be promoted; the checkpoint never
+    /// reached its target level.
+    DrainAborted {
+        /// The checkpoint whose drain was lost.
+        id: u64,
+    },
+    /// A delta frame references a base checkpoint that is no longer held
+    /// locally (pruned, or lost with a node) — the sender must fall back
+    /// to a full keyframe.
+    DeltaBaseMissing {
+        /// The missing base checkpoint id.
+        base: u64,
+    },
+    /// The NAM device backing the buddy level rejected an operation.
+    Nam(NamError),
 }
 
 impl std::fmt::Display for ScrError {
@@ -44,11 +61,39 @@ impl std::fmt::Display for ScrError {
                 )
             }
             ScrError::NothingToRestart => write!(f, "no restartable checkpoint"),
+            ScrError::DrainAborted { id } => {
+                write!(f, "drain of checkpoint {id} was aborted before promotion")
+            }
+            ScrError::DeltaBaseMissing { base } => {
+                write!(f, "delta frame references missing base checkpoint {base}")
+            }
+            ScrError::Nam(e) => write!(f, "NAM buddy store: {e}"),
         }
     }
 }
 
 impl std::error::Error for ScrError {}
+
+impl From<NamError> for ScrError {
+    fn from(e: NamError) -> Self {
+        ScrError::Nam(e)
+    }
+}
+
+/// NAM backing for the buddy level (paper §II-B): instead of a copy on
+/// the buddy node's NVMe, the drain RDMA-puts each rank's blob into a
+/// Network Attached Memory region. The device has no active remote
+/// component and sits on the fabric, so its copies survive *any* set of
+/// node failures — the buddy level then protects against more than
+/// single-node loss, at the same drain cost shape.
+#[derive(Clone)]
+pub struct NamBuddy {
+    /// Index of the device on the fabric (for
+    /// [`simnet::Fabric::nam_rdma_time`] at the live call sites).
+    pub index: usize,
+    /// The device; shared handle with real backing storage.
+    pub device: NamDevice,
+}
 
 /// Configuration of the checkpoint stack.
 #[derive(Clone)]
@@ -59,6 +104,9 @@ pub struct ScrConfig {
     pub link: LogGpModel,
     /// Buddy partner: rank `i` copies to node of rank `(i + offset) % n`.
     pub buddy_offset: usize,
+    /// When set, the buddy level drains into this NAM device instead of
+    /// the buddy node's NVMe.
+    pub nam: Option<NamBuddy>,
 }
 
 impl Default for ScrConfig {
@@ -67,6 +115,7 @@ impl Default for ScrConfig {
             nvme: hwmodel::presets::nvme_p3700(),
             link: LogGpModel::default(),
             buddy_offset: 1,
+            nam: None,
         }
     }
 }
@@ -93,6 +142,17 @@ struct ScrState {
     db: Vec<CheckpointRecord>,
     /// Nodes currently failed.
     dead: BTreeSet<NodeId>,
+    /// Ids whose async drain was promoted (makes `complete_drain`
+    /// idempotent); cleared when the id is checkpointed afresh.
+    drained: BTreeSet<u64>,
+    /// (ckpt id, rank) → allocated NAM region, when the buddy level is
+    /// NAM-backed. Allocation happens at the local stage so the live
+    /// drain can RDMA-put straight into the region.
+    nam_regions: BTreeMap<(u64, usize), NamRegion>,
+    /// (ckpt id, rank) pairs whose NAM copy is authoritative (promotion
+    /// completed). Never touched by `fail_nodes` — the device survives
+    /// node deaths.
+    nam_done: BTreeSet<(u64, usize)>,
 }
 
 /// The checkpoint manager for one job.
@@ -137,24 +197,64 @@ impl ScrManager {
         (rank + self.config.buddy_offset) % self.ranks()
     }
 
+    /// The NAM backing of the buddy level, if configured.
+    pub fn nam(&self) -> Option<&NamBuddy> {
+        self.config.nam.as_ref()
+    }
+
+    /// Time for one buddy-level copy of `bytes` per rank, bounded by the
+    /// slowest path. Heterogeneous jobs (Cluster + Booster ranks in one
+    /// world) have genuinely different per-pair costs, so every
+    /// `(rank, buddy_of(rank))` pair is priced; with a NAM backing the
+    /// copy is instead an RDMA-put whose wire and device streams overlap
+    /// (same shape as [`simnet::Fabric::nam_rdma_time`]).
+    pub fn buddy_copy_time(&self, bytes: u64) -> SimTime {
+        match &self.config.nam {
+            Some(nam) => {
+                let stream = SimTime::from_secs(bytes as f64 / self.config.link.payload_bw)
+                    .max(SimTime::from_secs(bytes as f64 / nam.device.bandwidth()));
+                (0..self.ranks())
+                    .map(|r| {
+                        self.specs[r].nic_send_overhead
+                            + self.config.link.wire_latency
+                            + stream
+                            + nam.device.access_latency()
+                    })
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+            }
+            None => (0..self.ranks())
+                .map(|r| {
+                    self.config.link.transfer_time(
+                        &self.specs[r],
+                        &self.specs[self.buddy_of(r)],
+                        bytes as usize,
+                        1,
+                    )
+                })
+                .max()
+                .unwrap_or(SimTime::ZERO),
+        }
+    }
+
     /// Virtual-time cost of one checkpoint of `bytes` per rank at `level`
     /// (ranks write in parallel; the slowest path bounds).
     pub fn checkpoint_cost(&self, level: CheckpointLevel, bytes_per_rank: u64) -> SimTime {
         match level {
             CheckpointLevel::Local => self.config.nvme.write_time(bytes_per_rank),
             CheckpointLevel::Buddy => {
-                // Local write, then read-back + fabric copy + buddy write,
-                // bounded by the slowest rank pair (uniform here).
+                // Local write, then read-back + copy to the buddy store,
+                // bounded by the slowest (rank, buddy) pair. A NAM target
+                // needs no far-side NVMe write — the HMC stream is already
+                // inside the copy term.
                 let local = self.config.nvme.write_time(bytes_per_rank);
-                let copy = self.config.link.transfer_time(
-                    &self.specs[0],
-                    &self.specs[self.buddy_of(0)],
-                    bytes_per_rank as usize,
-                    1,
-                );
-                local
-                    + self.config.nvme.read_time(bytes_per_rank).max(copy)
-                    + self.config.nvme.write_time(bytes_per_rank)
+                let copy = self.buddy_copy_time(bytes_per_rank);
+                let far_write = if self.config.nam.is_some() {
+                    SimTime::ZERO
+                } else {
+                    self.config.nvme.write_time(bytes_per_rank)
+                };
+                local + self.config.nvme.read_time(bytes_per_rank).max(copy) + far_write
             }
             CheckpointLevel::Global => {
                 // All ranks' chunks funnel into the striped PFS; staging
@@ -185,6 +285,9 @@ impl ScrManager {
         let max_bytes = rank_data.iter().map(|d| d.len() as u64).max().unwrap_or(0);
         let cost = self.checkpoint_cost(level, max_bytes);
         let mut st = self.state.lock();
+        // A fresh checkpoint under this id supersedes any earlier drained
+        // incarnation (ids repeat when a resumed run re-reaches a step).
+        st.drained.remove(&id);
         match level {
             CheckpointLevel::Local => {
                 for (r, d) in rank_data.iter().enumerate() {
@@ -194,7 +297,11 @@ impl ScrManager {
             CheckpointLevel::Buddy => {
                 for (r, d) in rank_data.iter().enumerate() {
                     st.local.insert((id, r), d.clone());
-                    st.buddy.insert((id, r), d.clone());
+                    if self.config.nam.is_some() {
+                        self.nam_store_locked(&mut st, id, r, d)?;
+                    } else {
+                        st.buddy.insert((id, r), d.clone());
+                    }
                 }
             }
             CheckpointLevel::Global => {
@@ -245,12 +352,80 @@ impl ScrManager {
         Ok(cost)
     }
 
+    /// Store `blob` as rank `rank`'s buddy-level copy of checkpoint `id`
+    /// in the NAM device, allocating (or reusing) its region. Caller holds
+    /// the state lock; the device lock nests inside it (10 → 40).
+    fn nam_store_locked(
+        &self,
+        st: &mut ScrState,
+        id: u64,
+        rank: usize,
+        blob: &[u8],
+    ) -> Result<(), ScrError> {
+        let nam = self.config.nam.as_ref().expect("caller checked backing");
+        let region = match st.nam_regions.get(&(id, rank)).copied() {
+            Some(r) if r.len == blob.len() as u64 => r,
+            stale => {
+                if let Some(r) = stale {
+                    let _ = nam.device.dealloc(r);
+                }
+                let r = nam.device.alloc(blob.len() as u64)?;
+                st.nam_regions.insert((id, rank), r);
+                r
+            }
+        };
+        nam.device.put(region, 0, blob)?;
+        st.nam_done.insert((id, rank));
+        Ok(())
+    }
+
+    /// Rank `rank`'s authoritative NAM copy of checkpoint `id`, if any.
+    fn nam_fetch(&self, st: &ScrState, id: u64, rank: usize) -> Option<Vec<u8>> {
+        let nam = self.config.nam.as_ref()?;
+        if !st.nam_done.contains(&(id, rank)) {
+            return None;
+        }
+        let region = st.nam_regions.get(&(id, rank))?;
+        nam.device.get(*region, 0, region.len).ok()
+    }
+
+    /// The NAM region rank `rank` should RDMA-put checkpoint `id` into
+    /// (allocating it on first use). Live drains call this right after the
+    /// local stage so the put lands in the region the restart will read.
+    pub fn nam_region(&self, id: u64, rank: usize, len: u64) -> Result<NamRegion, ScrError> {
+        let nam = self
+            .config
+            .nam
+            .as_ref()
+            .expect("nam_region requires a NAM-backed buddy level");
+        let mut st = self.state.lock();
+        match st.nam_regions.get(&(id, rank)).copied() {
+            Some(r) if r.len == len => Ok(r),
+            stale => {
+                if let Some(r) = stale {
+                    let _ = nam.device.dealloc(r);
+                }
+                let r = nam.device.alloc(len)?;
+                st.nam_regions.insert((id, rank), r);
+                Ok(r)
+            }
+        }
+    }
+
     /// Mark nodes as failed: their local checkpoint copies (and the buddy
-    /// copies *stored on* them) become unavailable.
+    /// copies *stored on* them) become unavailable, and every in-flight
+    /// asynchronous drain involving this job is aborted — each rank
+    /// participates in each drain, so a lost node means the checkpoint can
+    /// no longer reach its full level ([`ScrError::DrainAborted`] from
+    /// `complete_drain`; restart falls back to the newest fully drained
+    /// checkpoint). NAM copies survive: the device has no host node.
     pub fn fail_nodes(&self, nodes: &[NodeId]) {
         let mut st = self.state.lock();
         st.dead.extend(nodes.iter().copied());
         let dead = st.dead.clone();
+        if nodes.iter().any(|n| self.nodes.contains(n)) {
+            st.pending.clear();
+        }
         // Local copies live on the rank's node; buddy copies on the buddy's.
         st.local.retain(|(_, r), _| !dead.contains(&self.nodes[*r]));
         let buddies: Vec<usize> = (0..self.ranks()).map(|r| self.buddy_of(r)).collect();
@@ -272,9 +447,25 @@ impl ScrManager {
         match rec.level {
             CheckpointLevel::Global => true,
             CheckpointLevel::Local => (0..self.ranks()).all(|r| st.local.contains_key(&(id, r))),
-            CheckpointLevel::Buddy => (0..self.ranks())
-                .all(|r| st.local.contains_key(&(id, r)) || st.buddy.contains_key(&(id, r))),
+            CheckpointLevel::Buddy => (0..self.ranks()).all(|r| {
+                st.local.contains_key(&(id, r))
+                    || st.buddy.contains_key(&(id, r))
+                    || st.nam_done.contains(&(id, r))
+            }),
         }
+    }
+
+    /// Number of records in the checkpoint database (each taken
+    /// checkpoint appears exactly once; async promotion updates the
+    /// record's level in place rather than appending).
+    pub fn record_count(&self) -> usize {
+        self.state.lock().db.len()
+    }
+
+    /// The level checkpoint `id` currently holds at, per the database.
+    pub fn level_of(&self, id: u64) -> Option<CheckpointLevel> {
+        let st = self.state.lock();
+        st.db.iter().rev().find(|r| r.id == id).map(|r| r.level)
     }
 
     /// Restart from the newest recoverable checkpoint: returns
@@ -318,7 +509,8 @@ impl ScrManager {
                         .local
                         .get(&(id, r))
                         .or_else(|| st.buddy.get(&(id, r)))
-                        .cloned(),
+                        .cloned()
+                        .or_else(|| self.nam_fetch(&st, id, r)),
                 };
                 match blob {
                     Some(b) => blobs.push(b),
@@ -332,13 +524,9 @@ impl ScrManager {
                 let cost = match level {
                     CheckpointLevel::Local => self.config.nvme.read_time(max_bytes),
                     CheckpointLevel::Buddy => {
-                        self.config.nvme.read_time(max_bytes)
-                            + self.config.link.transfer_time(
-                                &self.specs[0],
-                                &self.specs[self.buddy_of(0)],
-                                max_bytes as usize,
-                                1,
-                            )
+                        // Fetch back over the same slowest-pair path the
+                        // copy went out on.
+                        self.config.nvme.read_time(max_bytes) + self.buddy_copy_time(max_bytes)
                     }
                     CheckpointLevel::Global => unreachable!("handled above"),
                 };
@@ -364,6 +552,31 @@ impl ScrManager {
         Ok(out)
     }
 
+    /// Rank `rank`'s surviving local copy of checkpoint `id`, if any.
+    /// Delta frames resolve their base blobs through this.
+    pub fn local_blob(&self, id: u64, rank: usize) -> Option<Vec<u8>> {
+        self.state.lock().local.get(&(id, rank)).cloned()
+    }
+
+    /// NVMe write time of `bytes` on the configured local device (the
+    /// local stage of an encoded async checkpoint charges frame bytes).
+    pub fn local_write_time(&self, bytes: u64) -> SimTime {
+        self.config.nvme.write_time(bytes)
+    }
+
+    /// `checkpoint(id, Local, ..)` whose *charged* bytes differ from the
+    /// stored blobs: encoded frames hit the NVMe, reconstructed full
+    /// blobs are what restart reads.
+    pub(crate) fn checkpoint_charged(
+        &self,
+        id: u64,
+        rank_data: &[Vec<u8>],
+        charged_bytes: u64,
+    ) -> Result<SimTime, ScrError> {
+        self.checkpoint(id, CheckpointLevel::Local, rank_data)?;
+        Ok(self.local_write_time(charged_bytes))
+    }
+
     /// Stash the payloads of an in-flight asynchronous checkpoint
     /// (crate-internal; see `async_ckpt`).
     pub(crate) fn stash_pending(&self, id: u64, rank_data: &[Vec<u8>]) {
@@ -373,6 +586,65 @@ impl ScrManager {
     /// Take the stashed payloads of a pending checkpoint.
     pub(crate) fn take_pending(&self, id: u64) -> Option<Vec<Vec<u8>>> {
         self.state.lock().pending.remove(&id)
+    }
+
+    /// Whether checkpoint `id`'s drain was already promoted.
+    pub(crate) fn is_drained(&self, id: u64) -> bool {
+        self.state.lock().drained.contains(&id)
+    }
+
+    /// Promote checkpoint `id` to `level` with *storage effects only*: the
+    /// local copies written by the async local stage stay as they are (no
+    /// re-clone, no re-paid local cost), the higher-level copies
+    /// materialize, and the existing database record's level is updated in
+    /// place — the checkpoint appears exactly once in the database.
+    pub(crate) fn promote_pending(
+        &self,
+        id: u64,
+        level: CheckpointLevel,
+        rank_data: &[Vec<u8>],
+    ) -> Result<(), ScrError> {
+        if rank_data.len() != self.ranks() {
+            return Err(ScrError::WrongRankCount {
+                got: rank_data.len(),
+                want: self.ranks(),
+            });
+        }
+        if level == CheckpointLevel::Global {
+            // PFS effects happen outside the state lock, like `checkpoint`.
+            let chunk = rank_data
+                .iter()
+                .map(|d| d.len() as u64)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let (c, _) = SionContainer::create(
+                &self.pfs,
+                format!("/scr/ckpt-{id}.sion"),
+                self.ranks(),
+                chunk,
+            )
+            .expect("fresh container path");
+            for (r, d) in rank_data.iter().enumerate() {
+                c.write_task(r, d)
+                    .expect("chunk sized for the largest blob");
+            }
+        }
+        let mut st = self.state.lock();
+        if level == CheckpointLevel::Buddy {
+            for (r, d) in rank_data.iter().enumerate() {
+                if self.config.nam.is_some() {
+                    self.nam_store_locked(&mut st, id, r, d)?;
+                } else {
+                    st.buddy.insert((id, r), d.clone());
+                }
+            }
+        }
+        if let Some(rec) = st.db.iter_mut().rev().find(|r| r.id == id) {
+            rec.level = level;
+        }
+        st.drained.insert(id);
+        Ok(())
     }
 
     /// Drop checkpoints older than `keep_newest` restartable ones (SCR's
@@ -385,9 +657,17 @@ impl ScrManager {
         let cut = st.db.len() - keep_newest;
         let evicted: Vec<CheckpointRecord> = st.db.drain(..cut).collect();
         for rec in &evicted {
+            st.pending.remove(&rec.id);
+            st.drained.remove(&rec.id);
             for r in 0..self.nodes.len() {
                 st.local.remove(&(rec.id, r));
                 st.buddy.remove(&(rec.id, r));
+                st.nam_done.remove(&(rec.id, r));
+                if let Some(region) = st.nam_regions.remove(&(rec.id, r)) {
+                    if let Some(nam) = &self.config.nam {
+                        let _ = nam.device.dealloc(region);
+                    }
+                }
             }
             if rec.level == CheckpointLevel::Global {
                 let _ = self.pfs.delete(&format!("/scr/ckpt-{}.sion", rec.id));
@@ -543,5 +823,120 @@ mod tests {
         assert_eq!(m.buddy_of(3), 0);
         assert_eq!(m.buddy_of(0), 1);
         assert_eq!(m.ranks(), 4);
+    }
+
+    /// Regression (PR 10): the buddy cost used to price every transfer
+    /// with the rank-0 pair (`specs[0]` → `specs[buddy_of(0)]`). With
+    /// mixed Cluster/Booster specs the bound must come from the *slowest*
+    /// `(rank, buddy_of(rank))` pair, not whichever pair rank 0 happens
+    /// to form.
+    #[test]
+    fn buddy_cost_bounded_by_slowest_pair_with_mixed_specs() {
+        use hwmodel::presets::{deep_er_booster_node, deep_er_cluster_node};
+        let cn = Arc::new(deep_er_cluster_node());
+        let bn = Arc::new(deep_er_booster_node());
+        // Rank 0 is a Cluster node, ranks 1-3 are Boosters: the rank-0
+        // pair (CN→BN) differs from e.g. (BN→BN) and (BN→CN).
+        let specs = vec![cn.clone(), bn.clone(), bn.clone(), bn.clone()];
+        let cfg = ScrConfig::default();
+        let m = ScrManager::new(
+            cfg.clone(),
+            (0..4u32).map(NodeId).collect(),
+            specs.clone(),
+            ParallelFs::deep_er(),
+        );
+        let bytes = 8u64 << 20;
+        let slowest = (0..4)
+            .map(|r| {
+                cfg.link
+                    .transfer_time(&specs[r], &specs[(r + 1) % 4], bytes as usize, 1)
+            })
+            .max()
+            .unwrap();
+        assert_eq!(m.buddy_copy_time(bytes), slowest);
+        let rank0_pair = cfg
+            .link
+            .transfer_time(&specs[0], &specs[1], bytes as usize, 1);
+        assert!(
+            slowest > rank0_pair,
+            "the old specs[0] formula must actually differ: {slowest} vs {rank0_pair}"
+        );
+        // The full buddy cost embeds the slowest-pair copy.
+        let expect = cfg.nvme.write_time(bytes)
+            + cfg.nvme.read_time(bytes).max(slowest)
+            + cfg.nvme.write_time(bytes);
+        assert_eq!(m.checkpoint_cost(CheckpointLevel::Buddy, bytes), expect);
+        // And the restart path prices the same slowest pair.
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(4, 3))
+            .unwrap();
+        let (_, _, _, cost) = m.restart().unwrap();
+        assert_eq!(cost, cfg.nvme.read_time(1024) + m.buddy_copy_time(1024));
+    }
+
+    fn nam_manager(ranks: usize) -> (ScrManager, simnet::nam::NamDevice) {
+        let device = simnet::nam::NamDevice::deep_er();
+        let cfg = ScrConfig {
+            nam: Some(NamBuddy {
+                index: 0,
+                device: device.clone(),
+            }),
+            ..ScrConfig::default()
+        };
+        let spec = Arc::new(deep_er_booster_node());
+        (
+            ScrManager::new(
+                cfg,
+                (0..ranks as u32).map(NodeId).collect(),
+                vec![spec; ranks],
+                ParallelFs::deep_er(),
+            ),
+            device,
+        )
+    }
+
+    #[test]
+    fn nam_buddy_survives_arbitrary_node_loss() {
+        let (m, device) = nam_manager(4);
+        m.checkpoint(1, CheckpointLevel::Buddy, &blobs(4, 20))
+            .unwrap();
+        assert!(device.used() > 0, "blobs live in the device");
+        // Every job node dies: NVMe copies are all gone, but the NAM has
+        // no host node — the buddy level still restores.
+        m.fail_nodes(&(0..4).map(NodeId).collect::<Vec<_>>());
+        assert!(m.recoverable(1));
+        let (id, level, data, _) = m.restart().unwrap();
+        assert_eq!((id, level), (1, CheckpointLevel::Buddy));
+        assert_eq!(data, blobs(4, 20));
+    }
+
+    #[test]
+    fn nam_regions_released_on_prune() {
+        let (m, device) = nam_manager(2);
+        for id in 1..=4 {
+            m.checkpoint(id, CheckpointLevel::Buddy, &blobs(2, id as u8))
+                .unwrap();
+        }
+        let used = device.used();
+        assert!(used > 0);
+        assert_eq!(m.prune(1), 3);
+        assert!(device.used() < used, "pruned regions are deallocated");
+        assert_eq!(m.restart().unwrap().0, 4);
+    }
+
+    #[test]
+    fn nam_buddy_cost_has_no_far_side_nvme_write() {
+        let (m, _) = nam_manager(4);
+        let plain = manager(4);
+        let bytes = 64u64 << 20;
+        // Same local stage; the NAM path replaces fabric-copy + far NVMe
+        // write with the overlapped RDMA stream.
+        let nam_cost = m.checkpoint_cost(CheckpointLevel::Buddy, bytes);
+        let expect = m.local_write_time(bytes)
+            + ScrConfig::default()
+                .nvme
+                .read_time(bytes)
+                .max(m.buddy_copy_time(bytes));
+        assert_eq!(nam_cost, expect);
+        assert!(nam_cost < plain.checkpoint_cost(CheckpointLevel::Buddy, bytes));
     }
 }

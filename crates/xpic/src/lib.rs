@@ -53,4 +53,4 @@ pub use app::{run_mode, Mode, XpicReport};
 pub use config::{ModelScale, XpicConfig};
 pub use grid::{Fields, Grid, Moments};
 pub use particles::Species;
-pub use resilience::{run_checkpointed, run_resilient, RecoveryConfig, ResilientReport};
+pub use resilience::{run_checkpointed, run_resilient, CkptMode, RecoveryConfig, ResilientReport};

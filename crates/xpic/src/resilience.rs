@@ -36,13 +36,20 @@ use hwmodel::{NodeId, SimTime};
 use parking_lot::Mutex;
 use psmpi::datatype::CodecError;
 use psmpi::universe::RankFn;
-use psmpi::{BufferPool, Communicator, Intercomm, MpiDatatype, PsmpiError, Rank, ReduceOp, Tag};
-use scr::{CheckpointLevel, ScrManager};
+use psmpi::{
+    BufferPool, Communicator, Intercomm, MpiDatatype, MpiRequest, PsmpiError, Rank, RecvRequest,
+    ReduceOp, SendRequest, Tag,
+};
+pub use scr::CkptMode;
+use scr::{delta, CheckpointLevel, PendingDrain, ScrManager};
 use simnet::FaultPlan;
 use std::sync::Arc;
 
 /// Tag of the completion report a child world sends its supervisor.
 pub const TAG_STATUS: Tag = 120;
+
+/// Tag of the buddy-copy drain transfers of asynchronous checkpoints.
+pub const TAG_DRAIN: Tag = 121;
 
 fn put_f64s(buf: &mut BytesMut, v: &[f64]) {
     buf.put_u64_le(v.len() as u64);
@@ -134,6 +141,252 @@ pub fn unpack_state(data: &[u8], grid: &Grid) -> (Vec<Species>, Fields) {
     (species, fields)
 }
 
+/// Per-rank state of the checkpoint engine, one per world incarnation.
+///
+/// [`CkptMode::Sync`] keeps the historical blocking path: gather, pay the
+/// full level cost, barrier. In the async modes the checkpoint step blocks
+/// only for the local NVMe stage ([`ScrManager::checkpoint_async`]); the
+/// buddy copy then drains through *real* fabric transfers posted with the
+/// nonblocking request engine — a peer-to-peer `isend`/`irecv` pair to the
+/// rank's buddy, or a one-sided [`Rank::inam_put_sized`] RDMA put when the
+/// manager's buddy level is NAM-backed — so the next steps' compute hides
+/// the drain in virtual time. The drain is realized at the next
+/// synchronization point (`drain_wait`), after which rank 0 promotes the
+/// checkpoint to its full level ([`ScrManager::finish_drain`]). A node
+/// death while a drain is in flight evicts the stash
+/// ([`ScrManager::fail_nodes`]), promotion is refused, and recovery falls
+/// back to the newest *fully drained* checkpoint — exactly as
+/// [`scr::simulate_run_async`] models.
+///
+/// [`CkptMode::AsyncDelta`] additionally encodes each checkpoint as a
+/// dirty-range delta against the previous checkpoint's blob
+/// ([`scr::delta`]), with a full keyframe every `keyframe_every`-th
+/// checkpoint (and always on the first checkpoint of an incarnation, since
+/// a restored world cannot trust any earlier base), shrinking the bytes
+/// the gather and the drain push.
+struct CkptEngine<'a> {
+    scr: &'a ScrManager,
+    level: CheckpointLevel,
+    mode: CkptMode,
+    keyframe_every: u32,
+    /// Checkpoints taken by this incarnation (drives the keyframe cadence).
+    taken: u32,
+    /// Delta base: the previous checkpoint's id and full blob on this rank.
+    base: Option<(u64, Vec<u8>)>,
+    /// This rank's outstanding drain transfers.
+    send: Option<SendRequest>,
+    recv: Option<RecvRequest>,
+    /// Modeled completion time of a drain with no request surface (the
+    /// Global level drains to the PFS; each rank prices it locally).
+    due: Option<SimTime>,
+    /// Rank 0's promotion handle for the in-flight drain.
+    pending: Option<PendingDrain>,
+    /// Blocking virtual time this rank spent checkpointing: local stages
+    /// (full level cost in sync mode) plus drain spill the compute could
+    /// not hide.
+    block: SimTime,
+}
+
+impl<'a> CkptEngine<'a> {
+    fn new(
+        scr: &'a ScrManager,
+        level: CheckpointLevel,
+        mode: CkptMode,
+        keyframe_every: u32,
+    ) -> Self {
+        assert!(keyframe_every >= 1);
+        CkptEngine {
+            scr,
+            level,
+            mode,
+            keyframe_every,
+            taken: 0,
+            base: None,
+            send: None,
+            recv: None,
+            due: None,
+            pending: None,
+            block: SimTime::ZERO,
+        }
+    }
+
+    /// Realize the in-flight drain on this rank's clock: whatever of it
+    /// the compute since the post already hid costs nothing here, only
+    /// the spill blocks (emitted as a `ckpt_drain` span).
+    fn drain_wait(&mut self, rank: &mut Rank) -> Result<(), PsmpiError> {
+        if self.send.is_none() && self.recv.is_none() && self.due.is_none() {
+            return Ok(());
+        }
+        let t0 = rank.now();
+        let span = rank.obs_open(obs::Category::CkptDrain, "drain-wait");
+        let send = self.send.take();
+        let recv = self.recv.take();
+        let due = self.due.take();
+        let res = (|| -> Result<(), PsmpiError> {
+            if let Some(s) = send {
+                s.wait(rank)?;
+            }
+            if let Some(r) = recv {
+                let (bytes, _) = r.wait(rank)?;
+                rank.buffer_pool().recycle(bytes);
+            }
+            Ok(())
+        })();
+        if res.is_ok() {
+            if let Some(at) = due {
+                rank.advance(at.saturating_sub(rank.now()));
+            }
+        }
+        rank.obs_close(span);
+        self.block += rank.now() - t0;
+        res
+    }
+
+    /// Encode this rank's wire frame in delta mode (`None` in the plain
+    /// modes: the full blob itself rides the wire).
+    fn encode_frame(&self, id: u64, full: &[u8]) -> Option<Vec<u8>> {
+        if self.mode != CkptMode::AsyncDelta {
+            return None;
+        }
+        let keyframe = self.taken.is_multiple_of(self.keyframe_every);
+        Some(match &self.base {
+            Some((base_id, base)) if !keyframe && *base_id != id => {
+                delta::encode_delta(base, full, *base_id)
+            }
+            _ => delta::encode_full(full),
+        })
+    }
+
+    /// Post this rank's share of the new checkpoint's drain.
+    fn post_drain(
+        &mut self,
+        rank: &mut Rank,
+        world: &Communicator,
+        id: u64,
+        wire: &[u8],
+        full: &[u8],
+    ) -> Result<(), PsmpiError> {
+        match self.level {
+            // Nothing above the local stage to drain.
+            CheckpointLevel::Local => {}
+            CheckpointLevel::Buddy => {
+                if let Some(nam) = self.scr.nam() {
+                    // NAM-backed buddy level: a one-sided RDMA put into
+                    // the device region this checkpoint promotes into —
+                    // no active component on the far side (paper §II-B).
+                    // The full blob lands in the region; the wire charge
+                    // is the encoded frame.
+                    let region = self
+                        .scr
+                        .nam_region(id, rank.rank(), full.len() as u64)
+                        .expect("NAM region for drain");
+                    self.send =
+                        Some(rank.inam_put_sized(nam.index, region, 0, full, Some(wire.len()))?);
+                } else {
+                    // Peer-to-peer buddy copy through the request engine:
+                    // the frame rides a real fabric transfer to this
+                    // rank's buddy, and the matching receive realizes the
+                    // arrival time on the buddy's clock.
+                    let n = world.size();
+                    let me = rank.rank();
+                    let buddy = self.scr.buddy_of(me);
+                    let from = (me + n - self.scr.buddy_of(0)) % n;
+                    let payload = Bytes::copy_from_slice(wire);
+                    self.send = Some(rank.isend_bytes_comm(world, buddy, TAG_DRAIN, payload)?);
+                    self.recv = Some(rank.irecv_bytes_comm(world, Some(from), Some(TAG_DRAIN))?);
+                }
+            }
+            CheckpointLevel::Global => {
+                // The PFS has no request surface; model the drain's
+                // completion time and charge any unhidden remainder at
+                // the next wait.
+                let wire_bytes = wire.len() as u64;
+                let drain = self
+                    .scr
+                    .checkpoint_cost(CheckpointLevel::Global, wire_bytes)
+                    .saturating_sub(self.scr.local_write_time(wire_bytes));
+                self.due = Some(rank.now() + drain);
+            }
+        }
+        Ok(())
+    }
+
+    /// The collective checkpoint of `step` (called on every rank).
+    fn checkpoint_step(
+        &mut self,
+        rank: &mut Rank,
+        world: &Communicator,
+        step: u32,
+        species: &[Species],
+        fields: &Fields,
+    ) -> Result<(), PsmpiError> {
+        if self.mode == CkptMode::Sync {
+            let blob = pack_state_pooled(rank.buffer_pool(), species, fields);
+            let gathered = rank.gather(world, 0, &blob)?;
+            if let Some(blobs) = gathered {
+                let cost = self
+                    .scr
+                    .checkpoint_traced(step as u64, self.level, &blobs, rank.obs(), rank.now())
+                    .expect("checkpoint");
+                rank.advance(cost);
+                self.block += cost;
+            }
+            rank.barrier(world)?;
+            self.taken += 1;
+            return Ok(());
+        }
+
+        // Realize the previous drain first: the compute since its post
+        // already hid (part of) it.
+        self.drain_wait(rank)?;
+
+        let full = pack_state_pooled(rank.buffer_pool(), species, fields);
+        let id = step as u64;
+        let frame = self.encode_frame(id, &full);
+        let wire: &Vec<u8> = frame.as_ref().unwrap_or(&full);
+        let gathered = rank.gather(world, 0, wire)?;
+        if let Some(frames) = gathered {
+            // Every rank's frame arrived, so every rank finished its
+            // drain_wait: promote the previous checkpoint to its full
+            // level before the new one starts draining.
+            if let Some(p) = self.pending.take() {
+                self.scr.finish_drain(p).expect("drain promotion");
+            }
+            let span = rank.obs_open(obs::Category::CkptLocal, "local-stage");
+            let (pending, local) = match self.mode {
+                CkptMode::AsyncDelta => self.scr.checkpoint_async_encoded(id, self.level, &frames),
+                _ => self.scr.checkpoint_async(id, self.level, &frames),
+            }
+            .expect("checkpoint");
+            rank.advance(local);
+            rank.obs_close(span);
+            self.block += local;
+            self.pending = Some(pending);
+        }
+        rank.barrier(world)?;
+        self.post_drain(rank, world, id, frame.as_deref().unwrap_or(&full), &full)?;
+        if self.mode == CkptMode::AsyncDelta {
+            self.base = Some((id, full));
+        }
+        self.taken += 1;
+        Ok(())
+    }
+
+    /// End-of-run epilogue half 1 (every rank, *before* the final
+    /// collective): realize any outstanding drain.
+    fn finish_wait(&mut self, rank: &mut Rank) -> Result<(), PsmpiError> {
+        self.drain_wait(rank)
+    }
+
+    /// End-of-run epilogue half 2 (rank 0, *after* a completed collective
+    /// proved every rank drained): promote the last checkpoint.
+    fn finish_promote(&mut self) {
+        if let Some(p) = self.pending.take() {
+            self.scr.finish_drain(p).expect("final drain promotion");
+        }
+    }
+}
+
 /// Outcome of a checkpointed (possibly interrupted) run.
 #[derive(Debug, Clone)]
 pub struct ResilientOutcome {
@@ -147,10 +400,16 @@ pub struct ResilientOutcome {
     pub kinetic_energy: f64,
     /// Virtual makespan of the launch.
     pub makespan: SimTime,
+    /// Rank 0's blocking virtual time spent checkpointing (local stages
+    /// plus unhidden drain spill; the full level cost in sync mode).
+    pub ckpt_block: SimTime,
+    /// Checkpoints taken by this launch.
+    pub ckpts_taken: u32,
 }
 
 /// Run xPic on the Cluster with SCR checkpoints every `checkpoint_every`
-/// steps at `level`. If `fail_at_step` is set, the job aborts right after
+/// steps at `level`, taken in `mode` (sync, async, or async+delta — see
+/// [`CkptMode`]). If `fail_at_step` is set, the job aborts right after
 /// that step completes (before its checkpoint), simulating a crash; call
 /// again with `resume = true` to restart from SCR and finish.
 #[allow(clippy::too_many_arguments)]
@@ -161,6 +420,7 @@ pub fn run_checkpointed(
     scr: &ScrManager,
     level: CheckpointLevel,
     checkpoint_every: u32,
+    mode: CkptMode,
     fail_at_step: Option<u32>,
     resume: bool,
 ) -> ResilientOutcome {
@@ -175,6 +435,8 @@ pub fn run_checkpointed(
         field_energy: 0.0,
         kinetic_energy: 0.0,
         makespan: SimTime::ZERO,
+        ckpt_block: SimTime::ZERO,
+        ckpts_taken: 0,
     }));
 
     let config_in = config.clone();
@@ -222,6 +484,7 @@ pub fn run_checkpointed(
                 }
                 halo_add_moments(rank, &world, &grid, &mut moments, &config_in);
 
+                let mut engine = CkptEngine::new(&scr, level, mode, KEYFRAME_EVERY_DEFAULT);
                 let mut step = start_step;
                 while step < config_in.steps {
                     {
@@ -257,36 +520,30 @@ pub fn run_checkpointed(
 
                     // SCR checkpoint (collective; rank 0 registers).
                     if step % checkpoint_every == 0 || step == config_in.steps {
-                        let blob = pack_state(&species, &fields);
-                        let gathered = rank.gather(&world, 0, &blob).expect("gather state");
-                        if let Some(blobs) = gathered {
-                            let cost = scr
-                                .checkpoint_traced(
-                                    step as u64,
-                                    level,
-                                    &blobs,
-                                    rank.obs(),
-                                    rank.now(),
-                                )
-                                .expect("checkpoint");
-                            rank.advance(cost);
-                        }
-                        rank.barrier(&world).expect("post-checkpoint barrier");
+                        engine
+                            .checkpoint_step(rank, &world, step, &species, &fields)
+                            .expect("checkpoint step");
                     }
                 }
 
-                // Final diagnostics.
+                // Final diagnostics; an outstanding drain is realized
+                // first, and the completed allreduce proves every rank
+                // drained before rank 0 promotes.
+                engine.finish_wait(rank).expect("final drain wait");
                 let fe = field_energy(&grid, &fields);
                 let ke: f64 = species.iter().map(kinetic_energy).sum();
                 let sums = rank
                     .allreduce(&world, &[fe, ke], ReduceOp::Sum)
                     .expect("final reduction");
                 if me == 0 {
+                    engine.finish_promote();
                     let mut o = out_in.lock();
                     o.steps_done = config_in.steps;
                     o.interrupted = false;
                     o.field_energy = sums[0];
                     o.kinetic_energy = sums[1];
+                    o.ckpt_block = engine.block;
+                    o.ckpts_taken = engine.taken;
                 }
             },
         )
@@ -301,6 +558,10 @@ pub fn run_checkpointed(
 // Automatic recovery: supervisor + respawned solver worlds
 // ---------------------------------------------------------------------------
 
+/// Default keyframe cadence of [`CkptMode::AsyncDelta`]: every 4th
+/// checkpoint is a full frame.
+pub const KEYFRAME_EVERY_DEFAULT: u32 = 4;
+
 /// Knobs of the automatic recovery loop.
 #[derive(Debug, Clone)]
 pub struct RecoveryConfig {
@@ -313,6 +574,12 @@ pub struct RecoveryConfig {
     /// Fixed respawn overhead charged per recovery (node replacement,
     /// process manager round-trip) on top of the SCR restore cost.
     pub recovery_latency: SimTime,
+    /// How checkpoints are taken: blocking, async drain, or async drain
+    /// with delta frames (see [`CkptMode`]).
+    pub ckpt_mode: CkptMode,
+    /// In [`CkptMode::AsyncDelta`], force a full keyframe every this many
+    /// checkpoints.
+    pub keyframe_every: u32,
 }
 
 impl Default for RecoveryConfig {
@@ -322,6 +589,8 @@ impl Default for RecoveryConfig {
             checkpoint_every: 2,
             max_recoveries: 8,
             recovery_latency: SimTime::from_millis(50.0),
+            ckpt_mode: CkptMode::Sync,
+            keyframe_every: KEYFRAME_EVERY_DEFAULT,
         }
     }
 }
@@ -344,6 +613,12 @@ pub struct ResilientReport {
     pub resume_steps: Vec<u32>,
     /// Virtual makespan of the whole job, recoveries included.
     pub makespan: SimTime,
+    /// Rank 0's blocking checkpoint time in the *final* (completing)
+    /// incarnation: local stages plus unhidden drain spill in the async
+    /// modes, the full level cost in sync mode.
+    pub ckpt_block: SimTime,
+    /// Checkpoints the final incarnation took.
+    pub ckpts_taken: u32,
 }
 
 /// Completion report the child world's rank 0 sends to the supervisor.
@@ -352,6 +627,9 @@ struct StatusMsg {
     steps_done: u32,
     field_energy: f64,
     kinetic_energy: f64,
+    /// Rank 0's blocking checkpoint time, seconds.
+    ckpt_block_s: f64,
+    ckpts_taken: u32,
 }
 
 impl MpiDatatype for StatusMsg {
@@ -359,15 +637,19 @@ impl MpiDatatype for StatusMsg {
         buf.put_u32_le(self.steps_done);
         buf.put_f64_le(self.field_energy);
         buf.put_f64_le(self.kinetic_energy);
+        buf.put_f64_le(self.ckpt_block_s);
+        buf.put_u32_le(self.ckpts_taken);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
-        if buf.remaining() < 20 {
+        if buf.remaining() < 32 {
             return Err(CodecError("short StatusMsg".into()));
         }
         Ok(StatusMsg {
             steps_done: buf.get_u32_le(),
             field_energy: buf.get_f64_le(),
             kinetic_energy: buf.get_f64_le(),
+            ckpt_block_s: buf.get_f64_le(),
+            ckpts_taken: buf.get_u32_le(),
         })
     }
 }
@@ -434,6 +716,8 @@ pub fn run_resilient(
         recoveries: 0,
         resume_steps: Vec::new(),
         makespan: SimTime::ZERO,
+        ckpt_block: SimTime::ZERO,
+        ckpts_taken: 0,
     }));
 
     let out_in = out.clone();
@@ -479,22 +763,12 @@ fn supervise(
     loop {
         let cfg = config.clone();
         let scr_c = scr.clone();
-        let level = recovery.level;
-        let every = recovery.checkpoint_every;
+        let rec = recovery.clone();
         let blobs = restored.clone();
         let s0 = start_step;
         let fresh = incarnation == 0;
         let entry: Arc<RankFn> = Arc::new(move |child: &mut Rank| {
-            resilient_child(
-                child,
-                &cfg,
-                &scr_c,
-                level,
-                every,
-                s0,
-                fresh,
-                blobs.as_deref(),
-            );
+            resilient_child(child, &cfg, &scr_c, &rec, s0, fresh, blobs.as_deref());
         });
         let ic = rank
             .spawn(&world, booster, entry)
@@ -510,6 +784,8 @@ fn supervise(
                 o.failures = std::mem::take(&mut failures);
                 o.recoveries = recoveries;
                 o.resume_steps = std::mem::take(&mut resume_steps);
+                o.ckpt_block = SimTime::from_secs(status.ckpt_block_s);
+                o.ckpts_taken = status.ckpts_taken;
                 return;
             }
             Err(PsmpiError::NodeFailed { node, at }) => {
@@ -556,8 +832,7 @@ fn resilient_child(
     rank: &mut Rank,
     config: &XpicConfig,
     scr: &ScrManager,
-    level: CheckpointLevel,
-    checkpoint_every: u32,
+    recovery: &RecoveryConfig,
     start_step: u32,
     fresh: bool,
     restored: Option<&Vec<Vec<u8>>>,
@@ -565,16 +840,7 @@ fn resilient_child(
     let world = rank.world();
     let parent = rank.parent().expect("resilient child has a supervisor");
     match resilient_steps(
-        rank,
-        &world,
-        &parent,
-        config,
-        scr,
-        level,
-        checkpoint_every,
-        start_step,
-        fresh,
-        restored,
+        rank, &world, &parent, config, scr, recovery, start_step, fresh, restored,
     ) {
         Ok(()) => {}
         Err(err) => {
@@ -598,12 +864,12 @@ fn resilient_steps(
     parent: &Intercomm,
     config: &XpicConfig,
     scr: &ScrManager,
-    level: CheckpointLevel,
-    checkpoint_every: u32,
+    recovery: &RecoveryConfig,
     start_step: u32,
     fresh: bool,
     restored: Option<&Vec<Vec<u8>>>,
 ) -> Result<(), PsmpiError> {
+    let checkpoint_every = recovery.checkpoint_every;
     let n = world.size();
     let me = rank.rank();
     let grid = Grid::slab(config.nx, config.ny, me, n);
@@ -637,6 +903,12 @@ fn resilient_steps(
     // re-discovered).
     let mut win_start = if fresh { SimTime::ZERO } else { rank.now() };
 
+    let mut engine = CkptEngine::new(
+        scr,
+        recovery.level,
+        recovery.ckpt_mode,
+        recovery.keyframe_every,
+    );
     let mut moments = Moments::zeros(&grid);
     let mut step = start_step;
     while step < config.steps {
@@ -679,22 +951,18 @@ fn resilient_steps(
         win_start = now;
 
         if step.is_multiple_of(checkpoint_every) && step < config.steps {
-            let blob = pack_state_pooled(rank.buffer_pool(), &species, &fields);
-            let gathered = rank.gather(world, 0, &blob)?;
-            if let Some(blobs) = gathered {
-                let cost = scr
-                    .checkpoint_traced(step as u64, level, &blobs, rank.obs(), rank.now())
-                    .expect("checkpoint");
-                rank.advance(cost);
-            }
-            rank.barrier(world)?;
+            engine.checkpoint_step(rank, world, step, &species, &fields)?;
         }
     }
 
+    // Realize any outstanding drain, then reduce; the completed allreduce
+    // proves every rank drained, so rank 0 may promote.
+    engine.finish_wait(rank)?;
     let fe = field_energy(&grid, &fields);
     let ke: f64 = species.iter().map(kinetic_energy).sum();
     let sums = rank.allreduce(world, &[fe, ke], ReduceOp::Sum)?;
     if me == 0 {
+        engine.finish_promote();
         rank.send_inter(
             parent,
             0,
@@ -703,6 +971,8 @@ fn resilient_steps(
                 steps_done: config.steps,
                 field_energy: sums[0],
                 kinetic_energy: sums[1],
+                ckpt_block_s: engine.block.as_secs(),
+                ckpts_taken: engine.taken,
             },
         )?;
     }

@@ -192,3 +192,79 @@ fn fault_before_first_checkpoint_replays_from_scratch() {
         clean.kinetic_energy.to_bits()
     );
 }
+
+fn run_mode(threads: usize, mode: scr::CkptMode, plan: Option<FaultPlan>) -> ResilientReport {
+    let l = launcher();
+    let scr = scr_for(&l);
+    let recovery = RecoveryConfig {
+        ckpt_mode: mode,
+        ..recovery()
+    };
+    run_resilient(&l, BOOSTERS, &config(threads), &scr, &recovery, plan)
+}
+
+#[test]
+fn async_recovery_is_bit_identical_and_blocks_less() {
+    use scr::CkptMode;
+    let sync = run_mode(1, CkptMode::Sync, None);
+    let asn = run_mode(1, CkptMode::Async, None);
+
+    // Same physics bits, same protection cadence, less blocking: the
+    // buddy drain hides behind the next steps' compute.
+    assert_eq!(asn.field_energy.to_bits(), sync.field_energy.to_bits());
+    assert_eq!(asn.kinetic_energy.to_bits(), sync.kinetic_energy.to_bits());
+    assert_eq!(asn.ckpts_taken, sync.ckpts_taken);
+    assert!(sync.ckpt_block > SimTime::ZERO);
+    assert!(
+        asn.ckpt_block < sync.ckpt_block,
+        "async block {} must be below sync {}",
+        asn.ckpt_block,
+        sync.ckpt_block
+    );
+
+    // A mid-run node death under async checkpointing: the in-flight drain
+    // is evicted, recovery falls back to the newest *promoted* checkpoint,
+    // and the replay still lands on the clean bits.
+    let victim = launcher().system().booster_nodes()[1];
+    let at = mid_run_fault(asn.makespan);
+    let plan = FaultPlan::from_node_faults([(at, victim)]);
+    let faulted1 = run_mode(1, CkptMode::Async, Some(plan.clone()));
+    let faulted2 = run_mode(2, CkptMode::Async, Some(plan));
+    assert!(faulted1.recoveries >= 1, "fault at {at} must interrupt");
+    assert_eq!(faulted1.field_energy.to_bits(), sync.field_energy.to_bits());
+    assert_eq!(
+        faulted1.kinetic_energy.to_bits(),
+        sync.kinetic_energy.to_bits()
+    );
+    // ...at any host thread count, event for event.
+    assert_eq!(faulted1.recoveries, faulted2.recoveries);
+    assert_eq!(faulted1.resume_steps, faulted2.resume_steps);
+    assert_eq!(
+        faulted1.field_energy.to_bits(),
+        faulted2.field_energy.to_bits()
+    );
+    assert_eq!(faulted1.makespan, faulted2.makespan);
+    assert_eq!(faulted1.ckpt_block, faulted2.ckpt_block);
+}
+
+#[test]
+fn async_delta_recovery_matches_sync_bits() {
+    use scr::CkptMode;
+    let sync = run_mode(1, CkptMode::Sync, None);
+    let clean = run_mode(1, CkptMode::AsyncDelta, None);
+    assert_eq!(clean.field_energy.to_bits(), sync.field_energy.to_bits());
+
+    let victim = launcher().system().booster_nodes()[0];
+    let at = mid_run_fault(clean.makespan);
+    let faulted = run_mode(
+        1,
+        CkptMode::AsyncDelta,
+        Some(FaultPlan::from_node_faults([(at, victim)])),
+    );
+    assert!(faulted.recoveries >= 1);
+    assert_eq!(faulted.field_energy.to_bits(), sync.field_energy.to_bits());
+    assert_eq!(
+        faulted.kinetic_energy.to_bits(),
+        sync.kinetic_energy.to_bits()
+    );
+}
